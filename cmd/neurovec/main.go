@@ -1,0 +1,354 @@
+// Command neurovec is the command-line front end to the NeuroVectorizer
+// reproduction.
+//
+// Subcommands:
+//
+//	report   regenerate the paper's figures as text tables
+//	train    train a PPO agent on the synthetic corpus and print the curves
+//	annotate train briefly, then inject learned pragmas into a C file
+//	brute    exhaustively search (VF, IF) for every loop of a C file
+//	sweep    print the full VF x IF grid for the first loop of a C file
+//
+// Examples:
+//
+//	neurovec report -fig 7
+//	neurovec report -fig all -full
+//	neurovec sweep -file kernel.c
+//	neurovec annotate -file kernel.c -samples 1000 -iters 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"neurovec/internal/core"
+	"neurovec/internal/dataset"
+	"neurovec/internal/deps"
+	"neurovec/internal/experiments"
+	"neurovec/internal/rl"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "annotate":
+		err = cmdAnnotate(os.Args[2:])
+	case "brute":
+		err = cmdBrute(os.Args[2:])
+	case "sweep":
+		err = cmdSweep(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "neurovec: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "neurovec:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: neurovec <command> [flags]
+
+commands:
+  report    regenerate the paper's figures (-fig 1|2|5|6|7|8|9|all, -full)
+  train     train a PPO agent and print learning curves
+  annotate  inject learned vectorization pragmas into a C file
+  brute     brute-force the best (VF, IF) per loop of a C file
+  sweep     print the VF x IF performance grid for a C file's first loop
+  explain   show the simulator's cycle breakdown per loop (baseline vs best)
+`)
+}
+
+func options(full bool, seed int64) experiments.Options {
+	o := experiments.QuickOptions()
+	if full {
+		o = experiments.DefaultOptions()
+	}
+	o.Seed = seed
+	return o
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	fig := fs.String("fig", "all", "figure to regenerate: 1, 2, 5, 6, 7, 8, 9, eff, or all")
+	full := fs.Bool("full", false, "full-size experiments (slower, paper-scale)")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	csvDir := fs.String("csv", "", "also write figN.csv artifacts into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := options(*full, *seed)
+
+	writeCSV := func(name string, to func(w io.Writer) error) error {
+		if *csvDir == "" {
+			return nil
+		}
+		f, err := os.Create(fmt.Sprintf("%s/fig%s.csv", *csvDir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := to(f); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+
+	run := func(name string) error {
+		var tab *experiments.Table
+		var curves *experiments.Curves
+		switch name {
+		case "1":
+			tab = experiments.Fig1(o)
+		case "2":
+			tab = experiments.Fig2(o)
+		case "5":
+			curves = experiments.Fig5(o)
+		case "6":
+			curves = experiments.Fig6(o)
+		case "7":
+			tab = experiments.Fig7(o)
+		case "8":
+			tab = experiments.Fig8(o)
+		case "9":
+			tab = experiments.Fig9(o)
+		case "eff":
+			tab = experiments.TrainingEfficiency(o)
+		default:
+			return fmt.Errorf("report: unknown figure %q", name)
+		}
+		if tab != nil {
+			fmt.Println(tab)
+			return writeCSV(name, tab.WriteCSV)
+		}
+		fmt.Println(curves)
+		return writeCSV(name, curves.WriteCSV)
+	}
+	figs := []string{"1", "2", "5", "6", "7", "8", "9", "eff"}
+	if *fig != "all" {
+		figs = strings.Split(*fig, ",")
+	}
+	for _, f := range figs {
+		if err := run(strings.TrimSpace(f)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	n := fs.Int("samples", 1000, "synthetic training samples")
+	iters := fs.Int("iters", 30, "PPO iterations")
+	batch := fs.Int("batch", 200, "rollout batch size (compilations per iteration)")
+	lr := fs.Float64("lr", 5e-4, "learning rate")
+	seed := fs.Int64("seed", 1, "seed")
+	space := fs.String("space", "discrete", "action space: discrete, cont1, cont2")
+	save := fs.String("save", "", "write the trained model snapshot to this path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fw, rc, err := buildTrainer(*n, *iters, *batch, *lr, *seed, *space)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training on %d loop units (%s action space)\n", fw.NumSamples(), rc.Space)
+	stats := fw.Train(rc)
+	for i := range stats.RewardMean {
+		fmt.Printf("iter %3d  steps %7d  reward mean %+.4f  loss %.5f\n",
+			i, stats.Steps[i], stats.RewardMean[i], stats.Loss[i])
+	}
+	if *save != "" {
+		if err := fw.SaveModelFile(*save); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "model saved to %s\n", *save)
+	}
+	return nil
+}
+
+func buildTrainer(n, iters, batch int, lr float64, seed int64, space string) (*core.Framework, *rl.Config, error) {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	fw := core.New(cfg)
+	if err := fw.LoadSet(dataset.Generate(dataset.GenConfig{N: n, Seed: seed})); err != nil {
+		return nil, nil, err
+	}
+	rc := rl.DefaultConfig(cfg.Arch.VFs(), cfg.Arch.IFs())
+	rc.Iterations = iters
+	rc.Batch = batch
+	rc.MiniBatch = batch / 4
+	rc.LR = lr
+	rc.Seed = seed
+	switch space {
+	case "discrete":
+		rc.Space = rl.Discrete
+	case "cont1":
+		rc.Space = rl.Continuous1
+	case "cont2":
+		rc.Space = rl.Continuous2
+	default:
+		return nil, nil, fmt.Errorf("unknown action space %q", space)
+	}
+	return fw, &rc, nil
+}
+
+func cmdAnnotate(args []string) error {
+	fs := flag.NewFlagSet("annotate", flag.ExitOnError)
+	file := fs.String("file", "", "C source file to annotate (required)")
+	n := fs.Int("samples", 800, "synthetic training samples")
+	iters := fs.Int("iters", 25, "PPO iterations")
+	seed := fs.Int64("seed", 1, "seed")
+	model := fs.String("model", "", "load a trained snapshot instead of training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("annotate: -file is required")
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	var fw *core.Framework
+	if *model != "" {
+		fw = core.New(core.DefaultConfig())
+		if err := fw.LoadModelFile(*model); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded model from %s\n", *model)
+	} else {
+		var rc *rl.Config
+		fw, rc, err = buildTrainer(*n, *iters, 200, 5e-4, *seed, "discrete")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "training agent on %d loop units...\n", fw.NumSamples())
+		fw.Train(rc)
+	}
+	out, decisions, err := fw.AnnotateSource(string(src), nil)
+	if err != nil {
+		return err
+	}
+	for _, d := range decisions {
+		fmt.Fprintf(os.Stderr, "loop %s: VF=%d IF=%d\n", d.Label, d.VF, d.IF)
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func cmdBrute(args []string) error {
+	fs := flag.NewFlagSet("brute", flag.ExitOnError)
+	file := fs.String("file", "", "C source file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("brute: -file is required")
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	fw := core.New(core.DefaultConfig())
+	if err := fw.LoadSource(*file, string(src), nil); err != nil {
+		return err
+	}
+	for i := 0; i < fw.NumSamples(); i++ {
+		u := fw.Units()[i]
+		vf, ifc := fw.BruteForceLabel(i)
+		base := fw.BaselineCycles(i)
+		best := fw.Cycles(i, vf, ifc)
+		fmt.Printf("%-28s best VF=%-3d IF=%-3d  speedup over baseline %.3fx\n",
+			u.Name, vf, ifc, base/best)
+	}
+	return nil
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	file := fs.String("file", "", "C source file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("explain: -file is required")
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	fw := core.New(core.DefaultConfig())
+	if err := fw.LoadSource(*file, string(src), nil); err != nil {
+		return err
+	}
+	for i := 0; i < fw.NumSamples(); i++ {
+		u := fw.Units()[i]
+		fmt.Printf("=== %s ===\n", u.Name)
+		legal := deps.Analyze(u.Loop)
+		if legal.MaxVF >= deps.Unlimited {
+			fmt.Println("dependence analysis: no loop-carried dependence, any VF legal")
+		} else {
+			fmt.Printf("dependence analysis: max legal VF %d (%s)\n", legal.MaxVF, legal.Reason)
+		}
+		cvf, cifc := fw.BaselineChoice(i)
+		fmt.Printf("baseline cost model decision (VF=%d, IF=%d):\n", cvf, cifc)
+		fmt.Print(fw.Explain(i, cvf, cifc))
+		bvf, bifc := fw.BruteForceLabel(i)
+		fmt.Printf("brute-force best (VF=%d, IF=%d):\n", bvf, bifc)
+		fmt.Print(fw.Explain(i, bvf, bifc))
+	}
+	return nil
+}
+
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	file := fs.String("file", "", "C source file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("sweep: -file is required")
+	}
+	src, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	fw := core.New(core.DefaultConfig())
+	if err := fw.LoadSource(*file, string(src), nil); err != nil {
+		return err
+	}
+	base := fw.BaselineCycles(0)
+	arch := fw.Cfg.Arch
+	fmt.Printf("%-8s", "")
+	for _, ifc := range arch.IFs() {
+		fmt.Printf("%10s", fmt.Sprintf("IF=%d", ifc))
+	}
+	fmt.Println()
+	for _, vf := range arch.VFs() {
+		fmt.Printf("VF=%-5d", vf)
+		for _, ifc := range arch.IFs() {
+			fmt.Printf("%10.3f", base/fw.Cycles(0, vf, ifc))
+		}
+		fmt.Println()
+	}
+	return nil
+}

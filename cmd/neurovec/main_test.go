@@ -1,0 +1,145 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testKernel = `
+int vals[256];
+int kernel() {
+    int s = 0;
+    for (int i = 0; i < 256; i++) {
+        s += vals[i] * 3;
+    }
+    return s;
+}
+`
+
+func writeKernel(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "k.c")
+	if err := os.WriteFile(path, []byte(testKernel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// captureStdout redirects os.Stdout for the duration of fn and returns what
+// fn printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, readErr := r.Read(buf)
+			sb.Write(buf[:n])
+			if readErr != nil {
+				break
+			}
+		}
+		done <- sb.String()
+	}()
+	fnErr := fn()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	r.Close()
+	return out, fnErr
+}
+
+func TestCmdSweep(t *testing.T) {
+	path := writeKernel(t)
+	out, err := captureStdout(t, func() error { return cmdSweep([]string{"-file", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "VF=64") || !strings.Contains(out, "IF=16") {
+		t.Fatalf("sweep output incomplete:\n%s", out)
+	}
+}
+
+func TestCmdBrute(t *testing.T) {
+	path := writeKernel(t)
+	out, err := captureStdout(t, func() error { return cmdBrute([]string{"-file", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "best VF=") {
+		t.Fatalf("brute output missing decision:\n%s", out)
+	}
+}
+
+func TestCmdExplain(t *testing.T) {
+	path := writeKernel(t)
+	out, err := captureStdout(t, func() error { return cmdExplain([]string{"-file", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "baseline cost model decision") || !strings.Contains(out, "brute-force best") {
+		t.Fatalf("explain output incomplete:\n%s", out)
+	}
+}
+
+func TestCmdReportSingleFigure(t *testing.T) {
+	out, err := captureStdout(t, func() error { return cmdReport([]string{"-fig", "1"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatalf("report output missing table:\n%s", out)
+	}
+}
+
+func TestCmdTrainAndAnnotateWithModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a small agent")
+	}
+	model := filepath.Join(t.TempDir(), "m.gob")
+	_, err := captureStdout(t, func() error {
+		return cmdTrain([]string{"-samples", "40", "-iters", "2", "-batch", "40", "-save", model})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(model); err != nil {
+		t.Fatalf("model not written: %v", err)
+	}
+	path := writeKernel(t)
+	out, err := captureStdout(t, func() error {
+		return cmdAnnotate([]string{"-file", path, "-model", model})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "#pragma clang loop vectorize_width(") {
+		t.Fatalf("annotated output missing pragma:\n%s", out)
+	}
+}
+
+func TestCmdErrorsOnMissingFile(t *testing.T) {
+	for _, fn := range []func([]string) error{cmdSweep, cmdBrute, cmdExplain} {
+		if err := fn([]string{}); err == nil {
+			t.Error("expected error without -file")
+		}
+		if err := fn([]string{"-file", "/nonexistent/x.c"}); err == nil {
+			t.Error("expected error for missing file")
+		}
+	}
+}
+
+func TestBuildTrainerRejectsBadSpace(t *testing.T) {
+	if _, _, err := buildTrainer(10, 1, 10, 1e-3, 1, "quantum"); err == nil {
+		t.Fatal("expected error for unknown action space")
+	}
+}

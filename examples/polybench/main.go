@@ -1,0 +1,35 @@
+// Polybench reproduces the Figure 8 scenario: on linear-algebra kernels,
+// compare the baseline cost model, the Polly analogue (tiling + fusion),
+// the trained RL vectorizer, and the combined Polly+RL configuration —
+// showing Polly winning the large-trip-count kernels, RL winning the rest,
+// and the combination beating both.
+package main
+
+import (
+	"fmt"
+
+	"neurovec/internal/experiments"
+)
+
+func main() {
+	fmt.Println("training the agent and evaluating the PolyBench analogues...")
+	tab := experiments.Fig8(experiments.QuickOptions())
+	fmt.Println(tab)
+
+	polly := tab.GeoMean("polly")
+	rl := tab.GeoMean("RL")
+	combo := tab.GeoMean("polly+RL")
+	fmt.Printf("geomean speedups over baseline: polly %.2fx, RL %.2fx, polly+RL %.2fx\n",
+		polly, rl, combo)
+	fmt.Println("paper: RL 2.08x over baseline, 1.16x over Polly; Polly+RL 2.92x")
+
+	wins := 0
+	for _, r := range tab.Rows() {
+		p, _ := tab.Get(r, "polly")
+		q, _ := tab.Get(r, "RL")
+		if q > p {
+			wins++
+		}
+	}
+	fmt.Printf("RL beats Polly on %d of %d kernels (paper: 3 of 6)\n", wins, len(tab.Rows()))
+}

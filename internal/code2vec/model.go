@@ -1,0 +1,165 @@
+package code2vec
+
+import (
+	"math"
+	"math/rand"
+
+	"neurovec/internal/nn"
+)
+
+// Model is the attention encoder: hashed embeddings for terminals and paths,
+// a projection to the code-vector width, and a learned attention vector that
+// aggregates contexts. All parameters are trained by gradients arriving at
+// the output vector (end-to-end with the RL loss).
+type Model struct {
+	Cfg  Config
+	Tok  *nn.Param // TokenVocab x EmbedDim
+	Path *nn.Param // PathVocab x EmbedDim
+	W    *nn.Param // OutDim x 3*EmbedDim
+	B    *nn.Param // OutDim
+	Attn *nn.Param // OutDim
+}
+
+// NewModel initialises the embedder.
+func NewModel(cfg Config) *Model {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := cfg.EmbedDim
+	scaleEmb := 1.0 / math.Sqrt(float64(d))
+	scaleW := math.Sqrt(2.0 / float64(3*d+cfg.OutDim))
+	norm := func(scale float64) func(int) float64 {
+		return func(int) float64 { return rng.NormFloat64() * scale }
+	}
+	return &Model{
+		Cfg:  cfg,
+		Tok:  nn.NewParamInit("c2v.tok", cfg.TokenVocab*d, norm(scaleEmb)),
+		Path: nn.NewParamInit("c2v.path", cfg.PathVocab*d, norm(scaleEmb)),
+		W:    nn.NewParamInit("c2v.W", cfg.OutDim*3*d, norm(scaleW)),
+		B:    nn.NewParam("c2v.b", cfg.OutDim),
+		Attn: nn.NewParamInit("c2v.attn", cfg.OutDim, norm(0.1)),
+	}
+}
+
+// Params returns the trainable parameters.
+func (m *Model) Params() []*nn.Param {
+	return []*nn.Param{m.Tok, m.Path, m.W, m.B, m.Attn}
+}
+
+// Dim returns the code-vector width.
+func (m *Model) Dim() int { return m.Cfg.OutDim }
+
+// State caches a forward pass for the matching Backward call.
+type State struct {
+	ctxs  []Context
+	c     [][]float64 // concatenated context inputs, 3d each
+	h     [][]float64 // tanh(W c + b), OutDim each
+	alpha []float64   // attention weights
+}
+
+// Forward embeds a context bag into a code vector. An empty bag yields the
+// zero vector (e.g. a degenerate loop with no terminals).
+func (m *Model) Forward(ctxs []Context) ([]float64, *State) {
+	d := m.Cfg.EmbedDim
+	out := m.Cfg.OutDim
+	st := &State{ctxs: ctxs}
+	vec := make([]float64, out)
+	if len(ctxs) == 0 {
+		return vec, st
+	}
+
+	n := len(ctxs)
+	st.c = make([][]float64, n)
+	st.h = make([][]float64, n)
+	scores := make([]float64, n)
+	for i, cx := range ctxs {
+		c := make([]float64, 3*d)
+		copy(c[0:d], m.Tok.W[int(cx.Left)*d:(int(cx.Left)+1)*d])
+		copy(c[d:2*d], m.Path.W[int(cx.Path)*d:(int(cx.Path)+1)*d])
+		copy(c[2*d:3*d], m.Tok.W[int(cx.Right)*d:(int(cx.Right)+1)*d])
+		st.c[i] = c
+
+		h := make([]float64, out)
+		for o := 0; o < out; o++ {
+			row := m.W.W[o*3*d : (o+1)*3*d]
+			s := m.B.W[o]
+			for k, cv := range c {
+				s += row[k] * cv
+			}
+			h[o] = math.Tanh(s)
+		}
+		st.h[i] = h
+
+		sc := 0.0
+		for o := 0; o < out; o++ {
+			sc += m.Attn.W[o] * h[o]
+		}
+		scores[i] = sc
+	}
+	st.alpha = nn.Softmax(scores)
+	for i := range ctxs {
+		a := st.alpha[i]
+		for o := 0; o < out; o++ {
+			vec[o] += a * st.h[i][o]
+		}
+	}
+	return vec, st
+}
+
+// Backward accumulates parameter gradients given dLoss/dCodeVector.
+func (m *Model) Backward(st *State, dvec []float64) {
+	if len(st.ctxs) == 0 {
+		return
+	}
+	d := m.Cfg.EmbedDim
+	out := m.Cfg.OutDim
+	n := len(st.ctxs)
+
+	// v = sum_i alpha_i h_i with alpha = softmax(attn . h_i).
+	// dAlpha_i = h_i . dvec ; dScore via softmax Jacobian;
+	// dh_i = alpha_i dvec + dScore_i * attn.
+	dAlpha := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for o := 0; o < out; o++ {
+			s += st.h[i][o] * dvec[o]
+		}
+		dAlpha[i] = s
+	}
+	dot := 0.0
+	for i := 0; i < n; i++ {
+		dot += st.alpha[i] * dAlpha[i]
+	}
+	for i := 0; i < n; i++ {
+		dScore := st.alpha[i] * (dAlpha[i] - dot)
+		// Attention vector gradient.
+		for o := 0; o < out; o++ {
+			m.Attn.G[o] += dScore * st.h[i][o]
+		}
+		// Through h_i (tanh) into W, b and the context inputs.
+		cx := st.ctxs[i]
+		c := st.c[i]
+		dc := make([]float64, 3*d)
+		for o := 0; o < out; o++ {
+			dh := st.alpha[i]*dvec[o] + dScore*m.Attn.W[o]
+			dpre := dh * (1 - st.h[i][o]*st.h[i][o])
+			if dpre == 0 {
+				continue
+			}
+			row := m.W.W[o*3*d : (o+1)*3*d]
+			grow := m.W.G[o*3*d : (o+1)*3*d]
+			m.B.G[o] += dpre
+			for k := 0; k < 3*d; k++ {
+				grow[k] += dpre * c[k]
+				dc[k] += dpre * row[k]
+			}
+		}
+		// Scatter into the embedding tables.
+		lg := m.Tok.G[int(cx.Left)*d : (int(cx.Left)+1)*d]
+		pg := m.Path.G[int(cx.Path)*d : (int(cx.Path)+1)*d]
+		rg := m.Tok.G[int(cx.Right)*d : (int(cx.Right)+1)*d]
+		for k := 0; k < d; k++ {
+			lg[k] += dc[k]
+			pg[k] += dc[d+k]
+			rg[k] += dc[2*d+k]
+		}
+	}
+}

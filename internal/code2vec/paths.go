@@ -1,0 +1,263 @@
+// Package code2vec implements a trainable code-embedding generator modelled
+// on code2vec (Alon et al., POPL 2019), the embedding generator the paper
+// plugs in front of its RL agent.
+//
+// A code snippet (here: the outermost loop of a nest, matching the paper's
+// observation that feeding the outer loop body works better than the inner
+// one) is decomposed into AST *path contexts*: triples (left terminal, path
+// of AST node types between the terminals, right terminal). Terminals and
+// paths are embedded via hashed lookup tables, each context is projected and
+// squashed, and a learned attention vector aggregates the contexts into a
+// single fixed-length code vector — 340 features by default, the same output
+// width the paper quotes. The whole model is differentiable, so the policy
+// gradient flowing back from the RL agent trains the embedding end to end.
+package code2vec
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"neurovec/internal/lang"
+)
+
+// Config sets the embedder's dimensions.
+type Config struct {
+	TokenVocab  int // hashed terminal vocabulary size
+	PathVocab   int // hashed path vocabulary size
+	EmbedDim    int // terminal/path embedding width
+	OutDim      int // code-vector width (paper: 340)
+	MaxContexts int // per-snippet context budget
+	MaxPathLen  int // maximum AST nodes on a path
+	MaxWidth    int // maximum leaf-index distance between terminals
+	Seed        int64
+}
+
+// DefaultConfig mirrors the paper's embedding size with a hashed vocabulary
+// sized for the synthetic-loop corpus.
+func DefaultConfig() Config {
+	return Config{
+		TokenVocab:  2048,
+		PathVocab:   4096,
+		EmbedDim:    32,
+		OutDim:      340,
+		MaxContexts: 120,
+		MaxPathLen:  9,
+		MaxWidth:    4,
+		Seed:        1,
+	}
+}
+
+// Context is one hashed path context.
+type Context struct {
+	Left  uint32
+	Path  uint32
+	Right uint32
+}
+
+// leaf is a terminal in the AST with the stack of node-type names above it.
+type leaf struct {
+	text  string
+	stack []string
+}
+
+// ExtractContexts decomposes a statement (typically a ForStmt) into hashed
+// path contexts. Extraction is deterministic: when a snippet yields more
+// than cfg.MaxContexts contexts, an evenly spaced subset is kept.
+func ExtractContexts(s lang.Stmt, cfg Config) []Context {
+	leaves := collectLeaves(s)
+	var ctxs []Context
+	for i := 0; i < len(leaves); i++ {
+		for j := i + 1; j < len(leaves) && j-i <= cfg.MaxWidth; j++ {
+			path, ok := pathBetween(leaves[i], leaves[j], cfg.MaxPathLen)
+			if !ok {
+				continue
+			}
+			ctxs = append(ctxs, Context{
+				Left:  hashMod(leaves[i].text, cfg.TokenVocab),
+				Path:  hashMod(path, cfg.PathVocab),
+				Right: hashMod(leaves[j].text, cfg.TokenVocab),
+			})
+		}
+	}
+	if len(ctxs) > cfg.MaxContexts {
+		step := float64(len(ctxs)) / float64(cfg.MaxContexts)
+		out := make([]Context, 0, cfg.MaxContexts)
+		for k := 0; k < cfg.MaxContexts; k++ {
+			out = append(out, ctxs[int(float64(k)*step)])
+		}
+		ctxs = out
+	}
+	return ctxs
+}
+
+// pathBetween renders the AST path from a up to the lowest common ancestor
+// and down to b.
+func pathBetween(a, b leaf, maxLen int) (string, bool) {
+	p := 0
+	for p < len(a.stack) && p < len(b.stack) && a.stack[p] == b.stack[p] {
+		p++
+	}
+	if p == 0 {
+		return "", false // different roots; should not happen within one stmt
+	}
+	up := len(a.stack) - p
+	down := len(b.stack) - p
+	if up+down+1 > maxLen {
+		return "", false
+	}
+	var sb strings.Builder
+	for i := len(a.stack) - 1; i >= p; i-- {
+		sb.WriteString(a.stack[i])
+		sb.WriteByte('^')
+	}
+	sb.WriteString(a.stack[p-1])
+	for i := p; i < len(b.stack); i++ {
+		sb.WriteByte('_')
+		sb.WriteString(b.stack[i])
+	}
+	return sb.String(), true
+}
+
+func hashMod(s string, mod int) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32() % uint32(mod)
+}
+
+// collectLeaves walks the statement gathering terminals with ancestor-type
+// stacks.
+func collectLeaves(s lang.Stmt) []leaf {
+	c := &collector{}
+	c.stmt(s)
+	return c.leaves
+}
+
+type collector struct {
+	stack  []string
+	leaves []leaf
+}
+
+func (c *collector) push(name string) { c.stack = append(c.stack, name) }
+func (c *collector) pop()             { c.stack = c.stack[:len(c.stack)-1] }
+
+func (c *collector) leaf(text string) {
+	c.leaves = append(c.leaves, leaf{text: text, stack: append([]string(nil), c.stack...)})
+}
+
+func (c *collector) stmt(s lang.Stmt) {
+	switch st := s.(type) {
+	case nil:
+	case *lang.BlockStmt:
+		c.push("Block")
+		for _, x := range st.Stmts {
+			c.stmt(x)
+		}
+		c.pop()
+	case *lang.ForStmt:
+		c.push("For")
+		c.stmt(st.Init)
+		c.expr(st.Cond)
+		c.stmt(st.Post)
+		c.stmt(st.Body)
+		c.pop()
+	case *lang.IfStmt:
+		c.push("If")
+		c.expr(st.Cond)
+		c.stmt(st.Then)
+		if st.Else != nil {
+			c.push("Else")
+			c.stmt(st.Else)
+			c.pop()
+		}
+		c.pop()
+	case *lang.DeclStmt:
+		c.push("Decl:" + st.Type.Scalar.String())
+		c.leaf(st.Name)
+		c.expr(st.Init)
+		c.pop()
+	case *lang.AssignStmt:
+		c.push("Assign:" + st.Op.String())
+		c.expr(st.LHS)
+		c.expr(st.RHS)
+		c.pop()
+	case *lang.IncDecStmt:
+		op := "Inc"
+		if st.Dec {
+			op = "Dec"
+		}
+		c.push(op)
+		c.expr(st.X)
+		c.pop()
+	case *lang.ExprStmt:
+		c.push("ExprStmt")
+		c.expr(st.X)
+		c.pop()
+	case *lang.ReturnStmt:
+		c.push("Return")
+		c.expr(st.Value)
+		c.pop()
+	}
+}
+
+func (c *collector) expr(e lang.Expr) {
+	switch ex := e.(type) {
+	case nil:
+	case *lang.Ident:
+		c.leaf(ex.Name)
+	case *lang.IntLit:
+		c.leaf(intBucket(ex.Value))
+	case *lang.FloatLit:
+		c.leaf("FLOATLIT")
+	case *lang.BinaryExpr:
+		c.push("Bin:" + ex.Op.String())
+		c.expr(ex.X)
+		c.expr(ex.Y)
+		c.pop()
+	case *lang.UnaryExpr:
+		c.push("Un:" + ex.Op.String())
+		c.expr(ex.X)
+		c.pop()
+	case *lang.IndexExpr:
+		c.push("Index")
+		c.expr(ex.Base)
+		c.expr(ex.Index)
+		c.pop()
+	case *lang.CallExpr:
+		c.push("Call:" + ex.Fun)
+		for _, a := range ex.Args {
+			c.expr(a)
+		}
+		c.pop()
+	case *lang.CondExpr:
+		c.push("Cond")
+		c.expr(ex.Cond)
+		c.expr(ex.Then)
+		c.expr(ex.Else)
+		c.pop()
+	case *lang.CastExpr:
+		c.push("Cast:" + ex.To.String())
+		c.expr(ex.X)
+		c.pop()
+	}
+}
+
+// intBucket maps integer literals to coarse magnitude buckets (the nearest
+// power of two) so that, e.g., loop bounds 500 and 512 embed identically but
+// 4 and 4096 do not.
+func intBucket(v int64) string {
+	neg := ""
+	if v < 0 {
+		neg = "-"
+		v = -v
+	}
+	b := 0
+	for (int64(1) << (b + 1)) <= v {
+		b++
+	}
+	// Round up when v is closer to the next power of two.
+	if b < 62 && v-(int64(1)<<b) > (int64(1)<<(b+1))-v {
+		b++
+	}
+	return fmt.Sprintf("INT%s%d", neg, b)
+}

@@ -1,0 +1,464 @@
+// Package core is the public API of the NeuroVectorizer reproduction: the
+// end-to-end framework of the paper's Figure 3.
+//
+// A Framework owns the whole pipeline — parser, loop extractor, code
+// embedding generator, RL agent, pragma injection, "compilation"
+// (vectorization planning) and "execution" (cycle-level simulation, standing
+// in for the paper's physical testbed). Typical use:
+//
+//	fw := core.New(core.DefaultConfig())
+//	fw.LoadSet(dataset.Generate(dataset.GenConfig{N: 5000, Seed: 1}))
+//	stats := fw.Train(nil)                   // PPO + end-to-end embedding
+//	annotated, _, _ := fw.AnnotateSource(src, nil) // inference on new code
+//
+// The framework also exposes the reward function, the baseline/brute-force/
+// Polly comparators and the learned embedding, from which the supervised
+// methods (NNS, decision trees) of Section 3.5 are derived.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math"
+	"os"
+	"path/filepath"
+
+	"neurovec/internal/code2vec"
+	"neurovec/internal/costmodel"
+	"neurovec/internal/dataset"
+	"neurovec/internal/extractor"
+	"neurovec/internal/ir"
+	"neurovec/internal/lang"
+	"neurovec/internal/lower"
+	"neurovec/internal/machine"
+	"neurovec/internal/nn"
+	"neurovec/internal/rl"
+	"neurovec/internal/sim"
+	"neurovec/internal/vectorizer"
+)
+
+// Config assembles the framework's components.
+type Config struct {
+	Arch  *machine.Arch
+	Sim   sim.Config
+	Embed code2vec.Config
+	Lower lower.Options
+
+	// CompileTimeoutFactor and TimeoutPenalty implement Section 3.4: a
+	// configuration whose compile time exceeds the factor times the
+	// baseline's compile time receives the penalty as its reward.
+	CompileTimeoutFactor float64
+	TimeoutPenalty       float64
+
+	Seed int64
+}
+
+// DefaultConfig returns the paper's settings: AVX-class machine, 340-wide
+// code vectors, 10x compile budget with a -9 penalty.
+func DefaultConfig() Config {
+	arch := machine.IntelAVX2()
+	return Config{
+		Arch:                 arch,
+		Sim:                  sim.Config{Arch: arch, WarmCaches: true},
+		Embed:                code2vec.DefaultConfig(),
+		Lower:                lower.DefaultOptions(),
+		CompileTimeoutFactor: 10,
+		TimeoutPenalty:       -9,
+		Seed:                 1,
+	}
+}
+
+// Unit is one loaded loop sample: a parsed program, its primary innermost
+// loop, the extracted path contexts, and cached baseline measurements.
+type Unit struct {
+	Name   string
+	Source string
+
+	Prog *ir.Program
+	Loop *ir.Loop
+	Ctxs []code2vec.Context
+
+	baselinePlans   map[string]*vectorizer.Plan
+	baselineCycles  float64
+	baselineCompile float64
+	scalarCycles    float64 // lazily cached by NormTime
+}
+
+// Framework is the end-to-end system.
+type Framework struct {
+	Cfg Config
+
+	units []*Unit
+	embed *code2vec.Model
+	agent *rl.Agent
+}
+
+// New creates an empty framework.
+func New(cfg Config) *Framework {
+	if cfg.Arch == nil {
+		cfg = DefaultConfig()
+	}
+	if cfg.Sim.Arch == nil {
+		cfg.Sim.Arch = cfg.Arch
+	}
+	cfg.Embed.Seed = cfg.Seed
+	return &Framework{Cfg: cfg, embed: code2vec.NewModel(cfg.Embed)}
+}
+
+// Units returns the loaded samples.
+func (f *Framework) Units() []*Unit { return f.units }
+
+// Agent returns the trained agent (nil before Train).
+func (f *Framework) Agent() *rl.Agent { return f.agent }
+
+// LoadSet parses, lowers and extracts every sample of a dataset. Programs
+// with multiple innermost loops contribute one unit per loop.
+func (f *Framework) LoadSet(set *dataset.Set) error {
+	for _, s := range set.Samples {
+		if err := f.LoadSource(s.Name, s.Source, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadBenchmarks loads evaluation benchmarks as units (with their simulated
+// runtime parameter values).
+func (f *Framework) LoadBenchmarks(bs []dataset.Benchmark) error {
+	for _, b := range bs {
+		if err := f.LoadSource(b.Name, b.Source, b.ParamValues); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSource loads one program, creating a unit per innermost loop.
+// The unit index range added is [previous len(Units), new len(Units)).
+func (f *Framework) LoadSource(name, source string, params map[string]int64) error {
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return fmt.Errorf("core: load %s: %w", name, err)
+	}
+	opts := f.Cfg.Lower
+	if params != nil {
+		opts.ParamValues = params
+	}
+	irp, err := lower.Program(prog, opts)
+	if err != nil {
+		return fmt.Errorf("core: load %s: %w", name, err)
+	}
+
+	infos := extractor.Loops(prog)
+	basePlans := costmodel.Plans(irp, f.Cfg.Arch)
+	baseCycles := sim.Program(irp, basePlans, f.Cfg.Sim).Cycles
+	baseCompile := sim.CompileTime(irp, basePlans, f.Cfg.Arch)
+
+	for _, info := range infos {
+		loop := irp.FindLoop(info.Label)
+		if loop == nil {
+			return fmt.Errorf("core: load %s: loop %s missing from IR", name, info.Label)
+		}
+		f.units = append(f.units, &Unit{
+			Name:            fmt.Sprintf("%s/%s", name, info.Label),
+			Source:          source,
+			Prog:            irp,
+			Loop:            loop,
+			Ctxs:            code2vec.ExtractContexts(info.Outermost, f.Cfg.Embed),
+			baselinePlans:   basePlans,
+			baselineCycles:  baseCycles,
+			baselineCompile: baseCompile,
+		})
+	}
+	if len(infos) == 0 {
+		return fmt.Errorf("core: load %s: %w", name, ErrNoLoops)
+	}
+	return nil
+}
+
+// ErrNoLoops is reported when a program contains nothing to vectorize.
+var ErrNoLoops = errors.New("program has no loops")
+
+// LoadDir loads every .c file under dir, recursively — the paper's input
+// granularity ("the directory of code files is fed to the framework as text
+// code"). Files without loops are skipped. Returns the number of files that
+// contributed units.
+func (f *Framework) LoadDir(dir string) (int, error) {
+	loaded := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || filepath.Ext(path) != ".c" {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if err := f.LoadSource(path, string(src), nil); err != nil {
+			if errors.Is(err, ErrNoLoops) {
+				return nil
+			}
+			return err
+		}
+		loaded++
+		return nil
+	})
+	return loaded, err
+}
+
+// BaselineChoice returns the baseline cost model's effective (VF, IF) for a
+// unit's loop.
+func (f *Framework) BaselineChoice(sample int) (vf, ifc int) {
+	u := f.units[sample]
+	if p := u.baselinePlans[u.Loop.Label]; p != nil {
+		return p.VF, p.IF
+	}
+	return 1, 1
+}
+
+// Explain returns the simulator's cycle breakdown for a unit's loop under
+// the given factors — the diagnostic view behind the CLI's explain command.
+func (f *Framework) Explain(sample, vf, ifc int) sim.Breakdown {
+	u := f.units[sample]
+	return sim.Explain(u.Loop, vectorizer.New(u.Loop, f.Cfg.Arch, vf, ifc), f.Cfg.Sim)
+}
+
+// ---- Environment (reward) ----
+
+// NumSamples implements rl.Env.
+func (f *Framework) NumSamples() int { return len(f.units) }
+
+// Reward implements rl.Env: Equation 2 of the paper,
+// (t_baseline - t_RL)/t_baseline, with the compile-timeout penalty.
+func (f *Framework) Reward(sample, vf, ifc int) float64 {
+	u := f.units[sample]
+	cycles, compile := f.measure(u, vf, ifc)
+	if compile > f.Cfg.CompileTimeoutFactor*u.baselineCompile {
+		return f.Cfg.TimeoutPenalty
+	}
+	if u.baselineCycles <= 0 {
+		return 0
+	}
+	return (u.baselineCycles - cycles) / u.baselineCycles
+}
+
+// measure simulates the unit's program with (vf, ifc) injected at its loop
+// and all other loops at the baseline decision.
+func (f *Framework) measure(u *Unit, vf, ifc int) (cycles, compile float64) {
+	plans := make(map[string]*vectorizer.Plan, len(u.baselinePlans))
+	for k, v := range u.baselinePlans {
+		plans[k] = v
+	}
+	plans[u.Loop.Label] = vectorizer.New(u.Loop, f.Cfg.Arch, vf, ifc)
+	return sim.Program(u.Prog, plans, f.Cfg.Sim).Cycles, sim.CompileTime(u.Prog, plans, f.Cfg.Arch)
+}
+
+// Cycles returns the simulated program cycles for a unit under a specific
+// factor pair (used by brute force and the evaluation harness).
+func (f *Framework) Cycles(sample, vf, ifc int) float64 {
+	c, _ := f.measure(f.units[sample], vf, ifc)
+	return c
+}
+
+// BaselineCycles returns the unit's program cycles under the baseline cost
+// model.
+func (f *Framework) BaselineCycles(sample int) float64 {
+	return f.units[sample].baselineCycles
+}
+
+// CompileBlowup returns the ratio of the program's compile time under
+// (vf, ifc) at the unit's loop to the baseline's compile time — the
+// quantity the Section 3.4 timeout rule thresholds at 10x.
+func (f *Framework) CompileBlowup(sample, vf, ifc int) float64 {
+	u := f.units[sample]
+	_, compile := f.measure(u, vf, ifc)
+	if u.baselineCompile <= 0 {
+		return 1
+	}
+	return compile / u.baselineCompile
+}
+
+// NormTime returns the simulated time under (vf, ifc) normalized to the
+// unit's scalar (VF=1, IF=1) time — the regression target of the Section 5
+// learned cost model (package ranker).
+func (f *Framework) NormTime(sample, vf, ifc int) float64 {
+	u := f.units[sample]
+	if u.scalarCycles == 0 {
+		u.scalarCycles, _ = f.measure(u, 1, 1)
+	}
+	if u.scalarCycles <= 0 {
+		return 1
+	}
+	c, _ := f.measure(u, vf, ifc)
+	return c / u.scalarCycles
+}
+
+// ---- Embedder adapter ----
+
+// embedAdapter exposes the code2vec model as an rl.Embedder over units.
+type embedAdapter struct {
+	fw *Framework
+}
+
+func (e *embedAdapter) Embed(sample int) ([]float64, any) {
+	vec, st := e.fw.embed.Forward(e.fw.units[sample].Ctxs)
+	return vec, st
+}
+
+func (e *embedAdapter) Backward(state any, dvec []float64) {
+	e.fw.embed.Backward(state.(*code2vec.State), dvec)
+}
+
+func (e *embedAdapter) Params() []*nn.Param { return e.fw.embed.Params() }
+func (e *embedAdapter) Dim() int            { return e.fw.embed.Dim() }
+
+// Embedding returns the current code vector for a unit — the representation
+// handed to NNS and decision trees after RL training (Section 3.5).
+func (f *Framework) Embedding(sample int) []float64 {
+	vec, _ := f.embed.Forward(f.units[sample].Ctxs)
+	return vec
+}
+
+// EmbedSource embeds an arbitrary source program's first innermost loop
+// without loading it as a unit.
+func (f *Framework) EmbedSource(source string) ([]float64, error) {
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	infos := extractor.Loops(prog)
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("core: no loops in source")
+	}
+	vec, _ := f.embed.Forward(code2vec.ExtractContexts(infos[0].Outermost, f.Cfg.Embed))
+	return vec, nil
+}
+
+// ---- Training and inference ----
+
+// Train runs PPO over the loaded units. Passing nil uses the paper's
+// defaults. Returns the learning curves.
+func (f *Framework) Train(cfg *rl.Config) *rl.Stats {
+	c := rl.DefaultConfig(f.Cfg.Arch.VFs(), f.Cfg.Arch.IFs())
+	if cfg != nil {
+		c = *cfg
+		if len(c.VFs) == 0 {
+			c.VFs = f.Cfg.Arch.VFs()
+		}
+		if len(c.IFs) == 0 {
+			c.IFs = f.Cfg.Arch.IFs()
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = f.Cfg.Seed
+	}
+	f.agent = rl.NewAgent(&embedAdapter{fw: f}, c)
+	return f.agent.Train(f)
+}
+
+// TrainWithEmbedder trains the agent on a caller-supplied observation source
+// instead of the code2vec model — used by the hand-crafted-features ablation
+// (package features). The embedder's sample IDs must match the framework's
+// unit indices.
+func (f *Framework) TrainWithEmbedder(emb rl.Embedder, cfg *rl.Config) *rl.Stats {
+	c := rl.DefaultConfig(f.Cfg.Arch.VFs(), f.Cfg.Arch.IFs())
+	if cfg != nil {
+		c = *cfg
+		if len(c.VFs) == 0 {
+			c.VFs = f.Cfg.Arch.VFs()
+		}
+		if len(c.IFs) == 0 {
+			c.IFs = f.Cfg.Arch.IFs()
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = f.Cfg.Seed
+	}
+	f.agent = rl.NewAgent(emb, c)
+	return f.agent.Train(f)
+}
+
+// ContinueTraining runs additional PPO iterations on the current agent over
+// the currently loaded units — the paper's footnote 2: "it might still be
+// beneficial to keep online training activated so that when completely new
+// loops are observed, the agent learns how to optimize them too". Load the
+// new programs first (LoadSource/LoadBenchmarks), then call this.
+func (f *Framework) ContinueTraining(iterations int) (*rl.Stats, error) {
+	if f.agent == nil {
+		return nil, fmt.Errorf("core: no agent; call Train first")
+	}
+	saved := f.agent.Cfg.Iterations
+	f.agent.Cfg.Iterations = iterations
+	stats := f.agent.Train(f)
+	f.agent.Cfg.Iterations = saved
+	return stats, nil
+}
+
+// CodeEmbedder exposes the framework's code2vec model as an rl.Embedder,
+// for use with external learners such as the ranker.
+func (f *Framework) CodeEmbedder() rl.Embedder { return &embedAdapter{fw: f} }
+
+// UnitLoops returns the primary innermost loop of every unit, in order —
+// the input the feature-ablation embedder consumes.
+func (f *Framework) UnitLoops() []*ir.Loop {
+	out := make([]*ir.Loop, len(f.units))
+	for i, u := range f.units {
+		out[i] = u.Loop
+	}
+	return out
+}
+
+// Predict returns the agent's greedy (VF, IF) for a loaded unit.
+func (f *Framework) Predict(sample int) (vf, ifc int) {
+	if f.agent == nil {
+		return 1, 1
+	}
+	return f.agent.Predict(sample)
+}
+
+// BruteForceLabel exhaustively searches the action space for a unit and
+// returns the best pair (the supervised-learning label of Section 3.5).
+func (f *Framework) BruteForceLabel(sample int) (vf, ifc int) {
+	best := math.Inf(1)
+	vf, ifc = 1, 1
+	for _, v := range f.Cfg.Arch.VFs() {
+		for _, c := range f.Cfg.Arch.IFs() {
+			if cy := f.Cycles(sample, v, c); cy < best {
+				best, vf, ifc = cy, v, c
+			}
+		}
+	}
+	return vf, ifc
+}
+
+// AnnotateSource runs inference on new source text: it extracts the loops,
+// embeds each, asks the agent for factors, and returns the source with the
+// pragmas injected (the paper's Figure 4 output) plus the decisions.
+func (f *Framework) AnnotateSource(source string, params map[string]int64) (string, []extractor.Decision, error) {
+	if f.agent == nil {
+		return "", nil, fmt.Errorf("core: agent not trained")
+	}
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return "", nil, err
+	}
+	infos := extractor.Loops(prog)
+	if len(infos) == 0 {
+		return "", nil, fmt.Errorf("core: no loops in source")
+	}
+	start := len(f.units)
+	if err := f.LoadSource("annotate", source, params); err != nil {
+		return "", nil, err
+	}
+	var decisions []extractor.Decision
+	for i, info := range infos {
+		vf, ifc := f.agent.Predict(start + i)
+		decisions = append(decisions, extractor.Decision{Label: info.Label, VF: vf, IF: ifc})
+	}
+	// Drop the temporary units so repeated annotation does not grow state.
+	f.units = f.units[:start]
+	return extractor.Annotate(prog, decisions), decisions, nil
+}

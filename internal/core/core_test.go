@@ -1,0 +1,388 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"neurovec/internal/dataset"
+	"neurovec/internal/nn"
+	"neurovec/internal/rl"
+)
+
+func smallFramework(t *testing.T, n int) *Framework {
+	t.Helper()
+	cfg := DefaultConfig()
+	// Small embedding keeps unit tests fast; the full 340-wide model is
+	// exercised by the experiment harness and benches.
+	cfg.Embed.OutDim = 48
+	cfg.Embed.EmbedDim = 12
+	cfg.Embed.MaxContexts = 40
+	fw := New(cfg)
+	if err := fw.LoadSet(dataset.Generate(dataset.GenConfig{N: n, Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func fastRL(iters int) *rl.Config {
+	c := rl.DefaultConfig(nil, nil)
+	c.Batch = 96
+	c.MiniBatch = 32
+	c.Iterations = iters
+	c.LR = 1e-3
+	c.Hidden = []int{32, 32}
+	return &c
+}
+
+func TestLoadSetCreatesUnits(t *testing.T) {
+	fw := smallFramework(t, 30)
+	if fw.NumSamples() < 30 {
+		t.Fatalf("units = %d, want >= 30", fw.NumSamples())
+	}
+	for i, u := range fw.Units() {
+		if u.Loop == nil || len(u.Ctxs) == 0 {
+			t.Fatalf("unit %d (%s) incomplete", i, u.Name)
+		}
+		if u.baselineCycles <= 0 {
+			t.Fatalf("unit %d has no baseline measurement", i)
+		}
+	}
+}
+
+func TestRewardSignConvention(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Embed.OutDim = 32
+	cfg.Embed.EmbedDim = 8
+	fw := New(cfg)
+	// The dot-product loop: baseline picks (4,2); wider is better, scalar
+	// is worse.
+	err := fw.LoadSource("dot", `
+int vec[512];
+int kernel() {
+    int sum = 0;
+    for (int i = 0; i < 512; i++) {
+        sum += vec[i] * vec[i];
+    }
+    return sum;
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atBaseline := fw.Reward(0, 4, 2)
+	if atBaseline != 0 {
+		t.Errorf("reward at the baseline's own choice = %g, want 0", atBaseline)
+	}
+	scalar := fw.Reward(0, 1, 1)
+	if scalar >= 0 {
+		t.Errorf("reward for scalar = %g, want negative", scalar)
+	}
+	wide := fw.Reward(0, 32, 1)
+	if wide <= 0 {
+		t.Errorf("reward for wide vectorization = %g, want positive", wide)
+	}
+}
+
+func TestCompileTimeoutPenalty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Embed.OutDim = 32
+	cfg.Embed.EmbedDim = 8
+	fw := New(cfg)
+	// A big-bodied loop whose (64,16) build blows the compile budget.
+	err := fw.LoadSource("bigbody", `
+int a[4096];
+int b[4096];
+int c[4096];
+int d[4096];
+void kernel() {
+    for (int i = 0; i < 4096; i++) {
+        a[i] = b[i] * c[i] + d[i] * b[i] + c[i] * d[i] + b[i] + c[i] - d[i] + (b[i] >> 2) + (c[i] & 15);
+    }
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fw.Reward(0, 64, 16)
+	if r != cfg.TimeoutPenalty {
+		t.Errorf("reward at (64,16) = %g, want the timeout penalty %g", r, cfg.TimeoutPenalty)
+	}
+	if r2 := fw.Reward(0, 8, 2); r2 == cfg.TimeoutPenalty {
+		t.Error("moderate factors must not trip the compile timeout")
+	}
+}
+
+func TestBruteForceLabelBeatsBaseline(t *testing.T) {
+	fw := smallFramework(t, 12)
+	for i := 0; i < fw.NumSamples(); i++ {
+		vf, ifc := fw.BruteForceLabel(i)
+		if got := fw.Cycles(i, vf, ifc); got > fw.BaselineCycles(i)+1e-9 {
+			t.Errorf("unit %d: brute force (%d,%d)=%.0f worse than baseline %.0f",
+				i, vf, ifc, got, fw.BaselineCycles(i))
+		}
+	}
+}
+
+func TestTrainImprovesReward(t *testing.T) {
+	fw := smallFramework(t, 60)
+	stats := fw.Train(fastRL(12))
+	first, last := stats.RewardMean[0], stats.RewardMean[len(stats.RewardMean)-1]
+	if last <= first {
+		t.Fatalf("training did not improve reward: %.3f -> %.3f", first, last)
+	}
+	t.Logf("reward mean: %.3f -> %.3f over %d iterations", first, last, len(stats.RewardMean))
+}
+
+func TestPredictWithoutTraining(t *testing.T) {
+	fw := smallFramework(t, 5)
+	if vf, ifc := fw.Predict(0); vf != 1 || ifc != 1 {
+		t.Fatalf("untrained predict = (%d,%d), want scalar fallback", vf, ifc)
+	}
+}
+
+func TestAnnotateSourceInjectsPragmas(t *testing.T) {
+	fw := smallFramework(t, 40)
+	fw.Train(fastRL(8))
+	src := `
+float xs[1024];
+float ys[1024];
+void kernel(float a) {
+    for (int i = 0; i < 1024; i++) {
+        ys[i] = a * xs[i] + ys[i];
+    }
+}
+`
+	unitsBefore := fw.NumSamples()
+	out, decisions, err := fw.AnnotateSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 1 {
+		t.Fatalf("decisions = %v", decisions)
+	}
+	if !strings.Contains(out, "#pragma clang loop vectorize_width(") {
+		t.Fatalf("no pragma in annotated output:\n%s", out)
+	}
+	if fw.NumSamples() != unitsBefore {
+		t.Errorf("annotation leaked %d units", fw.NumSamples()-unitsBefore)
+	}
+}
+
+func TestEmbeddingStableAndSized(t *testing.T) {
+	fw := smallFramework(t, 6)
+	e1 := fw.Embedding(0)
+	e2 := fw.Embedding(0)
+	if len(e1) != fw.Cfg.Embed.OutDim {
+		t.Fatalf("embedding dim = %d", len(e1))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("embedding not deterministic")
+		}
+	}
+}
+
+func TestMultiLoopProgramYieldsMultipleUnits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Embed.OutDim = 32
+	cfg.Embed.EmbedDim = 8
+	fw := New(cfg)
+	err := fw.LoadSource("pair", `
+int a[256];
+int b[256];
+void kernel() {
+    for (int i = 0; i < 256; i++) {
+        a[i] = i;
+    }
+    for (int i = 0; i < 256; i++) {
+        b[i] = a[i] * 2;
+    }
+}
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.NumSamples() != 2 {
+		t.Fatalf("units = %d, want 2", fw.NumSamples())
+	}
+}
+
+func TestLoadRejectsLooplessPrograms(t *testing.T) {
+	fw := New(DefaultConfig())
+	if err := fw.LoadSource("flat", "int f() { return 42; }", nil); err == nil {
+		t.Fatal("expected error for loopless program")
+	}
+}
+
+func TestContinueTrainingRequiresAgent(t *testing.T) {
+	fw := smallFramework(t, 5)
+	if _, err := fw.ContinueTraining(2); err == nil {
+		t.Fatal("expected error before initial training")
+	}
+}
+
+func TestOnlineTrainingAdaptsToNewLoops(t *testing.T) {
+	// The paper's footnote 2: keep online training active so the agent
+	// learns newly observed loops. Train on the corpus, then continue
+	// training after loading unseen benchmarks; the policy over the new
+	// units must improve (or at least not regress) in simulated cycles.
+	fw := smallFramework(t, 60)
+	fw.Train(fastRL(8))
+
+	start := fw.NumSamples()
+	if err := fw.LoadBenchmarks(dataset.PolyBench()); err != nil {
+		t.Fatal(err)
+	}
+	end := fw.NumSamples()
+	cyclesAt := func() float64 {
+		total := 0.0
+		for i := start; i < end; i++ {
+			vf, ifc := fw.Predict(i)
+			total += fw.Cycles(i, vf, ifc)
+		}
+		return total
+	}
+	before := cyclesAt()
+	if _, err := fw.ContinueTraining(6); err != nil {
+		t.Fatal(err)
+	}
+	after := cyclesAt()
+	if after > before*1.05 {
+		t.Errorf("online training regressed new loops: %.3g -> %.3g cycles", before, after)
+	}
+	t.Logf("new-loop cycles: %.3g -> %.3g (%.2f%% change)", before, after, 100*(after/before-1))
+}
+
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	files := map[string]string{
+		"a.c":      "int a[64];\nvoid f() { for (int i = 0; i < 64; i++) { a[i] = i; } }\n",
+		"noloop.c": "int g() { return 7; }\n",
+		"b.c":      "float z[32];\nvoid h() { for (int i = 0; i < 32; i++) { z[i] = 0; } }\n",
+		"skip.txt": "not C at all",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw := New(DefaultConfig())
+	n, err := fw.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d files, want 2 (loopless and non-C skipped)", n)
+	}
+	if fw.NumSamples() != 2 {
+		t.Fatalf("units = %d, want 2", fw.NumSamples())
+	}
+}
+
+func TestExplainAndBaselineChoice(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Embed.OutDim = 32
+	cfg.Embed.EmbedDim = 8
+	fw := New(cfg)
+	if err := fw.LoadSource("dot", `
+int vec[512];
+int kernel() {
+    int sum = 0;
+    for (int i = 0; i < 512; i++) {
+        sum += vec[i] * vec[i];
+    }
+    return sum;
+}
+`, nil); err != nil {
+		t.Fatal(err)
+	}
+	vf, ifc := fw.BaselineChoice(0)
+	if vf != 4 || ifc != 2 {
+		t.Fatalf("baseline choice = (%d,%d), want (4,2)", vf, ifc)
+	}
+	b := fw.Explain(0, vf, ifc)
+	if b.Total <= 0 || b.Bound == "" {
+		t.Fatalf("breakdown = %+v", b)
+	}
+}
+
+func TestEmbedSource(t *testing.T) {
+	fw := smallFramework(t, 3)
+	vec, err := fw.EmbedSource(`
+int a[64];
+void f() {
+    for (int i = 0; i < 64; i++) {
+        a[i] = i;
+    }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != fw.Cfg.Embed.OutDim {
+		t.Fatalf("embedding dim = %d", len(vec))
+	}
+	if _, err := fw.EmbedSource("int f() { return 1; }"); err == nil {
+		t.Fatal("expected error for loopless source")
+	}
+	if _, err := fw.EmbedSource("not C"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestAnnotateSourceErrors(t *testing.T) {
+	fw := smallFramework(t, 10)
+	if _, _, err := fw.AnnotateSource("int a[4]; void f() { for (int i = 0; i < 4; i++) { a[i] = i; } }", nil); err == nil {
+		t.Fatal("expected error without a trained agent")
+	}
+	fw.Train(fastRL(2))
+	if _, _, err := fw.AnnotateSource("not C at all", nil); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, _, err := fw.AnnotateSource("int f() { return 1; }", nil); err == nil {
+		t.Fatal("expected no-loops error")
+	}
+}
+
+func TestLoadSourceBadInput(t *testing.T) {
+	fw := New(DefaultConfig())
+	if err := fw.LoadSource("bad", "void f() { for }", nil); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestTrainWithEmbedderDefaults(t *testing.T) {
+	fw := smallFramework(t, 20)
+	emb := &fixedEmbedder{dim: 8}
+	stats := fw.TrainWithEmbedder(emb, fastRL(2))
+	if len(stats.RewardMean) != 2 {
+		t.Fatalf("iterations = %d", len(stats.RewardMean))
+	}
+	// Config with empty action spaces must be filled from the arch.
+	cfg := fastRL(1)
+	cfg.VFs, cfg.IFs = nil, nil
+	stats = fw.TrainWithEmbedder(emb, cfg)
+	if len(stats.RewardMean) != 1 {
+		t.Fatal("training with defaulted spaces failed")
+	}
+}
+
+type fixedEmbedder struct{ dim int }
+
+func (e *fixedEmbedder) Embed(sample int) ([]float64, any) {
+	v := make([]float64, e.dim)
+	v[sample%e.dim] = 1
+	return v, nil
+}
+func (e *fixedEmbedder) Backward(any, []float64) {}
+func (e *fixedEmbedder) Params() []*nn.Param     { return nil }
+func (e *fixedEmbedder) Dim() int                { return e.dim }
+
+func TestRewardDeterministic(t *testing.T) {
+	fw := smallFramework(t, 4)
+	if fw.Reward(1, 8, 2) != fw.Reward(1, 8, 2) {
+		t.Fatal("reward not deterministic")
+	}
+}

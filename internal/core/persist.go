@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"neurovec/internal/code2vec"
+	"neurovec/internal/extractor"
+	"neurovec/internal/lang"
+	"neurovec/internal/nn"
+	"neurovec/internal/rl"
+)
+
+// modelHeader stores the configuration needed to rebuild the networks
+// before loading their weights.
+type modelHeader struct {
+	Embed code2vec.Config
+	RL    rl.Config
+}
+
+// SaveModel writes the trained embedder + agent (configs and weights) to w.
+// The paper's deployment story — "once the model is trained it can be
+// plugged in as is for inference without further retraining" — is this
+// snapshot.
+func (f *Framework) SaveModel(w io.Writer) error {
+	if f.agent == nil {
+		return fmt.Errorf("core: no trained agent to save")
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(modelHeader{Embed: f.Cfg.Embed, RL: f.agent.Cfg}); err != nil {
+		return fmt.Errorf("core: encode header: %w", err)
+	}
+	// The agent's parameter set already includes the embedder's parameters
+	// (end-to-end training), so one snapshot covers everything. Use the
+	// same encoder: header and weights share one gob stream.
+	return nn.EncodeParams(enc, f.agent.Params())
+}
+
+// LoadModel restores a snapshot produced by SaveModel. The framework's
+// loaded units are preserved; the embedder and agent are rebuilt with the
+// stored configuration and weights.
+func (f *Framework) LoadModel(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	var h modelHeader
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("core: decode header: %w", err)
+	}
+	f.Cfg.Embed = h.Embed
+	f.embed = code2vec.NewModel(h.Embed)
+	f.agent = rl.NewAgent(&embedAdapter{fw: f}, h.RL)
+	if err := nn.DecodeParams(dec, f.agent.Params()); err != nil {
+		return err
+	}
+	// Context extraction depends on Embed config; re-extract for already
+	// loaded units so embeddings match the restored model.
+	for _, u := range f.units {
+		u.Ctxs = reextract(u, h.Embed)
+	}
+	return nil
+}
+
+// reextract recomputes a unit's path contexts under a (possibly different)
+// embedding configuration.
+func reextract(u *Unit, cfg code2vec.Config) []code2vec.Context {
+	prog, err := lang.Parse(u.Source)
+	if err != nil {
+		return u.Ctxs
+	}
+	for _, info := range extractor.Loops(prog) {
+		if info.Label == u.Loop.Label {
+			return code2vec.ExtractContexts(info.Outermost, cfg)
+		}
+	}
+	return u.Ctxs
+}
+
+// SaveModelFile and LoadModelFile are path conveniences.
+func (f *Framework) SaveModelFile(path string) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	if err := f.SaveModel(fh); err != nil {
+		return err
+	}
+	return fh.Close()
+}
+
+// LoadModelFile restores a snapshot from a file.
+func (f *Framework) LoadModelFile(path string) error {
+	fh, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer fh.Close()
+	return f.LoadModel(fh)
+}

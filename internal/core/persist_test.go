@@ -1,0 +1,148 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"neurovec/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fw := smallFramework(t, 40)
+	fw.Train(fastRL(8))
+
+	// Record the trained policy's decisions.
+	type pair struct{ vf, ifc int }
+	want := make([]pair, fw.NumSamples())
+	for i := range want {
+		vf, ifc := fw.Predict(i)
+		want[i] = pair{vf, ifc}
+	}
+
+	var buf bytes.Buffer
+	if err := fw.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fresh framework with the same units but untrained weights.
+	fw2 := smallFramework(t, 40)
+	if err := fw2.LoadModel(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		vf, ifc := fw2.Predict(i)
+		if vf != want[i].vf || ifc != want[i].ifc {
+			t.Fatalf("unit %d: restored policy predicts (%d,%d), original (%d,%d)",
+				i, vf, ifc, want[i].vf, want[i].ifc)
+		}
+	}
+}
+
+func TestSaveWithoutTraining(t *testing.T) {
+	fw := smallFramework(t, 3)
+	var buf bytes.Buffer
+	if err := fw.SaveModel(&buf); err == nil {
+		t.Fatal("expected error saving an untrained framework")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	fw := smallFramework(t, 3)
+	if err := fw.LoadModel(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestLoadRejectsMismatchedShape(t *testing.T) {
+	fw := smallFramework(t, 20)
+	fw.Train(fastRL(4))
+	var buf bytes.Buffer
+	if err := fw.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the header's hidden sizes by saving from a different agent
+	// config and loading into... easier: truncate the stream so weights are
+	// missing.
+	trunc := buf.Bytes()[:buf.Len()/2]
+	fw2 := smallFramework(t, 20)
+	if err := fw2.LoadModel(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("expected error on truncated snapshot")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	fw := smallFramework(t, 20)
+	fw.Train(fastRL(4))
+	path := filepath.Join(t.TempDir(), "model.gob")
+	if err := fw.SaveModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	fw2 := smallFramework(t, 20)
+	if err := fw2.LoadModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	v1, i1 := fw.Predict(0)
+	v2, i2 := fw2.Predict(0)
+	if v1 != v2 || i1 != i2 {
+		t.Fatal("file round trip changed predictions")
+	}
+}
+
+func TestRestoredModelAnnotatesNewCode(t *testing.T) {
+	fw := smallFramework(t, 40)
+	fw.Train(fastRL(8))
+	var buf bytes.Buffer
+	if err := fw.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fw2 := New(fw.Cfg)
+	// A restored model needs no units at all for pure inference.
+	if err := fw2.LoadModel(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+int a[512];
+int b[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[i] = b[i] * 3;
+    }
+}
+`
+	out1, d1, err := fw.AnnotateSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, d2, err := fw2.AnnotateSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 || d1[0] != d2[0] {
+		t.Fatalf("restored model annotates differently:\n%s\nvs\n%s", out1, out2)
+	}
+}
+
+func TestLoadSetFromDatasetAfterRestore(t *testing.T) {
+	fw := smallFramework(t, 30)
+	fw.Train(fastRL(4))
+	var buf bytes.Buffer
+	if err := fw.SaveModel(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fw2 := New(fw.Cfg)
+	if err := fw2.LoadModel(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw2.LoadSet(dataset.Generate(dataset.GenConfig{N: 5, Seed: 42})); err != nil {
+		t.Fatal(err)
+	}
+	if fw2.NumSamples() < 5 {
+		t.Fatal("units not loadable after restore")
+	}
+	vf, ifc := fw2.Predict(0)
+	if vf < 1 || ifc < 1 {
+		t.Fatal("prediction after restore invalid")
+	}
+}

@@ -1,0 +1,204 @@
+package costmodel
+
+import (
+	"testing"
+
+	"neurovec/internal/dataset"
+	"neurovec/internal/deps"
+	"neurovec/internal/ir"
+	"neurovec/internal/lang"
+	"neurovec/internal/lower"
+	"neurovec/internal/machine"
+)
+
+func loopFor(t *testing.T, src string) *ir.Loop {
+	t.Helper()
+	p := lower.MustProgram(lang.MustParse(src))
+	loops := p.InnermostLoops()
+	if len(loops) == 0 {
+		t.Fatal("no loops")
+	}
+	return loops[0]
+}
+
+func TestBaselinePrefers128BitWidth(t *testing.T) {
+	arch := machine.IntelAVX2()
+	l := loopFor(t, `
+int a[512];
+int b[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[i] = b[i] + 1;
+    }
+}
+`)
+	c := Choose(l, arch)
+	if c.VF != 4 {
+		t.Errorf("int copy loop VF = %d, want 4 (128-bit / 32-bit)", c.VF)
+	}
+}
+
+func TestBaselineWiderForNarrowTypes(t *testing.T) {
+	arch := machine.IntelAVX2()
+	l := loopFor(t, `
+char a[512];
+char b[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[i] = b[i];
+    }
+}
+`)
+	c := Choose(l, arch)
+	if c.VF != 16 {
+		t.Errorf("char copy VF = %d, want 16 (128-bit / 8-bit)", c.VF)
+	}
+}
+
+func TestBaselineInterleavesReductions(t *testing.T) {
+	arch := machine.IntelAVX2()
+	l := loopFor(t, `
+int v[512];
+int f() {
+    int s = 0;
+    for (int i = 0; i < 512; i++) {
+        s += v[i] * v[i];
+    }
+    return s;
+}
+`)
+	c := Choose(l, arch)
+	if c.VF != 4 || c.IF != 2 {
+		t.Errorf("dot product choice = (%d,%d), want (4,2)", c.VF, c.IF)
+	}
+}
+
+func TestBaselineRefusesGatherLoops(t *testing.T) {
+	arch := machine.IntelAVX2()
+	l := loopFor(t, `
+int idx[512];
+int data[8192];
+int out[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        out[i] = data[idx[i]];
+    }
+}
+`)
+	c := Choose(l, arch)
+	if c.VF != 1 {
+		t.Errorf("gather loop VF = %d, want 1 (pessimistic baseline)", c.VF)
+	}
+}
+
+func TestBaselineRespectsDependences(t *testing.T) {
+	arch := machine.IntelAVX2()
+	l := loopFor(t, `
+int a[512];
+void f() {
+    for (int i = 0; i < 500; i++) {
+        a[i + 2] = a[i] + 1;
+    }
+}
+`)
+	c := Choose(l, arch)
+	if c.VF > 2 {
+		t.Errorf("VF = %d exceeds dependence distance 2", c.VF)
+	}
+}
+
+func TestBaselineSkipsTinyTripCounts(t *testing.T) {
+	arch := machine.IntelAVX2()
+	l := loopFor(t, `
+int a[4];
+int b[4];
+void f() {
+    for (int i = 0; i < 4; i++) {
+        a[i] = b[i];
+    }
+}
+`)
+	c := Choose(l, arch)
+	if c.VF != 1 {
+		t.Errorf("tiny loop VF = %d, want 1", c.VF)
+	}
+}
+
+func TestPlansCoversAllInnermost(t *testing.T) {
+	arch := machine.IntelAVX2()
+	p := lower.MustProgram(lang.MustParse(`
+int a[256];
+float B[64][64];
+void f() {
+    for (int i = 0; i < 256; i++) {
+        a[i] = i;
+    }
+    for (int i = 0; i < 64; i++) {
+        for (int j = 0; j < 64; j++) {
+            B[i][j] = 0;
+        }
+    }
+}
+`))
+	plans := Plans(p, arch)
+	if len(plans) != 2 {
+		t.Fatalf("plans = %d, want 2 innermost loops", len(plans))
+	}
+	for label, plan := range plans {
+		if plan.Loop.Label != label {
+			t.Errorf("plan key %s mismatches loop %s", label, plan.Loop.Label)
+		}
+	}
+}
+
+func TestBaselineChoicesAlwaysLegalProperty(t *testing.T) {
+	// Over the generated corpus the baseline's decisions are always
+	// power-of-two factors within the dependence-legal range.
+	arch := machine.IntelAVX2()
+	set := dataset.Generate(dataset.GenConfig{N: 200, Seed: 17})
+	isPow2 := func(v int) bool { return v >= 1 && v&(v-1) == 0 }
+	for _, s := range set.Samples {
+		p := lower.MustProgram(lang.MustParse(s.Source))
+		for _, l := range p.InnermostLoops() {
+			c := Choose(l, arch)
+			if !isPow2(c.VF) || !isPow2(c.IF) {
+				t.Fatalf("%s: non-power-of-two choice (%d,%d)", s.Name, c.VF, c.IF)
+			}
+			if max := deps.MaxLegalVF(l, arch.MaxVF); c.VF > max {
+				t.Fatalf("%s: VF %d exceeds legal %d", s.Name, c.VF, max)
+			}
+			if c.VF > 1 && c.Cost > c.ScalarCost {
+				t.Fatalf("%s: vectorized at estimated cost %v above scalar %v", s.Name, c.Cost, c.ScalarCost)
+			}
+		}
+	}
+}
+
+func TestBaselineIgnoresCacheEffects(t *testing.T) {
+	// The linear model must give identical decisions for an L1-resident and
+	// a DRAM-resident version of the same loop — that blindness is the
+	// point of the baseline.
+	arch := machine.IntelAVX2()
+	small := loopFor(t, `
+double a[512];
+double b[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[i] = b[i] * 2.0;
+    }
+}
+`)
+	big := loopFor(t, `
+double a[4194304];
+double b[4194304];
+void f() {
+    for (int i = 0; i < 4194304; i++) {
+        a[i] = b[i] * 2.0;
+    }
+}
+`)
+	cs, cb := Choose(small, arch), Choose(big, arch)
+	if cs.VF != cb.VF || cs.IF != cb.IF {
+		t.Errorf("baseline decisions differ with footprint: (%d,%d) vs (%d,%d)", cs.VF, cs.IF, cb.VF, cb.IF)
+	}
+}

@@ -1,0 +1,355 @@
+package dataset
+
+// EvalBenchmarks returns the twelve held-out benchmarks of the paper's
+// Figure 7. Per the paper, they "include loops with different functionality
+// and access patterns. For example, predicates, strided accesses, bitwise
+// operations, unknown loop bounds, if statements, unknown misalignment,
+// multidimensional arrays, summation reduction, type conversions, different
+// data types". Benchmark #10 is a fusible loop pair — the case where Polly's
+// loop fusion "optimizes beyond vectorization" and beats brute-force VF/IF
+// search.
+func EvalBenchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "bench01_predicates",
+			Source: `
+int sig[2048];
+int lim = 255;
+int outp[2048];
+void kernel() {
+    for (int i = 0; i < 2048; i++) {
+        int x = sig[i];
+        outp[i] = x > lim ? lim : (x < 0 ? 0 : x);
+    }
+}
+`,
+		},
+		{
+			Name: "bench02_strided",
+			Source: `
+float pix[8192];
+float lum[2048];
+void kernel() {
+    for (int i = 0; i < 2048; i++) {
+        lum[i] = pix[4 * i] * 0.299 + pix[4 * i + 1] * 0.587 + pix[4 * i + 2] * 0.114;
+    }
+}
+`,
+		},
+		{
+			Name: "bench03_bitwise",
+			Source: `
+int words[4096];
+int keys[4096];
+void kernel() {
+    for (int i = 0; i < 4096; i++) {
+        words[i] = (words[i] >> 3) ^ (keys[i] & 1023) | (keys[i] << 2);
+    }
+}
+`,
+		},
+		{
+			Name: "bench04_unknown_bounds",
+			Source: `
+double series[16384];
+double scaled[16384];
+void kernel(int n) {
+    for (int i = 0; i < n; i++) {
+        scaled[i] = series[i] * 1.5 + 0.25;
+    }
+}
+`,
+			ParamValues: map[string]int64{"n": 5000},
+		},
+		{
+			Name: "bench05_if_stmt",
+			Source: `
+int depth[4096];
+int nearz = 64;
+int mask[4096];
+void kernel() {
+    for (int i = 0; i < 4096; i++) {
+        if (depth[i] < nearz) {
+            mask[i] = depth[i] * 3;
+        } else {
+            mask[i] = 0;
+        }
+    }
+}
+`,
+		},
+		{
+			Name: "bench06_misalignment",
+			Source: `
+float wave[8200];
+float echo[8200];
+void kernel(int off) {
+    for (int i = 0; i < 8000; i++) {
+        echo[i] = wave[i + off] * 0.5 + wave[i] * 0.5;
+    }
+}
+`,
+			ParamValues: map[string]int64{"off": 3},
+		},
+		{
+			Name: "bench07_multidim",
+			Source: `
+float img[128][128];
+float blur[128][128];
+void kernel() {
+    for (int i = 0; i < 128; i++) {
+        for (int j = 1; j < 127; j++) {
+            blur[i][j] = (img[i][j - 1] + img[i][j] + img[i][j + 1]) * 0.3333;
+        }
+    }
+}
+`,
+		},
+		{
+			Name: "bench08_reduction",
+			Source: `
+int vecq[512];
+int kernel() {
+    int sum = 0;
+    for (int i = 0; i < 512; i++) {
+        sum += vecq[i] * vecq[i];
+    }
+    return sum;
+}
+`,
+		},
+		{
+			Name: "bench09_conversion",
+			Source: `
+short samples[4096];
+int widened[4096];
+void kernel() {
+    for (int i = 0; i < 4095; i += 2) {
+        widened[i] = (int) samples[i];
+        widened[i + 1] = (int) samples[i + 1];
+    }
+}
+`,
+		},
+		{
+			// DRAM-resident working set: no VF/IF choice can beat the
+			// bandwidth wall, but fusing the loops eliminates one full
+			// re-read of `field` — the paper's benchmark #10, where "Polly
+			// interestingly outperforms the brute-force search" because it
+			// "performs loop transformations that optimize beyond
+			// vectorization".
+			Name: "bench10_fusible",
+			Source: `
+double field[1048576];
+double gradp[1048576];
+double gradm[1048576];
+void kernel() {
+    for (int i = 0; i < 1048576; i++) {
+        gradp[i] = field[i] * 2.0 + 1.0;
+    }
+    for (int i = 0; i < 1048576; i++) {
+        gradm[i] = field[i] * 0.5 - 1.0;
+    }
+}
+`,
+		},
+		{
+			Name: "bench11_datatypes",
+			Source: `
+double px[1024];
+double py[1024];
+double pz[1024];
+double dist2[1024];
+void kernel() {
+    for (int i = 0; i < 1024; i++) {
+        dist2[i] = px[i] * px[i] + py[i] * py[i] + pz[i] * pz[i];
+    }
+}
+`,
+		},
+		{
+			Name: "bench12_stencil",
+			Source: `
+float heat[4098];
+float next[4098];
+void kernel() {
+    for (int i = 1; i < 4097; i++) {
+        next[i] = 0.25 * heat[i - 1] + 0.5 * heat[i] + 0.25 * heat[i + 1];
+    }
+}
+`,
+		},
+	}
+}
+
+// LLVMSuite returns analogues of the LLVM vectorizer test-suite kernels the
+// paper uses for Figure 2 — small single-loop programs that exercise the
+// baseline cost model, ordered roughly by complexity so the Figure's
+// "performance gap increases with more complicated tests" trend is visible.
+func LLVMSuite() []Benchmark {
+	return []Benchmark{
+		{Name: "suite01_copy", Source: `
+int a[1024];
+int b[1024];
+void kernel() {
+    for (int i = 0; i < 1024; i++) {
+        a[i] = b[i];
+    }
+}
+`},
+		{Name: "suite02_add_const", Source: `
+int a[1024];
+void kernel() {
+    for (int i = 0; i < 1024; i++) {
+        a[i] = a[i] + 7;
+    }
+}
+`},
+		{Name: "suite03_scale_float", Source: `
+float a[1024];
+float b[1024];
+void kernel() {
+    for (int i = 0; i < 1024; i++) {
+        a[i] = b[i] * 3.5;
+    }
+}
+`},
+		{Name: "suite04_sum_int", Source: `
+int v[1024];
+int kernel() {
+    int s = 0;
+    for (int i = 0; i < 1024; i++) {
+        s += v[i];
+    }
+    return s;
+}
+`},
+		{Name: "suite05_char_copy", Source: `
+char a[4096];
+char b[4096];
+void kernel() {
+    for (int i = 0; i < 4096; i++) {
+        a[i] = b[i];
+    }
+}
+`},
+		{Name: "suite06_widen", Source: `
+short s[2048];
+int d[2048];
+void kernel() {
+    for (int i = 0; i < 2048; i++) {
+        d[i] = (int) s[i];
+    }
+}
+`},
+		{Name: "suite07_axpy", Source: `
+float x[2048];
+float y[2048];
+void kernel(float a) {
+    for (int i = 0; i < 2048; i++) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+`},
+		{Name: "suite08_dot_float", Source: `
+float x[1024];
+float y[1024];
+float kernel() {
+    float s = 0;
+    for (int i = 0; i < 1024; i++) {
+        s += x[i] * y[i];
+    }
+    return s;
+}
+`},
+		{Name: "suite09_select", Source: `
+int a[2048];
+int b[2048];
+void kernel() {
+    for (int i = 0; i < 2048; i++) {
+        b[i] = a[i] > 0 ? a[i] : -a[i];
+    }
+}
+`},
+		{Name: "suite10_stride2", Source: `
+int a[1024];
+int b[2048];
+void kernel() {
+    for (int i = 0; i < 1024; i++) {
+        a[i] = b[2 * i];
+    }
+}
+`},
+		{Name: "suite11_reverse", Source: `
+float a[2048];
+float b[2048];
+void kernel() {
+    for (int i = 2047; i >= 0; i--) {
+        a[i] = b[2047 - i];
+    }
+}
+`},
+		{Name: "suite12_guarded", Source: `
+int a[2048];
+int t[2048];
+void kernel() {
+    for (int i = 0; i < 2048; i++) {
+        if (t[i] != 0) {
+            a[i] = a[i] * 2;
+        }
+    }
+}
+`},
+		{Name: "suite13_unroll_pair", Source: `
+int dst[2048];
+short srca[2048];
+void kernel() {
+    for (int i = 0; i < 2047; i += 2) {
+        dst[i] = (int) srca[i];
+        dst[i + 1] = (int) srca[i + 1];
+    }
+}
+`},
+		{Name: "suite14_three_streams", Source: `
+double a[2048];
+double b[2048];
+double c[2048];
+void kernel() {
+    for (int i = 0; i < 2048; i++) {
+        c[i] = a[i] * b[i] + a[i] / 2.0 + b[i];
+    }
+}
+`},
+		{Name: "suite15_stencil", Source: `
+float h[2050];
+float o[2050];
+void kernel() {
+    for (int i = 1; i < 2049; i++) {
+        o[i] = h[i - 1] + 2.0 * h[i] + h[i + 1];
+    }
+}
+`},
+		{Name: "suite16_mixed_reduce", Source: `
+short q[4096];
+int kernel() {
+    int acc = 0;
+    for (int i = 0; i < 4096; i++) {
+        acc += (int) q[i] * 3;
+    }
+    return acc;
+}
+`},
+		{Name: "suite17_complex_mult", Source: `
+float re[2048];
+float im[2048];
+float outr[1024];
+float outi[1024];
+void kernel() {
+    for (int i = 0; i < 1023; i++) {
+        outr[i] = re[2 * i + 1] * im[2 * i + 1] - re[2 * i] * im[2 * i];
+        outi[i] = re[2 * i] * im[2 * i + 1] + re[2 * i + 1] * im[2 * i];
+    }
+}
+`},
+	}
+}

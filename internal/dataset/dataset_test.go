@@ -1,0 +1,217 @@
+package dataset
+
+import (
+	"testing"
+
+	"neurovec/internal/ir"
+	"neurovec/internal/lang"
+	"neurovec/internal/lower"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{N: 50, Seed: 3})
+	b := Generate(GenConfig{N: 50, Seed: 3})
+	for i := range a.Samples {
+		if a.Samples[i].Source != b.Samples[i].Source {
+			t.Fatalf("sample %d differs across identical seeds", i)
+		}
+	}
+	c := Generate(GenConfig{N: 50, Seed: 4})
+	same := 0
+	for i := range a.Samples {
+		if a.Samples[i].Source == c.Samples[i].Source {
+			same++
+		}
+	}
+	if same == len(a.Samples) {
+		t.Error("different seeds produced identical datasets")
+	}
+}
+
+func TestGeneratedSamplesAllParseAndLower(t *testing.T) {
+	set := Generate(GenConfig{N: 600, Seed: 1})
+	if len(set.Samples) != 600 {
+		t.Fatalf("generated %d samples", len(set.Samples))
+	}
+	for _, s := range set.Samples {
+		prog, err := lang.Parse(s.Source)
+		if err != nil {
+			t.Fatalf("%s does not parse: %v\n%s", s.Name, err, s.Source)
+		}
+		irp, err := lower.Program(prog, lower.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s does not lower: %v\n%s", s.Name, err, s.Source)
+		}
+		if len(irp.InnermostLoops()) == 0 {
+			t.Fatalf("%s has no innermost loop\n%s", s.Name, s.Source)
+		}
+	}
+}
+
+func TestGeneratedDatasetIsDiverse(t *testing.T) {
+	set := Generate(GenConfig{N: 400, Seed: 2})
+	fams := map[string]int{}
+	srcs := map[string]bool{}
+	for _, s := range set.Samples {
+		fams[s.Family]++
+		srcs[s.Source] = true
+	}
+	if len(fams) < 12 {
+		t.Errorf("only %d families present, want >= 12", len(fams))
+	}
+	if len(srcs) < 300 {
+		t.Errorf("only %d distinct sources among 400 samples", len(srcs))
+	}
+}
+
+func TestGeneratedSourcesRoundTripPrinter(t *testing.T) {
+	// Property over the whole corpus: parse -> print -> parse -> print is a
+	// fixpoint, and the reprinted program lowers to a loop forest with the
+	// same innermost-loop count.
+	set := Generate(GenConfig{N: 250, Seed: 11})
+	for _, s := range set.Samples {
+		p1, err := lang.Parse(s.Source)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		out1 := lang.Print(p1)
+		p2, err := lang.Parse(out1)
+		if err != nil {
+			t.Fatalf("%s: reprint does not parse: %v\n%s", s.Name, err, out1)
+		}
+		if out2 := lang.Print(p2); out2 != out1 {
+			t.Fatalf("%s: print not a fixpoint", s.Name)
+		}
+		ir1 := lower.MustProgram(p1)
+		ir2 := lower.MustProgram(p2)
+		if len(ir1.InnermostLoops()) != len(ir2.InnermostLoops()) {
+			t.Fatalf("%s: loop count changed across reprint", s.Name)
+		}
+	}
+}
+
+func TestHistogramFamilyIsUnvectorizable(t *testing.T) {
+	set := Generate(GenConfig{N: 10, Seed: 3, Families: []string{"histogram"}})
+	for _, s := range set.Samples {
+		irp := lower.MustProgram(lang.MustParse(s.Source))
+		l := irp.InnermostLoops()[0]
+		hasNonAffineStore := false
+		for _, a := range l.Accesses {
+			if a.Kind == ir.Store && !a.Affine {
+				hasNonAffineStore = true
+			}
+		}
+		if !hasNonAffineStore {
+			t.Fatalf("%s: histogram lost its scatter store\n%s", s.Name, s.Source)
+		}
+	}
+}
+
+func TestFamilyFilter(t *testing.T) {
+	set := Generate(GenConfig{N: 20, Seed: 1, Families: []string{"reduction"}})
+	for _, s := range set.Samples {
+		if s.Family != "reduction" {
+			t.Fatalf("family filter leaked %s", s.Family)
+		}
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	set := Generate(GenConfig{N: 500, Seed: 9})
+	train, test := set.Split(0.2)
+	if got := len(test.Samples); got != 100 {
+		t.Errorf("test split = %d, want 100 (20%%)", got)
+	}
+	if len(train.Samples)+len(test.Samples) != 500 {
+		t.Error("split lost samples")
+	}
+	// Determinism.
+	train2, _ := set.Split(0.2)
+	if train.Samples[0] != train2.Samples[0] {
+		t.Error("split not deterministic")
+	}
+}
+
+func TestBenchmarkSuitesWellFormed(t *testing.T) {
+	suites := map[string][]Benchmark{
+		"eval":      EvalBenchmarks(),
+		"llvmsuite": LLVMSuite(),
+		"polybench": PolyBench(),
+		"mibench":   MiBench(),
+	}
+	wantCounts := map[string]int{"eval": 12, "llvmsuite": 17, "polybench": 6, "mibench": 6}
+	for name, bs := range suites {
+		if len(bs) != wantCounts[name] {
+			t.Errorf("%s has %d benchmarks, want %d", name, len(bs), wantCounts[name])
+		}
+		seen := map[string]bool{}
+		for _, b := range bs {
+			if seen[b.Name] {
+				t.Errorf("%s: duplicate name %s", name, b.Name)
+			}
+			seen[b.Name] = true
+			prog, err := lang.Parse(b.Source)
+			if err != nil {
+				t.Fatalf("%s/%s: parse: %v", name, b.Name, err)
+			}
+			opts := lower.DefaultOptions()
+			opts.ParamValues = b.ParamValues
+			irp, err := lower.Program(prog, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: lower: %v", name, b.Name, err)
+			}
+			if len(irp.InnermostLoops()) == 0 {
+				t.Errorf("%s/%s: no loops", name, b.Name)
+			}
+		}
+	}
+}
+
+func TestMiBenchHasScalarWork(t *testing.T) {
+	for _, b := range MiBench() {
+		if b.ScalarWorkFactor < 1 {
+			t.Errorf("%s: ScalarWorkFactor = %v, MiBench programs must be loop-minor", b.Name, b.ScalarWorkFactor)
+		}
+	}
+	for _, b := range PolyBench() {
+		if b.ScalarWorkFactor != 0 {
+			t.Errorf("%s: PolyBench kernels should be pure loop time", b.Name)
+		}
+	}
+}
+
+func TestUnknownBoundBenchmarkHasParams(t *testing.T) {
+	for _, b := range EvalBenchmarks() {
+		if b.Name == "bench04_unknown_bounds" {
+			if b.ParamValues["n"] == 0 {
+				t.Fatal("bench04 needs a simulated runtime bound")
+			}
+			return
+		}
+	}
+	t.Fatal("bench04_unknown_bounds missing")
+}
+
+func TestAdpcmIsRecurrenceLimited(t *testing.T) {
+	// The paper could not vectorize adpcm due to memory dependencies; our
+	// analogue must carry a distance-1 recurrence.
+	for _, b := range MiBench() {
+		if b.Name != "adpcm_decode" {
+			continue
+		}
+		irp := lower.MustProgram(lang.MustParse(b.Source))
+		l := irp.InnermostLoops()[0]
+		// pcm[i+1] = pcm[i] + ... -> flow dependence distance 1.
+		found := false
+		for _, a := range l.Accesses {
+			if a.Array == "pcm" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("adpcm analogue lost its recurrence")
+		}
+		return
+	}
+	t.Fatal("adpcm_decode missing")
+}

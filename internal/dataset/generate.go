@@ -1,0 +1,421 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// families are the synthetic-loop template families, modelled on the five
+// dataset examples the paper lists plus the behaviours its evaluation
+// mentions (predicates, strided accesses, bitwise operations, unknown loop
+// bounds, if statements, unknown misalignment, multidimensional arrays,
+// summation reduction, type conversions, different data types).
+var families = []family{
+	{"convert_unroll", genConvertUnroll},
+	{"nested_set", genNestedSet},
+	{"predicate_clamp", genPredicateClamp},
+	{"matmul", genMatmul},
+	{"complex_mult", genComplexMult},
+	{"reduction", genReduction},
+	{"stencil", genStencil},
+	{"bitwise", genBitwise},
+	{"saxpy", genSaxpy},
+	{"strided_copy", genStridedCopy},
+	{"mixed_types", genMixedTypes},
+	{"runtime_bound", genRuntimeBound},
+	{"if_guard", genIfGuard},
+	{"reverse", genReverse},
+	{"recurrence", genRecurrence},
+	{"gather", genGather},
+	{"histogram", genHistogram},
+	{"transpose", genTranspose},
+	{"outer_product", genOuterProduct},
+	{"prefix_sum", genPrefixSum},
+	{"fused_streams", genFusedStreams},
+}
+
+// Example #1: manually strip-mined copies with type conversion.
+func genConvertUnroll(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	narrow := pick(rng, []string{"char", "short"})
+	streams := 1 + rng.Intn(3)
+	var b strings.Builder
+	w(&b, "int N = %d;", n)
+	var dsts, srcs []string
+	for s := 0; s < streams; s++ {
+		d, sr := nm.array(), nm.array()
+		dsts, srcs = append(dsts, d), append(srcs, sr)
+		w(&b, "int %s[%d];", d, n)
+		w(&b, "%s %s[%d];", narrow, sr, n)
+	}
+	iv := nm.index()
+	w(&b, "void kernel() {")
+	w(&b, "    for (int %s = 0; %s < N - 1; %s += 2) {", iv, iv, iv)
+	for s := 0; s < streams; s++ {
+		w(&b, "        %s[%s] = (int) %s[%s];", dsts[s], iv, srcs[s], iv)
+		w(&b, "        %s[%s + 1] = (int) %s[%s + 1];", dsts[s], iv, srcs[s], iv)
+	}
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Example #2: nested 2-D initialisation.
+func genNestedSet(nm *namer, rng *rand.Rand) string {
+	rows := []int{32, 64, 128, 256}[rng.Intn(4)]
+	cols := []int{32, 64, 128, 256}[rng.Intn(4)]
+	tp := pick(rng, allTypes)
+	g := nm.array()
+	i, j := "i", "j"
+	var b strings.Builder
+	w(&b, "%s %s[%d][%d];", tp, g, rows, cols)
+	w(&b, "void kernel(%s x) {", tp)
+	w(&b, "    for (int %s = 0; %s < %d; %s++) {", i, i, rows, i)
+	w(&b, "        for (int %s = 0; %s < %d; %s++) {", j, j, cols, j)
+	w(&b, "            %s[%s][%s] = x;", g, i, j)
+	w(&b, "        }")
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Example #3: data-dependent clamp through a ternary.
+func genPredicateClamp(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	a, out, mx := nm.array(), nm.array(), nm.scalar()
+	j := nm.scalar()
+	iv := nm.index()
+	var b strings.Builder
+	w(&b, "int %s[%d];", a, 2*n)
+	w(&b, "int %s[%d];", out, 2*n)
+	w(&b, "int %s = %d;", mx, 1<<uint(4+rng.Intn(8)))
+	w(&b, "void kernel() {")
+	w(&b, "    for (int %s = 0; %s < %d; %s++) {", iv, iv, 2*n, iv)
+	w(&b, "        int %s = %s[%s];", j, a, iv)
+	w(&b, "        %s[%s] = %s > %s ? %s : 0;", out, iv, j, mx, mx)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Example #4: triple-nested matrix multiply with a scaled reduction.
+func genMatmul(nm *namer, rng *rand.Rand) string {
+	n := []int{32, 48, 64, 96, 128}[rng.Intn(5)]
+	tp := pick(rng, fpTypes)
+	A, B, C := nm.array(), nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d][%d];", tp, A, n, n)
+	w(&b, "%s %s[%d][%d];", tp, B, n, n)
+	w(&b, "%s %s[%d][%d];", tp, C, n, n)
+	w(&b, "void kernel(%s alpha) {", tp)
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        for (int j = 0; j < %d; j++) {", n)
+	w(&b, "            %s sum = 0;", tp)
+	w(&b, "            for (int k = 0; k < %d; k++) {", n)
+	w(&b, "                sum += alpha * %s[i][k] * %s[k][j];", A, B)
+	w(&b, "            }")
+	w(&b, "            %s[i][j] = sum;", C)
+	w(&b, "        }")
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Example #5: interleaved complex multiply over even/odd pairs.
+func genComplexMult(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	a, d, bb, c := nm.array(), nm.array(), nm.array(), nm.array()
+	tp := pick(rng, fpTypes)
+	var b strings.Builder
+	w(&b, "int N = %d;", n)
+	w(&b, "%s %s[%d];", tp, a, n)
+	w(&b, "%s %s[%d];", tp, d, n)
+	w(&b, "%s %s[%d];", tp, bb, 2*n)
+	w(&b, "%s %s[%d];", tp, c, 2*n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < N / 2 - 1; i++) {")
+	w(&b, "        %s[i] = %s[2 * i + 1] * %s[2 * i + 1] - %s[2 * i] * %s[2 * i];", a, bb, c, bb, c)
+	w(&b, "        %s[i] = %s[2 * i] * %s[2 * i + 1] + %s[2 * i + 1] * %s[2 * i];", d, bb, c, bb, c)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Summation reduction (the dot-product shape of the paper's Figure 1).
+func genReduction(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	tp := pick(rng, allTypes)
+	v1 := nm.array()
+	acc := nm.scalar()
+	twoArrays := rng.Intn(2) == 0
+	v2 := v1
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, v1, n)
+	if twoArrays {
+		v2 = nm.array()
+		w(&b, "%s %s[%d];", tp, v2, n)
+	}
+	w(&b, "%s kernel() {", tp)
+	w(&b, "    %s %s = 0;", tp, acc)
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        %s += %s[i] * %s[i];", acc, v1, v2)
+	w(&b, "    }")
+	w(&b, "    return %s;", acc)
+	w(&b, "}")
+	return b.String()
+}
+
+// Three-point stencil.
+func genStencil(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	tp := pick(rng, fpTypes)
+	src, dst := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, src, n+2)
+	w(&b, "%s %s[%d];", tp, dst, n+2)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 1; i < %d; i++) {", n)
+	w(&b, "        %s[i] = %s[i - 1] + %s[i] + %s[i + 1];", dst, src, src, src)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Bitwise manipulation loops.
+func genBitwise(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	tp := pick(rng, intTypes)
+	a, m := nm.array(), nm.array()
+	sh := 1 + rng.Intn(7)
+	mask := (1 << uint(2+rng.Intn(10))) - 1
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, a, n)
+	w(&b, "%s %s[%d];", tp, m, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        %s[i] = (%s[i] >> %d) ^ (%s[i] & %d) | (%s[i] << 1);", a, a, sh, m, mask, m)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Classic saxpy/daxpy with an unknown scalar.
+func genSaxpy(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	tp := pick(rng, fpTypes)
+	x, y := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, x, n)
+	w(&b, "%s %s[%d];", tp, y, n)
+	w(&b, "void kernel(%s alpha) {", tp)
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        %s[i] = alpha * %s[i] + %s[i];", y, x, y)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Copy with a non-unit stride on the load side.
+func genStridedCopy(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	stride := []int{2, 3, 4, 8}[rng.Intn(4)]
+	tp := pick(rng, allTypes)
+	a, bArr := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, a, n)
+	w(&b, "%s %s[%d];", tp, bArr, n*stride+1)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        %s[i] = %s[%d * i];", a, bArr, stride)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Widening/narrowing chains across element types.
+func genMixedTypes(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	narrow := pick(rng, []string{"char", "short"})
+	wide := pick(rng, []string{"int", "long", "float", "double"})
+	src, dst := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d];", narrow, src, n)
+	w(&b, "%s %s[%d];", wide, dst, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        %s[i] = (%s) %s[i] * 3;", dst, wide, src)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Runtime (unknown) loop bound.
+func genRuntimeBound(nm *namer, rng *rand.Rand) string {
+	capN := 4096
+	tp := pick(rng, allTypes)
+	a, bArr := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, a, capN)
+	w(&b, "%s %s[%d];", tp, bArr, capN)
+	w(&b, "void kernel(int n) {")
+	w(&b, "    for (int i = 0; i < n; i++) {")
+	w(&b, "        %s[i] = %s[i] + %s[i];", a, a, bArr)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// If-guarded store.
+func genIfGuard(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	a, out := nm.array(), nm.array()
+	thr := 1 << uint(3+rng.Intn(8))
+	var b strings.Builder
+	w(&b, "int %s[%d];", a, n)
+	w(&b, "int %s[%d];", out, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        if (%s[i] > %d) {", a, thr)
+	w(&b, "            %s[i] = %s[i] * 2;", out, a)
+	w(&b, "        }")
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Reverse-order traversal.
+func genReverse(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	tp := pick(rng, allTypes)
+	a, bArr := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, a, n)
+	w(&b, "%s %s[%d];", tp, bArr, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = %d; i >= 0; i--) {", n-1)
+	w(&b, "        %s[i] = %s[%d - i];", a, bArr, n-1)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Loop-carried recurrence with varying dependence distance: limits the
+// legal VF, teaching the agent that requesting more is wasted.
+func genRecurrence(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	dist := []int{1, 2, 4, 8}[rng.Intn(4)]
+	a := nm.array()
+	var b strings.Builder
+	w(&b, "int %s[%d];", a, n+dist)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        %s[i + %d] = %s[i] + 1;", a, dist, a)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Histogram: indirect (scatter) update — a non-affine store that dependence
+// analysis must refuse to vectorize.
+func genHistogram(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	bins := 1 << uint(6+rng.Intn(4))
+	keys, hist := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "int %s[%d];", keys, n)
+	w(&b, "int %s[%d];", hist, bins)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        %s[%s[i] & %d] += 1;", hist, keys, bins-1)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Transpose-style copy: unit stride on one side, row stride on the other.
+func genTranspose(nm *namer, rng *rand.Rand) string {
+	n := []int{32, 64, 128}[rng.Intn(3)]
+	tp := pick(rng, []string{"int", "float", "double"})
+	src, dst := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d][%d];", tp, src, n, n)
+	w(&b, "%s %s[%d][%d];", tp, dst, n, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        for (int j = 0; j < %d; j++) {", n)
+	w(&b, "            %s[i][j] = %s[j][i];", dst, src)
+	w(&b, "        }")
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Outer product: invariant load in the inner loop.
+func genOuterProduct(nm *namer, rng *rand.Rand) string {
+	n := []int{32, 64, 128}[rng.Intn(3)]
+	tp := pick(rng, fpTypes)
+	u, v, m := nm.array(), nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, u, n)
+	w(&b, "%s %s[%d];", tp, v, n)
+	w(&b, "%s %s[%d][%d];", tp, m, n, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        for (int j = 0; j < %d; j++) {", n)
+	w(&b, "            %s[i][j] = %s[i] * %s[j];", m, u, v)
+	w(&b, "        }")
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Prefix sum: a distance-1 recurrence expressed through two arrays.
+func genPrefixSum(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	tp := pick(rng, []string{"int", "long", "float", "double"})
+	src, acc := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, src, n)
+	w(&b, "%s %s[%d];", tp, acc, n+1)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        %s[i + 1] = %s[i] + %s[i];", acc, acc, src)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Multiple independent streams in one body (reads shared inputs).
+func genFusedStreams(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	tp := pick(rng, fpTypes)
+	in1, in2, o1, o2 := nm.array(), nm.array(), nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, in1, n)
+	w(&b, "%s %s[%d];", tp, in2, n)
+	w(&b, "%s %s[%d];", tp, o1, n)
+	w(&b, "%s %s[%d];", tp, o2, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        %s[i] = %s[i] * %s[i] + %s[i];", o1, in1, in2, in1)
+	w(&b, "        %s[i] = %s[i] - %s[i] * 0.5;", o2, in1, in2)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Indirect (gather) access.
+func genGather(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	idx, data, out := nm.array(), nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "int %s[%d];", idx, n)
+	w(&b, "int %s[%d];", data, 4*n)
+	w(&b, "int %s[%d];", out, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        %s[i] = %s[%s[i]];", out, data, idx)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package dataset
+
+// MiBench returns six whole-program workloads in the style of the MiBench
+// embedded suite (Figure 9): telecom/security/office-flavoured programs
+// where loops are a minor portion of the code, expressed through a large
+// ScalarWorkFactor. Some loops are barely vectorizable at all (recurrences,
+// gathers) — the paper notes adpcm/dijkstra-class programs could not be
+// vectorized, so end-to-end gains are small (~1.1x).
+func MiBench() []Benchmark {
+	return []Benchmark{
+		{Name: "crc32", ScalarWorkFactor: 4.0, Source: `
+int crctab[256];
+int msg[4096];
+int kernel() {
+    int crc = -1;
+    for (int i = 0; i < 4096; i++) {
+        crc ^= crctab[msg[i] & 255];
+    }
+    return crc;
+}
+`},
+		{Name: "stringsearch", ScalarWorkFactor: 3.0, Source: `
+char text[8192];
+char pat = 101;
+int hits[8192];
+void kernel() {
+    for (int i = 0; i < 8192; i++) {
+        if (text[i] == pat) {
+            hits[i] = 1;
+        } else {
+            hits[i] = 0;
+        }
+    }
+}
+`},
+		{Name: "susan_corners", ScalarWorkFactor: 2.5, Source: `
+int bright[128][128];
+int resp[128][128];
+int thr = 20;
+void kernel() {
+    for (int i = 0; i < 128; i++) {
+        for (int j = 1; j < 127; j++) {
+            int d = bright[i][j + 1] - bright[i][j - 1];
+            resp[i][j] = d > thr ? d : 0;
+        }
+    }
+}
+`},
+		{Name: "adpcm_decode", ScalarWorkFactor: 5.0, Source: `
+int deltas[4096];
+int pcm[4097];
+void kernel() {
+    for (int i = 0; i < 4096; i++) {
+        pcm[i + 1] = pcm[i] + deltas[i];
+    }
+}
+`},
+		{Name: "fft_twiddle", ScalarWorkFactor: 3.5, Source: `
+float rex[2048];
+float imx[2048];
+float wr[2048];
+float wi[2048];
+void kernel() {
+    for (int i = 0; i < 2048; i++) {
+        float tr = rex[i] * wr[i] - imx[i] * wi[i];
+        float ti = rex[i] * wi[i] + imx[i] * wr[i];
+        rex[i] = tr;
+        imx[i] = ti;
+    }
+}
+`},
+		{Name: "sha_mix", ScalarWorkFactor: 4.5, Source: `
+int wbuf[4096];
+void kernel() {
+    for (int i = 16; i < 4096; i++) {
+        int v = wbuf[i - 3] ^ wbuf[i - 8] ^ wbuf[i - 14] ^ wbuf[i - 16];
+        wbuf[i] = (v << 1) | (v >> 31);
+    }
+}
+`},
+	}
+}

@@ -1,0 +1,166 @@
+// Package deps implements array dependence analysis for innermost loops.
+//
+// The result is the maximum legal vectorization factor for a loop: the
+// largest number of consecutive iterations that may execute in lockstep
+// without violating a loop-carried flow dependence. This is the analysis
+// that lets the framework guarantee the paper's correctness contract: the RL
+// agent's pragma is a hint, and requests beyond the legal VF are clamped —
+// "if the agent accidentally injected bad pragmas, the compiler will ignore
+// it".
+package deps
+
+import (
+	"neurovec/internal/ir"
+)
+
+// Result describes the vectorization legality of a loop.
+type Result struct {
+	// MaxVF is the largest legal vectorization factor (>= 1). It is not
+	// rounded to a power of two; callers clamp to their action space.
+	MaxVF int
+	// Reason is a human-readable explanation when MaxVF is limited.
+	Reason string
+}
+
+// Unlimited is the MaxVF reported when no dependence limits vectorization.
+const Unlimited = 1 << 20
+
+// Analyze computes the maximal legal VF for an innermost loop.
+//
+// Rules, in the spirit of LLVM's LoopAccessAnalysis, conservatively
+// simplified:
+//
+//   - opaque calls in the body forbid vectorization entirely;
+//   - a non-affine store (scatter with unknown aliasing) forbids it;
+//   - a non-affine load from an array that is also stored forbids it;
+//   - for same-array store/load pairs with equal stride s, a positive
+//     dependence distance d limits VF <= d; negative distances
+//     (anti-dependences) are safe because vector loads complete before the
+//     corresponding vector stores;
+//   - same-array accesses with differing strides are conservatively
+//     rejected (VF = 1) unless one of them never aliases the other
+//     (different congruence classes modulo gcd).
+//
+// Recognised reductions do not create dependences; the lowering pass already
+// removed their accumulator traffic from the access list.
+func Analyze(l *ir.Loop) Result {
+	if l.HasCall {
+		return Result{MaxVF: 1, Reason: "opaque call in loop body"}
+	}
+	maxVF := Unlimited
+	reason := ""
+	limit := func(vf int, why string) {
+		if vf < maxVF {
+			maxVF = vf
+			reason = why
+		}
+	}
+
+	for _, s := range l.Accesses {
+		if s.Kind != ir.Store {
+			continue
+		}
+		if !s.Affine {
+			return Result{MaxVF: 1, Reason: "non-affine store may alias anything"}
+		}
+		ss := s.StrideFor(l.Label)
+		for _, a := range l.Accesses {
+			if a == s || a.Array != s.Array {
+				continue
+			}
+			if !a.Affine {
+				return Result{MaxVF: 1, Reason: "non-affine access to stored array " + s.Array}
+			}
+			as := a.StrideFor(l.Label)
+			switch {
+			case ss == 0 && as == 0:
+				// Both loop-invariant: same scalar location every iteration.
+				if s.Offset == a.Offset {
+					limit(1, "loop-invariant store aliases access in "+s.Array)
+				}
+			case ss == 0 || as == 0:
+				// A store sweeping past (or being swept past by) a fixed
+				// location: some iteration aliases; conservatively reject.
+				limit(1, "mixed invariant/strided access to "+s.Array)
+			case ss != as:
+				if neverAlias(ss, s.Offset, as, a.Offset, l.Trip) {
+					continue
+				}
+				limit(1, "differing strides on "+s.Array)
+			default:
+				// Equal strides: distance in iterations between the store at
+				// iteration i and the access touching the same address.
+				delta := s.Offset - a.Offset
+				if delta == 0 {
+					// Same address same iteration: ordinary a[i] = f(a[i]).
+					continue
+				}
+				if delta%ss != 0 {
+					continue // different congruence classes: never alias
+				}
+				d := delta / ss
+				if d < 0 {
+					// With positive stride, a negative d means the access
+					// reads addresses the store already passed -> the read
+					// happens after the write in iteration order only if the
+					// access is itself a store; output dependences with
+					// positive distance also limit VF.
+					if a.Kind == ir.Store {
+						limit(int(-d), "output dependence on "+s.Array)
+					}
+					continue // anti-dependence: safe
+				}
+				// Flow dependence with distance d: iteration i+d reads what
+				// iteration i wrote. VF <= d keeps each read after its write.
+				limit(int(d), "loop-carried dependence on "+s.Array)
+			}
+		}
+	}
+	if maxVF < 1 {
+		maxVF = 1
+	}
+	return Result{MaxVF: maxVF, Reason: reason}
+}
+
+// neverAlias reports whether two affine streams with different strides can
+// be proven disjoint over the loop's iteration space via a gcd test.
+func neverAlias(s1, o1, s2, o2, trip int64) bool {
+	g := gcd(abs64(s1), abs64(s2))
+	if g == 0 {
+		return false
+	}
+	if (o1-o2)%g != 0 {
+		return true
+	}
+	_ = trip
+	return false
+}
+
+// MaxLegalVF returns Analyze(l).MaxVF clamped to the architecture bound and
+// rounded down to a power of two, which is the action space the paper uses.
+func MaxLegalVF(l *ir.Loop, archMax int) int {
+	vf := Analyze(l).MaxVF
+	if vf > archMax {
+		vf = archMax
+	}
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= vf {
+		p *= 2
+	}
+	return p
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

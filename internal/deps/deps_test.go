@@ -1,0 +1,313 @@
+package deps
+
+import (
+	"testing"
+
+	"neurovec/internal/ir"
+	"neurovec/internal/lang"
+	"neurovec/internal/lower"
+)
+
+func loopFor(t *testing.T, src string) *ir.Loop {
+	t.Helper()
+	p := lower.MustProgram(lang.MustParse(src))
+	loops := p.InnermostLoops()
+	if len(loops) == 0 {
+		t.Fatal("no loops in source")
+	}
+	return loops[0]
+}
+
+func TestIndependentLoopUnlimited(t *testing.T) {
+	l := loopFor(t, `
+int a[512];
+int b[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[i] = b[i] + 1;
+    }
+}
+`)
+	r := Analyze(l)
+	if r.MaxVF != Unlimited {
+		t.Errorf("MaxVF = %d (%s), want unlimited", r.MaxVF, r.Reason)
+	}
+}
+
+func TestFlowDependenceDistanceOne(t *testing.T) {
+	l := loopFor(t, `
+int a[512];
+void f() {
+    for (int i = 1; i < 512; i++) {
+        a[i] = a[i - 1] + 1;
+    }
+}
+`)
+	r := Analyze(l)
+	if r.MaxVF != 1 {
+		t.Errorf("MaxVF = %d, want 1 (recurrence)", r.MaxVF)
+	}
+}
+
+func TestFlowDependenceDistanceFour(t *testing.T) {
+	l := loopFor(t, `
+int a[512];
+void f() {
+    for (int i = 0; i < 500; i++) {
+        a[i + 4] = a[i] + 1;
+    }
+}
+`)
+	r := Analyze(l)
+	if r.MaxVF != 4 {
+		t.Errorf("MaxVF = %d (%s), want 4", r.MaxVF, r.Reason)
+	}
+	if got := MaxLegalVF(l, 64); got != 4 {
+		t.Errorf("MaxLegalVF = %d, want 4", got)
+	}
+}
+
+func TestDistanceThreeRoundsToTwo(t *testing.T) {
+	l := loopFor(t, `
+int a[512];
+void f() {
+    for (int i = 0; i < 500; i++) {
+        a[i + 3] = a[i] * 2;
+    }
+}
+`)
+	if got := MaxLegalVF(l, 64); got != 2 {
+		t.Errorf("MaxLegalVF = %d, want 2 (pow2 floor of 3)", got)
+	}
+}
+
+func TestAntiDependenceIsSafe(t *testing.T) {
+	l := loopFor(t, `
+int a[512];
+void f() {
+    for (int i = 0; i < 500; i++) {
+        a[i] = a[i + 1] + 1;
+    }
+}
+`)
+	r := Analyze(l)
+	if r.MaxVF != Unlimited {
+		t.Errorf("MaxVF = %d (%s), want unlimited (anti-dependence)", r.MaxVF, r.Reason)
+	}
+}
+
+func TestSameAddressReadWriteSafe(t *testing.T) {
+	l := loopFor(t, `
+int a[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[i] = a[i] * 3;
+    }
+}
+`)
+	if r := Analyze(l); r.MaxVF != Unlimited {
+		t.Errorf("MaxVF = %d (%s), want unlimited", r.MaxVF, r.Reason)
+	}
+}
+
+func TestDifferentCongruenceClassesSafe(t *testing.T) {
+	// Writes even elements, reads odd elements: never alias.
+	l := loopFor(t, `
+int a[512];
+void f() {
+    for (int i = 0; i < 255; i++) {
+        a[2 * i] = a[2 * i + 1];
+    }
+}
+`)
+	if r := Analyze(l); r.MaxVF != Unlimited {
+		t.Errorf("MaxVF = %d (%s), want unlimited", r.MaxVF, r.Reason)
+	}
+}
+
+func TestNonAffineStoreBlocks(t *testing.T) {
+	l := loopFor(t, `
+int idx[512];
+int a[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[idx[i]] = i;
+    }
+}
+`)
+	if r := Analyze(l); r.MaxVF != 1 {
+		t.Errorf("MaxVF = %d, want 1 (scatter)", r.MaxVF)
+	}
+}
+
+func TestNonAffineLoadFromStoredArrayBlocks(t *testing.T) {
+	l := loopFor(t, `
+int idx[512];
+int a[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[i] = a[idx[i]];
+    }
+}
+`)
+	if r := Analyze(l); r.MaxVF != 1 {
+		t.Errorf("MaxVF = %d, want 1", r.MaxVF)
+	}
+}
+
+func TestNonAffineLoadFromOtherArrayOK(t *testing.T) {
+	l := loopFor(t, `
+int idx[512];
+int data[4096];
+int out[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        out[i] = data[idx[i]];
+    }
+}
+`)
+	if r := Analyze(l); r.MaxVF != Unlimited {
+		t.Errorf("MaxVF = %d (%s), want unlimited (gatherable)", r.MaxVF, r.Reason)
+	}
+}
+
+func TestCallBlocksVectorization(t *testing.T) {
+	l := loopFor(t, `
+int a[64];
+void f() {
+    for (int i = 0; i < 64; i++) {
+        a[i] = helper(i);
+    }
+}
+`)
+	if r := Analyze(l); r.MaxVF != 1 {
+		t.Errorf("MaxVF = %d, want 1 (call)", r.MaxVF)
+	}
+}
+
+func TestReductionDoesNotBlock(t *testing.T) {
+	l := loopFor(t, `
+int v[512];
+int f() {
+    int sum = 0;
+    for (int i = 0; i < 512; i++) {
+        sum += v[i];
+    }
+    return sum;
+}
+`)
+	if r := Analyze(l); r.MaxVF != Unlimited {
+		t.Errorf("MaxVF = %d (%s), want unlimited (reduction handled)", r.MaxVF, r.Reason)
+	}
+}
+
+func TestMixedInvariantStrideBlocks(t *testing.T) {
+	l := loopFor(t, `
+int a[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[i] = a[5] + 1;
+    }
+}
+`)
+	if r := Analyze(l); r.MaxVF != 1 {
+		t.Errorf("MaxVF = %d, want 1 (store sweeps past fixed read)", r.MaxVF)
+	}
+}
+
+func TestOutputDependenceLimits(t *testing.T) {
+	// Two stores to the same array, distance 2: output dependence.
+	l := loopFor(t, `
+int a[1024];
+void f() {
+    for (int i = 0; i < 500; i++) {
+        a[2 * i] = i;
+        a[2 * i + 4] = i + 1;
+    }
+}
+`)
+	r := Analyze(l)
+	if r.MaxVF != 2 {
+		t.Errorf("MaxVF = %d (%s), want 2 (output dependence distance 2)", r.MaxVF, r.Reason)
+	}
+}
+
+func TestDifferingStridesConservative(t *testing.T) {
+	// Store stride 2, load stride 3 on the same array with compatible
+	// congruence: must be rejected.
+	l := loopFor(t, `
+int a[4096];
+void f() {
+    for (int i = 0; i < 1000; i++) {
+        a[2 * i] = a[3 * i];
+    }
+}
+`)
+	if r := Analyze(l); r.MaxVF != 1 {
+		t.Errorf("MaxVF = %d (%s), want 1", r.MaxVF, r.Reason)
+	}
+}
+
+func TestDifferingStridesProvablyDisjoint(t *testing.T) {
+	// Store even elements, read from a different congruence class modulo
+	// gcd(2, 4) = 2: offsets differ by an odd constant, never alias.
+	l := loopFor(t, `
+int a[8192];
+void f() {
+    for (int i = 0; i < 1000; i++) {
+        a[2 * i] = a[4 * i + 1];
+    }
+}
+`)
+	if r := Analyze(l); r.MaxVF != Unlimited {
+		t.Errorf("MaxVF = %d (%s), want unlimited (gcd test)", r.MaxVF, r.Reason)
+	}
+}
+
+func TestInvariantStoreAliasesInvariantLoad(t *testing.T) {
+	l := loopFor(t, `
+int a[16];
+int b[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[3] = a[3] + b[i];
+    }
+}
+`)
+	if r := Analyze(l); r.MaxVF != 1 {
+		t.Errorf("MaxVF = %d, want 1 (scalar location updated every iteration)", r.MaxVF)
+	}
+}
+
+func TestReasonIsPopulated(t *testing.T) {
+	l := loopFor(t, `
+int a[512];
+void f() {
+    for (int i = 1; i < 512; i++) {
+        a[i] = a[i - 1];
+    }
+}
+`)
+	r := Analyze(l)
+	if r.MaxVF != 1 || r.Reason == "" {
+		t.Fatalf("result = %+v, want limited with a reason", r)
+	}
+}
+
+func TestMaxLegalVFClampsToArch(t *testing.T) {
+	l := loopFor(t, `
+int a[512];
+int b[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[i] = b[i];
+    }
+}
+`)
+	if got := MaxLegalVF(l, 16); got != 16 {
+		t.Errorf("MaxLegalVF(16) = %d", got)
+	}
+	if got := MaxLegalVF(l, 64); got != 64 {
+		t.Errorf("MaxLegalVF(64) = %d", got)
+	}
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblationEmbedding(t *testing.T) {
+	curves := AblationEmbedding(QuickOptions())
+	c2v := curves.Final("code2vec (end-to-end)", 4)
+	feat := curves.Final("hand-crafted features", 4)
+	t.Logf("final reward: code2vec=%.3f features=%.3f", c2v, feat)
+	if len(curves.RewardMean) != 2 {
+		t.Fatalf("expected 2 curves, got %d", len(curves.RewardMean))
+	}
+	// Both representations must learn something.
+	for label, series := range curves.RewardMean {
+		if series[len(series)-1] <= series[0] {
+			t.Errorf("%s: reward did not improve (%.3f -> %.3f)", label, series[0], series[len(series)-1])
+		}
+	}
+	// The learned embedding should not lose badly to fixed features (the
+	// paper's claim is that it captures strictly more).
+	if c2v < feat-0.1 {
+		t.Errorf("code2vec (%.3f) clearly below hand-crafted features (%.3f)", c2v, feat)
+	}
+}
+
+func TestAblationCompilePenalty(t *testing.T) {
+	tab := AblationCompilePenalty(QuickOptions())
+	onBlow, _ := tab.Get("penalty=-9 (paper)", "mean-compile-blowup")
+	offBlow, _ := tab.Get("penalty off", "mean-compile-blowup")
+	onRate, _ := tab.Get("penalty=-9 (paper)", "timeout-rate")
+	offRate, _ := tab.Get("penalty off", "timeout-rate")
+	t.Logf("blowup: penalty=%.2fx off=%.2fx; timeout rate: penalty=%.2f off=%.2f",
+		onBlow, offBlow, onRate, offRate)
+	// With the penalty active the greedy policy must stay within the
+	// compile budget more often than without it.
+	if onBlow > offBlow+1e-9 && onRate > offRate+1e-9 {
+		t.Errorf("penalty did not reduce compile blow-up: on=%.2f/%.2f off=%.2f/%.2f",
+			onBlow, onRate, offBlow, offRate)
+	}
+	if onRate > 0.25 {
+		t.Errorf("timeout rate with penalty = %.2f, agent failed to learn the budget", onRate)
+	}
+}
+
+func TestAblationPolly(t *testing.T) {
+	tab := AblationPolly(QuickOptions())
+	// gemm is a tiling case: tiling-only must carry the win; fusion-only
+	// must be neutral.
+	tg, _ := tab.Get("gemm", "tiling-only")
+	fg, _ := tab.Get("gemm", "fusion-only")
+	if tg <= 1.1 {
+		t.Errorf("gemm tiling-only = %.3fx, want a clear locality win", tg)
+	}
+	if fg < 0.99 || fg > 1.01 {
+		t.Errorf("gemm fusion-only = %.3fx, want ~1.0 (nothing to fuse)", fg)
+	}
+	// The fusible pair is the reverse.
+	tf, _ := tab.Get("bench10_fusible", "tiling-only")
+	ff, _ := tab.Get("bench10_fusible", "fusion-only")
+	if ff <= 1.05 {
+		t.Errorf("bench10 fusion-only = %.3fx, want a bandwidth win", ff)
+	}
+	if tf < 0.99 || tf > 1.01 {
+		t.Errorf("bench10 tiling-only = %.3fx, want ~1.0 (1-D, untileable)", tf)
+	}
+	// "both" matches the stronger transform in each case.
+	bg, _ := tab.Get("gemm", "both")
+	bf, _ := tab.Get("bench10_fusible", "both")
+	if bg < tg*0.99 || bf < ff*0.99 {
+		t.Errorf("combined transforms lost performance: gemm %.3f vs %.3f, bench10 %.3f vs %.3f", bg, tg, bf, ff)
+	}
+}
+
+func TestAblationJointAgent(t *testing.T) {
+	curves := AblationJointAgent(QuickOptions())
+	joint := curves.Final("joint", 4)
+	indep := curves.Final("independent", 4)
+	t.Logf("final reward: joint=%.3f independent=%.3f", joint, indep)
+	if len(curves.RewardMean["independent"]) == 0 {
+		t.Fatal("independent curve missing")
+	}
+	// The paper found the joint agent performs better; allow a small quick-
+	// mode tolerance but fail if independent clearly dominates.
+	if joint < indep-0.08 {
+		t.Errorf("joint agent (%.3f) clearly below independent agents (%.3f); paper found the opposite", joint, indep)
+	}
+}
+
+func TestNeuralCostModel(t *testing.T) {
+	tab := NeuralCostModel(QuickOptions())
+	if len(tab.Rows()) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows()))
+	}
+	rk := tab.GeoMean("neural-cost-model")
+	rlG := tab.GeoMean("RL")
+	brute := tab.GeoMean("brute")
+	t.Logf("geomeans: RL=%.3f neural-cost-model=%.3f brute=%.3f", rlG, rk, brute)
+	if rk <= 0.9 {
+		t.Errorf("learned cost model geomean = %.3fx, should be at least near baseline", rk)
+	}
+	if rk > brute*1.001 {
+		t.Errorf("learned cost model (%.3f) beats brute force (%.3f) — impossible", rk, brute)
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV emits the table in CSV form (row label first, then one column
+// per table column), so regenerated figures can be plotted externally.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"name"}, t.Columns...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, r.label)
+		for _, c := range t.Columns {
+			if v, ok := r.values[c]; ok {
+				rec = append(rec, strconv.FormatFloat(v, 'g', 6, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the learning curves in long form: config, iteration,
+// steps, reward_mean, loss — one row per training iteration, ready for any
+// plotting tool (the format Figures 5 and 6 need).
+func (c *Curves) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"config", "iteration", "steps", "reward_mean", "loss"}); err != nil {
+		return err
+	}
+	labels := make([]string, 0, len(c.RewardMean))
+	for l := range c.RewardMean {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		rewards := c.RewardMean[label]
+		losses := c.Loss[label]
+		steps := c.Steps[label]
+		for i, r := range rewards {
+			loss, step := "", ""
+			if i < len(losses) {
+				loss = strconv.FormatFloat(losses[i], 'g', 6, 64)
+			}
+			if i < len(steps) {
+				step = strconv.Itoa(steps[i])
+			}
+			rec := []string{label, fmt.Sprint(i), step, strconv.FormatFloat(r, 'g', 6, 64), loss}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1Shape(t *testing.T) {
+	tab := Fig1(QuickOptions())
+	if len(tab.Rows()) != 7 || len(tab.Columns) != 5 {
+		t.Fatalf("grid = %dx%d, want 7x5", len(tab.Rows()), len(tab.Columns))
+	}
+	// The baseline's own pick normalizes to 1.0.
+	if v, ok := tab.Get("VF=4", "IF=2"); !ok || v < 0.999 || v > 1.001 {
+		t.Errorf("baseline cell = %v, want 1.0", v)
+	}
+	// Scalar execution is clearly below baseline.
+	if v, _ := tab.Get("VF=1", "IF=1"); v >= 1 {
+		t.Errorf("scalar cell = %v, want < 1", v)
+	}
+	// A majority of points beat the baseline (paper: 26/35).
+	better := 0
+	for _, row := range tab.Rows() {
+		for _, col := range tab.Columns {
+			if v, ok := tab.Get(row, col); ok && v > 1.0 {
+				better++
+			}
+		}
+	}
+	if better < 14 {
+		t.Errorf("points above baseline = %d/35, want a majority", better)
+	}
+	if s := tab.String(); !strings.Contains(s, "Figure 1") {
+		t.Error("table renders without title")
+	}
+}
+
+func TestFig2AllAtLeastBaseline(t *testing.T) {
+	tab := Fig2(QuickOptions())
+	if len(tab.Rows()) != 17 {
+		t.Fatalf("rows = %d, want 17 suite kernels", len(tab.Rows()))
+	}
+	for _, rowName := range tab.Rows() {
+		v, _ := tab.Get(rowName, "brute/baseline")
+		if v < 0.999 {
+			t.Errorf("%s: brute force %.3fx below baseline — impossible by construction", rowName, v)
+		}
+	}
+	if m := tab.Mean("brute/baseline"); m < 1.05 {
+		t.Errorf("mean brute/baseline = %.3fx, want a visible gap (paper: up to 1.5x)", m)
+	}
+}
+
+func TestFig6DiscreteBest(t *testing.T) {
+	curves := Fig6(QuickOptions())
+	d := curves.Final("discrete", 4)
+	c1 := curves.Final("continuous-1", 4)
+	c2 := curves.Final("continuous-2", 4)
+	if d < c1 && d < c2 {
+		t.Errorf("discrete (%.3f) below both continuous spaces (%.3f, %.3f); paper has discrete best", d, c1, c2)
+	}
+	for _, label := range []string{"discrete", "continuous-1", "continuous-2"} {
+		if len(curves.RewardMean[label]) == 0 {
+			t.Errorf("missing curve for %s", label)
+		}
+	}
+}
+
+func TestFig7Ordering(t *testing.T) {
+	tab := Fig7(QuickOptions())
+	if len(tab.Rows()) != 12 {
+		t.Fatalf("rows = %d, want 12 benchmarks", len(tab.Rows()))
+	}
+	brute := tab.GeoMean("brute")
+	rlG := tab.GeoMean("RL")
+	nns := tab.GeoMean("NNS")
+	tree := tab.GeoMean("tree")
+	randG := tab.GeoMean("random")
+
+	t.Logf("geomeans: brute=%.3f RL=%.3f NNS=%.3f tree=%.3f polly=%.3f random=%.3f",
+		brute, rlG, nns, tree, tab.GeoMean("polly"), randG)
+
+	if brute < 1.2 {
+		t.Errorf("brute geomean = %.3fx; the headroom over the baseline is missing", brute)
+	}
+	if rlG <= 1.0 {
+		t.Errorf("RL geomean = %.3fx, must beat the baseline", rlG)
+	}
+	if rlG > brute*1.001 {
+		t.Errorf("RL (%.3f) exceeds brute force (%.3f) — impossible", rlG, brute)
+	}
+	// Paper: RL within a few percent of brute force. Quick mode is looser.
+	if rlG < brute*0.75 {
+		t.Errorf("RL (%.3f) too far below brute (%.3f) even for quick mode", rlG, brute)
+	}
+	if nns <= 1.0 || tree <= 1.0 {
+		t.Errorf("supervised methods below baseline: NNS=%.3f tree=%.3f", nns, tree)
+	}
+	// Random search performs much worse than the baseline (paper).
+	if randG >= 1.0 {
+		t.Errorf("random geomean = %.3fx, want < 1 like the paper", randG)
+	}
+	// Benchmark #10 (fusible pair): Polly beats brute-force VF/IF search.
+	p10, _ := tab.Get("bench10_fusible", "polly")
+	b10, _ := tab.Get("bench10_fusible", "brute")
+	if p10 <= b10 {
+		t.Errorf("bench10: polly (%.3f) should beat brute force (%.3f) via fusion", p10, b10)
+	}
+}
+
+func TestFig8PollyAndRL(t *testing.T) {
+	tab := Fig8(QuickOptions())
+	if len(tab.Rows()) != 6 {
+		t.Fatalf("rows = %d, want 6 PolyBench kernels", len(tab.Rows()))
+	}
+	rlG := tab.GeoMean("RL")
+	pollyG := tab.GeoMean("polly")
+	comboG := tab.GeoMean("polly+RL")
+	t.Logf("geomeans: polly=%.3f RL=%.3f polly+RL=%.3f", pollyG, rlG, comboG)
+
+	if rlG <= 1.0 {
+		t.Errorf("RL geomean on PolyBench = %.3f, want > 1 (paper: 2.08x)", rlG)
+	}
+	if pollyG <= 1.0 {
+		t.Errorf("Polly geomean = %.3f, want > 1 (paper: 1.79x implied)", pollyG)
+	}
+	// The combination beats either alone (paper: 2.92x).
+	if comboG < rlG*0.999 && comboG < pollyG*0.999 {
+		t.Errorf("polly+RL (%.3f) below both components (%.3f, %.3f)", comboG, rlG, pollyG)
+	}
+	// Polly must win at least one kernel and RL at least one (paper: RL
+	// wins 3/6).
+	pollyWins, rlWins := 0, 0
+	for _, r := range tab.Rows() {
+		p, _ := tab.Get(r, "polly")
+		q, _ := tab.Get(r, "RL")
+		if p > q {
+			pollyWins++
+		} else if q > p {
+			rlWins++
+		}
+	}
+	if pollyWins == 0 || rlWins == 0 {
+		t.Errorf("wins split polly=%d RL=%d, want both non-zero (paper: 3/3)", pollyWins, rlWins)
+	}
+}
+
+func TestFig9SmallUniformGains(t *testing.T) {
+	tab := Fig9(QuickOptions())
+	if len(tab.Rows()) != 6 {
+		t.Fatalf("rows = %d, want 6 MiBench programs", len(tab.Rows()))
+	}
+	rlG := tab.GeoMean("RL")
+	t.Logf("geomeans: polly=%.3f RL=%.3f", tab.GeoMean("polly"), rlG)
+	if rlG <= 1.0 {
+		t.Errorf("RL geomean = %.3f, want > 1 (paper: 1.1x)", rlG)
+	}
+	if rlG > 1.6 {
+		t.Errorf("RL geomean = %.3f on loop-minor programs; Amdahl dilution missing (paper: 1.1x)", rlG)
+	}
+	// RL at least matches Polly on these (paper: beats it on all).
+	if rlG < tab.GeoMean("polly")*0.95 {
+		t.Errorf("RL (%.3f) below Polly (%.3f) on MiBench", rlG, tab.GeoMean("polly"))
+	}
+}
+
+func TestTrainingEfficiencyTable(t *testing.T) {
+	tab := TrainingEfficiency(QuickOptions())
+	ppo, _ := tab.Get("PPO (one compile per step)", "samples")
+	brute, _ := tab.Get("brute force / supervised labels", "samples")
+	if brute != ppo*35 {
+		t.Fatalf("brute = %v, want 35x PPO's %v", brute, ppo)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"x", "y"}}
+	tab.Add("r1", map[string]float64{"x": 1.5, "y": 2})
+	tab.Add("r2", map[string]float64{"x": 3})
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "name,x,y\n") {
+		t.Fatalf("csv header wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "r1,1.5,2") {
+		t.Fatalf("csv row missing:\n%s", got)
+	}
+	if !strings.Contains(got, "r2,3,\n") {
+		t.Fatalf("missing cell should be empty:\n%s", got)
+	}
+}
+
+func TestCurvesCSV(t *testing.T) {
+	c := NewCurves("t")
+	c.RewardMean["a"] = []float64{-0.5, 0.1}
+	c.Loss["a"] = []float64{1, 0.5}
+	c.Steps["a"] = []int{100, 200}
+	var sb strings.Builder
+	if err := c.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "config,iteration,steps,reward_mean,loss") {
+		t.Fatalf("curve csv header wrong:\n%s", got)
+	}
+	if !strings.Contains(got, "a,1,200,0.1,0.5") {
+		t.Fatalf("curve csv row missing:\n%s", got)
+	}
+}
+
+func TestTableUtilities(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a"}}
+	tab.Add("r1", map[string]float64{"a": 2})
+	tab.Add("r2", map[string]float64{"a": 8})
+	if g := tab.GeoMean("a"); g < 3.99 || g > 4.01 {
+		t.Errorf("geomean = %v, want 4", g)
+	}
+	if m := tab.Mean("a"); m != 5 {
+		t.Errorf("mean = %v, want 5", m)
+	}
+	if _, ok := tab.Get("r3", "a"); ok {
+		t.Error("missing row should not be found")
+	}
+	if !strings.Contains(tab.String(), "r1") {
+		t.Error("render missing rows")
+	}
+}

@@ -1,0 +1,113 @@
+// Package extractor implements the "automatic loop extractor" stage of the
+// framework (Figure 3): it finds every vectorizable (innermost) loop in a
+// parsed translation unit, pairs it with the outermost loop of its nest —
+// the snippet the paper found works best as embedder input — and injects
+// vectorization pragmas back into the source (Figure 4).
+package extractor
+
+import (
+	"neurovec/internal/lang"
+)
+
+// LoopInfo describes one extraction target.
+type LoopInfo struct {
+	// Label is the innermost loop's stable label (the key used for
+	// vectorization plans and decisions).
+	Label string
+	// Innermost is the loop that receives the pragma.
+	Innermost *lang.ForStmt
+	// Outermost is the root of the enclosing nest; for non-nested loops it
+	// equals Innermost. Its body is what the code embedding generator reads:
+	// "for nested loops, feeding the loop body of the most outer loop ...
+	// performed better than feeding the body of the most inner loop only".
+	Outermost *lang.ForStmt
+	// Func is the name of the containing function.
+	Func string
+}
+
+// Loops returns every innermost loop in the program with its enclosing nest
+// root, in source order.
+func Loops(p *lang.Program) []LoopInfo {
+	var out []LoopInfo
+	for _, f := range p.Funcs {
+		for _, root := range topLevelLoops(f.Body) {
+			collectInnermost(root, root, f.Name, &out)
+		}
+	}
+	return out
+}
+
+// topLevelLoops finds for statements not nested in another for statement.
+func topLevelLoops(b *lang.BlockStmt) []*lang.ForStmt {
+	var roots []*lang.ForStmt
+	var walk func(s lang.Stmt)
+	walk = func(s lang.Stmt) {
+		switch st := s.(type) {
+		case *lang.BlockStmt:
+			for _, c := range st.Stmts {
+				walk(c)
+			}
+		case *lang.IfStmt:
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *lang.ForStmt:
+			roots = append(roots, st) // do not descend: children belong to this nest
+		}
+	}
+	walk(b)
+	return roots
+}
+
+func collectInnermost(cur, root *lang.ForStmt, fn string, out *[]LoopInfo) {
+	children := directChildLoops(cur)
+	if len(children) == 0 {
+		*out = append(*out, LoopInfo{Label: cur.Label, Innermost: cur, Outermost: root, Func: fn})
+		return
+	}
+	for _, c := range children {
+		collectInnermost(c, root, fn, out)
+	}
+}
+
+// directChildLoops finds for statements in the body of l that are not
+// nested inside a deeper for statement.
+func directChildLoops(l *lang.ForStmt) []*lang.ForStmt {
+	return topLevelLoops(l.Body)
+}
+
+// Decision is a vectorization choice for a labelled loop.
+type Decision struct {
+	Label string
+	VF    int
+	IF    int
+}
+
+// InjectPragmas attaches clang loop pragmas to the innermost loops named by
+// the decisions. Existing pragmas on those loops are replaced; loops without
+// a decision are left untouched. It returns the number of pragmas injected.
+func InjectPragmas(p *lang.Program, decisions []Decision) int {
+	byLabel := make(map[string]Decision, len(decisions))
+	for _, d := range decisions {
+		byLabel[d.Label] = d
+	}
+	n := 0
+	for _, info := range Loops(p) {
+		d, ok := byLabel[info.Label]
+		if !ok {
+			continue
+		}
+		info.Innermost.Pragma = &lang.Pragma{VF: d.VF, IF: d.IF}
+		n++
+	}
+	return n
+}
+
+// Annotate parses nothing and mutates nothing outside p: it injects the
+// decisions and returns the re-printed source, the framework's user-facing
+// output (the paper's Figure 4 artifact).
+func Annotate(p *lang.Program, decisions []Decision) string {
+	InjectPragmas(p, decisions)
+	return lang.Print(p)
+}

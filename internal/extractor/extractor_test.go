@@ -1,0 +1,172 @@
+package extractor
+
+import (
+	"strings"
+	"testing"
+
+	"neurovec/internal/lang"
+)
+
+func TestLoopsFlatAndNested(t *testing.T) {
+	p := lang.MustParse(`
+int a[64];
+float M[32][32];
+void f() {
+    for (int i = 0; i < 64; i++) {
+        a[i] = i;
+    }
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            M[i][j] = 0;
+        }
+    }
+}
+`)
+	infos := Loops(p)
+	if len(infos) != 2 {
+		t.Fatalf("got %d innermost loops, want 2", len(infos))
+	}
+	// Flat loop: outermost == innermost.
+	if infos[0].Outermost != infos[0].Innermost {
+		t.Error("flat loop should be its own nest root")
+	}
+	// Nested loop: outermost is the i loop, innermost the j loop.
+	if infos[1].Outermost == infos[1].Innermost {
+		t.Error("nested loop lost its root")
+	}
+	if infos[1].Innermost.Label != "L2" {
+		t.Errorf("innermost label = %s", infos[1].Innermost.Label)
+	}
+	if infos[1].Outermost.Label != "L1" {
+		t.Errorf("outermost label = %s", infos[1].Outermost.Label)
+	}
+}
+
+func TestLoopsInsideIf(t *testing.T) {
+	p := lang.MustParse(`
+int a[64];
+void f(int flag) {
+    if (flag > 0) {
+        for (int i = 0; i < 64; i++) {
+            a[i] = i;
+        }
+    }
+}
+`)
+	infos := Loops(p)
+	if len(infos) != 1 {
+		t.Fatalf("loops in if branch not found: %d", len(infos))
+	}
+}
+
+func TestSiblingInnermostLoops(t *testing.T) {
+	p := lang.MustParse(`
+int a[64];
+int b[64];
+void f() {
+    for (int i = 0; i < 8; i++) {
+        for (int j = 0; j < 8; j++) {
+            a[j] = j;
+        }
+        for (int k = 0; k < 8; k++) {
+            b[k] = k;
+        }
+    }
+}
+`)
+	infos := Loops(p)
+	if len(infos) != 2 {
+		t.Fatalf("got %d innermost loops, want 2 siblings", len(infos))
+	}
+	for _, info := range infos {
+		if info.Outermost.Label != "L0" {
+			t.Errorf("sibling %s has root %s, want L0", info.Label, info.Outermost.Label)
+		}
+	}
+}
+
+func TestInjectPragmas(t *testing.T) {
+	p := lang.MustParse(`
+int a[128];
+void f() {
+    for (int i = 0; i < 128; i++) {
+        a[i] = i;
+    }
+}
+`)
+	n := InjectPragmas(p, []Decision{{Label: "L0", VF: 16, IF: 4}})
+	if n != 1 {
+		t.Fatalf("injected %d pragmas, want 1", n)
+	}
+	out := lang.Print(p)
+	if !strings.Contains(out, "#pragma clang loop vectorize_width(16) interleave_count(4)") {
+		t.Fatalf("pragma missing from output:\n%s", out)
+	}
+	// The annotated source must parse back with the pragma attached.
+	p2, err := lang.Parse(out)
+	if err != nil {
+		t.Fatalf("annotated source does not parse: %v", err)
+	}
+	pr := p2.Funcs[0].Loops()[0].Pragma
+	if pr == nil || pr.VF != 16 || pr.IF != 4 {
+		t.Fatalf("round-tripped pragma = %+v", pr)
+	}
+}
+
+func TestInjectTargetsInnermostOnly(t *testing.T) {
+	p := lang.MustParse(`
+float M[64][64];
+void f() {
+    for (int i = 0; i < 64; i++) {
+        for (int j = 0; j < 64; j++) {
+            M[i][j] = 1.0;
+        }
+    }
+}
+`)
+	InjectPragmas(p, []Decision{{Label: "L1", VF: 8, IF: 2}})
+	out := lang.Print(p)
+	// The pragma must appear after the outer for header, i.e. attached to
+	// the inner loop (the paper: "the pragma is injected to the most inner
+	// loop in case of nested loops").
+	outerIdx := strings.Index(out, "for (int i")
+	pragmaIdx := strings.Index(out, "#pragma")
+	if pragmaIdx < outerIdx {
+		t.Fatalf("pragma attached to outer loop:\n%s", out)
+	}
+}
+
+func TestInjectReplacesExistingPragma(t *testing.T) {
+	p := lang.MustParse(`
+int a[128];
+void f() {
+    #pragma clang loop vectorize_width(2) interleave_count(1)
+    for (int i = 0; i < 128; i++) {
+        a[i] = i;
+    }
+}
+`)
+	InjectPragmas(p, []Decision{{Label: "L0", VF: 32, IF: 8}})
+	out := lang.Print(p)
+	if strings.Contains(out, "vectorize_width(2)") {
+		t.Fatal("old pragma survived")
+	}
+	if !strings.Contains(out, "vectorize_width(32)") {
+		t.Fatal("new pragma missing")
+	}
+}
+
+func TestAnnotateUnknownLabelIsNoop(t *testing.T) {
+	p := lang.MustParse(`
+int a[16];
+void f() {
+    for (int i = 0; i < 16; i++) {
+        a[i] = i;
+    }
+}
+`)
+	out := Annotate(p, []Decision{{Label: "L99", VF: 8, IF: 2}})
+	if strings.Contains(out, "#pragma") {
+		t.Fatal("pragma injected for unknown label")
+	}
+}

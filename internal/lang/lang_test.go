@@ -1,0 +1,540 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := Tokenize("int x = 42; // comment\nfloat y = 3.5f;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []Kind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.Kind)
+	}
+	want := []Kind{KwInt, IDENT, Assign, INTLIT, Semicolon, KwFloat, IDENT, Assign, FLOATLIT, Semicolon, EOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(kinds), len(want), toks)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d: got %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	cases := map[string]Kind{
+		"+": Plus, "-": Minus, "*": Star, "/": Slash, "%": Percent,
+		"+=": PlusAssign, "-=": MinusAssign, "*=": StarAssign,
+		"<<": Shl, ">>": Shr, "<<=": ShlAssign, ">>=": ShrAssign,
+		"<": Lt, "<=": Le, ">": Gt, ">=": Ge, "==": EqEq, "!=": NotEq,
+		"&&": AndAnd, "||": OrOr, "&": Amp, "|": Pipe, "^": Caret,
+		"~": Tilde, "!": Bang, "++": PlusPlus, "--": MinusMinus,
+		"?": Question, ":": Colon,
+	}
+	for src, want := range cases {
+		toks, err := Tokenize(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if toks[0].Kind != want {
+			t.Errorf("%q: got %s, want %s", src, toks[0].Kind, want)
+		}
+	}
+}
+
+func TestTokenizePragma(t *testing.T) {
+	src := "#pragma clang loop vectorize_width(4) interleave_count(2)\nfor(;;){}"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != PRAGMA {
+		t.Fatalf("first token: got %s, want PRAGMA", toks[0].Kind)
+	}
+	if !strings.Contains(toks[0].Text, "vectorize_width(4)") {
+		t.Errorf("pragma text = %q", toks[0].Text)
+	}
+}
+
+func TestTokenizeSkipsOtherDirectives(t *testing.T) {
+	toks, err := Tokenize("#include <stdio.h>\n#define N 100\nint x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != KwInt {
+		t.Fatalf("got %s, want int keyword after skipping directives", toks[0])
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("/* block\ncomment */ int /* inline */ x;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != KwInt || toks[1].Kind != IDENT {
+		t.Fatalf("unexpected tokens: %v", toks)
+	}
+}
+
+func TestTokenizeUnterminatedComment(t *testing.T) {
+	if _, err := Tokenize("/* never closed"); err == nil {
+		t.Fatal("expected error for unterminated comment")
+	}
+}
+
+func TestTokenizeHexLiteral(t *testing.T) {
+	toks, err := Tokenize("0xFF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != INTLIT || toks[0].Text != "0xFF" {
+		t.Fatalf("got %v", toks[0])
+	}
+}
+
+const dotProductSrc = `
+int vec[512] __attribute__((aligned(16)));
+int example1() {
+    int sum = 0;
+    for (int i = 0; i < 512; i++) {
+        sum += vec[i] * vec[i];
+    }
+    return sum;
+}
+`
+
+func TestParseDotProduct(t *testing.T) {
+	prog, err := Parse(dotProductSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Globals) != 1 || prog.Globals[0].Name != "vec" {
+		t.Fatalf("globals = %+v", prog.Globals)
+	}
+	if got := prog.Globals[0].Type.Dims; len(got) != 1 || got[0] != 512 {
+		t.Fatalf("dims = %v", got)
+	}
+	fn := prog.Func("example1")
+	if fn == nil {
+		t.Fatal("function example1 not found")
+	}
+	loops := fn.Loops()
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(loops))
+	}
+	inner := fn.InnermostLoops()
+	if len(inner) != 1 || inner[0] != loops[0] {
+		t.Fatal("innermost loop detection failed")
+	}
+}
+
+func TestParsePragmaAttachment(t *testing.T) {
+	src := `
+int a[100];
+int b[100];
+void f() {
+    #pragma clang loop vectorize_width(8) interleave_count(4)
+    for (int i = 0; i < 100; i++) {
+        a[i] = b[i];
+    }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops := prog.Func("f").Loops()
+	if len(loops) != 1 {
+		t.Fatalf("got %d loops", len(loops))
+	}
+	pr := loops[0].Pragma
+	if pr == nil || pr.VF != 8 || pr.IF != 4 {
+		t.Fatalf("pragma = %+v", pr)
+	}
+}
+
+func TestParsePragmaMustPrecedeFor(t *testing.T) {
+	src := `
+void f() {
+    #pragma clang loop vectorize_width(8)
+    int x = 0;
+}
+`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("expected error: loop pragma not followed by for")
+	}
+}
+
+func TestParseNestedLoops(t *testing.T) {
+	src := `
+float A[64][64];
+float B[64][64];
+float C[64][64];
+void matmul() {
+    for (int i = 0; i < 64; i++) {
+        for (int j = 0; j < 64; j++) {
+            float sum = 0;
+            for (int k = 0; k < 64; k++) {
+                sum += A[i][k] * B[k][j];
+            }
+            C[i][j] = sum;
+        }
+    }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.Func("matmul")
+	if got := len(fn.Loops()); got != 3 {
+		t.Fatalf("loops = %d, want 3", got)
+	}
+	inner := fn.InnermostLoops()
+	if len(inner) != 1 {
+		t.Fatalf("innermost = %d, want 1", len(inner))
+	}
+	if inner[0].Label != "L2" {
+		t.Errorf("innermost label = %s, want L2", inner[0].Label)
+	}
+}
+
+func TestParseTernaryAndPredicates(t *testing.T) {
+	src := `
+int a[200];
+int b[200];
+void clampit(int MAX) {
+    for (int i = 0; i < 200; i++) {
+        int j = a[i];
+        b[i] = j > MAX ? MAX : 0;
+    }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := prog.Func("clampit").Loops()[0].Body
+	if len(body.Stmts) != 2 {
+		t.Fatalf("body stmts = %d", len(body.Stmts))
+	}
+	as, ok := body.Stmts[1].(*AssignStmt)
+	if !ok {
+		t.Fatalf("stmt 1 is %T", body.Stmts[1])
+	}
+	if _, ok := as.RHS.(*CondExpr); !ok {
+		t.Fatalf("RHS is %T, want CondExpr", as.RHS)
+	}
+}
+
+func TestParseCasts(t *testing.T) {
+	src := `
+short sa[64];
+int ia[64];
+void conv() {
+    for (int i = 0; i < 64; i++) {
+        ia[i] = (int) sa[i];
+    }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Func("conv").Loops()[0].Body.Stmts[0].(*AssignStmt)
+	c, ok := as.RHS.(*CastExpr)
+	if !ok {
+		t.Fatalf("RHS is %T, want CastExpr", as.RHS)
+	}
+	if c.To != TypeInt {
+		t.Errorf("cast to %s, want int", c.To)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := "int f() { return 1 + 2 * 3 << 1 | 4 & 2; }"
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	// Top-level operator must be | with lowest precedence among those used.
+	be, ok := ret.Value.(*BinaryExpr)
+	if !ok || be.Op != Pipe {
+		t.Fatalf("top-level op = %v", ret.Value)
+	}
+}
+
+func TestParseCompoundAssignOps(t *testing.T) {
+	src := `
+int a[10];
+void f() {
+    for (int i = 0; i < 10; i++) {
+        a[i] += 1;
+        a[i] -= 2;
+        a[i] *= 3;
+        a[i] <<= 1;
+        a[i] &= 7;
+    }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := prog.Func("f").Loops()[0].Body.Stmts
+	wantOps := []Kind{PlusAssign, MinusAssign, StarAssign, ShlAssign, AmpAssign}
+	if len(stmts) != len(wantOps) {
+		t.Fatalf("got %d stmts", len(stmts))
+	}
+	for i, s := range stmts {
+		if s.(*AssignStmt).Op != wantOps[i] {
+			t.Errorf("stmt %d op = %s, want %s", i, s.(*AssignStmt).Op, wantOps[i])
+		}
+	}
+}
+
+func TestParseErrorsHavePosition(t *testing.T) {
+	_, err := Parse("int f() { return ; }")
+	if err != nil {
+		t.Fatalf("empty return should parse: %v", err)
+	}
+	_, err = Parse("int f() { x y z }")
+	if err == nil {
+		t.Fatal("expected syntax error")
+	}
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Pos.Line != 1 {
+		t.Errorf("error line = %d", pe.Pos.Line)
+	}
+}
+
+func TestParsePragmaHelper(t *testing.T) {
+	pr := ParsePragma("#pragma clang loop vectorize_width(16) interleave_count(2)")
+	if pr == nil || pr.VF != 16 || pr.IF != 2 {
+		t.Fatalf("pragma = %+v", pr)
+	}
+	if ParsePragma("#pragma once") != nil {
+		t.Fatal("non-loop pragma should return nil")
+	}
+	only := ParsePragma("#pragma clang loop vectorize_width(2)")
+	if only == nil || only.VF != 2 || only.IF != 0 {
+		t.Fatalf("pragma = %+v", only)
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		dotProductSrc,
+		`
+double x[128];
+double y[128];
+void saxpy(double alpha) {
+    #pragma clang loop vectorize_width(4) interleave_count(2)
+    for (int i = 0; i < 128; i++) {
+        y[i] = alpha * x[i] + y[i];
+    }
+}
+`,
+		`
+int a[64];
+void cond() {
+    for (int i = 0; i < 64; i++) {
+        if (a[i] > 10) {
+            a[i] = 10;
+        } else {
+            a[i] = 0;
+        }
+    }
+}
+`,
+	}
+	for _, src := range srcs {
+		p1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse 1: %v\n%s", err, src)
+		}
+		out := Print(p1)
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("parse 2 (round trip): %v\noutput:\n%s", err, out)
+		}
+		out2 := Print(p2)
+		if out != out2 {
+			t.Errorf("print not idempotent:\nfirst:\n%s\nsecond:\n%s", out, out2)
+		}
+	}
+}
+
+func TestPrintPreservesPragma(t *testing.T) {
+	src := `
+int a[32];
+void f() {
+    #pragma clang loop vectorize_width(8) interleave_count(2)
+    for (int i = 0; i < 32; i++) {
+        a[i] = i;
+    }
+}
+`
+	prog := MustParse(src)
+	out := Print(prog)
+	if !strings.Contains(out, "vectorize_width(8)") || !strings.Contains(out, "interleave_count(2)") {
+		t.Fatalf("printed output lost pragma:\n%s", out)
+	}
+}
+
+func TestScalarTypeProperties(t *testing.T) {
+	if TypeChar.Size() != 1 || TypeShort.Size() != 2 || TypeInt.Size() != 4 ||
+		TypeLong.Size() != 8 || TypeFloat.Size() != 4 || TypeDouble.Size() != 8 {
+		t.Fatal("type sizes wrong")
+	}
+	if !TypeFloat.IsFloat() || TypeInt.IsFloat() {
+		t.Fatal("IsFloat wrong")
+	}
+	if !TypeChar.IsInteger() || TypeDouble.IsInteger() {
+		t.Fatal("IsInteger wrong")
+	}
+}
+
+func TestWalkExprVisitsAll(t *testing.T) {
+	prog := MustParse("int f(int n) { return n > 0 ? n * 2 + 1 : -n; }")
+	ret := prog.Funcs[0].Body.Stmts[0].(*ReturnStmt)
+	count := 0
+	WalkExpr(ret.Value, func(Expr) bool { count++; return true })
+	// CondExpr, (n>0): Binary+2 idents/lits, then: 2 binaries + 2 leaves... just check > 5.
+	if count < 8 {
+		t.Errorf("WalkExpr visited %d nodes, want >= 8", count)
+	}
+}
+
+func TestLoopLabelsAreStable(t *testing.T) {
+	src := `
+void f() {
+    for (int i = 0; i < 4; i++) { }
+    for (int j = 0; j < 4; j++) { }
+}
+`
+	prog := MustParse(src)
+	loops := prog.Func("f").Loops()
+	if loops[0].Label != "L0" || loops[1].Label != "L1" {
+		t.Fatalf("labels = %s, %s", loops[0].Label, loops[1].Label)
+	}
+}
+
+func TestParseUnknownBoundLoop(t *testing.T) {
+	src := `
+int a[1024];
+void f(int n) {
+    for (int i = 0; i < n; i++) {
+        a[i] = a[i] + 1;
+    }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loop := prog.Func("f").Loops()[0]
+	cond, ok := loop.Cond.(*BinaryExpr)
+	if !ok || cond.Op != Lt {
+		t.Fatalf("cond = %v", loop.Cond)
+	}
+	if id, ok := cond.Y.(*Ident); !ok || id.Name != "n" {
+		t.Fatalf("bound = %v", cond.Y)
+	}
+}
+
+func TestParseStridedLoop(t *testing.T) {
+	src := `
+int a[512];
+int b[512];
+void f() {
+    for (int i = 0; i < 256; i++) {
+        a[i] = b[2 * i + 1];
+    }
+}
+`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseForWithCompoundPost(t *testing.T) {
+	src := `
+int a[100];
+void f() {
+    for (int i = 0; i < 100; i += 2) {
+        a[i] = 0;
+        a[i + 1] = 1;
+    }
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, ok := prog.Func("f").Loops()[0].Post.(*AssignStmt)
+	if !ok || post.Op != PlusAssign {
+		t.Fatalf("post = %+v", prog.Func("f").Loops()[0].Post)
+	}
+}
+
+func TestPrintElseIfChain(t *testing.T) {
+	src := `
+int a[64];
+void f(int x) {
+    for (int i = 0; i < 64; i++) {
+        if (a[i] > 10) {
+            a[i] = 10;
+        } else if (a[i] > 5) {
+            a[i] = 5;
+        } else if (a[i] > 0) {
+            a[i] = 1;
+        } else {
+            a[i] = 0;
+        }
+    }
+}
+`
+	p1 := MustParse(src)
+	out := Print(p1)
+	if !strings.Contains(out, "} else if (") {
+		t.Fatalf("else-if chain not preserved:\n%s", out)
+	}
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("printed else-if chain does not reparse: %v\n%s", err, out)
+	}
+	if Print(p2) != out {
+		t.Fatalf("print not idempotent for else-if chain:\n%s\nvs\n%s", out, Print(p2))
+	}
+}
+
+func TestPrintElseIfWithoutFinalElse(t *testing.T) {
+	src := `
+int a[8];
+void f() {
+    if (a[0] > 1) {
+        a[0] = 1;
+    } else if (a[1] > 2) {
+        a[1] = 2;
+    }
+}
+`
+	p1 := MustParse(src)
+	out := Print(p1)
+	p2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	if Print(p2) != out {
+		t.Fatal("not idempotent")
+	}
+}

@@ -1,0 +1,761 @@
+package lang
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for the mini-C language.
+type Parser struct {
+	toks     []Token
+	pos      int
+	loopSeq  int
+	filename string
+}
+
+// ParseError describes a syntax error with its position.
+type ParseError struct {
+	File string
+	Pos  Pos
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a translation unit from source text.
+func Parse(src string) (*Program, error) { return ParseFile("", src) }
+
+// ParseFile parses src, attributing errors to filename.
+func ParseFile(filename, src string) (*Program, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, filename: filename}
+	return p.parseProgram()
+}
+
+// MustParse parses src and panics on error. Intended for tests and for
+// generated sources that are correct by construction.
+func MustParse(src string) *Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return prog
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *Parser) peekKind(n int) Kind {
+	if p.pos+n >= len(p.toks) {
+		return EOF
+	}
+	return p.toks[p.pos+n].Kind
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return &ParseError{File: p.filename, Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	if p.cur().Kind != k {
+		return Token{}, p.errorf("expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.cur().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for p.cur().Kind != EOF {
+		// File-scope pragmas (e.g. "#pragma once") are ignored; loop pragmas
+		// only make sense inside functions.
+		if p.cur().Kind == PRAGMA {
+			p.next()
+			continue
+		}
+		// Skip storage-class and qualifier keywords.
+		for p.cur().Kind == KwStatic || p.cur().Kind == KwConst {
+			p.next()
+		}
+		if !p.cur().IsType() {
+			return nil, p.errorf("expected declaration, found %s", p.cur())
+		}
+		st, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		nameTok, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == LParen {
+			fn, err := p.parseFuncRest(st, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			prog.Funcs = append(prog.Funcs, fn)
+			continue
+		}
+		g, err := p.parseGlobalRest(st, nameTok)
+		if err != nil {
+			return nil, err
+		}
+		prog.Globals = append(prog.Globals, g)
+	}
+	return prog, nil
+}
+
+// parseTypeName parses a scalar type name, accepting "unsigned" and "long"
+// prefixes ("unsigned int" -> int, "long long" -> long).
+func (p *Parser) parseTypeName() (ScalarType, error) {
+	unsigned := false
+	if p.cur().Kind == KwUnsigned {
+		unsigned = true
+		p.next()
+	}
+	switch p.cur().Kind {
+	case KwVoid:
+		p.next()
+		return TypeVoid, nil
+	case KwChar:
+		p.next()
+		return TypeChar, nil
+	case KwShort:
+		p.next()
+		p.accept(KwInt) // "short int"
+		return TypeShort, nil
+	case KwInt:
+		p.next()
+		return TypeInt, nil
+	case KwLong:
+		p.next()
+		p.accept(KwLong) // "long long"
+		p.accept(KwInt)  // "long int"
+		return TypeLong, nil
+	case KwFloat:
+		p.next()
+		return TypeFloat, nil
+	case KwDouble:
+		p.next()
+		return TypeDouble, nil
+	}
+	if unsigned {
+		// bare "unsigned" means unsigned int
+		return TypeInt, nil
+	}
+	return TypeVoid, p.errorf("expected type name, found %s", p.cur())
+}
+
+// skipAttribute consumes an __attribute__((...)) sequence if present.
+func (p *Parser) skipAttribute() error {
+	for p.cur().Kind == KwAttribute {
+		p.next()
+		if _, err := p.expect(LParen); err != nil {
+			return err
+		}
+		depth := 1
+		for depth > 0 {
+			switch p.cur().Kind {
+			case LParen:
+				depth++
+			case RParen:
+				depth--
+			case EOF:
+				return p.errorf("unterminated __attribute__")
+			}
+			p.next()
+		}
+	}
+	return nil
+}
+
+func (p *Parser) parseGlobalRest(st ScalarType, name Token) (*GlobalDecl, error) {
+	g := &GlobalDecl{Name: name.Text, Type: Type{Scalar: st}, Pos: name.Pos}
+	for p.cur().Kind == LBracket {
+		p.next()
+		dimTok, err := p.expect(INTLIT)
+		if err != nil {
+			return nil, err
+		}
+		dim, err := strconv.ParseInt(dimTok.Text, 0, 64)
+		if err != nil {
+			return nil, p.errorf("bad array dimension %q", dimTok.Text)
+		}
+		g.Type.Dims = append(g.Type.Dims, dim)
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.skipAttribute(); err != nil {
+		return nil, err
+	}
+	if p.accept(Assign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		g.Init = init
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func (p *Parser) parseFuncRest(ret ScalarType, name Token) (*FuncDecl, error) {
+	fn := &FuncDecl{Name: name.Text, Return: ret, Pos: name.Pos}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RParen {
+		if p.cur().Kind == KwVoid && p.peekKind(1) == RParen {
+			p.next()
+		} else {
+			for {
+				pt, err := p.parseTypeName()
+				if err != nil {
+					return nil, err
+				}
+				pn, err := p.expect(IDENT)
+				if err != nil {
+					return nil, err
+				}
+				param := Param{Name: pn.Text, Type: Type{Scalar: pt}}
+				for p.cur().Kind == LBracket {
+					p.next()
+					if p.cur().Kind == INTLIT {
+						d, _ := strconv.ParseInt(p.next().Text, 0, 64)
+						param.Type.Dims = append(param.Type.Dims, d)
+					} else {
+						param.Type.Dims = append(param.Type.Dims, 0) // T a[]
+					}
+					if _, err := p.expect(RBracket); err != nil {
+						return nil, err
+					}
+				}
+				fn.Params = append(fn.Params, param)
+				if !p.accept(Comma) {
+					break
+				}
+			}
+		}
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	open, err := p.expect(LBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: open.Pos}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, p.errorf("unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			blk.Stmts = append(blk.Stmts, s)
+		}
+	}
+	p.next() // consume }
+	return blk, nil
+}
+
+var pragmaRe = regexp.MustCompile(`#\s*pragma\s+clang\s+loop\b(.*)$`)
+var vfRe = regexp.MustCompile(`vectorize_width\s*\(\s*(\d+)\s*\)`)
+var ifRe = regexp.MustCompile(`interleave_count\s*\(\s*(\d+)\s*\)`)
+
+// ParsePragma parses the text of a "#pragma clang loop ..." line. It returns
+// nil if the line is a pragma of some other kind.
+func ParsePragma(text string) *Pragma {
+	m := pragmaRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil
+	}
+	pr := &Pragma{Raw: text}
+	if vm := vfRe.FindStringSubmatch(m[1]); vm != nil {
+		pr.VF, _ = strconv.Atoi(vm[1])
+	}
+	if im := ifRe.FindStringSubmatch(m[1]); im != nil {
+		pr.IF, _ = strconv.Atoi(im[1])
+	}
+	return pr
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch p.cur().Kind {
+	case PRAGMA:
+		tok := p.next()
+		pr := ParsePragma(tok.Text)
+		// A loop pragma must be followed by a for statement; other pragmas
+		// are silently dropped, like an unknown pragma in a C compiler.
+		if pr == nil {
+			return nil, nil
+		}
+		// Allow stacked pragmas; the innermost (last) one wins per clause.
+		for p.cur().Kind == PRAGMA {
+			if more := ParsePragma(p.next().Text); more != nil {
+				if more.VF > 0 {
+					pr.VF = more.VF
+				}
+				if more.IF > 0 {
+					pr.IF = more.IF
+				}
+			}
+		}
+		if p.cur().Kind != KwFor {
+			return nil, p.errorf("loop pragma must precede a for statement, found %s", p.cur())
+		}
+		fs, err := p.parseFor()
+		if err != nil {
+			return nil, err
+		}
+		fs.Pragma = pr
+		return fs, nil
+	case KwFor:
+		return p.parseFor()
+	case KwIf:
+		return p.parseIf()
+	case KwReturn:
+		tok := p.next()
+		rs := &ReturnStmt{Pos: tok.Pos}
+		if p.cur().Kind != Semicolon {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			rs.Value = v
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return rs, nil
+	case LBrace:
+		return p.parseBlock()
+	case Semicolon:
+		p.next()
+		return nil, nil
+	}
+	if p.cur().IsType() || p.cur().Kind == KwConst {
+		s, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	s, err := p.parseSimpleStmt()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseDecl parses "T name [= expr]" without the trailing semicolon.
+func (p *Parser) parseDecl() (Stmt, error) {
+	p.accept(KwConst)
+	st, err := p.parseTypeName()
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	d := &DeclStmt{Name: nameTok.Text, Type: Type{Scalar: st}, Pos: nameTok.Pos}
+	for p.cur().Kind == LBracket {
+		p.next()
+		dimTok, err := p.expect(INTLIT)
+		if err != nil {
+			return nil, err
+		}
+		dim, _ := strconv.ParseInt(dimTok.Text, 0, 64)
+		d.Type.Dims = append(d.Type.Dims, dim)
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(Assign) {
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = init
+	}
+	return d, nil
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement
+// without the trailing semicolon. It is used for statement positions and for
+// the init/post clauses of for loops.
+func (p *Parser) parseSimpleStmt() (Stmt, error) {
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.cur().IsAssignOp():
+		op := p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !isLValue(lhs) {
+			return nil, &ParseError{File: p.filename, Pos: op.Pos, Msg: "left side of assignment is not assignable"}
+		}
+		return &AssignStmt{Op: op.Kind, LHS: lhs, RHS: rhs, Pos: op.Pos}, nil
+	case p.cur().Kind == PlusPlus || p.cur().Kind == MinusMinus:
+		op := p.next()
+		if !isLValue(lhs) {
+			return nil, &ParseError{File: p.filename, Pos: op.Pos, Msg: "operand of ++/-- is not assignable"}
+		}
+		return &IncDecStmt{X: lhs, Dec: op.Kind == MinusMinus, Pos: op.Pos}, nil
+	}
+	return &ExprStmt{X: lhs, Pos: lhs.nodePos()}, nil
+}
+
+func isLValue(e Expr) bool {
+	switch e.(type) {
+	case *Ident, *IndexExpr:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseFor() (*ForStmt, error) {
+	forTok, err := p.expect(KwFor)
+	if err != nil {
+		return nil, err
+	}
+	fs := &ForStmt{Pos: forTok.Pos, Label: fmt.Sprintf("L%d", p.loopSeq)}
+	p.loopSeq++
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != Semicolon {
+		var init Stmt
+		if p.cur().IsType() {
+			init, err = p.parseDecl()
+		} else {
+			init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+		fs.Init = init
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != Semicolon {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		fs.Cond = cond
+	}
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != RParen {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		fs.Post = post
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	var body *BlockStmt
+	if p.cur().Kind == LBrace {
+		body, err = p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		// Single-statement body; wrap in a block.
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = &BlockStmt{Pos: fs.Pos}
+		if s != nil {
+			body.Stmts = []Stmt{s}
+		}
+	}
+	fs.Body = body
+	return fs, nil
+}
+
+func (p *Parser) parseIf() (*IfStmt, error) {
+	ifTok, err := p.expect(KwIf)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	var then *BlockStmt
+	if p.cur().Kind == LBrace {
+		then, err = p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		then = &BlockStmt{Pos: ifTok.Pos}
+		if s != nil {
+			then.Stmts = []Stmt{s}
+		}
+	}
+	is := &IfStmt{Cond: cond, Then: then, Pos: ifTok.Pos}
+	if p.accept(KwElse) {
+		if p.cur().Kind == KwIf {
+			els, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			is.Else = els
+		} else if p.cur().Kind == LBrace {
+			els, err := p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+			is.Else = els
+		} else {
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			blk := &BlockStmt{Pos: ifTok.Pos}
+			if s != nil {
+				blk.Stmts = []Stmt{s}
+			}
+			is.Else = blk
+		}
+	}
+	return is, nil
+}
+
+// ---- Expression parsing (precedence climbing) ----
+
+// binaryPrec returns the binding power of a binary operator token, or 0 if
+// the token is not a binary operator. Higher binds tighter, matching C.
+func binaryPrec(k Kind) int {
+	switch k {
+	case Star, Slash, Percent:
+		return 10
+	case Plus, Minus:
+		return 9
+	case Shl, Shr:
+		return 8
+	case Lt, Gt, Le, Ge:
+		return 7
+	case EqEq, NotEq:
+		return 6
+	case Amp:
+		return 5
+	case Caret:
+		return 4
+	case Pipe:
+		return 3
+	case AndAnd:
+		return 2
+	case OrOr:
+		return 1
+	}
+	return 0
+}
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseTernary() }
+
+func (p *Parser) parseTernary() (Expr, error) {
+	cond, err := p.parseBinary(1)
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind != Question {
+		return cond, nil
+	}
+	qTok := p.next()
+	then, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(Colon); err != nil {
+		return nil, err
+	}
+	els, err := p.parseTernary()
+	if err != nil {
+		return nil, err
+	}
+	return &CondExpr{Cond: cond, Then: then, Else: els, Pos: qTok.Pos}, nil
+}
+
+func (p *Parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := binaryPrec(p.cur().Kind)
+		if prec < minPrec || prec == 0 {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Op: op.Kind, X: lhs, Y: rhs, Pos: op.Pos}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case Minus, Bang, Tilde, Plus:
+		op := p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if op.Kind == Plus {
+			return x, nil
+		}
+		return &UnaryExpr{Op: op.Kind, X: x, Pos: op.Pos}, nil
+	case LParen:
+		// Could be a cast "(int) x" or a parenthesised expression.
+		if p.toks[p.pos+1].IsType() || (p.toks[p.pos+1].Kind == KwUnsigned) {
+			lp := p.next()
+			st, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{To: st, X: x, Pos: lp.Pos}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().Kind == LBracket {
+		lb := p.next()
+		idx, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RBracket); err != nil {
+			return nil, err
+		}
+		x = &IndexExpr{Base: x, Index: idx, Pos: lb.Pos}
+	}
+	return x, nil
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.cur().Kind {
+	case IDENT:
+		tok := p.next()
+		if p.cur().Kind == LParen {
+			p.next()
+			call := &CallExpr{Fun: tok.Text, Pos: tok.Pos}
+			if p.cur().Kind != RParen {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if !p.accept(Comma) {
+						break
+					}
+				}
+			}
+			if _, err := p.expect(RParen); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &Ident{Name: tok.Text, Pos: tok.Pos}, nil
+	case INTLIT:
+		tok := p.next()
+		v, err := strconv.ParseInt(tok.Text, 0, 64)
+		if err != nil {
+			return nil, &ParseError{File: p.filename, Pos: tok.Pos, Msg: fmt.Sprintf("bad integer literal %q", tok.Text)}
+		}
+		return &IntLit{Value: v, Pos: tok.Pos}, nil
+	case FLOATLIT:
+		tok := p.next()
+		v, err := strconv.ParseFloat(tok.Text, 64)
+		if err != nil {
+			return nil, &ParseError{File: p.filename, Pos: tok.Pos, Msg: fmt.Sprintf("bad float literal %q", tok.Text)}
+		}
+		return &FloatLit{Value: v, Text: tok.Text, Pos: tok.Pos}, nil
+	case LParen:
+		p.next()
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		return x, nil
+	}
+	return nil, p.errorf("expected expression, found %s", p.cur())
+}

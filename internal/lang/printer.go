@@ -1,0 +1,300 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Print renders the program back to C-like source text. Loop pragmas
+// attached to for statements are emitted on the line before the loop, which
+// is how the framework injects vectorization hints (Figure 4 of the paper).
+func Print(p *Program) string {
+	var pr printer
+	for _, g := range p.Globals {
+		pr.global(g)
+	}
+	if len(p.Globals) > 0 && len(p.Funcs) > 0 {
+		pr.nl()
+	}
+	for i, f := range p.Funcs {
+		if i > 0 {
+			pr.nl()
+		}
+		pr.fn(f)
+	}
+	return pr.b.String()
+}
+
+// PrintStmt renders a single statement (used by the embedder, which feeds
+// loop bodies rather than whole files to the path extractor).
+func PrintStmt(s Stmt) string {
+	var pr printer
+	pr.stmt(s)
+	return pr.b.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e Expr) string {
+	var pr printer
+	pr.expr(e, 0)
+	return pr.b.String()
+}
+
+type printer struct {
+	b      strings.Builder
+	indent int
+}
+
+func (p *printer) line(format string, args ...any) {
+	p.b.WriteString(strings.Repeat("    ", p.indent))
+	fmt.Fprintf(&p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func (p *printer) nl() { p.b.WriteByte('\n') }
+
+func (p *printer) global(g *GlobalDecl) {
+	decl := g.Type.Scalar.String() + " " + g.Name
+	for _, d := range g.Type.Dims {
+		decl += "[" + strconv.FormatInt(d, 10) + "]"
+	}
+	if g.Init != nil {
+		decl += " = " + PrintExpr(g.Init)
+	}
+	p.line("%s;", decl)
+}
+
+func (p *printer) fn(f *FuncDecl) {
+	var params []string
+	for _, pa := range f.Params {
+		ps := pa.Type.Scalar.String() + " " + pa.Name
+		for _, d := range pa.Type.Dims {
+			if d == 0 {
+				ps += "[]"
+			} else {
+				ps += "[" + strconv.FormatInt(d, 10) + "]"
+			}
+		}
+		params = append(params, ps)
+	}
+	p.line("%s %s(%s) {", f.Return, f.Name, strings.Join(params, ", "))
+	p.indent++
+	for _, s := range f.Body.Stmts {
+		p.stmt(s)
+	}
+	p.indent--
+	p.line("}")
+}
+
+func (p *printer) stmt(s Stmt) {
+	switch st := s.(type) {
+	case *DeclStmt:
+		decl := st.Type.Scalar.String() + " " + st.Name
+		for _, d := range st.Type.Dims {
+			decl += "[" + strconv.FormatInt(d, 10) + "]"
+		}
+		if st.Init != nil {
+			decl += " = " + PrintExpr(st.Init)
+		}
+		p.line("%s;", decl)
+	case *AssignStmt:
+		p.line("%s;", p.assignText(st))
+	case *IncDecStmt:
+		op := "++"
+		if st.Dec {
+			op = "--"
+		}
+		p.line("%s%s;", PrintExpr(st.X), op)
+	case *ExprStmt:
+		p.line("%s;", PrintExpr(st.X))
+	case *ReturnStmt:
+		if st.Value != nil {
+			p.line("return %s;", PrintExpr(st.Value))
+		} else {
+			p.line("return;")
+		}
+	case *BlockStmt:
+		p.line("{")
+		p.indent++
+		for _, c := range st.Stmts {
+			p.stmt(c)
+		}
+		p.indent--
+		p.line("}")
+	case *IfStmt:
+		p.ifChain(st)
+	case *ForStmt:
+		if st.Pragma != nil {
+			p.line("%s", st.Pragma.String())
+		}
+		p.line("for (%s %s; %s) {", p.forInit(st), p.forCond(st), p.forPost(st))
+		p.indent++
+		for _, c := range st.Body.Stmts {
+			p.stmt(c)
+		}
+		p.indent--
+		p.line("}")
+	default:
+		p.line("/* unknown statement %T */", s)
+	}
+}
+
+// ifChain prints an if statement and any else/else-if chain hanging off it.
+func (p *printer) ifChain(st *IfStmt) {
+	p.line("if (%s) {", PrintExpr(st.Cond))
+	for {
+		p.indent++
+		for _, c := range st.Then.Stmts {
+			p.stmt(c)
+		}
+		p.indent--
+		switch els := st.Else.(type) {
+		case nil:
+			p.line("}")
+			return
+		case *BlockStmt:
+			p.line("} else {")
+			p.indent++
+			for _, c := range els.Stmts {
+				p.stmt(c)
+			}
+			p.indent--
+			p.line("}")
+			return
+		case *IfStmt:
+			p.line("} else if (%s) {", PrintExpr(els.Cond))
+			st = els
+		default:
+			p.line("}")
+			return
+		}
+	}
+}
+
+func (p *printer) forInit(st *ForStmt) string {
+	if st.Init == nil {
+		return ";"
+	}
+	switch in := st.Init.(type) {
+	case *DeclStmt:
+		decl := in.Type.Scalar.String() + " " + in.Name
+		if in.Init != nil {
+			decl += " = " + PrintExpr(in.Init)
+		}
+		return decl + ";"
+	case *AssignStmt:
+		return p.assignText(in) + ";"
+	}
+	return ";"
+}
+
+func (p *printer) forCond(st *ForStmt) string {
+	if st.Cond == nil {
+		return ""
+	}
+	return PrintExpr(st.Cond)
+}
+
+func (p *printer) forPost(st *ForStmt) string {
+	if st.Post == nil {
+		return ""
+	}
+	switch po := st.Post.(type) {
+	case *AssignStmt:
+		return p.assignText(po)
+	case *IncDecStmt:
+		op := "++"
+		if po.Dec {
+			op = "--"
+		}
+		return PrintExpr(po.X) + op
+	}
+	return ""
+}
+
+func (p *printer) assignText(a *AssignStmt) string {
+	op := map[Kind]string{
+		Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+		SlashAssign: "/=", PercentAssign: "%=", AmpAssign: "&=",
+		PipeAssign: "|=", CaretAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
+	}[a.Op]
+	return PrintExpr(a.LHS) + " " + op + " " + PrintExpr(a.RHS)
+}
+
+// exprPrec mirrors binaryPrec for printing with minimal parentheses.
+func exprPrec(e Expr) int {
+	switch ex := e.(type) {
+	case *BinaryExpr:
+		return binaryPrec(ex.Op)
+	case *CondExpr:
+		return 0
+	case *CastExpr, *UnaryExpr:
+		return 11
+	default:
+		return 12
+	}
+}
+
+func (p *printer) expr(e Expr, parentPrec int) {
+	switch ex := e.(type) {
+	case *Ident:
+		p.b.WriteString(ex.Name)
+	case *IntLit:
+		p.b.WriteString(strconv.FormatInt(ex.Value, 10))
+	case *FloatLit:
+		if ex.Text != "" {
+			p.b.WriteString(ex.Text)
+		} else {
+			p.b.WriteString(strconv.FormatFloat(ex.Value, 'g', -1, 64))
+		}
+	case *BinaryExpr:
+		prec := binaryPrec(ex.Op)
+		paren := prec < parentPrec
+		if paren {
+			p.b.WriteByte('(')
+		}
+		p.expr(ex.X, prec)
+		p.b.WriteString(" " + ex.Op.String() + " ")
+		p.expr(ex.Y, prec+1)
+		if paren {
+			p.b.WriteByte(')')
+		}
+	case *UnaryExpr:
+		p.b.WriteString(ex.Op.String())
+		p.expr(ex.X, 11)
+	case *IndexExpr:
+		p.expr(ex.Base, 12)
+		p.b.WriteByte('[')
+		p.expr(ex.Index, 0)
+		p.b.WriteByte(']')
+	case *CallExpr:
+		p.b.WriteString(ex.Fun)
+		p.b.WriteByte('(')
+		for i, a := range ex.Args {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(a, 0)
+		}
+		p.b.WriteByte(')')
+	case *CondExpr:
+		paren := parentPrec > 0
+		if paren {
+			p.b.WriteByte('(')
+		}
+		p.expr(ex.Cond, 1)
+		p.b.WriteString(" ? ")
+		p.expr(ex.Then, 1)
+		p.b.WriteString(" : ")
+		p.expr(ex.Else, 1)
+		if paren {
+			p.b.WriteByte(')')
+		}
+	case *CastExpr:
+		p.b.WriteString("(" + ex.To.String() + ") ")
+		p.expr(ex.X, 11)
+	default:
+		fmt.Fprintf(&p.b, "/* unknown expr %T */", e)
+	}
+}

@@ -1,0 +1,182 @@
+// Package lang implements a small C-like language front end: a lexer, a
+// recursive-descent parser, an AST, and a source printer. The language covers
+// the subset of C that appears in the NeuroVectorizer training corpus: global
+// array and scalar declarations, functions, for loops (with clang-style loop
+// pragmas), if/else, assignments (including compound assignment), ternary
+// expressions, casts, and 1-D/2-D array indexing.
+//
+// The front end is the first stage of the reproduction pipeline: source text
+// is parsed here, lowered to the loop IR by package lower, and vectorized and
+// simulated downstream. Pragmas of the form
+//
+//	#pragma clang loop vectorize_width(VF) interleave_count(IF)
+//
+// are first-class: the lexer recognises them and the parser attaches them to
+// the following for statement, mirroring how clang consumes vectorization
+// hints.
+package lang
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Single-character operators use their own kinds rather than a
+// catch-all so the parser can switch on Kind without string comparisons.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	FLOATLIT
+	PRAGMA // a full "#pragma ..." line, payload in Token.Text
+
+	// Keywords.
+	KwFor
+	KwIf
+	KwElse
+	KwReturn
+	KwInt
+	KwFloat
+	KwDouble
+	KwChar
+	KwShort
+	KwLong
+	KwVoid
+	KwUnsigned
+	KwConst
+	KwStatic
+	KwAttribute // __attribute__
+
+	// Punctuation.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBracket
+	RBracket
+	Semicolon
+	Comma
+	Question
+	Colon
+
+	// Operators.
+	Assign     // =
+	PlusAssign // +=
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	AmpAssign
+	PipeAssign
+	CaretAssign
+	ShlAssign
+	ShrAssign
+
+	PlusPlus   // ++
+	MinusMinus // --
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Bang
+	Shl
+	Shr
+	Lt
+	Gt
+	Le
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "integer literal",
+	FLOATLIT: "float literal", PRAGMA: "#pragma",
+	KwFor: "for", KwIf: "if", KwElse: "else", KwReturn: "return",
+	KwInt: "int", KwFloat: "float", KwDouble: "double", KwChar: "char",
+	KwShort: "short", KwLong: "long", KwVoid: "void", KwUnsigned: "unsigned",
+	KwConst: "const", KwStatic: "static", KwAttribute: "__attribute__",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBracket: "[", RBracket: "]", Semicolon: ";", Comma: ",",
+	Question: "?", Colon: ":",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=", AmpAssign: "&=",
+	PipeAssign: "|=", CaretAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
+	PlusPlus: "++", MinusMinus: "--",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Bang: "!",
+	Shl: "<<", Shr: ">>", Lt: "<", Gt: ">", Le: "<=", Ge: ">=",
+	EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"for": KwFor, "if": KwIf, "else": KwElse, "return": KwReturn,
+	"int": KwInt, "float": KwFloat, "double": KwDouble, "char": KwChar,
+	"short": KwShort, "long": KwLong, "void": KwVoid,
+	"unsigned": KwUnsigned, "const": KwConst, "static": KwStatic,
+	"__attribute__": KwAttribute,
+}
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String formats the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind Kind
+	Text string // raw text for IDENT, INTLIT, FLOATLIT, PRAGMA
+	Pos  Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT, INTLIT, FLOATLIT:
+		return fmt.Sprintf("%s(%q)", t.Kind, t.Text)
+	case PRAGMA:
+		return fmt.Sprintf("#pragma(%q)", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsType reports whether the token starts a type name.
+func (t Token) IsType() bool {
+	switch t.Kind {
+	case KwInt, KwFloat, KwDouble, KwChar, KwShort, KwLong, KwVoid, KwUnsigned:
+		return true
+	}
+	return false
+}
+
+// IsAssignOp reports whether the token is an assignment operator (= or a
+// compound form such as +=).
+func (t Token) IsAssignOp() bool {
+	switch t.Kind {
+	case Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign,
+		PercentAssign, AmpAssign, PipeAssign, CaretAssign, ShlAssign, ShrAssign:
+		return true
+	}
+	return false
+}

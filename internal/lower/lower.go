@@ -1,0 +1,1035 @@
+// Package lower translates the mini-C AST into the loop-nest IR.
+//
+// The pass performs the analyses a vectorizing compiler front end would:
+//
+//   - trip-count evaluation with constant folding through global constants
+//     (loops with runtime bounds are marked TripKnown=false and get their
+//     simulated trip count from Options);
+//   - affine analysis of array subscripts, producing per-loop strides used by
+//     dependence analysis and the cache model;
+//   - reduction recognition (sum += ..., prod *= ..., min/max patterns);
+//   - predication of statements under if, and detection of opaque calls that
+//     block vectorization.
+package lower
+
+import (
+	"fmt"
+
+	"neurovec/internal/ir"
+	"neurovec/internal/lang"
+)
+
+// Options controls lowering.
+type Options struct {
+	// ParamValues supplies runtime values for function parameters that are
+	// used as loop bounds (the "unknown loop bounds" benchmarks). A loop
+	// bound that resolves to a parameter uses this value for simulation but
+	// stays TripKnown=false for the compiler's cost model.
+	ParamValues map[string]int64
+	// DefaultTrip is used when a runtime bound has no entry in ParamValues.
+	DefaultTrip int64
+}
+
+// DefaultOptions returns the options used throughout the evaluation:
+// unspecified runtime bounds simulate 256 iterations.
+func DefaultOptions() Options { return Options{DefaultTrip: 256} }
+
+// Error is a lowering error.
+type Error struct {
+	Func string
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("lower %s: %s", e.Func, e.Msg) }
+
+// Program lowers a parsed program.
+func Program(p *lang.Program, opts Options) (*ir.Program, error) {
+	if opts.DefaultTrip <= 0 {
+		opts.DefaultTrip = 256
+	}
+	out := &ir.Program{Source: p}
+	env := newEnv(p, opts)
+	for _, f := range p.Funcs {
+		fn, err := env.lowerFunc(f)
+		if err != nil {
+			return nil, err
+		}
+		out.Funcs = append(out.Funcs, fn)
+	}
+	return out, nil
+}
+
+// MustProgram lowers with default options and panics on error; for tests and
+// generated sources.
+func MustProgram(p *lang.Program) *ir.Program {
+	out, err := Program(p, DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// env carries symbol and constant information during lowering.
+type env struct {
+	opts   Options
+	types  map[string]lang.Type
+	consts map[string]int64 // globals and locals with constant integer inits
+	// declDepth records the loop depth at which each scalar was declared:
+	// -1 for globals/params/function-scope locals, otherwise the depth of
+	// the enclosing loop. Used for reduction recognition.
+	declDepth map[string]int
+	// loopVars maps in-scope induction variable names to loop labels.
+	loopVars map[string]string
+
+	fn    *lang.FuncDecl
+	funcN string
+}
+
+func newEnv(p *lang.Program, opts Options) *env {
+	e := &env{
+		opts:      opts,
+		types:     make(map[string]lang.Type),
+		consts:    make(map[string]int64),
+		declDepth: make(map[string]int),
+		loopVars:  make(map[string]string),
+	}
+	for _, g := range p.Globals {
+		e.types[g.Name] = g.Type
+		e.declDepth[g.Name] = -1
+		if !g.Type.IsArray() && g.Init != nil {
+			if v, ok := e.evalConst(g.Init); ok {
+				e.consts[g.Name] = v
+			}
+		}
+	}
+	return e
+}
+
+func (e *env) errorf(format string, args ...any) error {
+	return &Error{Func: e.funcN, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (e *env) lowerFunc(f *lang.FuncDecl) (*ir.Func, error) {
+	e.fn = f
+	e.funcN = f.Name
+	// Parameter scope.
+	for _, p := range f.Params {
+		e.types[p.Name] = p.Type
+		e.declDepth[p.Name] = -1
+	}
+	fn := &ir.Func{Name: f.Name}
+	ctx := &loopCtx{depth: -1}
+	if err := e.lowerBlock(f.Body, ctx, fn, nil); err != nil {
+		return nil, err
+	}
+	fn.ScalarOps = ctx.scalarOps
+	return fn, nil
+}
+
+// loopCtx accumulates lowering results for one loop body (or, at depth -1,
+// for the function's straight-line code).
+type loopCtx struct {
+	depth      int
+	loop       *ir.Loop // nil at function level
+	scalarOps  int      // ops outside loops (function level only)
+	predicated bool     // inside an if within the current loop body
+}
+
+// emit records a compute instruction in the current context.
+func (e *env) emit(ctx *loopCtx, in ir.Instr) {
+	in.Predicated = ctx.predicated
+	if ctx.loop != nil {
+		ctx.loop.Body = append(ctx.loop.Body, in)
+	} else {
+		ctx.scalarOps++
+	}
+}
+
+// emitAccess records a memory access in the current context.
+func (e *env) emitAccess(ctx *loopCtx, a *ir.Access) {
+	a.Predicated = ctx.predicated
+	if ctx.loop != nil {
+		ctx.loop.Accesses = append(ctx.loop.Accesses, a)
+	} else {
+		// Straight-line access: charge as a scalar op.
+		ctx.scalarOps++
+	}
+}
+
+func (e *env) lowerBlock(b *lang.BlockStmt, ctx *loopCtx, fn *ir.Func, parent *ir.Loop) error {
+	for _, s := range b.Stmts {
+		if err := e.lowerStmt(s, ctx, fn, parent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *env) lowerStmt(s lang.Stmt, ctx *loopCtx, fn *ir.Func, parent *ir.Loop) error {
+	switch st := s.(type) {
+	case *lang.DeclStmt:
+		e.types[st.Name] = st.Type
+		e.declDepth[st.Name] = ctx.depth
+		if st.Init != nil {
+			if v, ok := e.evalConst(st.Init); ok && !st.Type.IsArray() {
+				e.consts[st.Name] = v
+			} else {
+				delete(e.consts, st.Name)
+			}
+			if _, err := e.lowerExpr(st.Init, ctx); err != nil {
+				return err
+			}
+			e.emit(ctx, ir.Instr{Op: ir.OpCopy, Type: st.Type.Scalar})
+		}
+		return nil
+
+	case *lang.AssignStmt:
+		return e.lowerAssign(st, ctx)
+
+	case *lang.IncDecStmt:
+		if _, err := e.lowerExpr(st.X, ctx); err != nil {
+			return err
+		}
+		e.emit(ctx, ir.Instr{Op: ir.OpAdd, Type: lang.TypeInt})
+		return nil
+
+	case *lang.ExprStmt:
+		_, err := e.lowerExpr(st.X, ctx)
+		return err
+
+	case *lang.ReturnStmt:
+		if st.Value != nil {
+			if _, err := e.lowerExpr(st.Value, ctx); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *lang.BlockStmt:
+		return e.lowerBlock(st, ctx, fn, parent)
+
+	case *lang.IfStmt:
+		t, err := e.lowerExpr(st.Cond, ctx)
+		if err != nil {
+			return err
+		}
+		// The comparison itself (if the condition isn't already one).
+		if !isComparison(st.Cond) {
+			e.emit(ctx, ir.Instr{Op: ir.OpCmp, Type: t})
+		}
+		if ctx.loop != nil {
+			ctx.loop.HasIf = true
+		}
+		saved := ctx.predicated
+		ctx.predicated = true
+		if err := e.lowerBlock(st.Then, ctx, fn, parent); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			if err := e.lowerStmt(st.Else, ctx, fn, parent); err != nil {
+				return err
+			}
+		}
+		ctx.predicated = saved
+		// Blend of the two sides.
+		e.emit(ctx, ir.Instr{Op: ir.OpSelect, Type: t})
+		return nil
+
+	case *lang.ForStmt:
+		return e.lowerFor(st, ctx, fn, parent)
+	}
+	return e.errorf("unhandled statement %T", s)
+}
+
+func (e *env) lowerFor(st *lang.ForStmt, ctx *loopCtx, fn *ir.Func, parent *ir.Loop) error {
+	loop := &ir.Loop{
+		Label:  st.Label,
+		Depth:  ctx.depth + 1,
+		Step:   1,
+		Pragma: st.Pragma,
+	}
+
+	iv, lo, loKnown := e.analyzeInit(st.Init)
+	if iv == "" {
+		return e.errorf("loop %s: unsupported init clause", st.Label)
+	}
+	loop.IndexVar = iv
+	e.declDepth[iv] = loop.Depth
+	e.types[iv] = lang.Type{Scalar: lang.TypeInt}
+	delete(e.consts, iv)
+
+	step, down, ok := e.analyzeStep(st.Post, iv)
+	if !ok {
+		return e.errorf("loop %s: unsupported post clause", st.Label)
+	}
+	loop.Step = step
+
+	hi, hiKnown, inclusive, boundParam := e.analyzeCond(st.Cond, iv, down)
+
+	switch {
+	case loKnown && hiKnown:
+		loop.TripKnown = true
+		loop.Trip = tripCount(lo, hi, step, down, inclusive)
+	default:
+		loop.TripKnown = false
+		n := e.opts.DefaultTrip
+		if boundParam != "" {
+			if v, okp := e.opts.ParamValues[boundParam]; okp {
+				n = v
+			}
+		}
+		loop.Trip = n
+	}
+	if loop.Trip < 0 {
+		loop.Trip = 0
+	}
+
+	// Enter loop scope.
+	prevLabel, hadPrev := e.loopVars[iv]
+	e.loopVars[iv] = loop.Label
+	inner := &loopCtx{depth: loop.Depth, loop: loop}
+	if err := e.lowerBlock(st.Body, inner, fn, loop); err != nil {
+		return err
+	}
+	if hadPrev {
+		e.loopVars[iv] = prevLabel
+	} else {
+		delete(e.loopVars, iv)
+	}
+
+	if parent != nil {
+		parent.Children = append(parent.Children, loop)
+	} else {
+		fn.Loops = append(fn.Loops, loop)
+	}
+	return nil
+}
+
+// analyzeInit extracts the induction variable and its constant start value.
+func (e *env) analyzeInit(init lang.Stmt) (iv string, lo int64, known bool) {
+	switch in := init.(type) {
+	case *lang.DeclStmt:
+		if in.Init == nil {
+			return in.Name, 0, false
+		}
+		v, ok := e.evalConst(in.Init)
+		return in.Name, v, ok
+	case *lang.AssignStmt:
+		id, ok := in.LHS.(*lang.Ident)
+		if !ok || in.Op != lang.Assign {
+			return "", 0, false
+		}
+		v, okc := e.evalConst(in.RHS)
+		return id.Name, v, okc
+	}
+	return "", 0, false
+}
+
+// analyzeStep extracts the loop step from the post clause.
+func (e *env) analyzeStep(post lang.Stmt, iv string) (step int64, down, ok bool) {
+	switch po := post.(type) {
+	case *lang.IncDecStmt:
+		if id, okx := po.X.(*lang.Ident); okx && id.Name == iv {
+			return 1, po.Dec, true
+		}
+	case *lang.AssignStmt:
+		id, okx := po.LHS.(*lang.Ident)
+		if !okx || id.Name != iv {
+			return 0, false, false
+		}
+		switch po.Op {
+		case lang.PlusAssign:
+			if v, okc := e.evalConst(po.RHS); okc && v > 0 {
+				return v, false, true
+			}
+		case lang.MinusAssign:
+			if v, okc := e.evalConst(po.RHS); okc && v > 0 {
+				return v, true, true
+			}
+		case lang.Assign:
+			// i = i + c / i = i - c
+			if be, okb := po.RHS.(*lang.BinaryExpr); okb {
+				if x, okx2 := be.X.(*lang.Ident); okx2 && x.Name == iv {
+					if v, okc := e.evalConst(be.Y); okc && v > 0 {
+						switch be.Op {
+						case lang.Plus:
+							return v, false, true
+						case lang.Minus:
+							return v, true, true
+						}
+					}
+				}
+			}
+		}
+	}
+	return 0, false, false
+}
+
+// analyzeCond extracts the loop bound. boundParam names the identifier the
+// bound reduces to when it is a single runtime variable (used to look up a
+// simulated value).
+func (e *env) analyzeCond(cond lang.Expr, iv string, down bool) (hi int64, known, inclusive bool, boundParam string) {
+	be, ok := cond.(*lang.BinaryExpr)
+	if !ok {
+		return 0, false, false, ""
+	}
+	lhsIsIV := false
+	if id, okx := be.X.(*lang.Ident); okx && id.Name == iv {
+		lhsIsIV = true
+	}
+	var bound lang.Expr
+	op := be.Op
+	if lhsIsIV {
+		bound = be.Y
+	} else if id, oky := be.Y.(*lang.Ident); oky && id.Name == iv {
+		bound = be.X
+		// Flip the comparison: N > i  ==  i < N.
+		switch op {
+		case lang.Gt:
+			op = lang.Lt
+		case lang.Ge:
+			op = lang.Le
+		case lang.Lt:
+			op = lang.Gt
+		case lang.Le:
+			op = lang.Ge
+		}
+	} else {
+		return 0, false, false, ""
+	}
+
+	switch {
+	case !down && (op == lang.Lt || op == lang.Le):
+		inclusive = op == lang.Le
+	case down && (op == lang.Gt || op == lang.Ge):
+		inclusive = op == lang.Ge
+	case op == lang.NotEq:
+		inclusive = false
+	default:
+		return 0, false, false, ""
+	}
+	if v, okc := e.evalConst(bound); okc {
+		return v, true, inclusive, ""
+	}
+	if id, okid := bound.(*lang.Ident); okid {
+		return 0, false, inclusive, id.Name
+	}
+	return 0, false, inclusive, ""
+}
+
+func tripCount(lo, hi, step int64, down, inclusive bool) int64 {
+	if step <= 0 {
+		step = 1
+	}
+	var span int64
+	if down {
+		span = lo - hi
+	} else {
+		span = hi - lo
+	}
+	if inclusive {
+		span++
+	}
+	if span <= 0 {
+		return 0
+	}
+	return (span + step - 1) / step
+}
+
+// lowerAssign handles assignments, including reduction recognition.
+func (e *env) lowerAssign(st *lang.AssignStmt, ctx *loopCtx) error {
+	// Reduction pattern: scalar declared outside the current loop, updated
+	// with a compound op (sum += x) or the expanded form (sum = sum + x).
+	if id, ok := st.LHS.(*lang.Ident); ok && ctx.loop != nil && !ctx.predicated {
+		if depth, declared := e.declDepth[id.Name]; declared && depth < ctx.depth {
+			if redOp, rhs, isRed := e.reductionOf(st, id.Name); isRed {
+				t := e.typeOf(st.LHS)
+				if _, err := e.lowerExpr(rhs, ctx); err != nil {
+					return err
+				}
+				ctx.loop.Reductions = append(ctx.loop.Reductions, ir.Reduction{
+					Var: id.Name, Op: redOp, Type: t,
+				})
+				// The combining op executes each iteration.
+				e.emit(ctx, ir.Instr{Op: redOp, Type: t})
+				delete(e.consts, id.Name)
+				return nil
+			}
+		}
+	}
+
+	rhsType, err := e.lowerExpr(st.RHS, ctx)
+	if err != nil {
+		return err
+	}
+
+	switch lhs := st.LHS.(type) {
+	case *lang.Ident:
+		t := e.typeOf(st.LHS)
+		if st.Op != lang.Assign {
+			e.emit(ctx, ir.Instr{Op: compoundOp(st.Op), Type: t})
+		} else {
+			e.emit(ctx, ir.Instr{Op: ir.OpCopy, Type: t})
+		}
+		if needsConvert(rhsType, t) {
+			e.emit(ctx, ir.Instr{Op: ir.OpConvert, Type: t, From: rhsType})
+		}
+		delete(e.consts, lhs.Name)
+		return nil
+	case *lang.IndexExpr:
+		t := e.typeOf(st.LHS)
+		if needsConvert(rhsType, t) {
+			e.emit(ctx, ir.Instr{Op: ir.OpConvert, Type: t, From: rhsType})
+		}
+		if st.Op != lang.Assign {
+			// Compound store reads the old value too.
+			if err := e.lowerIndexAccess(lhs, ir.Load, ctx); err != nil {
+				return err
+			}
+			e.emit(ctx, ir.Instr{Op: compoundOp(st.Op), Type: t})
+		}
+		return e.lowerIndexAccess(lhs, ir.Store, ctx)
+	}
+	return e.errorf("unsupported assignment target %T", st.LHS)
+}
+
+// reductionOf reports whether the assignment is a reduction over variable
+// name, returning the reduction op and the non-recurrent operand expression.
+func (e *env) reductionOf(st *lang.AssignStmt, name string) (ir.Op, lang.Expr, bool) {
+	switch st.Op {
+	case lang.PlusAssign:
+		return ir.OpAdd, st.RHS, true
+	case lang.MinusAssign:
+		return ir.OpSub, st.RHS, true
+	case lang.StarAssign:
+		return ir.OpMul, st.RHS, true
+	case lang.AmpAssign:
+		return ir.OpAnd, st.RHS, true
+	case lang.PipeAssign:
+		return ir.OpOr, st.RHS, true
+	case lang.CaretAssign:
+		return ir.OpXor, st.RHS, true
+	case lang.Assign:
+		// sum = sum + x / sum = x + sum.
+		if be, ok := st.RHS.(*lang.BinaryExpr); ok {
+			if id, okx := be.X.(*lang.Ident); okx && id.Name == name {
+				switch be.Op {
+				case lang.Plus:
+					return ir.OpAdd, be.Y, true
+				case lang.Minus:
+					return ir.OpSub, be.Y, true
+				case lang.Star:
+					return ir.OpMul, be.Y, true
+				}
+			}
+			if id, oky := be.Y.(*lang.Ident); oky && id.Name == name && be.Op == lang.Plus {
+				return ir.OpAdd, be.X, true
+			}
+		}
+		// Min/max reduction: m = x < m ? x : m and variants.
+		if ce, ok := st.RHS.(*lang.CondExpr); ok {
+			if op, operand, isMM := minMaxReduction(ce, name); isMM {
+				return op, operand, true
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+// minMaxReduction matches the four spellings of the ternary min/max idiom.
+func minMaxReduction(ce *lang.CondExpr, name string) (ir.Op, lang.Expr, bool) {
+	be, ok := ce.Cond.(*lang.BinaryExpr)
+	if !ok {
+		return 0, nil, false
+	}
+	isVar := func(x lang.Expr) bool {
+		id, okx := x.(*lang.Ident)
+		return okx && id.Name == name
+	}
+	// m = (x < m) ? x : m  -> min; m = (x > m) ? x : m -> max, plus flips.
+	var other lang.Expr
+	var lessKeepsOther bool
+	switch {
+	case isVar(be.Y) && !isVar(be.X):
+		other = be.X
+		lessKeepsOther = be.Op == lang.Lt || be.Op == lang.Le
+	case isVar(be.X) && !isVar(be.Y):
+		other = be.Y
+		lessKeepsOther = be.Op == lang.Gt || be.Op == lang.Ge
+	default:
+		return 0, nil, false
+	}
+	thenIsOther := lang.PrintExpr(ce.Then) == lang.PrintExpr(other)
+	elseIsVar := isVar(ce.Else)
+	if !thenIsOther || !elseIsVar {
+		return 0, nil, false
+	}
+	if lessKeepsOther {
+		return ir.OpMin, other, true
+	}
+	return ir.OpMax, other, true
+}
+
+func compoundOp(k lang.Kind) ir.Op {
+	switch k {
+	case lang.PlusAssign:
+		return ir.OpAdd
+	case lang.MinusAssign:
+		return ir.OpSub
+	case lang.StarAssign:
+		return ir.OpMul
+	case lang.SlashAssign:
+		return ir.OpDiv
+	case lang.PercentAssign:
+		return ir.OpRem
+	case lang.AmpAssign:
+		return ir.OpAnd
+	case lang.PipeAssign:
+		return ir.OpOr
+	case lang.CaretAssign:
+		return ir.OpXor
+	case lang.ShlAssign:
+		return ir.OpShl
+	case lang.ShrAssign:
+		return ir.OpShr
+	}
+	return ir.OpCopy
+}
+
+// lowerExpr lowers an expression for its compute ops and memory accesses,
+// returning its type.
+func (e *env) lowerExpr(x lang.Expr, ctx *loopCtx) (lang.ScalarType, error) {
+	switch ex := x.(type) {
+	case *lang.IntLit:
+		return lang.TypeInt, nil
+	case *lang.FloatLit:
+		return lang.TypeDouble, nil
+	case *lang.Ident:
+		return e.typeOf(ex), nil
+	case *lang.BinaryExpr:
+		tx, err := e.lowerExpr(ex.X, ctx)
+		if err != nil {
+			return 0, err
+		}
+		ty, err := e.lowerExpr(ex.Y, ctx)
+		if err != nil {
+			return 0, err
+		}
+		t := promote(tx, ty)
+		e.emit(ctx, ir.Instr{Op: binOp(ex.Op), Type: t})
+		if isComparisonOp(ex.Op) {
+			return lang.TypeInt, nil
+		}
+		return t, nil
+	case *lang.UnaryExpr:
+		t, err := e.lowerExpr(ex.X, ctx)
+		if err != nil {
+			return 0, err
+		}
+		switch ex.Op {
+		case lang.Minus:
+			e.emit(ctx, ir.Instr{Op: ir.OpNeg, Type: t})
+		case lang.Tilde, lang.Bang:
+			e.emit(ctx, ir.Instr{Op: ir.OpNot, Type: t})
+		}
+		return t, nil
+	case *lang.CondExpr:
+		tc, err := e.lowerExpr(ex.Cond, ctx)
+		if err != nil {
+			return 0, err
+		}
+		if !isComparison(ex.Cond) {
+			e.emit(ctx, ir.Instr{Op: ir.OpCmp, Type: tc})
+		}
+		t1, err := e.lowerExpr(ex.Then, ctx)
+		if err != nil {
+			return 0, err
+		}
+		t2, err := e.lowerExpr(ex.Else, ctx)
+		if err != nil {
+			return 0, err
+		}
+		t := promote(t1, t2)
+		e.emit(ctx, ir.Instr{Op: ir.OpSelect, Type: t})
+		return t, nil
+	case *lang.CastExpr:
+		from, err := e.lowerExpr(ex.X, ctx)
+		if err != nil {
+			return 0, err
+		}
+		if needsConvert(from, ex.To) {
+			e.emit(ctx, ir.Instr{Op: ir.OpConvert, Type: ex.To, From: from})
+		}
+		return ex.To, nil
+	case *lang.IndexExpr:
+		if err := e.lowerIndexAccess(ex, ir.Load, ctx); err != nil {
+			return 0, err
+		}
+		return e.typeOf(ex), nil
+	case *lang.CallExpr:
+		for _, a := range ex.Args {
+			if _, err := e.lowerExpr(a, ctx); err != nil {
+				return 0, err
+			}
+		}
+		switch ex.Fun {
+		case "min":
+			e.emit(ctx, ir.Instr{Op: ir.OpMin, Type: lang.TypeInt})
+			return lang.TypeInt, nil
+		case "max":
+			e.emit(ctx, ir.Instr{Op: ir.OpMax, Type: lang.TypeInt})
+			return lang.TypeInt, nil
+		case "abs", "fabs", "fabsf":
+			e.emit(ctx, ir.Instr{Op: ir.OpAbs, Type: lang.TypeDouble})
+			return lang.TypeDouble, nil
+		case "sqrt", "sqrtf":
+			// Square root sits in the same latency/throughput class as
+			// division in the machine model.
+			e.emit(ctx, ir.Instr{Op: ir.OpDiv, Type: lang.TypeDouble})
+			return lang.TypeDouble, nil
+		default:
+			e.emit(ctx, ir.Instr{Op: ir.OpCall, Type: lang.TypeInt})
+			if ctx.loop != nil {
+				ctx.loop.HasCall = true
+			}
+			return lang.TypeInt, nil
+		}
+	}
+	return 0, e.errorf("unhandled expression %T", x)
+}
+
+// lowerIndexAccess resolves an (possibly 2-D) index expression into an
+// Access with affine stride information.
+func (e *env) lowerIndexAccess(ex *lang.IndexExpr, kind ir.AccessKind, ctx *loopCtx) error {
+	// Collect the index chain: A[e1][e2] parses as Index(Index(A,e1),e2).
+	var indices []lang.Expr
+	base := lang.Expr(ex)
+	for {
+		ie, ok := base.(*lang.IndexExpr)
+		if !ok {
+			break
+		}
+		indices = append([]lang.Expr{ie.Index}, indices...)
+		base = ie.Base
+	}
+	id, ok := base.(*lang.Ident)
+	if !ok {
+		return e.errorf("unsupported array base expression %T", base)
+	}
+	bt := e.types[id.Name]
+	acc := &ir.Access{
+		Kind:  kind,
+		Array: id.Name,
+		Elem:  bt.Scalar,
+		Dims:  append([]int64(nil), bt.Dims...),
+	}
+
+	// Row-major flattening: for A[R][C], addr = e1*C + e2.
+	coeffs := map[string]int64{}
+	offset := int64(0)
+	affine := true
+	alignedOffset := true
+	for d, idx := range indices {
+		mult := int64(1)
+		for j := d + 1; j < len(bt.Dims); j++ {
+			mult *= bt.Dims[j]
+		}
+		c, off, okA, exact := e.affine(idx)
+		if !okA {
+			affine = false
+			// The subscript expression still costs its ops (already lowered
+			// as part of evaluating the index if it reads memory).
+			if _, err := e.lowerExpr(idx, ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		if !exact {
+			alignedOffset = false
+		}
+		for k, v := range c {
+			coeffs[k] += v * mult
+		}
+		offset += off * mult
+	}
+	acc.Affine = affine
+	acc.Strides = coeffs
+	acc.Offset = offset
+	acc.Aligned = affine && alignedOffset && offset == 0
+	e.emitAccess(ctx, acc)
+	return nil
+}
+
+// affine analyses an index expression as a linear function of in-scope loop
+// variables. exact=false means the expression contained a runtime scalar
+// treated as an unknown constant offset (stride info is still valid; static
+// alignment is not).
+func (e *env) affine(x lang.Expr) (coeffs map[string]int64, off int64, ok, exact bool) {
+	switch ex := x.(type) {
+	case *lang.IntLit:
+		return map[string]int64{}, ex.Value, true, true
+	case *lang.Ident:
+		if label, isIV := e.loopVars[ex.Name]; isIV {
+			return map[string]int64{label: 1}, 0, true, true
+		}
+		if v, isC := e.consts[ex.Name]; isC {
+			return map[string]int64{}, v, true, true
+		}
+		// Runtime scalar: unknown but loop-invariant offset.
+		if t, known := e.types[ex.Name]; known && !t.IsArray() {
+			return map[string]int64{}, 0, true, false
+		}
+		return nil, 0, false, false
+	case *lang.UnaryExpr:
+		if ex.Op != lang.Minus {
+			return nil, 0, false, false
+		}
+		c, o, okx, exactx := e.affine(ex.X)
+		if !okx {
+			return nil, 0, false, false
+		}
+		for k := range c {
+			c[k] = -c[k]
+		}
+		return c, -o, true, exactx
+	case *lang.BinaryExpr:
+		switch ex.Op {
+		case lang.Plus, lang.Minus:
+			c1, o1, ok1, e1 := e.affine(ex.X)
+			c2, o2, ok2, e2 := e.affine(ex.Y)
+			if !ok1 || !ok2 {
+				return nil, 0, false, false
+			}
+			sign := int64(1)
+			if ex.Op == lang.Minus {
+				sign = -1
+			}
+			for k, v := range c2 {
+				c1[k] += sign * v
+			}
+			return c1, o1 + sign*o2, true, e1 && e2
+		case lang.Star:
+			// One side must be a compile-time constant.
+			if v, okc := e.evalConst(ex.X); okc {
+				c, o, okx, exactx := e.affine(ex.Y)
+				if !okx {
+					return nil, 0, false, false
+				}
+				for k := range c {
+					c[k] *= v
+				}
+				return c, o * v, true, exactx
+			}
+			if v, okc := e.evalConst(ex.Y); okc {
+				c, o, okx, exactx := e.affine(ex.X)
+				if !okx {
+					return nil, 0, false, false
+				}
+				for k := range c {
+					c[k] *= v
+				}
+				return c, o * v, true, exactx
+			}
+			return nil, 0, false, false
+		case lang.Slash, lang.Shr:
+			// i/2 or i>>1 is not linear in i; treat as non-affine.
+			if v, okc := e.evalConst(x); okc {
+				return map[string]int64{}, v, true, true
+			}
+			return nil, 0, false, false
+		}
+		if v, okc := e.evalConst(x); okc {
+			return map[string]int64{}, v, true, true
+		}
+		return nil, 0, false, false
+	case *lang.CastExpr:
+		return e.affine(ex.X)
+	}
+	if v, okc := e.evalConst(x); okc {
+		return map[string]int64{}, v, true, true
+	}
+	return nil, 0, false, false
+}
+
+// evalConst folds integer constant expressions using global/local constant
+// bindings.
+func (e *env) evalConst(x lang.Expr) (int64, bool) {
+	switch ex := x.(type) {
+	case *lang.IntLit:
+		return ex.Value, true
+	case *lang.Ident:
+		if _, isIV := e.loopVars[ex.Name]; isIV {
+			return 0, false
+		}
+		v, ok := e.consts[ex.Name]
+		return v, ok
+	case *lang.UnaryExpr:
+		v, ok := e.evalConst(ex.X)
+		if !ok {
+			return 0, false
+		}
+		switch ex.Op {
+		case lang.Minus:
+			return -v, true
+		case lang.Tilde:
+			return ^v, true
+		case lang.Bang:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *lang.CastExpr:
+		if ex.To.IsInteger() {
+			return e.evalConst(ex.X)
+		}
+		return 0, false
+	case *lang.BinaryExpr:
+		a, okA := e.evalConst(ex.X)
+		b, okB := e.evalConst(ex.Y)
+		if !okA || !okB {
+			return 0, false
+		}
+		switch ex.Op {
+		case lang.Plus:
+			return a + b, true
+		case lang.Minus:
+			return a - b, true
+		case lang.Star:
+			return a * b, true
+		case lang.Slash:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case lang.Percent:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case lang.Shl:
+			return a << uint(b&63), true
+		case lang.Shr:
+			return a >> uint(b&63), true
+		case lang.Amp:
+			return a & b, true
+		case lang.Pipe:
+			return a | b, true
+		case lang.Caret:
+			return a ^ b, true
+		}
+		return 0, false
+	}
+	return 0, false
+}
+
+func (e *env) typeOf(x lang.Expr) lang.ScalarType {
+	switch ex := x.(type) {
+	case *lang.IntLit:
+		return lang.TypeInt
+	case *lang.FloatLit:
+		return lang.TypeDouble
+	case *lang.Ident:
+		if t, ok := e.types[ex.Name]; ok {
+			return t.Scalar
+		}
+		return lang.TypeInt
+	case *lang.IndexExpr:
+		base := lang.Expr(ex)
+		for {
+			ie, ok := base.(*lang.IndexExpr)
+			if !ok {
+				break
+			}
+			base = ie.Base
+		}
+		if id, ok := base.(*lang.Ident); ok {
+			if t, okt := e.types[id.Name]; okt {
+				return t.Scalar
+			}
+		}
+		return lang.TypeInt
+	case *lang.BinaryExpr:
+		return promote(e.typeOf(ex.X), e.typeOf(ex.Y))
+	case *lang.UnaryExpr:
+		return e.typeOf(ex.X)
+	case *lang.CondExpr:
+		return promote(e.typeOf(ex.Then), e.typeOf(ex.Else))
+	case *lang.CastExpr:
+		return ex.To
+	}
+	return lang.TypeInt
+}
+
+// promote implements C-style usual arithmetic conversions, simplified:
+// float beats int, wider beats narrower, and small ints promote to int.
+func promote(a, b lang.ScalarType) lang.ScalarType {
+	if a.IsFloat() || b.IsFloat() {
+		if a == lang.TypeDouble || b == lang.TypeDouble {
+			return lang.TypeDouble
+		}
+		return lang.TypeFloat
+	}
+	w := a
+	if b.Size() > w.Size() {
+		w = b
+	}
+	if w.Size() < lang.TypeInt.Size() {
+		return lang.TypeInt
+	}
+	return w
+}
+
+func needsConvert(from, to lang.ScalarType) bool {
+	if from == to || from == lang.TypeVoid || to == lang.TypeVoid {
+		return false
+	}
+	// Same-width same-class conversions are free.
+	if from.IsFloat() == to.IsFloat() && from.Size() == to.Size() {
+		return false
+	}
+	return true
+}
+
+func binOp(k lang.Kind) ir.Op {
+	switch k {
+	case lang.Plus:
+		return ir.OpAdd
+	case lang.Minus:
+		return ir.OpSub
+	case lang.Star:
+		return ir.OpMul
+	case lang.Slash:
+		return ir.OpDiv
+	case lang.Percent:
+		return ir.OpRem
+	case lang.Shl:
+		return ir.OpShl
+	case lang.Shr:
+		return ir.OpShr
+	case lang.Amp, lang.AndAnd:
+		return ir.OpAnd
+	case lang.Pipe, lang.OrOr:
+		return ir.OpOr
+	case lang.Caret:
+		return ir.OpXor
+	case lang.Lt, lang.Gt, lang.Le, lang.Ge, lang.EqEq, lang.NotEq:
+		return ir.OpCmp
+	}
+	return ir.OpCopy
+}
+
+func isComparisonOp(k lang.Kind) bool {
+	switch k {
+	case lang.Lt, lang.Gt, lang.Le, lang.Ge, lang.EqEq, lang.NotEq:
+		return true
+	}
+	return false
+}
+
+func isComparison(x lang.Expr) bool {
+	be, ok := x.(*lang.BinaryExpr)
+	return ok && isComparisonOp(be.Op)
+}

@@ -1,0 +1,375 @@
+// Package nn is a small, dependency-free neural-network library sufficient
+// for the paper's models: fully-connected policy/value networks (the 64x64
+// FCNN and the wider variants of the hyperparameter sweep), the code2vec
+// attention encoder, categorical and Gaussian action heads, and the Adam
+// optimizer. Everything is float64 and single-threaded; forward passes cache
+// activations for the matching backward pass, so a network instance must not
+// be shared between concurrent callers.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Param is a learnable tensor with its gradient accumulator and Adam state.
+type Param struct {
+	Name string
+	W    []float64 // weights (row-major for matrices)
+	G    []float64 // gradient accumulator
+	m, v []float64 // Adam moments
+}
+
+// NewParam allocates a zero parameter of n elements.
+func NewParam(name string, n int) *Param {
+	return &Param{Name: name, W: make([]float64, n), G: make([]float64, n)}
+}
+
+// NewParamInit allocates a parameter initialised by fn(i).
+func NewParamInit(name string, n int, fn func(i int) float64) *Param {
+	p := NewParam(name, n)
+	for i := range p.W {
+		p.W[i] = fn(i)
+	}
+	return p
+}
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Len returns the number of elements.
+func (p *Param) Len() int { return len(p.W) }
+
+// Layer is one differentiable stage of a network. Forward caches whatever
+// Backward needs; Backward accumulates parameter gradients and returns the
+// gradient with respect to its input.
+type Layer interface {
+	Forward(x []float64) []float64
+	Backward(dy []float64) []float64
+	Params() []*Param
+}
+
+// ---- Dense ----
+
+// Dense is a fully-connected layer y = W x + b.
+type Dense struct {
+	In, Out int
+	W, B    *Param
+	x       []float64 // cached input
+}
+
+// NewDense creates a dense layer with Xavier/Glorot initialisation.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	scale := math.Sqrt(2.0 / float64(in+out))
+	return &Dense{
+		In: in, Out: out,
+		W: NewParamInit(name+".W", in*out, func(int) float64 { return rng.NormFloat64() * scale }),
+		B: NewParam(name+".b", out),
+	}
+}
+
+// Forward computes W x + b.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense %s: input %d, want %d", d.W.Name, len(x), d.In))
+	}
+	d.x = append(d.x[:0], x...)
+	y := make([]float64, d.Out)
+	for o := 0; o < d.Out; o++ {
+		row := d.W.W[o*d.In : (o+1)*d.In]
+		s := d.B.W[o]
+		for i, xv := range x {
+			s += row[i] * xv
+		}
+		y[o] = s
+	}
+	return y
+}
+
+// Backward accumulates dW, db and returns dx.
+func (d *Dense) Backward(dy []float64) []float64 {
+	dx := make([]float64, d.In)
+	for o := 0; o < d.Out; o++ {
+		g := dy[o]
+		if g == 0 {
+			continue
+		}
+		row := d.W.W[o*d.In : (o+1)*d.In]
+		grow := d.W.G[o*d.In : (o+1)*d.In]
+		d.B.G[o] += g
+		for i := range row {
+			grow[i] += g * d.x[i]
+			dx[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params returns the layer's parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
+
+// ---- Activations ----
+
+// Tanh is an elementwise tanh layer.
+type Tanh struct{ y []float64 }
+
+// Forward applies tanh elementwise.
+func (t *Tanh) Forward(x []float64) []float64 {
+	t.y = t.y[:0]
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Tanh(v)
+	}
+	t.y = append(t.y, out...)
+	return out
+}
+
+// Backward multiplies by 1 - tanh^2.
+func (t *Tanh) Backward(dy []float64) []float64 {
+	dx := make([]float64, len(dy))
+	for i, g := range dy {
+		dx[i] = g * (1 - t.y[i]*t.y[i])
+	}
+	return dx
+}
+
+// Params returns nil (no parameters).
+func (t *Tanh) Params() []*Param { return nil }
+
+// ReLU is an elementwise rectifier layer.
+type ReLU struct{ mask []bool }
+
+// Forward applies max(0, x).
+func (r *ReLU) Forward(x []float64) []float64 {
+	r.mask = make([]bool, len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward zeroes gradients where the input was negative.
+func (r *ReLU) Backward(dy []float64) []float64 {
+	dx := make([]float64, len(dy))
+	for i, g := range dy {
+		if r.mask[i] {
+			dx[i] = g
+		}
+	}
+	return dx
+}
+
+// Params returns nil (no parameters).
+func (r *ReLU) Params() []*Param { return nil }
+
+// ---- MLP ----
+
+// MLP is a sequential stack of layers.
+type MLP struct{ Layers []Layer }
+
+// NewMLP builds a tanh MLP with the given hidden sizes (the paper's default
+// is hidden = [64, 64]).
+func NewMLP(name string, in int, hidden []int, rng *rand.Rand) *MLP {
+	m := &MLP{}
+	prev := in
+	for i, h := range hidden {
+		m.Layers = append(m.Layers,
+			NewDense(fmt.Sprintf("%s.fc%d", name, i), prev, h, rng),
+			&Tanh{})
+		prev = h
+	}
+	return m
+}
+
+// OutDim returns the width of the final layer.
+func (m *MLP) OutDim() int {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		if d, ok := m.Layers[i].(*Dense); ok {
+			return d.Out
+		}
+	}
+	return 0
+}
+
+// Forward runs the stack.
+func (m *MLP) Forward(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the stack in reverse.
+func (m *MLP) Backward(dy []float64) []float64 {
+	for i := len(m.Layers) - 1; i >= 0; i-- {
+		dy = m.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns all parameters of the stack.
+func (m *MLP) Params() []*Param {
+	var ps []*Param
+	for _, l := range m.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ---- Optimizer ----
+
+// Adam is the Adam optimizer with the usual defaults.
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+	t     int
+}
+
+// NewAdam returns Adam with lr and standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one update to every parameter from its accumulated gradient,
+// then clears the gradients.
+func (a *Adam) Step(params []*Param) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		if p.m == nil {
+			p.m = make([]float64, len(p.W))
+			p.v = make([]float64, len(p.W))
+		}
+		for i, g := range p.G {
+			p.m[i] = a.Beta1*p.m[i] + (1-a.Beta1)*g
+			p.v[i] = a.Beta2*p.v[i] + (1-a.Beta2)*g*g
+			mh := p.m[i] / c1
+			vh := p.v[i] / c2
+			p.W[i] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+			p.G[i] = 0
+		}
+	}
+}
+
+// ClipGrads scales all gradients so their global L2 norm is at most maxNorm.
+// Returns the pre-clip norm.
+func ClipGrads(params []*Param, maxNorm float64) float64 {
+	var sq float64
+	for _, p := range params {
+		for _, g := range p.G {
+			sq += g * g
+		}
+	}
+	norm := math.Sqrt(sq)
+	if norm > maxNorm && norm > 0 {
+		s := maxNorm / norm
+		for _, p := range params {
+			for i := range p.G {
+				p.G[i] *= s
+			}
+		}
+	}
+	return norm
+}
+
+// ---- Distributions ----
+
+// Softmax returns the softmax of logits (numerically stable).
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// LogSoftmax returns log(softmax(logits)).
+func LogSoftmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for _, v := range logits {
+		sum += math.Exp(v - maxv)
+	}
+	lse := maxv + math.Log(sum)
+	for i, v := range logits {
+		out[i] = v - lse
+	}
+	return out
+}
+
+// SampleCategorical draws an index from the probability vector.
+func SampleCategorical(probs []float64, rng *rand.Rand) int {
+	r := rng.Float64()
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if r < acc {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// Argmax returns the index of the largest element.
+func Argmax(v []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}
+
+// CategoricalEntropy returns -sum p log p.
+func CategoricalEntropy(probs []float64) float64 {
+	h := 0.0
+	for _, p := range probs {
+		if p > 1e-12 {
+			h -= p * math.Log(p)
+		}
+	}
+	return h
+}
+
+// GaussianLogProb returns log N(a; mean, exp(logStd)^2).
+func GaussianLogProb(a, mean, logStd float64) float64 {
+	std := math.Exp(logStd)
+	z := (a - mean) / std
+	return -0.5*z*z - logStd - 0.5*math.Log(2*math.Pi)
+}
+
+// GaussianEntropy returns the differential entropy of N(., exp(logStd)^2).
+func GaussianEntropy(logStd float64) float64 {
+	return logStd + 0.5*math.Log(2*math.Pi*math.E)
+}

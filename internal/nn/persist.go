@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// snapshot is the on-wire format: parameter name -> weights.
+type snapshot struct {
+	Weights map[string][]float64
+}
+
+// SaveParams serialises the parameters' weights (not optimizer state) to w.
+// Parameter names must be unique within the set.
+func SaveParams(w io.Writer, params []*Param) error {
+	return EncodeParams(gob.NewEncoder(w), params)
+}
+
+// EncodeParams writes the weights through an existing gob encoder, so a
+// caller can put configuration and weights in one gob stream (mixing
+// multiple encoders over one unbuffered reader corrupts decoding).
+func EncodeParams(enc *gob.Encoder, params []*Param) error {
+	s := snapshot{Weights: make(map[string][]float64, len(params))}
+	for _, p := range params {
+		if _, dup := s.Weights[p.Name]; dup {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		s.Weights[p.Name] = p.W
+	}
+	return enc.Encode(s)
+}
+
+// LoadParams restores weights into params by name. Every parameter must be
+// present in the stream with a matching length; extra stream entries are an
+// error too, so a config mismatch is caught loudly rather than silently
+// producing a half-initialised model.
+func LoadParams(r io.Reader, params []*Param) error {
+	return DecodeParams(gob.NewDecoder(r), params)
+}
+
+// DecodeParams reads weights through an existing gob decoder; see
+// EncodeParams.
+func DecodeParams(dec *gob.Decoder, params []*Param) error {
+	var s snapshot
+	if err := dec.Decode(&s); err != nil {
+		return fmt.Errorf("nn: decode snapshot: %w", err)
+	}
+	seen := make(map[string]bool, len(params))
+	for _, p := range params {
+		w, ok := s.Weights[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: snapshot missing parameter %q", p.Name)
+		}
+		if len(w) != len(p.W) {
+			return fmt.Errorf("nn: parameter %q has %d weights, snapshot has %d", p.Name, len(p.W), len(w))
+		}
+		copy(p.W, w)
+		seen[p.Name] = true
+	}
+	for name := range s.Weights {
+		if !seen[name] {
+			return fmt.Errorf("nn: snapshot contains unknown parameter %q", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package polly
+
+import (
+	"testing"
+
+	"neurovec/internal/costmodel"
+	"neurovec/internal/ir"
+	"neurovec/internal/lang"
+	"neurovec/internal/lower"
+	"neurovec/internal/machine"
+	"neurovec/internal/sim"
+)
+
+func irFor(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	return lower.MustProgram(lang.MustParse(src))
+}
+
+const gemmSrc = `
+float A[512][512];
+float B[512][512];
+float C[512][512];
+void gemm(float alpha) {
+    for (int i = 0; i < 512; i++) {
+        for (int j = 0; j < 512; j++) {
+            float sum = 0;
+            for (int k = 0; k < 512; k++) {
+                sum += alpha * A[i][k] * B[k][j];
+            }
+            C[i][j] = sum;
+        }
+    }
+}
+`
+
+func TestTilingAppliesToGemm(t *testing.T) {
+	p := irFor(t, gemmSrc)
+	res := Optimize(p, DefaultOptions(machine.IntelAVX2()))
+	if len(res.Tiled) != 1 {
+		t.Fatalf("tiled = %v, want the gemm nest", res.Tiled)
+	}
+	root := res.Program.Funcs[0].Loops[0]
+	chain := nestChain(root)
+	if len(chain) != 6 {
+		t.Fatalf("tiled nest depth = %d, want 6 (3 block + 3 point)", len(chain))
+	}
+	// Point innermost keeps the original label so vectorization plans from
+	// other agents still key correctly.
+	inner := chain[len(chain)-1]
+	if inner.Label != "L2" {
+		t.Errorf("innermost label = %s, want L2", inner.Label)
+	}
+	if len(inner.Reductions) != 1 {
+		t.Errorf("reduction lost in tiling")
+	}
+	// Block strides present on the B access.
+	var bAcc *ir.Access
+	for _, a := range inner.Accesses {
+		if a.Array == "B" {
+			bAcc = a
+		}
+	}
+	if bAcc == nil {
+		t.Fatal("B access missing after tiling")
+	}
+	if bAcc.StrideFor("L2b") == 0 || bAcc.StrideFor("L1b") == 0 {
+		t.Errorf("B lacks block strides: %v", bAcc.Strides)
+	}
+}
+
+func TestTilingImprovesLargeGemm(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	p := irFor(t, gemmSrc)
+	plans := costmodel.Plans(p, cfg.Arch)
+
+	before := sim.Program(p, plans, cfg)
+	res := Optimize(p, DefaultOptions(cfg.Arch))
+	after := sim.Program(res.Program, costmodel.Plans(res.Program, cfg.Arch), cfg)
+
+	if after.Cycles >= before.Cycles {
+		t.Fatalf("tiled gemm (%.3g) not faster than untiled (%.3g)", after.Cycles, before.Cycles)
+	}
+	speedup := before.Cycles / after.Cycles
+	if speedup < 1.1 || speedup > 20 {
+		t.Errorf("tiling speedup = %.2fx, want a plausible locality win in [1.1, 20]", speedup)
+	}
+	t.Logf("gemm 512: untiled=%.3g tiled=%.3g speedup=%.2fx", before.Cycles, after.Cycles, speedup)
+}
+
+func TestTilingSkipsSmallNests(t *testing.T) {
+	p := irFor(t, `
+float G[32][32];
+void f(float x) {
+    for (int i = 0; i < 32; i++) {
+        for (int j = 0; j < 32; j++) {
+            G[i][j] = x;
+        }
+    }
+}
+`)
+	res := Optimize(p, DefaultOptions(machine.IntelAVX2()))
+	if len(res.Tiled) != 0 {
+		t.Errorf("tiny nest tiled: %v", res.Tiled)
+	}
+}
+
+func TestTilingSkipsNonAffine(t *testing.T) {
+	p := irFor(t, `
+int idx[512];
+int M[512][512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        for (int j = 0; j < 512; j++) {
+            M[i][idx[j]] = 0;
+        }
+    }
+}
+`)
+	res := Optimize(p, DefaultOptions(machine.IntelAVX2()))
+	if len(res.Tiled) != 0 {
+		t.Errorf("non-affine nest tiled: %v", res.Tiled)
+	}
+}
+
+func TestFusionMergesCompatibleLoops(t *testing.T) {
+	p := irFor(t, `
+int a[1024];
+int b[1024];
+int c[1024];
+void f() {
+    for (int i = 0; i < 1024; i++) {
+        a[i] = b[i] + 1;
+    }
+    for (int i = 0; i < 1024; i++) {
+        c[i] = b[i] * 2;
+    }
+}
+`)
+	res := Optimize(p, DefaultOptions(machine.IntelAVX2()))
+	if len(res.Fused) != 1 {
+		t.Fatalf("fused = %v, want one pair", res.Fused)
+	}
+	if got := len(res.Program.Funcs[0].Loops); got != 1 {
+		t.Fatalf("loops after fusion = %d, want 1", got)
+	}
+	merged := res.Program.Funcs[0].Loops[0]
+	if merged.LoadCount() != 2 || merged.StoreCount() != 2 {
+		t.Errorf("merged loads/stores = %d/%d, want 2/2", merged.LoadCount(), merged.StoreCount())
+	}
+}
+
+func TestFusionImprovesPerformance(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	src := `
+double a[8192];
+double b[8192];
+double c[8192];
+void f() {
+    for (int i = 0; i < 8192; i++) {
+        a[i] = b[i] + 1.0;
+    }
+    for (int i = 0; i < 8192; i++) {
+        c[i] = b[i] * 2.0;
+    }
+}
+`
+	p := irFor(t, src)
+	before := sim.Program(p, costmodel.Plans(p, cfg.Arch), cfg)
+	res := Optimize(p, DefaultOptions(cfg.Arch))
+	after := sim.Program(res.Program, costmodel.Plans(res.Program, cfg.Arch), cfg)
+	if after.Cycles >= before.Cycles {
+		t.Errorf("fusion did not help: %.3g -> %.3g", before.Cycles, after.Cycles)
+	}
+}
+
+func TestFusionRejectsConflictingAccesses(t *testing.T) {
+	// Second loop reads a shifted (so iteration k of the fused loop would
+	// read an element the first loop has not written yet).
+	p := irFor(t, `
+int a[1024];
+int b[1024];
+void f() {
+    for (int i = 0; i < 1000; i++) {
+        a[i] = b[i];
+    }
+    for (int i = 0; i < 1000; i++) {
+        b[i] = a[i + 8];
+    }
+}
+`)
+	res := Optimize(p, DefaultOptions(machine.IntelAVX2()))
+	if len(res.Fused) != 0 {
+		t.Errorf("illegal fusion performed: %v", res.Fused)
+	}
+}
+
+func TestFusionRejectsDifferentTripCounts(t *testing.T) {
+	p := irFor(t, `
+int a[1024];
+int b[1024];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        a[i] = i;
+    }
+    for (int i = 0; i < 1024; i++) {
+        b[i] = i;
+    }
+}
+`)
+	res := Optimize(p, DefaultOptions(machine.IntelAVX2()))
+	if len(res.Fused) != 0 {
+		t.Errorf("fused loops with different trips: %v", res.Fused)
+	}
+}
+
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	p := irFor(t, gemmSrc)
+	depthBefore := len(nestChain(p.Funcs[0].Loops[0]))
+	bStrides := len(p.InnermostLoops()[0].Accesses)
+	_ = Optimize(p, DefaultOptions(machine.IntelAVX2()))
+	if got := len(nestChain(p.Funcs[0].Loops[0])); got != depthBefore {
+		t.Errorf("input nest depth changed: %d -> %d", depthBefore, got)
+	}
+	if got := len(p.InnermostLoops()[0].Accesses); got != bStrides {
+		t.Errorf("input accesses changed")
+	}
+}
+
+func TestTransformsCanBeDisabled(t *testing.T) {
+	p := irFor(t, gemmSrc)
+	opts := DefaultOptions(machine.IntelAVX2())
+	opts.EnableTiling = false
+	opts.EnableFusion = false
+	res := Optimize(p, opts)
+	if len(res.Tiled)+len(res.Fused) != 0 {
+		t.Errorf("disabled transforms ran: %v %v", res.Tiled, res.Fused)
+	}
+}

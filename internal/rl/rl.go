@@ -1,0 +1,296 @@
+// Package rl implements the deep-RL side of NeuroVectorizer: a contextual
+// bandit trained with proximal policy optimization (PPO).
+//
+// The episode length is one, as in the paper: the agent observes a loop's
+// code embedding, picks a (VF, IF) action, receives the normalized execution
+// time improvement as reward, and the episode ends. PPO's clipped surrogate
+// objective with a value baseline and an entropy bonus is used for updates,
+// and the policy gradient flows through the trunk network *into the
+// embedding generator*, training the representation end to end.
+//
+// Three action-space definitions are supported, matching the paper's
+// Figure 6 ablation: a discrete space (two categorical heads indexing the
+// VF and IF arrays — the best performer), a single continuous action
+// encoding both factors, and two continuous actions.
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"neurovec/internal/nn"
+)
+
+// Embedder turns an opaque sample ID into a differentiable observation
+// vector. The code2vec model is the paper's embedder; a hand-crafted feature
+// extractor is provided elsewhere as an ablation.
+type Embedder interface {
+	// Embed returns the observation and an opaque state for Backward.
+	Embed(sample int) ([]float64, any)
+	// Backward pushes dLoss/dObservation into the embedder's parameters.
+	Backward(state any, dvec []float64)
+	// Params returns trainable parameters (may be empty).
+	Params() []*nn.Param
+	// Dim is the observation width.
+	Dim() int
+}
+
+// Env supplies samples and rewards. Reward is called with concrete factor
+// values (not indices) and must be deterministic for a given triple.
+type Env interface {
+	NumSamples() int
+	// Reward returns (t_baseline - t_action)/t_baseline, or the compile-
+	// timeout penalty, for injecting (vf, ifc) into the sample's loop.
+	Reward(sample, vf, ifc int) float64
+}
+
+// SpaceKind selects the action-space definition (Figure 6).
+type SpaceKind int
+
+// Action spaces.
+const (
+	// Discrete: the agent picks two integers indexing the VF and IF arrays.
+	Discrete SpaceKind = iota
+	// Continuous1 encodes both factors in one continuous number.
+	Continuous1
+	// Continuous2 encodes the factors in two continuous numbers.
+	Continuous2
+)
+
+// String names the space.
+func (s SpaceKind) String() string {
+	switch s {
+	case Discrete:
+		return "discrete"
+	case Continuous1:
+		return "continuous-1"
+	case Continuous2:
+		return "continuous-2"
+	}
+	return fmt.Sprintf("SpaceKind(%d)", int(s))
+}
+
+// Config carries the hyperparameters from the paper's evaluation: a 64x64
+// fully-connected trunk, batch size 4000 and learning rate 5e-5 are the
+// defaults the paper settles on.
+type Config struct {
+	VFs []int // e.g. {1,2,4,8,16,32,64}
+	IFs []int // e.g. {1,2,4,8,16}
+
+	Hidden      []int
+	LR          float64
+	Batch       int // env samples (compilations) per iteration
+	MiniBatch   int
+	Epochs      int // PPO epochs per iteration
+	Iterations  int
+	ClipEps     float64
+	EntropyCoef float64
+	ValueCoef   float64
+	MaxGradNorm float64
+	Space       SpaceKind
+	Seed        int64
+}
+
+// DefaultConfig returns the paper's defaults (scaled batch for in-process
+// experiments; the full 4000-sample batch is exercised by the sweep bench).
+func DefaultConfig(vfs, ifs []int) Config {
+	return Config{
+		VFs:         vfs,
+		IFs:         ifs,
+		Hidden:      []int{64, 64},
+		LR:          5e-5,
+		Batch:       500,
+		MiniBatch:   64,
+		Epochs:      4,
+		Iterations:  30,
+		ClipEps:     0.2,
+		EntropyCoef: 0.01,
+		ValueCoef:   0.5,
+		MaxGradNorm: 5,
+		Space:       Discrete,
+		Seed:        1,
+	}
+}
+
+// Stats records the learning curves the paper plots in Figures 5 and 6.
+type Stats struct {
+	// RewardMean[i] is the mean reward of iteration i's rollout batch.
+	RewardMean []float64
+	// Loss[i] is the mean total PPO loss over iteration i's updates.
+	Loss []float64
+	// Steps[i] is the cumulative number of environment steps (compilations)
+	// after iteration i.
+	Steps []int
+}
+
+// Agent is the PPO policy: embedder -> trunk -> {action heads, value head}.
+type Agent struct {
+	Cfg Config
+
+	emb    Embedder
+	trunk  *nn.MLP
+	headVF *nn.Dense // Discrete: |VFs| logits. Continuous: 1 mean.
+	headIF *nn.Dense // Discrete: |IFs| logits. Continuous2: 1 mean. (nil for Continuous1)
+	headV  *nn.Dense // value baseline
+	logStd *nn.Param // continuous spaces only
+
+	params []*nn.Param
+	rng    *rand.Rand
+}
+
+// NewAgent builds the policy for the given embedder and config.
+func NewAgent(emb Embedder, cfg Config) *Agent {
+	if len(cfg.VFs) == 0 || len(cfg.IFs) == 0 {
+		panic("rl: empty action space")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	a := &Agent{Cfg: cfg, emb: emb, rng: rng}
+	a.trunk = nn.NewMLP("trunk", emb.Dim(), cfg.Hidden, rng)
+	feat := a.trunk.OutDim()
+	switch cfg.Space {
+	case Discrete:
+		a.headVF = nn.NewDense("headVF", feat, len(cfg.VFs), rng)
+		a.headIF = nn.NewDense("headIF", feat, len(cfg.IFs), rng)
+	case Continuous1:
+		a.headVF = nn.NewDense("headJoint", feat, 1, rng)
+		// Start mid-range with wide exploration over the 35 joint indices.
+		a.headVF.B.W[0] = float64(len(cfg.VFs)*len(cfg.IFs)) / 2
+		a.logStd = nn.NewParamInit("logStd", 1, func(int) float64 { return math.Log(float64(len(cfg.VFs)*len(cfg.IFs)) / 4) })
+	case Continuous2:
+		a.headVF = nn.NewDense("headVFc", feat, 1, rng)
+		a.headIF = nn.NewDense("headIFc", feat, 1, rng)
+		a.headVF.B.W[0] = float64(len(cfg.VFs)) / 2
+		a.headIF.B.W[0] = float64(len(cfg.IFs)) / 2
+		a.logStd = nn.NewParamInit("logStd", 2, func(i int) float64 {
+			if i == 0 {
+				return math.Log(float64(len(cfg.VFs)) / 3)
+			}
+			return math.Log(float64(len(cfg.IFs)) / 3)
+		})
+	}
+	a.headV = nn.NewDense("value", feat, 1, rng)
+
+	a.params = append(a.params, emb.Params()...)
+	a.params = append(a.params, a.trunk.Params()...)
+	a.params = append(a.params, a.headVF.Params()...)
+	if a.headIF != nil {
+		a.params = append(a.params, a.headIF.Params()...)
+	}
+	a.params = append(a.params, a.headV.Params()...)
+	if a.logStd != nil {
+		a.params = append(a.params, a.logStd)
+	}
+	return a
+}
+
+// evalOut is one policy evaluation.
+type evalOut struct {
+	embState any
+	logpVF   []float64 // discrete: log-softmax per head
+	logpIF   []float64
+	meanVF   float64 // continuous heads
+	meanIF   float64
+	value    float64
+}
+
+// forward runs embedder+trunk+heads for a sample.
+func (a *Agent) forward(sample int) *evalOut {
+	vec, st := a.emb.Embed(sample)
+	feat := a.trunk.Forward(vec)
+	out := &evalOut{embState: st}
+	switch a.Cfg.Space {
+	case Discrete:
+		out.logpVF = nn.LogSoftmax(a.headVF.Forward(feat))
+		out.logpIF = nn.LogSoftmax(a.headIF.Forward(feat))
+	case Continuous1:
+		out.meanVF = a.headVF.Forward(feat)[0]
+	case Continuous2:
+		out.meanVF = a.headVF.Forward(feat)[0]
+		out.meanIF = a.headIF.Forward(feat)[0]
+	}
+	out.value = a.headV.Forward(feat)[0]
+	return out
+}
+
+// transition is one bandit step stored for PPO updates.
+type transition struct {
+	sample  int
+	vfIdx   int
+	ifIdx   int
+	raw     [2]float64 // continuous pre-rounding actions
+	oldLogp float64
+	adv     float64
+	reward  float64
+}
+
+// sampleAction draws an action from the current policy.
+func (a *Agent) sampleAction(out *evalOut) (vfIdx, ifIdx int, raw [2]float64, logp float64) {
+	switch a.Cfg.Space {
+	case Discrete:
+		pv := expv(out.logpVF)
+		pi := expv(out.logpIF)
+		vfIdx = nn.SampleCategorical(pv, a.rng)
+		ifIdx = nn.SampleCategorical(pi, a.rng)
+		logp = out.logpVF[vfIdx] + out.logpIF[ifIdx]
+	case Continuous1:
+		x := out.meanVF + a.rng.NormFloat64()*math.Exp(a.logStd.W[0])
+		raw[0] = x
+		logp = nn.GaussianLogProb(x, out.meanVF, a.logStd.W[0])
+		vfIdx, ifIdx = a.decodeJoint(x)
+	case Continuous2:
+		x := out.meanVF + a.rng.NormFloat64()*math.Exp(a.logStd.W[0])
+		y := out.meanIF + a.rng.NormFloat64()*math.Exp(a.logStd.W[1])
+		raw[0], raw[1] = x, y
+		logp = nn.GaussianLogProb(x, out.meanVF, a.logStd.W[0]) +
+			nn.GaussianLogProb(y, out.meanIF, a.logStd.W[1])
+		vfIdx = clampRound(x, len(a.Cfg.VFs))
+		ifIdx = clampRound(y, len(a.Cfg.IFs))
+	}
+	return vfIdx, ifIdx, raw, logp
+}
+
+// decodeJoint maps one continuous number to the (VF, IF) index pair; the
+// number is "rounded to the closest integer" joint index as in the paper.
+func (a *Agent) decodeJoint(x float64) (int, int) {
+	n := len(a.Cfg.VFs) * len(a.Cfg.IFs)
+	k := clampRound(x, n)
+	return k / len(a.Cfg.IFs), k % len(a.Cfg.IFs)
+}
+
+func clampRound(x float64, n int) int {
+	k := int(math.Round(x))
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}
+
+// logpOf recomputes the log-probability (and entropy) of a stored action
+// under the current policy output.
+func (a *Agent) logpOf(out *evalOut, tr *transition) (logp, entropy float64) {
+	switch a.Cfg.Space {
+	case Discrete:
+		logp = out.logpVF[tr.vfIdx] + out.logpIF[tr.ifIdx]
+		entropy = nn.CategoricalEntropy(expv(out.logpVF)) + nn.CategoricalEntropy(expv(out.logpIF))
+	case Continuous1:
+		logp = nn.GaussianLogProb(tr.raw[0], out.meanVF, a.logStd.W[0])
+		entropy = nn.GaussianEntropy(a.logStd.W[0])
+	case Continuous2:
+		logp = nn.GaussianLogProb(tr.raw[0], out.meanVF, a.logStd.W[0]) +
+			nn.GaussianLogProb(tr.raw[1], out.meanIF, a.logStd.W[1])
+		entropy = nn.GaussianEntropy(a.logStd.W[0]) + nn.GaussianEntropy(a.logStd.W[1])
+	}
+	return logp, entropy
+}
+
+func expv(logp []float64) []float64 {
+	out := make([]float64, len(logp))
+	for i, v := range logp {
+		out[i] = math.Exp(v)
+	}
+	return out
+}

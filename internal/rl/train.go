@@ -1,0 +1,230 @@
+package rl
+
+import (
+	"math"
+
+	"neurovec/internal/nn"
+)
+
+// Train runs PPO for cfg.Iterations iterations and returns the learning
+// curves. Each iteration collects cfg.Batch environment steps (one step =
+// one compilation + simulated run, as in the paper) and performs cfg.Epochs
+// passes of clipped-surrogate updates over them.
+func (a *Agent) Train(env Env) *Stats {
+	cfg := a.Cfg
+	opt := nn.NewAdam(cfg.LR)
+	stats := &Stats{}
+	steps := 0
+
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		// ---- Rollout ----
+		batch := make([]*transition, cfg.Batch)
+		rewardSum := 0.0
+		for b := 0; b < cfg.Batch; b++ {
+			s := a.rng.Intn(env.NumSamples())
+			out := a.forward(s)
+			vfIdx, ifIdx, raw, logp := a.sampleAction(out)
+			r := env.Reward(s, cfg.VFs[vfIdx], cfg.IFs[ifIdx])
+			rewardSum += r
+			batch[b] = &transition{
+				sample: s, vfIdx: vfIdx, ifIdx: ifIdx, raw: raw,
+				oldLogp: logp, reward: r, adv: r - out.value,
+			}
+		}
+		steps += cfg.Batch
+		normalizeAdvantages(batch)
+
+		// ---- PPO updates ----
+		lossSum, lossN := 0.0, 0
+		mb := cfg.MiniBatch
+		if mb <= 0 || mb > len(batch) {
+			mb = len(batch)
+		}
+		for ep := 0; ep < cfg.Epochs; ep++ {
+			a.shuffle(batch)
+			for start := 0; start < len(batch); start += mb {
+				end := start + mb
+				if end > len(batch) {
+					end = len(batch)
+				}
+				lossSum += a.update(batch[start:end], opt)
+				lossN++
+			}
+		}
+
+		stats.RewardMean = append(stats.RewardMean, rewardSum/float64(cfg.Batch))
+		if lossN > 0 {
+			stats.Loss = append(stats.Loss, lossSum/float64(lossN))
+		} else {
+			stats.Loss = append(stats.Loss, 0)
+		}
+		stats.Steps = append(stats.Steps, steps)
+	}
+	return stats
+}
+
+// update performs one gradient step over a minibatch and returns its mean
+// total loss.
+func (a *Agent) update(mb []*transition, opt *nn.Adam) float64 {
+	cfg := a.Cfg
+	inv := 1.0 / float64(len(mb))
+	totalLoss := 0.0
+
+	for _, tr := range mb {
+		out := a.forward(tr.sample)
+		logp, entropy := a.logpOf(out, tr)
+		ratio := math.Exp(logp - tr.oldLogp)
+		adv := tr.adv
+
+		// Clipped surrogate.
+		unclipped := ratio * adv
+		clipped := clamp(ratio, 1-cfg.ClipEps, 1+cfg.ClipEps) * adv
+		pgLoss := -math.Min(unclipped, clipped)
+		vDiff := out.value - tr.reward
+		vLoss := 0.5 * vDiff * vDiff
+		totalLoss += pgLoss + cfg.ValueCoef*vLoss - cfg.EntropyCoef*entropy
+
+		// dLoss/dlogp: active only when the unclipped branch is selected.
+		dLogp := 0.0
+		if unclipped <= clipped {
+			dLogp = -adv * ratio
+		}
+		a.backward(out, tr, dLogp*inv, cfg.ValueCoef*vDiff*inv, cfg.EntropyCoef*inv)
+	}
+	nn.ClipGrads(a.params, cfg.MaxGradNorm)
+	opt.Step(a.params)
+	return totalLoss * inv
+}
+
+// backward pushes gradients for one sample through heads, trunk and
+// embedder. dLogp multiplies dlogpi/dparams; dValue is dLoss/dv; entCoef
+// scales the entropy-bonus gradient.
+func (a *Agent) backward(out *evalOut, tr *transition, dLogp, dValue, entCoef float64) {
+	feat := 0
+	if d := a.trunk.OutDim(); d > 0 {
+		feat = d
+	}
+	dFeat := make([]float64, feat)
+
+	switch a.Cfg.Space {
+	case Discrete:
+		// d(logp)/dlogits = onehot - softmax; entropy gradient per head.
+		pv := expv(out.logpVF)
+		pi := expv(out.logpIF)
+		hv := nn.CategoricalEntropy(pv)
+		hi := nn.CategoricalEntropy(pi)
+		dLogitsVF := make([]float64, len(pv))
+		for j := range pv {
+			oneHot := 0.0
+			if j == tr.vfIdx {
+				oneHot = 1
+			}
+			dLogitsVF[j] = dLogp*(oneHot-pv[j]) + entCoef*pv[j]*(out.logpVF[j]+hv)
+		}
+		dLogitsIF := make([]float64, len(pi))
+		for j := range pi {
+			oneHot := 0.0
+			if j == tr.ifIdx {
+				oneHot = 1
+			}
+			dLogitsIF[j] = dLogp*(oneHot-pi[j]) + entCoef*pi[j]*(out.logpIF[j]+hi)
+		}
+		addInto(dFeat, a.headVF.Backward(dLogitsVF))
+		addInto(dFeat, a.headIF.Backward(dLogitsIF))
+	case Continuous1:
+		sigma := math.Exp(a.logStd.W[0])
+		z := (tr.raw[0] - out.meanVF) / sigma
+		// dlogp/dmean = z/sigma ; dlogp/dlogstd = z^2 - 1 ; dH/dlogstd = 1.
+		addInto(dFeat, a.headVF.Backward([]float64{dLogp * z / sigma}))
+		a.logStd.G[0] += dLogp*(z*z-1) - entCoef
+	case Continuous2:
+		s0 := math.Exp(a.logStd.W[0])
+		s1 := math.Exp(a.logStd.W[1])
+		z0 := (tr.raw[0] - out.meanVF) / s0
+		z1 := (tr.raw[1] - out.meanIF) / s1
+		addInto(dFeat, a.headVF.Backward([]float64{dLogp * z0 / s0}))
+		addInto(dFeat, a.headIF.Backward([]float64{dLogp * z1 / s1}))
+		a.logStd.G[0] += dLogp*(z0*z0-1) - entCoef
+		a.logStd.G[1] += dLogp*(z1*z1-1) - entCoef
+	}
+	addInto(dFeat, a.headV.Backward([]float64{dValue}))
+
+	dObs := a.trunk.Backward(dFeat)
+	a.emb.Backward(out.embState, dObs)
+}
+
+// Predict returns the greedy action (deterministic inference, the deployment
+// mode the paper describes: "a single step only, similar to the baseline
+// cost model").
+func (a *Agent) Predict(sample int) (vf, ifc int) {
+	out := a.forward(sample)
+	switch a.Cfg.Space {
+	case Discrete:
+		return a.Cfg.VFs[nn.Argmax(out.logpVF)], a.Cfg.IFs[nn.Argmax(out.logpIF)]
+	case Continuous1:
+		vi, ii := a.decodeJoint(out.meanVF)
+		return a.Cfg.VFs[vi], a.Cfg.IFs[ii]
+	default:
+		vi := clampRound(out.meanVF, len(a.Cfg.VFs))
+		ii := clampRound(out.meanIF, len(a.Cfg.IFs))
+		return a.Cfg.VFs[vi], a.Cfg.IFs[ii]
+	}
+}
+
+// Value returns the value baseline's estimate for a sample (diagnostics).
+func (a *Agent) Value(sample int) float64 { return a.forward(sample).value }
+
+// Params returns every trainable parameter of the policy, including the
+// embedder's — the set a model snapshot must persist.
+func (a *Agent) Params() []*nn.Param { return a.params }
+
+// Embedding exposes the (current) code vector for a sample so that the
+// supervised methods (NNS, decision trees) can reuse the representation the
+// RL training produced — the paper's Section 3.5 workflow.
+func (a *Agent) Embedding(sample int) []float64 {
+	vec, _ := a.emb.Embed(sample)
+	return vec
+}
+
+func normalizeAdvantages(batch []*transition) {
+	if len(batch) < 2 {
+		return
+	}
+	mean := 0.0
+	for _, tr := range batch {
+		mean += tr.adv
+	}
+	mean /= float64(len(batch))
+	varSum := 0.0
+	for _, tr := range batch {
+		d := tr.adv - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum/float64(len(batch))) + 1e-8
+	for _, tr := range batch {
+		tr.adv = (tr.adv - mean) / std
+	}
+}
+
+func (a *Agent) shuffle(batch []*transition) {
+	for i := len(batch) - 1; i > 0; i-- {
+		j := a.rng.Intn(i + 1)
+		batch[i], batch[j] = batch[j], batch[i]
+	}
+}
+
+func addInto(dst, src []float64) {
+	for i := range src {
+		dst[i] += src[i]
+	}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,88 @@
+// Package search implements the non-RL prediction methods the framework
+// supports (paper Section 3.5): exhaustive brute-force search, random
+// search, nearest-neighbor search (NNS), and decision trees.
+//
+// Brute force provides the oracle labels; NNS and the decision tree are
+// trained on those labels over the code embedding the RL agent learned —
+// they cannot be trained end to end, which is exactly how the paper uses
+// them.
+package search
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Evaluator scores one (VF, IF) choice; lower is better (e.g. simulated
+// cycles). Brute force minimises it.
+type Evaluator func(vf, ifc int) float64
+
+// BruteForce tries every factor combination and returns the best pair and
+// its score. Ties break toward smaller factors, matching how an exhaustive
+// scripted search would iterate.
+func BruteForce(vfs, ifs []int, eval Evaluator) (vf, ifc int, best float64) {
+	best = math.Inf(1)
+	vf, ifc = 1, 1
+	for _, v := range vfs {
+		for _, f := range ifs {
+			if s := eval(v, f); s < best {
+				best, vf, ifc = s, v, f
+			}
+		}
+	}
+	return vf, ifc, best
+}
+
+// Random picks a uniformly random action — the paper's random-search
+// comparator, which performs "much worse than the baseline" and shows that
+// the learned policy exploits real structure.
+func Random(vfs, ifs []int, rng *rand.Rand) (vf, ifc int) {
+	return vfs[rng.Intn(len(vfs))], ifs[rng.Intn(len(ifs))]
+}
+
+// ---- Nearest-neighbor search ----
+
+// NNS is a 1-nearest-neighbor predictor over embedding vectors with
+// brute-force (VF, IF) labels.
+type NNS struct {
+	xs [][]float64
+	ys [][2]int
+}
+
+// Add inserts a labelled training point.
+func (n *NNS) Add(x []float64, vf, ifc int) {
+	n.xs = append(n.xs, append([]float64(nil), x...))
+	n.ys = append(n.ys, [2]int{vf, ifc})
+}
+
+// Len returns the number of stored points.
+func (n *NNS) Len() int { return len(n.xs) }
+
+// Predict returns the label of the closest stored point (Euclidean), or
+// (1, 1) if the index is empty.
+func (n *NNS) Predict(x []float64) (vf, ifc int) {
+	if len(n.xs) == 0 {
+		return 1, 1
+	}
+	best, bi := math.Inf(1), 0
+	for i, p := range n.xs {
+		d := sqDist(p, x)
+		if d < best {
+			best, bi = d, i
+		}
+	}
+	return n.ys[bi][0], n.ys[bi][1]
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"neurovec/internal/ir"
+	"neurovec/internal/lang"
+	"neurovec/internal/machine"
+	"neurovec/internal/vectorizer"
+)
+
+// CompileTime models the compiler's own running time (in arbitrary cycle
+// units; only ratios matter) for building the program under the given plans.
+//
+// Vectorizing at width VF legalizes each logical vector instruction into
+// RegsPerVector physical ops, and interleaving clones the body IF times, so
+// code size — and the time of instruction selection, scheduling and register
+// allocation over it — grows with ops x RegsPerVector(VF) x IF, superlinearly
+// once the body gets large (the quadratic-ish behaviour of real backends on
+// huge blocks).
+//
+// The paper exploits the resulting dynamics: requests that blow up code size
+// exceed the 10x-baseline compile-time budget, receive the −9 penalty
+// reward, and teach the agent "not to over estimate the vectorization".
+func CompileTime(p *ir.Program, plans map[string]*vectorizer.Plan, arch *machine.Arch) float64 {
+	const (
+		programBase = 25000.0 // front end, scalar passes
+		perOp       = 40.0
+		perUnit     = 25.0 // per legalized vector op in a loop body
+	)
+	t := programBase
+	for _, f := range p.Funcs {
+		t += float64(f.ScalarOps) * perOp
+		for _, root := range f.Loops {
+			root.Walk(func(l *ir.Loop) {
+				body := float64(len(l.Body)+len(l.Accesses)) + 2
+				t += body * perOp
+				if !l.Innermost() {
+					return
+				}
+				plan := plans[l.Label]
+				if plan == nil || plan.Scalar() {
+					return
+				}
+				widest := widestType(l)
+				units := body * float64(arch.RegsPerVector(plan.VF, widest)*plan.IF)
+				// Superlinear blow-up term for very large vector bodies.
+				t += units * perUnit * (1 + units/500)
+			})
+		}
+	}
+	return t
+}
+
+func widestType(l *ir.Loop) lang.ScalarType {
+	t := lang.TypeChar
+	widest := 0
+	for _, in := range l.Body {
+		if b := in.Type.Size(); b > widest {
+			widest = b
+			t = in.Type
+		}
+	}
+	for _, a := range l.Accesses {
+		if b := a.Elem.Size(); b > widest {
+			widest = b
+			t = a.Elem
+		}
+	}
+	if widest == 0 {
+		return lang.TypeInt
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+// Package vectorizer turns a requested (VF, IF) pair — from a pragma, the
+// baseline cost model, or a learning agent — into a legal vectorization plan
+// for an innermost loop.
+//
+// The plan is what the simulator executes. Legality clamping implements the
+// paper's correctness contract: "the framework cannot introduce new errors in
+// the compiled code … if the agent accidentally injected bad pragmas, the
+// compiler will ignore it". A request beyond the dependence-limited maximum
+// VF, beyond the architecture bound, or beyond what the trip count supports
+// is reduced, never honoured unsafely.
+package vectorizer
+
+import (
+	"fmt"
+
+	"neurovec/internal/deps"
+	"neurovec/internal/ir"
+	"neurovec/internal/machine"
+)
+
+// Plan is the outcome of vectorization planning for one innermost loop.
+type Plan struct {
+	Loop *ir.Loop
+
+	// RequestedVF and RequestedIF are what the caller asked for.
+	RequestedVF int
+	RequestedIF int
+
+	// VF and IF are the effective, legal factors the simulator will model.
+	VF int
+	IF int
+
+	// MaxLegalVF is the dependence-limited bound (already clamped to the
+	// architecture and rounded to a power of two).
+	MaxLegalVF int
+
+	// Clamped reports whether the request was reduced for legality.
+	Clamped bool
+}
+
+// Scalar reports whether the plan leaves the loop entirely scalar.
+func (p *Plan) Scalar() bool { return p.VF == 1 && p.IF == 1 }
+
+// String renders the plan compactly.
+func (p *Plan) String() string {
+	s := fmt.Sprintf("%s: VF=%d IF=%d", p.Loop.Label, p.VF, p.IF)
+	if p.Clamped {
+		s += fmt.Sprintf(" (requested %d,%d; max legal VF %d)", p.RequestedVF, p.RequestedIF, p.MaxLegalVF)
+	}
+	return s
+}
+
+// New builds a legal plan for the loop from a requested factor pair.
+// Requests that are not powers of two are rounded down; requests below one
+// become one.
+func New(l *ir.Loop, arch *machine.Arch, vf, ifc int) *Plan {
+	p := &Plan{Loop: l, RequestedVF: vf, RequestedIF: ifc}
+	p.MaxLegalVF = deps.MaxLegalVF(l, arch.MaxVF)
+
+	vf = floorPow2(vf)
+	ifc = floorPow2(ifc)
+
+	eVF := vf
+	if eVF > p.MaxLegalVF {
+		eVF = p.MaxLegalVF
+	}
+	eIF := ifc
+	if eIF > arch.MaxIF {
+		eIF = arch.MaxIF
+	}
+
+	// Trip-count clamping: a vector body wider than the whole loop would
+	// execute zero vector iterations; the compiler would refuse such a
+	// width. Only applies when the trip count is a compile-time constant.
+	if l.TripKnown && l.Trip > 0 {
+		maxW := floorPow2(int(min64(l.Trip, int64(arch.MaxVF))))
+		if eVF > maxW {
+			eVF = maxW
+		}
+		maxGroups := int(l.Trip) / eVF
+		if maxGroups < 1 {
+			maxGroups = 1
+		}
+		maxIF := floorPow2(maxGroups)
+		if maxIF > arch.MaxIF {
+			maxIF = arch.MaxIF
+		}
+		if eIF > maxIF {
+			eIF = maxIF
+		}
+	}
+
+	p.VF, p.IF = eVF, eIF
+	p.Clamped = eVF != vf || eIF != ifc || vf != p.RequestedVF || ifc != p.RequestedIF
+	return p
+}
+
+// FromPragma builds a plan from the loop's source pragma; clauses absent
+// from the pragma default to 1 (as clang does for vectorize_width(1)).
+// Returns nil if the loop carries no pragma.
+func FromPragma(l *ir.Loop, arch *machine.Arch) *Plan {
+	if l.Pragma == nil {
+		return nil
+	}
+	vf, ifc := l.Pragma.VF, l.Pragma.IF
+	if vf == 0 {
+		vf = 1
+	}
+	if ifc == 0 {
+		ifc = 1
+	}
+	return New(l, arch, vf, ifc)
+}
+
+// ScalarPlan returns the do-nothing plan (VF=1, IF=1).
+func ScalarPlan(l *ir.Loop) *Plan {
+	return &Plan{Loop: l, RequestedVF: 1, RequestedIF: 1, VF: 1, IF: 1, MaxLegalVF: 1}
+}
+
+func floorPow2(v int) int {
+	if v < 1 {
+		return 1
+	}
+	p := 1
+	for p*2 <= v {
+		p *= 2
+	}
+	return p
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
