@@ -5,9 +5,18 @@
 //
 //	report   regenerate the paper's figures as text tables
 //	train    train a PPO agent on the synthetic corpus and print the curves
-//	annotate train briefly, then inject learned pragmas into a C file
+//	annotate train briefly (or load a snapshot), then inject learned pragmas
+//	         into a C file
+//	serve    run a long-lived HTTP/JSON inference service from a snapshot
 //	brute    exhaustively search (VF, IF) for every loop of a C file
 //	sweep    print the full VF x IF grid for the first loop of a C file
+//
+// Trained models persist with `train -save model.gob` and are consumed with
+// `annotate -load model.gob` or `serve -model model.gob`. The serve command
+// loads the checkpoint once and answers /v1/annotate, /v1/embed, /v1/sweep,
+// /healthz and /metrics (see package neurovec/internal/service for the JSON
+// API); SIGHUP or POST /v1/reload swaps in a retrained checkpoint without
+// downtime.
 //
 // Examples:
 //
@@ -15,6 +24,9 @@
 //	neurovec report -fig all -full
 //	neurovec sweep -file kernel.c
 //	neurovec annotate -file kernel.c -samples 1000 -iters 30
+//	neurovec train -samples 1000 -iters 30 -save model.gob
+//	neurovec annotate -file kernel.c -load model.gob
+//	neurovec serve -model model.gob -addr :8080
 package main
 
 import (
@@ -44,6 +56,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "annotate":
 		err = cmdAnnotate(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "brute":
 		err = cmdBrute(os.Args[2:])
 	case "sweep":
@@ -68,8 +82,11 @@ func usage() {
 
 commands:
   report    regenerate the paper's figures (-fig 1|2|5|6|7|8|9|all, -full)
-  train     train a PPO agent and print learning curves
-  annotate  inject learned vectorization pragmas into a C file
+  train     train a PPO agent and print learning curves (-save model.gob)
+  annotate  inject learned vectorization pragmas into a C file (-load model.gob)
+  serve     serve inference over HTTP/JSON from a snapshot (-model model.gob);
+            endpoints /v1/annotate /v1/embed /v1/sweep /v1/reload /healthz
+            /metrics; SIGHUP hot-reloads the model
   brute     brute-force the best (VF, IF) per loop of a C file
   sweep     print the VF x IF performance grid for a C file's first loop
   explain   show the simulator's cycle breakdown per loop (baseline vs best)
@@ -217,24 +234,28 @@ func cmdAnnotate(args []string) error {
 	n := fs.Int("samples", 800, "synthetic training samples")
 	iters := fs.Int("iters", 25, "PPO iterations")
 	seed := fs.Int64("seed", 1, "seed")
-	model := fs.String("model", "", "load a trained snapshot instead of training")
+	load := fs.String("load", "", "load a trained snapshot (train -save) instead of training")
+	model := fs.String("model", "", "alias for -load")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *file == "" {
 		return fmt.Errorf("annotate: -file is required")
 	}
+	if *load == "" {
+		*load = *model
+	}
 	src, err := os.ReadFile(*file)
 	if err != nil {
 		return err
 	}
 	var fw *core.Framework
-	if *model != "" {
+	if *load != "" {
 		fw = core.New(core.DefaultConfig())
-		if err := fw.LoadModelFile(*model); err != nil {
+		if err := fw.LoadModelFile(*load); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "loaded model from %s\n", *model)
+		fmt.Fprintf(os.Stderr, "loaded model from %s (version %s)\n", *load, fw.ModelVersion())
 	} else {
 		var rc *rl.Config
 		fw, rc, err = buildTrainer(*n, *iters, 200, 5e-4, *seed, "discrete")
@@ -332,21 +353,21 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	// The same stateless grid computation backs the service's /v1/sweep.
 	fw := core.New(core.DefaultConfig())
-	if err := fw.LoadSource(*file, string(src), nil); err != nil {
+	sw, err := fw.SweepSource(string(src), nil)
+	if err != nil {
 		return err
 	}
-	base := fw.BaselineCycles(0)
-	arch := fw.Cfg.Arch
 	fmt.Printf("%-8s", "")
-	for _, ifc := range arch.IFs() {
+	for _, ifc := range sw.IFs {
 		fmt.Printf("%10s", fmt.Sprintf("IF=%d", ifc))
 	}
 	fmt.Println()
-	for _, vf := range arch.VFs() {
+	for i, vf := range sw.VFs {
 		fmt.Printf("VF=%-5d", vf)
-		for _, ifc := range arch.IFs() {
-			fmt.Printf("%10.3f", base/fw.Cycles(0, vf, ifc))
+		for j := range sw.IFs {
+			fmt.Printf("%10.3f", sw.Speedup[i][j])
 		}
 		fmt.Println()
 	}

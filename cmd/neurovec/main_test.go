@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"neurovec/internal/service"
 )
 
 const testKernel = `
@@ -124,6 +128,60 @@ func TestCmdTrainAndAnnotateWithModel(t *testing.T) {
 	}
 	if !strings.Contains(out, "#pragma clang loop vectorize_width(") {
 		t.Fatalf("annotated output missing pragma:\n%s", out)
+	}
+}
+
+// TestCmdServeMatchesAnnotate checks the serving acceptance criterion: for
+// the same checkpoint and input, /v1/annotate returns byte-identical
+// annotated source to `neurovec annotate -load`, and a repeated request is
+// a cache hit.
+func TestCmdServeMatchesAnnotate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a small agent")
+	}
+	model := filepath.Join(t.TempDir(), "m.gob")
+	if _, err := captureStdout(t, func() error {
+		return cmdTrain([]string{"-samples", "40", "-iters", "2", "-batch", "40", "-save", model})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	path := writeKernel(t)
+	cliOut, err := captureStdout(t, func() error {
+		return cmdAnnotate([]string{"-file", path, "-load", model})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := service.New(service.Config{ModelPath: model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	post := func() (*httptest.ResponseRecorder, service.AnnotateResponse) {
+		body, _ := json.Marshal(service.AnnotateRequest{Source: testKernel})
+		req := httptest.NewRequest("POST", "/v1/annotate", strings.NewReader(string(body)))
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		var resp service.AnnotateResponse
+		if rec.Code == 200 {
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return rec, resp
+	}
+	rec, resp := post()
+	if rec.Code != 200 {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Annotated != cliOut {
+		t.Fatalf("served annotation differs from CLI:\n--- serve ---\n%s\n--- cli ---\n%s",
+			resp.Annotated, cliOut)
+	}
+	rec2, _ := post()
+	if rec2.Header().Get("X-Neurovec-Cache") != "hit" {
+		t.Fatal("repeated request was not a cache hit")
 	}
 }
 

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"neurovec/internal/service"
+)
+
+// cmdServe runs the long-lived inference service: one trained checkpoint
+// loaded once, served over HTTP/JSON until SIGINT/SIGTERM. SIGHUP (or
+// POST /v1/reload) hot-reloads the checkpoint from disk without downtime.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	model := fs.String("model", "", "trained model snapshot to serve (required; see train -save)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "work queue depth before shedding load (0 = 4x workers)")
+	cacheEntries := fs.Int("cache", 1024, "response cache entries (negative disables caching)")
+	batch := fs.Int("batch", 16, "max coalesced embedding requests per batch")
+	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "linger time to fill an embedding batch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *model == "" {
+		return fmt.Errorf("serve: -model is required")
+	}
+
+	srv, err := service.New(service.Config{
+		ModelPath:    *model,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cacheEntries,
+		MaxBatch:     *batch,
+		BatchWait:    *batchWait,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "serving model %s (version %s) on %s\n", *model, srv.ModelVersion(), *addr)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// SIGHUP hot-reloads the checkpoint; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			prev, cur, err := srv.Reload()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "serve: reload failed, keeping version %s: %v\n", srv.ModelVersion(), err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "serve: reloaded model %s -> %s\n", prev, cur)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

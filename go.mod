@@ -1,0 +1,3 @@
+module neurovec
+
+go 1.24

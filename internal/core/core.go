@@ -86,12 +86,22 @@ type Unit struct {
 }
 
 // Framework is the end-to-end system.
+//
+// Concurrency: the mutating APIs (LoadSet/LoadSource/LoadDir, Train,
+// SaveModel/LoadModel, and the reward/measurement paths over loaded units)
+// are setup- and training-time operations for a single goroutine. The
+// inference APIs documented as stateless — PredictSource, AnnotateSource,
+// SweepSource, EmbedSource — only read the configuration and trained
+// weights, so any number of goroutines may call them once setup is done.
 type Framework struct {
 	Cfg Config
 
 	units []*Unit
 	embed *code2vec.Model
 	agent *rl.Agent
+	// modelVersion fingerprints the last saved/loaded checkpoint; see
+	// ModelVersion.
+	modelVersion string
 }
 
 // New creates an empty framework.
@@ -323,7 +333,8 @@ func (f *Framework) Embedding(sample int) []float64 {
 }
 
 // EmbedSource embeds an arbitrary source program's first innermost loop
-// without loading it as a unit.
+// without loading it as a unit. It builds only per-request state and is safe
+// for concurrent callers (the embedder's forward pass is read-only).
 func (f *Framework) EmbedSource(source string) ([]float64, error) {
 	prog, err := lang.Parse(source)
 	if err != nil {
@@ -331,7 +342,7 @@ func (f *Framework) EmbedSource(source string) ([]float64, error) {
 	}
 	infos := extractor.Loops(prog)
 	if len(infos) == 0 {
-		return nil, fmt.Errorf("core: no loops in source")
+		return nil, fmt.Errorf("core: no loops in source: %w", ErrNoLoops)
 	}
 	vec, _ := f.embed.Forward(code2vec.ExtractContexts(infos[0].Outermost, f.Cfg.Embed))
 	return vec, nil
@@ -437,28 +448,14 @@ func (f *Framework) BruteForceLabel(sample int) (vf, ifc int) {
 // AnnotateSource runs inference on new source text: it extracts the loops,
 // embeds each, asks the agent for factors, and returns the source with the
 // pragmas injected (the paper's Figure 4 output) plus the decisions.
+//
+// It is a thin wrapper over PredictSource and shares its concurrency
+// contract: no framework state is mutated, so concurrent annotation requests
+// on a trained framework are safe.
 func (f *Framework) AnnotateSource(source string, params map[string]int64) (string, []extractor.Decision, error) {
-	if f.agent == nil {
-		return "", nil, fmt.Errorf("core: agent not trained")
-	}
-	prog, err := lang.Parse(source)
+	inf, err := f.PredictSource(source, params)
 	if err != nil {
 		return "", nil, err
 	}
-	infos := extractor.Loops(prog)
-	if len(infos) == 0 {
-		return "", nil, fmt.Errorf("core: no loops in source")
-	}
-	start := len(f.units)
-	if err := f.LoadSource("annotate", source, params); err != nil {
-		return "", nil, err
-	}
-	var decisions []extractor.Decision
-	for i, info := range infos {
-		vf, ifc := f.agent.Predict(start + i)
-		decisions = append(decisions, extractor.Decision{Label: info.Label, VF: vf, IF: ifc})
-	}
-	// Drop the temporary units so repeated annotation does not grow state.
-	f.units = f.units[:start]
-	return extractor.Annotate(prog, decisions), decisions, nil
+	return inf.Annotated, inf.Decisions, nil
 }

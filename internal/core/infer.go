@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+
+	"neurovec/internal/code2vec"
+	"neurovec/internal/costmodel"
+	"neurovec/internal/extractor"
+	"neurovec/internal/lang"
+	"neurovec/internal/lower"
+	"neurovec/internal/sim"
+	"neurovec/internal/vectorizer"
+)
+
+// This file is the framework's stateless inference path: everything here
+// builds per-request state (parse, lower, extract, simulate) and touches the
+// framework only through read-only views — the configuration and the trained
+// weights. That makes PredictSource, SweepSource, AnnotateSource and
+// EmbedSource safe for any number of concurrent callers, which is what the
+// serving layer (internal/service) relies on. The mutating APIs (LoadSource,
+// Train, LoadModel, ...) remain single-threaded setup operations.
+
+// LoopPrediction is the agent's decision for one loop plus its simulated
+// effect: program cycles with only this loop switched from the baseline
+// decision to the predicted one.
+type LoopPrediction struct {
+	Label string
+	Func  string
+	VF    int
+	IF    int
+	// Cycles is the simulated program cycle count with this loop at (VF, IF)
+	// and every other loop at the baseline cost model's decision.
+	Cycles float64
+	// Speedup is BaselineCycles / Cycles.
+	Speedup float64
+}
+
+// Inference is the full result of running the trained policy on one source
+// program.
+type Inference struct {
+	// Annotated is the source re-printed with the decisions' pragmas
+	// injected (the paper's Figure 4 artifact).
+	Annotated string
+	Decisions []extractor.Decision
+	Loops     []LoopPrediction
+	// BaselineCycles is the simulated program cycle count under the baseline
+	// cost model; PredictedCycles applies every predicted decision at once.
+	BaselineCycles  float64
+	PredictedCycles float64
+	// Speedup is BaselineCycles / PredictedCycles.
+	Speedup float64
+}
+
+// PredictSource runs inference on new source text without mutating the
+// framework: it parses and lowers the program, embeds each innermost loop,
+// asks the agent for factors via the stateless policy path, and simulates
+// the outcome. Safe for concurrent callers on a trained framework.
+func (f *Framework) PredictSource(source string, params map[string]int64) (*Inference, error) {
+	if f.agent == nil {
+		return nil, fmt.Errorf("core: agent not trained")
+	}
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	infos := extractor.Loops(prog)
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("core: no loops in source: %w", ErrNoLoops)
+	}
+	opts := f.Cfg.Lower
+	if params != nil {
+		opts.ParamValues = params
+	}
+	irp, err := lower.Program(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	basePlans := costmodel.Plans(irp, f.Cfg.Arch)
+	baseCycles := sim.Program(irp, basePlans, f.Cfg.Sim).Cycles
+
+	inf := &Inference{BaselineCycles: baseCycles}
+	combined := clonePlans(basePlans)
+	for _, info := range infos {
+		vec, _ := f.embed.Forward(code2vec.ExtractContexts(info.Outermost, f.Cfg.Embed))
+		vf, ifc := f.agent.PredictObs(vec)
+		loop := irp.FindLoop(info.Label)
+		if loop == nil {
+			return nil, fmt.Errorf("core: loop %s missing from IR", info.Label)
+		}
+		plan := vectorizer.New(loop, f.Cfg.Arch, vf, ifc)
+		single := clonePlans(basePlans)
+		single[info.Label] = plan
+		cycles := sim.Program(irp, single, f.Cfg.Sim).Cycles
+		inf.Decisions = append(inf.Decisions, extractor.Decision{Label: info.Label, VF: vf, IF: ifc})
+		inf.Loops = append(inf.Loops, LoopPrediction{
+			Label:   info.Label,
+			Func:    info.Func,
+			VF:      vf,
+			IF:      ifc,
+			Cycles:  cycles,
+			Speedup: safeRatio(baseCycles, cycles),
+		})
+		combined[info.Label] = plan
+	}
+	inf.PredictedCycles = sim.Program(irp, combined, f.Cfg.Sim).Cycles
+	inf.Speedup = safeRatio(baseCycles, inf.PredictedCycles)
+	inf.Annotated = extractor.Annotate(prog, inf.Decisions)
+	return inf, nil
+}
+
+// Sweep is the VF x IF performance grid for one loop of a program.
+type Sweep struct {
+	// Loop is the label of the swept (first innermost) loop.
+	Loop string
+	VFs  []int
+	IFs  []int
+	// BaselineCycles is the program cycle count under the baseline cost
+	// model everywhere.
+	BaselineCycles float64
+	// Speedup[i][j] is BaselineCycles over the cycles with (VFs[i], IFs[j])
+	// injected at Loop and the baseline decision everywhere else.
+	Speedup [][]float64
+}
+
+// SweepSource measures the full factor grid for the first innermost loop of
+// the source, without loading it as a unit. Like PredictSource it builds
+// only per-request state and is safe for concurrent callers; it does not
+// need a trained agent.
+func (f *Framework) SweepSource(source string, params map[string]int64) (*Sweep, error) {
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	infos := extractor.Loops(prog)
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("core: no loops in source: %w", ErrNoLoops)
+	}
+	opts := f.Cfg.Lower
+	if params != nil {
+		opts.ParamValues = params
+	}
+	irp, err := lower.Program(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	loop := irp.FindLoop(infos[0].Label)
+	if loop == nil {
+		return nil, fmt.Errorf("core: loop %s missing from IR", infos[0].Label)
+	}
+	basePlans := costmodel.Plans(irp, f.Cfg.Arch)
+	baseCycles := sim.Program(irp, basePlans, f.Cfg.Sim).Cycles
+
+	sw := &Sweep{
+		Loop:           infos[0].Label,
+		VFs:            f.Cfg.Arch.VFs(),
+		IFs:            f.Cfg.Arch.IFs(),
+		BaselineCycles: baseCycles,
+	}
+	for _, vf := range sw.VFs {
+		row := make([]float64, 0, len(sw.IFs))
+		for _, ifc := range sw.IFs {
+			plans := clonePlans(basePlans)
+			plans[loop.Label] = vectorizer.New(loop, f.Cfg.Arch, vf, ifc)
+			row = append(row, safeRatio(baseCycles, sim.Program(irp, plans, f.Cfg.Sim).Cycles))
+		}
+		sw.Speedup = append(sw.Speedup, row)
+	}
+	return sw, nil
+}
+
+func clonePlans(plans map[string]*vectorizer.Plan) map[string]*vectorizer.Plan {
+	out := make(map[string]*vectorizer.Plan, len(plans))
+	for k, v := range plans {
+		out[k] = v
+	}
+	return out
+}
+
+func safeRatio(num, den float64) float64 {
+	if den <= 0 {
+		return 1
+	}
+	return num / den
+}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"os"
 
 	"neurovec/internal/code2vec"
@@ -18,6 +21,12 @@ import (
 type modelHeader struct {
 	Embed code2vec.Config
 	RL    rl.Config
+	// Version is a fingerprint of the saved weights, stamped by SaveModel.
+	// It identifies a checkpoint (for cache keys, /healthz, reload logs)
+	// without the cost of re-hashing at load time. Snapshots written before
+	// versioning decode with an empty Version and are re-fingerprinted on
+	// load.
+	Version string
 }
 
 // SaveModel writes the trained embedder + agent (configs and weights) to w.
@@ -28,8 +37,9 @@ func (f *Framework) SaveModel(w io.Writer) error {
 	if f.agent == nil {
 		return fmt.Errorf("core: no trained agent to save")
 	}
+	f.modelVersion = fingerprintParams(f.agent.Params())
 	enc := gob.NewEncoder(w)
-	if err := enc.Encode(modelHeader{Embed: f.Cfg.Embed, RL: f.agent.Cfg}); err != nil {
+	if err := enc.Encode(modelHeader{Embed: f.Cfg.Embed, RL: f.agent.Cfg, Version: f.modelVersion}); err != nil {
 		return fmt.Errorf("core: encode header: %w", err)
 	}
 	// The agent's parameter set already includes the embedder's parameters
@@ -53,6 +63,10 @@ func (f *Framework) LoadModel(r io.Reader) error {
 	if err := nn.DecodeParams(dec, f.agent.Params()); err != nil {
 		return err
 	}
+	f.modelVersion = h.Version
+	if f.modelVersion == "" {
+		f.modelVersion = fingerprintParams(f.agent.Params())
+	}
 	// Context extraction depends on Embed config; re-extract for already
 	// loaded units so embeddings match the restored model.
 	for _, u := range f.units {
@@ -74,6 +88,27 @@ func reextract(u *Unit, cfg code2vec.Config) []code2vec.Context {
 		}
 	}
 	return u.Ctxs
+}
+
+// ModelVersion returns the fingerprint of the model most recently saved or
+// loaded, or "" if the framework has neither saved nor loaded a snapshot
+// (e.g. mid-training). The serving layer keys its response cache on this
+// value so a hot-reloaded checkpoint invalidates stale entries.
+func (f *Framework) ModelVersion() string { return f.modelVersion }
+
+// fingerprintParams hashes every parameter's name and weights into a short
+// stable hex fingerprint.
+func fingerprintParams(params []*nn.Param) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, p := range params {
+		io.WriteString(h, p.Name)
+		for _, w := range p.W {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // SaveModelFile and LoadModelFile are path conveniences.

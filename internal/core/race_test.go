@@ -1,0 +1,193 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"neurovec/internal/dataset"
+)
+
+// raceSources returns a few distinct programs for concurrent-inference tests.
+func raceSources(t *testing.T, n int) []string {
+	t.Helper()
+	set := dataset.Generate(dataset.GenConfig{N: n, Seed: 99})
+	out := make([]string, 0, n)
+	for _, s := range set.Samples {
+		out = append(out, s.Source)
+	}
+	return out
+}
+
+// TestConcurrentInference hammers every stateless inference entry point from
+// many goroutines at once (run under -race) and checks that concurrent
+// results are identical to the single-threaded ones.
+func TestConcurrentInference(t *testing.T) {
+	fw := smallFramework(t, 30)
+	fw.Train(fastRL(4))
+	srcs := raceSources(t, 4)
+
+	// Single-threaded golden results.
+	type golden struct {
+		annotated string
+		vec0      float64
+		sweep00   float64
+	}
+	want := make([]golden, len(srcs))
+	for i, src := range srcs {
+		annotated, _, err := fw.AnnotateSource(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vec, err := fw.EmbedSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := fw.SweepSource(src, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = golden{annotated: annotated, vec0: vec[0], sweep00: sw.Speedup[0][0]}
+	}
+
+	const workers = 8
+	const rounds = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w + r) % len(srcs)
+				annotated, _, err := fw.AnnotateSource(srcs[i], nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if annotated != want[i].annotated {
+					t.Errorf("worker %d: concurrent annotation differs for source %d", w, i)
+					return
+				}
+				vec, err := fw.EmbedSource(srcs[i])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if vec[0] != want[i].vec0 {
+					t.Errorf("worker %d: concurrent embedding differs for source %d", w, i)
+					return
+				}
+				inf, err := fw.PredictSource(srcs[i], nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if inf.Annotated != want[i].annotated {
+					t.Errorf("worker %d: PredictSource disagrees with AnnotateSource", w)
+					return
+				}
+				sw, err := fw.SweepSource(srcs[i], nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sw.Speedup[0][0] != want[i].sweep00 {
+					t.Errorf("worker %d: concurrent sweep differs for source %d", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPredictSourceMatchesUnitPath checks the stateless policy path against
+// the legacy unit-indexed one: loading the same program as units and calling
+// Predict must give the decisions PredictSource computes.
+func TestPredictSourceMatchesUnitPath(t *testing.T) {
+	fw := smallFramework(t, 30)
+	fw.Train(fastRL(4))
+	src := raceSources(t, 1)[0]
+
+	inf, err := fw.PredictSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := fw.NumSamples()
+	if err := fw.LoadSource("probe", src, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range inf.Decisions {
+		vf, ifc := fw.Predict(start + i)
+		if vf != d.VF || ifc != d.IF {
+			t.Fatalf("loop %s: stateless path (%d,%d), unit path (%d,%d)",
+				d.Label, d.VF, d.IF, vf, ifc)
+		}
+	}
+}
+
+// TestPredictSourceSpeedups sanity-checks the simulated speedup fields.
+func TestPredictSourceSpeedups(t *testing.T) {
+	fw := smallFramework(t, 30)
+	fw.Train(fastRL(4))
+	src := raceSources(t, 1)[0]
+	inf, err := fw.PredictSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.BaselineCycles <= 0 || inf.PredictedCycles <= 0 {
+		t.Fatalf("non-positive cycles: baseline %v predicted %v",
+			inf.BaselineCycles, inf.PredictedCycles)
+	}
+	if inf.Speedup <= 0 {
+		t.Fatalf("non-positive speedup %v", inf.Speedup)
+	}
+	if len(inf.Loops) != len(inf.Decisions) {
+		t.Fatalf("%d loop predictions, %d decisions", len(inf.Loops), len(inf.Decisions))
+	}
+	for _, lp := range inf.Loops {
+		if lp.Speedup <= 0 {
+			t.Fatalf("loop %s: non-positive speedup %v", lp.Label, lp.Speedup)
+		}
+	}
+}
+
+// TestModelVersionStamping checks that save/load stamp a stable fingerprint
+// and that different weights fingerprint differently.
+func TestModelVersionStamping(t *testing.T) {
+	fw := smallFramework(t, 20)
+	fw.Train(fastRL(2))
+	if v := fw.ModelVersion(); v != "" {
+		t.Fatalf("version %q before any save/load, want empty", v)
+	}
+	dir := t.TempDir()
+	path := dir + "/m.gob"
+	if err := fw.SaveModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	v1 := fw.ModelVersion()
+	if v1 == "" {
+		t.Fatal("empty version after save")
+	}
+	fw2 := New(DefaultConfig())
+	if err := fw2.LoadModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if v2 := fw2.ModelVersion(); v2 != v1 {
+		t.Fatalf("loaded version %q, saved %q", v2, v1)
+	}
+	// More training produces different weights, hence a different stamp.
+	if _, err := fw.ContinueTraining(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.SaveModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if fw.ModelVersion() == v1 {
+		t.Fatal("version unchanged after retraining")
+	}
+}

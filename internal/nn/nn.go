@@ -4,7 +4,12 @@
 // attention encoder, categorical and Gaussian action heads, and the Adam
 // optimizer. Everything is float64 and single-threaded; forward passes cache
 // activations for the matching backward pass, so a network instance must not
-// be shared between concurrent callers.
+// be shared between concurrent callers of Forward/Backward.
+//
+// For inference-only use, every layer also provides Apply: the same
+// computation as Forward but without caching. Apply only reads parameter
+// weights, so any number of goroutines may call it on a shared network as
+// long as no concurrent training step mutates the weights.
 package nn
 
 import (
@@ -47,9 +52,11 @@ func (p *Param) Len() int { return len(p.W) }
 
 // Layer is one differentiable stage of a network. Forward caches whatever
 // Backward needs; Backward accumulates parameter gradients and returns the
-// gradient with respect to its input.
+// gradient with respect to its input. Apply computes the same function as
+// Forward without touching the cache (safe for concurrent inference).
 type Layer interface {
 	Forward(x []float64) []float64
+	Apply(x []float64) []float64
 	Backward(dy []float64) []float64
 	Params() []*Param
 }
@@ -73,12 +80,21 @@ func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
 	}
 }
 
-// Forward computes W x + b.
+// Forward computes W x + b, caching the input for Backward.
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.In {
 		panic(fmt.Sprintf("nn: dense %s: input %d, want %d", d.W.Name, len(x), d.In))
 	}
 	d.x = append(d.x[:0], x...)
+	return d.Apply(x)
+}
+
+// Apply computes W x + b without caching; it only reads the weights, so it
+// is safe for concurrent callers.
+func (d *Dense) Apply(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: dense %s: input %d, want %d", d.W.Name, len(x), d.In))
+	}
 	y := make([]float64, d.Out)
 	for o := 0; o < d.Out; o++ {
 		row := d.W.W[o*d.In : (o+1)*d.In]
@@ -118,14 +134,19 @@ func (d *Dense) Params() []*Param { return []*Param{d.W, d.B} }
 // Tanh is an elementwise tanh layer.
 type Tanh struct{ y []float64 }
 
-// Forward applies tanh elementwise.
+// Forward applies tanh elementwise, caching the output for Backward.
 func (t *Tanh) Forward(x []float64) []float64 {
-	t.y = t.y[:0]
+	out := t.Apply(x)
+	t.y = append(t.y[:0], out...)
+	return out
+}
+
+// Apply applies tanh elementwise without caching (stateless).
+func (t *Tanh) Apply(x []float64) []float64 {
 	out := make([]float64, len(x))
 	for i, v := range x {
 		out[i] = math.Tanh(v)
 	}
-	t.y = append(t.y, out...)
 	return out
 }
 
@@ -144,7 +165,7 @@ func (t *Tanh) Params() []*Param { return nil }
 // ReLU is an elementwise rectifier layer.
 type ReLU struct{ mask []bool }
 
-// Forward applies max(0, x).
+// Forward applies max(0, x), caching the sign mask for Backward.
 func (r *ReLU) Forward(x []float64) []float64 {
 	r.mask = make([]bool, len(x))
 	out := make([]float64, len(x))
@@ -152,6 +173,17 @@ func (r *ReLU) Forward(x []float64) []float64 {
 		if v > 0 {
 			out[i] = v
 			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Apply applies max(0, x) without caching (stateless).
+func (r *ReLU) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
 		}
 	}
 	return out
@@ -204,6 +236,15 @@ func (m *MLP) OutDim() int {
 func (m *MLP) Forward(x []float64) []float64 {
 	for _, l := range m.Layers {
 		x = l.Forward(x)
+	}
+	return x
+}
+
+// Apply runs the stack statelessly (read-only on every layer), so a trained
+// MLP can serve concurrent inference callers.
+func (m *MLP) Apply(x []float64) []float64 {
+	for _, l := range m.Layers {
+		x = l.Apply(x)
 	}
 	return x
 }

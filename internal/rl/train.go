@@ -171,6 +171,27 @@ func (a *Agent) Predict(sample int) (vf, ifc int) {
 	}
 }
 
+// PredictObs returns the greedy action for an already-computed observation
+// vector. Unlike Predict it bypasses the embedder and uses the networks'
+// stateless Apply path, touching no per-agent mutable state, so any number
+// of goroutines may call it concurrently on a trained agent (provided no
+// concurrent Train step is mutating the weights).
+func (a *Agent) PredictObs(vec []float64) (vf, ifc int) {
+	feat := a.trunk.Apply(vec)
+	switch a.Cfg.Space {
+	case Discrete:
+		return a.Cfg.VFs[nn.Argmax(a.headVF.Apply(feat))],
+			a.Cfg.IFs[nn.Argmax(a.headIF.Apply(feat))]
+	case Continuous1:
+		vi, ii := a.decodeJoint(a.headVF.Apply(feat)[0])
+		return a.Cfg.VFs[vi], a.Cfg.IFs[ii]
+	default:
+		vi := clampRound(a.headVF.Apply(feat)[0], len(a.Cfg.VFs))
+		ii := clampRound(a.headIF.Apply(feat)[0], len(a.Cfg.IFs))
+		return a.Cfg.VFs[vi], a.Cfg.IFs[ii]
+	}
+}
+
 // Value returns the value baseline's estimate for a sample (diagnostics).
 func (a *Agent) Value(sample int) float64 { return a.forward(sample).value }
 

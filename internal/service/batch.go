@@ -1,0 +1,123 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// embedJob is one /v1/embed request waiting to be coalesced into a batch.
+// The handler pins the model snapshot at enqueue time so the computed vector
+// always matches the model_version and cache key the response reports, even
+// when a hot-reload lands while the job is queued. A job whose client has
+// gone away is marked canceled and skipped.
+type embedJob struct {
+	source   string
+	m        *model
+	vec      []float64
+	err      error
+	done     chan struct{}
+	canceled atomic.Bool
+}
+
+// batcher coalesces embedding requests: the collector goroutine takes the
+// first waiting job, then keeps gathering until the batch is full or the
+// linger window expires, and hands the whole batch to process in one call.
+// Under load this amortizes worker-pool scheduling across many requests and
+// keeps the embedding hot path on one core's caches; an idle service pays at
+// most the linger latency.
+type batcher struct {
+	jobs     chan *embedJob
+	maxBatch int
+	wait     time.Duration
+	process  func([]*embedJob)
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// newBatcher starts the collector. maxBatch <= 0 defaults to 16; wait <= 0
+// defaults to 2ms.
+func newBatcher(maxBatch int, wait time.Duration, process func([]*embedJob)) *batcher {
+	if maxBatch <= 0 {
+		maxBatch = 16
+	}
+	if wait <= 0 {
+		wait = 2 * time.Millisecond
+	}
+	b := &batcher{
+		jobs:     make(chan *embedJob, 4*maxBatch),
+		maxBatch: maxBatch,
+		wait:     wait,
+		process:  process,
+		stop:     make(chan struct{}),
+	}
+	b.wg.Add(1)
+	go b.collect()
+	return b
+}
+
+// enqueue submits a job, failing fast when the intake queue is full.
+func (b *batcher) enqueue(j *embedJob) error {
+	select {
+	case b.jobs <- j:
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+func (b *batcher) collect() {
+	defer b.wg.Done()
+	for {
+		var first *embedJob
+		select {
+		case first = <-b.jobs:
+		case <-b.stop:
+			b.drain(nil)
+			return
+		}
+		batch := []*embedJob{first}
+		timer := time.NewTimer(b.wait)
+		for len(batch) < b.maxBatch {
+			select {
+			case j := <-b.jobs:
+				batch = append(batch, j)
+				continue
+			case <-timer.C:
+			case <-b.stop:
+			}
+			break
+		}
+		timer.Stop()
+		// Dispatch asynchronously so the collector can gather the next batch
+		// while this one computes — batches from a sustained stream run in
+		// parallel across the worker pool instead of serializing on one core.
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.process(batch)
+		}()
+	}
+}
+
+// drain fails any jobs still queued at shutdown.
+func (b *batcher) drain(batch []*embedJob) {
+	for {
+		select {
+		case j := <-b.jobs:
+			batch = append(batch, j)
+		default:
+			if len(batch) > 0 {
+				b.process(batch)
+			}
+			return
+		}
+	}
+}
+
+// close stops the collector; queued jobs are still processed.
+func (b *batcher) close() {
+	b.stopOnce.Do(func() { close(b.stop) })
+	b.wg.Wait()
+}

@@ -1,0 +1,68 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU of rendered responses. Keys embed the model
+// version (see Server.cacheKey), so a hot-reload does not need an explicit
+// flush: entries for the old version stop being asked for and age out.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+// NewCache returns an LRU holding at most capacity entries. A capacity of 0
+// or less disables caching (every Get misses, Put is a no-op).
+func NewCache(capacity int) *Cache {
+	return &Cache{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used entry
+// when over capacity. The value is stored as-is; callers must not mutate it
+// afterwards.
+func (c *Cache) Put(key string, val []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("b", []byte("2"))
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("3")) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if v, ok := c.Get("a"); !ok || string(v) != "1" {
+		t.Fatal("a lost")
+	}
+	if v, ok := c.Get("c"); !ok || string(v) != "3" {
+		t.Fatal("c lost")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
+func TestCacheUpdateExisting(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("1"))
+	c.Put("a", []byte("2"))
+	if v, _ := c.Get("a"); string(v) != "2" {
+		t.Fatalf("got %q, want refreshed value", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d, want 1", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(-1)
+	c.Put("a", []byte("1"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache returned a value")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(32)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%40)
+				c.Put(k, []byte(k))
+				if v, ok := c.Get(k); ok && string(v) != k {
+					t.Errorf("key %s holds %q", k, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+}
+
+func TestBatcherCoalesces(t *testing.T) {
+	var mu sync.Mutex
+	var sizes []int
+	release := make(chan struct{})
+	first := make(chan struct{})
+	b := newBatcher(8, time.Millisecond, func(batch []*embedJob) {
+		mu.Lock()
+		sizes = append(sizes, len(batch))
+		firstBatch := len(sizes) == 1
+		mu.Unlock()
+		if firstBatch {
+			close(first)
+			<-release // hold the collector so later jobs pile up
+		}
+		for _, j := range batch {
+			close(j.done)
+		}
+	})
+	defer b.close()
+
+	j0 := &embedJob{done: make(chan struct{})}
+	if err := b.enqueue(j0); err != nil {
+		t.Fatal(err)
+	}
+	<-first
+	// While the collector is blocked, queue five more; they must come out as
+	// one coalesced batch.
+	jobs := make([]*embedJob, 5)
+	for i := range jobs {
+		jobs[i] = &embedJob{done: make(chan struct{})}
+		if err := b.enqueue(jobs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	for _, j := range jobs {
+		<-j.done
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 5 {
+		t.Fatalf("batch sizes %v, want [1 5]", sizes)
+	}
+}

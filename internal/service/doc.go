@@ -1,0 +1,90 @@
+// Package service is the long-lived serving layer of the NeuroVectorizer
+// reproduction: vectorization-as-a-service. Where the CLI re-parses and
+// re-loads a model on every invocation, a Server loads one trained
+// checkpoint (written by `neurovec train -save`) and serves inference over
+// HTTP/JSON with a bounded worker pool, request batching for embeddings, an
+// LRU response cache, and atomic model hot-reload.
+//
+// # Architecture
+//
+//   - Every compute request runs on a worker pool sized by GOMAXPROCS with a
+//     bounded queue; when the queue is full the server sheds load with 503
+//     instead of building an unbounded backlog.
+//   - Responses are cached in an LRU keyed by endpoint, model version,
+//     source hash and runtime parameters. A repeated request is a cache hit
+//     (observable via the X-Neurovec-Cache response header and /metrics);
+//     bodies are byte-identical on hit and miss.
+//   - /v1/embed requests are coalesced: a collector goroutine gathers up to
+//     MaxBatch waiting requests (lingering at most BatchWait) and executes
+//     them as one pool job, amortizing scheduling under load.
+//   - The serving model is an immutable snapshot behind an atomic pointer.
+//     Hot-reload (POST /v1/reload, or SIGHUP in the CLI) loads the
+//     checkpoint into a fresh framework and swaps the pointer; in-flight
+//     requests finish on the snapshot they started with, and version-keyed
+//     caching makes stale entries unreachable. Inference itself uses
+//     core.Framework's stateless paths (PredictSource, EmbedSource,
+//     SweepSource), which only read the trained weights.
+//
+// # HTTP API
+//
+// POST /v1/annotate — run the trained policy on a C program.
+//
+// Request:
+//
+//	{"source": "float a[4096]; float b[4096]; void f(int n) { for (int i = 0; i < n; i++) a[i] += b[i]; }",
+//	 "params": {"n": 4096}}        // optional runtime values for symbolic bounds
+//
+// Response 200:
+//
+//	{"model_version": "8c6a…",
+//	 "annotated": "…source with #pragma clang loop vectorize_width(…) interleave_count(…)…",
+//	 "loops": [{"label": "L0", "func": "f", "vf": 8, "if": 2,
+//	            "cycles": 1234.5, "speedup": 1.8}],
+//	 "baseline_cycles": 2222.1,    // program cycles under the baseline cost model
+//	 "predicted_cycles": 1234.5,   // program cycles with every decision applied
+//	 "speedup": 1.8}
+//
+// POST /v1/embed — return the learned code embedding of the first innermost
+// loop.
+//
+// Request:  {"source": "…"}
+// Response: {"model_version": "8c6a…", "dim": 340, "vector": [0.12, …]}
+//
+// POST /v1/sweep — measure the full VF x IF grid for the first innermost
+// loop (no agent involved; speedups are relative to the baseline cost
+// model).
+//
+// Request:  {"source": "…", "params": {…}}
+// Response: {"model_version": "8c6a…", "loop": "L0", "vfs": [1,2,…],
+//	"ifs": [1,2,…], "baseline_cycles": 2222.1, "speedup": [[1.0, …], …]}
+//
+// POST /v1/reload — re-read the checkpoint path and swap it in atomically.
+//
+// Response: {"previous_version": "8c6a…", "model_version": "b01f…"}
+//
+// GET /healthz — liveness plus the serving snapshot's identity.
+//
+// Response: {"status": "ok", "model_version": "8c6a…", "model_path": "m.gob",
+//	"model_loaded_at": "2026-07-27T12:00:00Z", "uptime_seconds": 42.0,
+//	"workers": 8, "cache_entries": 17}
+//
+// GET /metrics — Prometheus text format: neurovec_requests_total,
+// neurovec_request_duration_seconds histogram, neurovec_cache_hits_total /
+// neurovec_cache_misses_total / neurovec_cache_hit_ratio,
+// neurovec_model_reloads_total, neurovec_embed_batches_total,
+// neurovec_pool_rejected_total, neurovec_model_info{version="…"}.
+//
+// Errors are JSON ({"error": "…"}): 400 for malformed requests, 422 for
+// programs that do not parse or contain no loops, 503 when the work queue is
+// full, 500 otherwise.
+//
+// # Example
+//
+//	neurovec train -samples 1000 -iters 30 -save model.gob
+//	neurovec serve -model model.gob -addr :8080 &
+//	curl -s localhost:8080/v1/annotate \
+//	     -d '{"source":"float a[1024]; void f() { for (int i = 0; i < 1024; i++) a[i] = a[i] * 2; }"}'
+//	curl -s localhost:8080/metrics | grep cache
+//	neurovec train -samples 4000 -iters 60 -save model.gob   # retrain…
+//	curl -s -X POST localhost:8080/v1/reload                 # …swap without downtime
+package service

@@ -1,0 +1,230 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-latency
+// histogram, chosen for a service whose work ranges from cache hits (~µs)
+// to full sweep simulations (~tens of ms on small inputs, seconds on large
+// ones).
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// endpointStats aggregates one endpoint's request counters and latency
+// histogram.
+type endpointStats struct {
+	count    map[int]int64 // by HTTP status code
+	sum      float64       // total seconds
+	buckets  []int64       // cumulative counts per latencyBuckets entry
+	observed int64
+}
+
+// Metrics is the service's stdlib-only metrics registry. All methods are
+// safe for concurrent use.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+
+	cacheHits   int64
+	cacheMisses int64
+
+	reloads       int64
+	reloadErrors  int64
+	batches       int64
+	batchedJobs   int64
+	poolRejected  int64
+	modelVersion  string
+	modelLoadedAt time.Time
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*endpointStats)}
+}
+
+// ObserveRequest records one finished request.
+func (m *Metrics) ObserveRequest(endpoint string, status int, elapsed time.Duration) {
+	sec := elapsed.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.endpoints[endpoint]
+	if st == nil {
+		st = &endpointStats{count: make(map[int]int64), buckets: make([]int64, len(latencyBuckets))}
+		m.endpoints[endpoint] = st
+	}
+	st.count[status]++
+	st.sum += sec
+	st.observed++
+	for i, ub := range latencyBuckets {
+		if sec <= ub {
+			st.buckets[i]++
+		}
+	}
+}
+
+// CacheHit / CacheMiss record response-cache outcomes.
+func (m *Metrics) CacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+// CacheMiss records a response-cache miss.
+func (m *Metrics) CacheMiss() {
+	m.mu.Lock()
+	m.cacheMisses++
+	m.mu.Unlock()
+}
+
+// CacheStats returns the hit/miss counters.
+func (m *Metrics) CacheStats() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits, m.cacheMisses
+}
+
+// Reload records a model hot-reload attempt.
+func (m *Metrics) Reload(ok bool) {
+	m.mu.Lock()
+	if ok {
+		m.reloads++
+	} else {
+		m.reloadErrors++
+	}
+	m.mu.Unlock()
+}
+
+// Batch records one embedding batch of n coalesced requests.
+func (m *Metrics) Batch(n int) {
+	m.mu.Lock()
+	m.batches++
+	m.batchedJobs += int64(n)
+	m.mu.Unlock()
+}
+
+// PoolRejected records a request turned away because the work queue was full.
+func (m *Metrics) PoolRejected() {
+	m.mu.Lock()
+	m.poolRejected++
+	m.mu.Unlock()
+}
+
+// SetModel records the currently served model version for the info gauge.
+func (m *Metrics) SetModel(version string, loadedAt time.Time) {
+	m.mu.Lock()
+	m.modelVersion = version
+	m.modelLoadedAt = loadedAt
+	m.mu.Unlock()
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format.
+// The exposition is rendered to a buffer under the lock and written to w
+// unlocked, so a slow scraper cannot stall request accounting service-wide.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	if _, err := m.render(&buf); err != nil {
+		return 0, err
+	}
+	return buf.WriteTo(w)
+}
+
+// render writes the exposition while holding the registry lock.
+func (m *Metrics) render(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	p := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+
+	if err := p("# HELP neurovec_requests_total Requests served, by endpoint and status code.\n# TYPE neurovec_requests_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, ep := range sortedKeys(m.endpoints) {
+		st := m.endpoints[ep]
+		codes := make([]int, 0, len(st.count))
+		for c := range st.count {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			if err := p("neurovec_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, st.count[c]); err != nil {
+				return n, err
+			}
+		}
+	}
+
+	if err := p("# HELP neurovec_request_duration_seconds Request latency histogram by endpoint.\n# TYPE neurovec_request_duration_seconds histogram\n"); err != nil {
+		return n, err
+	}
+	for _, ep := range sortedKeys(m.endpoints) {
+		st := m.endpoints[ep]
+		for i, ub := range latencyBuckets {
+			if err := p("neurovec_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, st.buckets[i]); err != nil {
+				return n, err
+			}
+		}
+		if err := p("neurovec_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, st.observed); err != nil {
+			return n, err
+		}
+		if err := p("neurovec_request_duration_seconds_sum{endpoint=%q} %g\n", ep, st.sum); err != nil {
+			return n, err
+		}
+		if err := p("neurovec_request_duration_seconds_count{endpoint=%q} %d\n", ep, st.observed); err != nil {
+			return n, err
+		}
+	}
+
+	hitRate := 0.0
+	if total := m.cacheHits + m.cacheMisses; total > 0 {
+		hitRate = float64(m.cacheHits) / float64(total)
+	}
+	if err := p("# HELP neurovec_cache_hits_total Response cache hits.\n# TYPE neurovec_cache_hits_total counter\nneurovec_cache_hits_total %d\n", m.cacheHits); err != nil {
+		return n, err
+	}
+	if err := p("# HELP neurovec_cache_misses_total Response cache misses.\n# TYPE neurovec_cache_misses_total counter\nneurovec_cache_misses_total %d\n", m.cacheMisses); err != nil {
+		return n, err
+	}
+	if err := p("# HELP neurovec_cache_hit_ratio Response cache hit ratio since start.\n# TYPE neurovec_cache_hit_ratio gauge\nneurovec_cache_hit_ratio %g\n", hitRate); err != nil {
+		return n, err
+	}
+	if err := p("# HELP neurovec_model_reloads_total Successful model hot-reloads.\n# TYPE neurovec_model_reloads_total counter\nneurovec_model_reloads_total %d\n", m.reloads); err != nil {
+		return n, err
+	}
+	if err := p("# HELP neurovec_model_reload_errors_total Failed model hot-reloads.\n# TYPE neurovec_model_reload_errors_total counter\nneurovec_model_reload_errors_total %d\n", m.reloadErrors); err != nil {
+		return n, err
+	}
+	if err := p("# HELP neurovec_embed_batches_total Embedding batches executed.\n# TYPE neurovec_embed_batches_total counter\nneurovec_embed_batches_total %d\n", m.batches); err != nil {
+		return n, err
+	}
+	if err := p("# HELP neurovec_embed_batched_requests_total Embedding requests served through batches.\n# TYPE neurovec_embed_batched_requests_total counter\nneurovec_embed_batched_requests_total %d\n", m.batchedJobs); err != nil {
+		return n, err
+	}
+	if err := p("# HELP neurovec_pool_rejected_total Requests rejected because the work queue was full.\n# TYPE neurovec_pool_rejected_total counter\nneurovec_pool_rejected_total %d\n", m.poolRejected); err != nil {
+		return n, err
+	}
+	if m.modelVersion != "" {
+		if err := p("# HELP neurovec_model_info Currently served model (value is load time in unix seconds).\n# TYPE neurovec_model_info gauge\nneurovec_model_info{version=%q} %d\n", m.modelVersion, m.modelLoadedAt.Unix()); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func sortedKeys(m map[string]*endpointStats) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

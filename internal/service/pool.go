@@ -1,0 +1,90 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrOverloaded is returned by Pool.Do when the work queue is full; the HTTP
+// layer maps it to 503 so load sheds at the edge instead of queueing
+// unboundedly.
+var ErrOverloaded = errors.New("service: work queue full")
+
+// poolJob is one queued unit of work.
+type poolJob struct {
+	run      func()
+	done     chan struct{}
+	canceled atomic.Bool
+}
+
+// Pool is a bounded worker pool: a fixed number of goroutines (defaulting to
+// GOMAXPROCS — the inference math is CPU-bound, so more workers would only
+// add scheduling churn) drain a fixed-depth queue. Both bounds together give
+// the service backpressure: when every worker is busy and the queue is full,
+// Do fails fast with ErrOverloaded.
+type Pool struct {
+	jobs    chan *poolJob
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	workers int
+}
+
+// NewPool starts a pool. workers <= 0 means GOMAXPROCS; queue <= 0 means
+// 4x workers.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue <= 0 {
+		queue = 4 * workers
+	}
+	p := &Pool{jobs: make(chan *poolJob, queue), workers: workers}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				if !j.canceled.Load() {
+					j.run()
+				}
+				close(j.done)
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Do queues fn and waits for it to finish. It returns ErrOverloaded without
+// queueing when the queue is full, and the context error if ctx is done
+// first — in that case fn is marked canceled and skipped if it has not
+// started yet (if it is already running it completes, but the caller has
+// gone).
+func (p *Pool) Do(ctx context.Context, fn func()) error {
+	j := &poolJob{run: fn, done: make(chan struct{})}
+	select {
+	case p.jobs <- j:
+	default:
+		return ErrOverloaded
+	}
+	select {
+	case <-j.done:
+		return nil
+	case <-ctx.Done():
+		j.canceled.Store(true)
+		return ctx.Err()
+	}
+}
+
+// Close drains the queue and stops the workers. Pending jobs still run.
+func (p *Pool) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.jobs)
+		p.wg.Wait()
+	}
+}

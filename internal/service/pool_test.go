@@ -1,0 +1,89 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers, 64)
+	defer p.Close()
+
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	gate := make(chan struct{})
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func() {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				<-gate
+				cur.Add(-1)
+			})
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, pool size %d", got, workers)
+	}
+}
+
+func TestPoolOverload(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() { close(started); <-block })
+	<-started
+
+	// Fill the one queue slot synchronously: a pre-canceled context makes Do
+	// enqueue, then return immediately while the job keeps its slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Do(ctx, func() {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queue-filling Do: %v", err)
+	}
+
+	// Worker busy and queue full: the next submit must shed.
+	if err := p.Do(context.Background(), func() {}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	close(block)
+}
+
+func TestPoolContextCancelSkipsQueuedJob(t *testing.T) {
+	p := NewPool(1, 4)
+	defer p.Close()
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() { close(started); <-block })
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	done := make(chan error, 1)
+	go func() { done <- p.Do(ctx, func() { ran.Store(true) }) }()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(block)
+	p.Close() // waits for workers, so the skipped job would have run by now
+	if ran.Load() {
+		t.Fatal("canceled queued job still ran")
+	}
+}

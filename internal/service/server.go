@@ -1,0 +1,513 @@
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neurovec/internal/core"
+	"neurovec/internal/lang"
+)
+
+// Config tunes the server. The zero value of every optional field picks a
+// production default.
+type Config struct {
+	// ModelPath is the checkpoint (written by `neurovec train -save`) to
+	// serve; it is re-read on every hot-reload. Required.
+	ModelPath string
+	// Core overrides the base framework configuration (architecture,
+	// simulator). Nil means core.DefaultConfig(). The embedding
+	// configuration always comes from the checkpoint header.
+	Core *core.Config
+	// CacheEntries bounds the response LRU (default 1024; negative
+	// disables caching).
+	CacheEntries int
+	// Workers sizes the worker pool (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the pool's backlog (default 4x workers); a full
+	// queue sheds load with HTTP 503.
+	QueueDepth int
+	// MaxBatch is the embedding batch size (default 16).
+	MaxBatch int
+	// BatchWait is how long the batcher lingers to fill a batch
+	// (default 2ms).
+	BatchWait time.Duration
+	// MaxRequestBytes bounds request bodies (default 1MiB).
+	MaxRequestBytes int64
+}
+
+// model is one immutable serving snapshot; hot-reload swaps the whole
+// struct atomically, so in-flight requests keep the framework they started
+// with.
+type model struct {
+	fw       *core.Framework
+	version  string
+	loadedAt time.Time
+}
+
+// Server is the inference service. It implements http.Handler.
+type Server struct {
+	cfg     Config
+	model   atomic.Pointer[model]
+	pool    *Pool
+	cache   *Cache
+	metrics *Metrics
+	embeds  *batcher
+	mux     *http.ServeMux
+	start   time.Time
+
+	reloadMu sync.Mutex // serializes hot-reloads
+}
+
+// New loads the checkpoint at cfg.ModelPath and returns a ready server.
+func New(cfg Config) (*Server, error) {
+	if cfg.ModelPath == "" {
+		return nil, fmt.Errorf("service: ModelPath is required")
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 1024
+	}
+	if cfg.MaxRequestBytes <= 0 {
+		cfg.MaxRequestBytes = 1 << 20
+	}
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:   NewCache(cfg.CacheEntries),
+		metrics: NewMetrics(),
+		start:   time.Now(),
+	}
+	m, err := s.loadModel()
+	if err != nil {
+		s.pool.Close()
+		return nil, err
+	}
+	s.model.Store(m)
+	s.metrics.SetModel(m.version, m.loadedAt)
+	s.embeds = newBatcher(cfg.MaxBatch, cfg.BatchWait, s.processEmbedBatch)
+
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/annotate", s.instrument("/v1/annotate", s.handleAnnotate))
+	s.mux.HandleFunc("POST /v1/embed", s.instrument("/v1/embed", s.handleEmbed))
+	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("POST /v1/reload", s.instrument("/v1/reload", s.handleReload))
+	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops the batcher and worker pool. The server must not serve
+// requests afterwards.
+func (s *Server) Close() {
+	s.embeds.close()
+	s.pool.Close()
+}
+
+// ModelVersion returns the currently served checkpoint fingerprint.
+func (s *Server) ModelVersion() string { return s.model.Load().version }
+
+// Metrics exposes the registry (for embedding the server in other mains).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// loadModel builds a fresh framework from the configured checkpoint.
+func (s *Server) loadModel() (*model, error) {
+	base := core.DefaultConfig()
+	if s.cfg.Core != nil {
+		base = *s.cfg.Core
+	}
+	fw := core.New(base)
+	if err := fw.LoadModelFile(s.cfg.ModelPath); err != nil {
+		return nil, fmt.Errorf("service: load %s: %w", s.cfg.ModelPath, err)
+	}
+	return &model{fw: fw, version: fw.ModelVersion(), loadedAt: time.Now()}, nil
+}
+
+// Reload atomically swaps in a freshly loaded checkpoint. In-flight requests
+// finish on the snapshot they started with; the response cache needs no
+// flush because keys embed the version. Returns the previous and new
+// versions.
+func (s *Server) Reload() (previous, current string, err error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	m, err := s.loadModel()
+	if err != nil {
+		s.metrics.Reload(false)
+		return "", "", err
+	}
+	previous = s.model.Load().version
+	s.model.Store(m)
+	s.metrics.Reload(true)
+	s.metrics.SetModel(m.version, m.loadedAt)
+	return previous, m.version, nil
+}
+
+// ---- HTTP plumbing ----
+
+// httpError carries a status code chosen by a handler.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// statusRecorder captures the status code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with latency/status accounting and the request
+// body limit.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxRequestBytes)
+		h(rec, r)
+		s.metrics.ObserveRequest(endpoint, rec.status, time.Since(started))
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, ErrOverloaded):
+		status = http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrNoLoops):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The client went away mid-request; 499 (nginx's "client closed
+		// request") keeps routine disconnects out of the 5xx rate.
+		status = 499
+	}
+	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	writeJSON(w, status, body)
+}
+
+// decodeBody parses the JSON request body into dst.
+func decodeBody(r *http.Request, dst any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &httpError{status: http.StatusRequestEntityTooLarge, msg: err.Error()}
+		}
+		return &httpError{status: http.StatusBadRequest, msg: "bad request body: " + err.Error()}
+	}
+	return nil
+}
+
+// cacheKey derives the LRU key: endpoint, model version, source hash and the
+// (sorted) runtime parameters.
+func cacheKey(endpoint, version, source string, params map[string]int64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", endpoint, version)
+	h.Write([]byte(source))
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "\x00%s=%d", k, params[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// tryCacheHit serves a cached response if present, recording the hit or
+// miss. The X-Neurovec-Cache header reports which; bodies are byte-identical
+// either way.
+func (s *Server) tryCacheHit(w http.ResponseWriter, key string) bool {
+	body, ok := s.cache.Get(key)
+	if !ok {
+		s.metrics.CacheMiss()
+		return false
+	}
+	s.metrics.CacheHit()
+	w.Header().Set("X-Neurovec-Cache", "hit")
+	writeJSON(w, http.StatusOK, body)
+	return true
+}
+
+// respondFresh renders a freshly computed payload, caches it, and replies.
+func (s *Server) respondFresh(w http.ResponseWriter, key string, payload any) {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.cache.Put(key, body)
+	w.Header().Set("X-Neurovec-Cache", "miss")
+	writeJSON(w, http.StatusOK, body)
+}
+
+// serveCached implements the shared miss path: check the cache, otherwise
+// run compute on the worker pool, cache the rendered response, and reply.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func() (any, error)) {
+	if s.tryCacheHit(w, key) {
+		return
+	}
+	var payload any
+	var cerr error
+	err := s.pool.Do(r.Context(), func() { payload, cerr = compute() })
+	if errors.Is(err, ErrOverloaded) {
+		s.metrics.PoolRejected()
+	}
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		writeError(w, classify(err))
+		return
+	}
+	s.respondFresh(w, key, payload)
+}
+
+// classify maps parse failures onto 422 (unparseable programs are the
+// client's fault); every other error type is matched directly by writeError.
+func classify(err error) error {
+	var perr *lang.ParseError
+	if errors.As(err, &perr) {
+		return &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
+	return err
+}
+
+// ---- Endpoints ----
+
+// AnnotateRequest is the /v1/annotate and /v1/sweep request body.
+type AnnotateRequest struct {
+	// Source is the C program to annotate.
+	Source string `json:"source"`
+	// Params optionally supplies runtime values for symbolic loop bounds.
+	Params map[string]int64 `json:"params,omitempty"`
+}
+
+// LoopDecision is one loop's predicted factors in an AnnotateResponse.
+type LoopDecision struct {
+	Label   string  `json:"label"`
+	Func    string  `json:"func"`
+	VF      int     `json:"vf"`
+	IF      int     `json:"if"`
+	Cycles  float64 `json:"cycles"`
+	Speedup float64 `json:"speedup"`
+}
+
+// AnnotateResponse is the /v1/annotate response body.
+type AnnotateResponse struct {
+	ModelVersion    string         `json:"model_version"`
+	Annotated       string         `json:"annotated"`
+	Loops           []LoopDecision `json:"loops"`
+	BaselineCycles  float64        `json:"baseline_cycles"`
+	PredictedCycles float64        `json:"predicted_cycles"`
+	Speedup         float64        `json:"speedup"`
+}
+
+func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
+	var req AnnotateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	m := s.model.Load()
+	key := cacheKey("annotate", m.version, req.Source, req.Params)
+	s.serveCached(w, r, key, func() (any, error) {
+		inf, err := m.fw.PredictSource(req.Source, req.Params)
+		if err != nil {
+			return nil, err
+		}
+		resp := &AnnotateResponse{
+			ModelVersion:    m.version,
+			Annotated:       inf.Annotated,
+			BaselineCycles:  inf.BaselineCycles,
+			PredictedCycles: inf.PredictedCycles,
+			Speedup:         inf.Speedup,
+		}
+		for _, lp := range inf.Loops {
+			resp.Loops = append(resp.Loops, LoopDecision{
+				Label: lp.Label, Func: lp.Func, VF: lp.VF, IF: lp.IF,
+				Cycles: lp.Cycles, Speedup: lp.Speedup,
+			})
+		}
+		return resp, nil
+	})
+}
+
+// EmbedRequest is the /v1/embed request body.
+type EmbedRequest struct {
+	Source string `json:"source"`
+}
+
+// EmbedResponse is the /v1/embed response body.
+type EmbedResponse struct {
+	ModelVersion string    `json:"model_version"`
+	Dim          int       `json:"dim"`
+	Vector       []float64 `json:"vector"`
+}
+
+func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
+	var req EmbedRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	m := s.model.Load()
+	key := cacheKey("embed", m.version, req.Source, nil)
+	if s.tryCacheHit(w, key) {
+		return
+	}
+	job := &embedJob{source: req.Source, m: m, done: make(chan struct{})}
+	if err := s.embeds.enqueue(job); err != nil {
+		s.metrics.PoolRejected()
+		writeError(w, err)
+		return
+	}
+	select {
+	case <-job.done:
+	case <-r.Context().Done():
+		job.canceled.Store(true)
+		writeError(w, r.Context().Err())
+		return
+	}
+	if job.err != nil {
+		if errors.Is(job.err, ErrOverloaded) {
+			s.metrics.PoolRejected()
+		}
+		writeError(w, classify(job.err))
+		return
+	}
+	s.respondFresh(w, key, &EmbedResponse{ModelVersion: m.version, Dim: len(job.vec), Vector: job.vec})
+}
+
+// processEmbedBatch runs one coalesced embedding batch as a single pool job.
+// Each job embeds with the model snapshot its handler pinned, so results
+// stay consistent with the version they are cached and reported under even
+// across a mid-flight hot-reload.
+func (s *Server) processEmbedBatch(batch []*embedJob) {
+	s.metrics.Batch(len(batch))
+	err := s.pool.Do(context.Background(), func() {
+		for _, j := range batch {
+			if j.canceled.Load() {
+				continue // client gone; don't compute into the void
+			}
+			j.vec, j.err = j.m.fw.EmbedSource(j.source)
+		}
+	})
+	if err != nil {
+		for _, j := range batch {
+			if j.err == nil && j.vec == nil {
+				j.err = err
+			}
+		}
+	}
+	for _, j := range batch {
+		close(j.done)
+	}
+}
+
+// SweepResponse is the /v1/sweep response body.
+type SweepResponse struct {
+	ModelVersion   string      `json:"model_version"`
+	Loop           string      `json:"loop"`
+	VFs            []int       `json:"vfs"`
+	IFs            []int       `json:"ifs"`
+	BaselineCycles float64     `json:"baseline_cycles"`
+	Speedup        [][]float64 `json:"speedup"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req AnnotateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	m := s.model.Load()
+	key := cacheKey("sweep", m.version, req.Source, req.Params)
+	s.serveCached(w, r, key, func() (any, error) {
+		sw, err := m.fw.SweepSource(req.Source, req.Params)
+		if err != nil {
+			return nil, err
+		}
+		return &SweepResponse{
+			ModelVersion:   m.version,
+			Loop:           sw.Loop,
+			VFs:            sw.VFs,
+			IFs:            sw.IFs,
+			BaselineCycles: sw.BaselineCycles,
+			Speedup:        sw.Speedup,
+		}, nil
+	})
+}
+
+// ReloadResponse is the /v1/reload response body.
+type ReloadResponse struct {
+	PreviousVersion string `json:"previous_version"`
+	ModelVersion    string `json:"model_version"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	previous, current, err := s.Reload()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	body, _ := json.Marshal(&ReloadResponse{PreviousVersion: previous, ModelVersion: current})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// HealthResponse is the /healthz response body.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	ModelVersion  string  `json:"model_version"`
+	ModelPath     string  `json:"model_path"`
+	ModelLoadedAt string  `json:"model_loaded_at"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Workers       int     `json:"workers"`
+	CacheEntries  int     `json:"cache_entries"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := s.model.Load()
+	body, _ := json.Marshal(&HealthResponse{
+		Status:        "ok",
+		ModelVersion:  m.version,
+		ModelPath:     s.cfg.ModelPath,
+		ModelLoadedAt: m.loadedAt.UTC().Format(time.RFC3339),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Workers:       s.pool.Workers(),
+		CacheEntries:  s.cache.Len(),
+	})
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.WriteTo(w)
+}

@@ -1,0 +1,471 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"neurovec/internal/core"
+	"neurovec/internal/dataset"
+	"neurovec/internal/rl"
+)
+
+// The test fixture trains one small model (and a retrained variant for
+// hot-reload tests) once for the whole package.
+var fixture struct {
+	once   sync.Once
+	err    error
+	dir    string
+	model1 string // checkpoint A
+	model2 string // checkpoint B (retrained: different version)
+	srcs   []string
+}
+
+func testFixture(t *testing.T) {
+	t.Helper()
+	fixture.once.Do(func() {
+		dir, err := os.MkdirTemp("", "neurovec-service")
+		if err != nil {
+			fixture.err = err
+			return
+		}
+		fixture.dir = dir
+		cfg := core.DefaultConfig()
+		cfg.Embed.OutDim = 48
+		cfg.Embed.EmbedDim = 12
+		cfg.Embed.MaxContexts = 40
+		fw := core.New(cfg)
+		if err := fw.LoadSet(dataset.Generate(dataset.GenConfig{N: 30, Seed: 1})); err != nil {
+			fixture.err = err
+			return
+		}
+		rc := rl.DefaultConfig(nil, nil)
+		rc.Batch = 96
+		rc.MiniBatch = 32
+		rc.Iterations = 3
+		rc.LR = 1e-3
+		rc.Hidden = []int{32, 32}
+		fw.Train(&rc)
+		fixture.model1 = filepath.Join(dir, "model1.gob")
+		if err := fw.SaveModelFile(fixture.model1); err != nil {
+			fixture.err = err
+			return
+		}
+		if _, err := fw.ContinueTraining(1); err != nil {
+			fixture.err = err
+			return
+		}
+		fixture.model2 = filepath.Join(dir, "model2.gob")
+		if err := fw.SaveModelFile(fixture.model2); err != nil {
+			fixture.err = err
+			return
+		}
+		for _, s := range dataset.Generate(dataset.GenConfig{N: 4, Seed: 7}).Samples {
+			fixture.srcs = append(fixture.srcs, s.Source)
+		}
+	})
+	if fixture.err != nil {
+		t.Fatal(fixture.err)
+	}
+}
+
+// referenceFramework loads a checkpoint the way the CLI's `annotate -load`
+// does.
+func referenceFramework(t *testing.T, path string) *core.Framework {
+	t.Helper()
+	fw := core.New(core.DefaultConfig())
+	if err := fw.LoadModelFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+// servingPath returns a checkpoint file the test may overwrite to simulate
+// a retrain landing on disk.
+func servingPath(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "serving.gob")
+	copyFile(t, fixture.model1, path)
+	return path
+}
+
+func copyFile(t *testing.T, from, to string) {
+	t.Helper()
+	data, err := os.ReadFile(from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(to, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// do posts a JSON request and decodes the response.
+func do(t *testing.T, s *Server, method, path string, body any) (*httptest.ResponseRecorder, []byte) {
+	t.Helper()
+	var reader *strings.Reader
+	if body == nil {
+		reader = strings.NewReader("")
+	} else {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reader = strings.NewReader(string(data))
+	}
+	req := httptest.NewRequest(method, path, reader)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec, rec.Body.Bytes()
+}
+
+func TestAnnotateMatchesCLIPathAndCaches(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+	ref := referenceFramework(t, fixture.model1)
+	src := fixture.srcs[0]
+
+	wantAnnotated, wantDecisions, err := ref.AnnotateSource(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, body := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: src})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	if got := rec.Header().Get("X-Neurovec-Cache"); got != "miss" {
+		t.Fatalf("first request cache header %q, want miss", got)
+	}
+	var resp AnnotateResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Annotated != wantAnnotated {
+		t.Fatalf("served annotation differs from CLI path:\n--- served ---\n%s\n--- cli ---\n%s",
+			resp.Annotated, wantAnnotated)
+	}
+	if len(resp.Loops) != len(wantDecisions) {
+		t.Fatalf("%d served decisions, CLI path has %d", len(resp.Loops), len(wantDecisions))
+	}
+	for i, d := range wantDecisions {
+		if resp.Loops[i].Label != d.Label || resp.Loops[i].VF != d.VF || resp.Loops[i].IF != d.IF {
+			t.Fatalf("decision %d: served %+v, CLI %+v", i, resp.Loops[i], d)
+		}
+	}
+	if resp.ModelVersion != ref.ModelVersion() {
+		t.Fatalf("served version %q, checkpoint %q", resp.ModelVersion, ref.ModelVersion())
+	}
+	if resp.Speedup <= 0 || resp.BaselineCycles <= 0 {
+		t.Fatalf("bad speedup fields: %+v", resp)
+	}
+
+	// The repeat is a hit with a byte-identical body.
+	rec2, body2 := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: src})
+	if rec2.Code != http.StatusOK || rec2.Header().Get("X-Neurovec-Cache") != "hit" {
+		t.Fatalf("repeat: status %d cache %q", rec2.Code, rec2.Header().Get("X-Neurovec-Cache"))
+	}
+	if string(body2) != string(body) {
+		t.Fatal("cache hit body differs from miss body")
+	}
+
+	// And /metrics agrees.
+	_, mbody := do(t, s, "GET", "/metrics", nil)
+	if !strings.Contains(string(mbody), "neurovec_cache_hits_total 1") {
+		t.Fatalf("metrics missing cache hit:\n%s", mbody)
+	}
+	if !strings.Contains(string(mbody), `neurovec_requests_total{endpoint="/v1/annotate",code="200"} 2`) {
+		t.Fatalf("metrics missing request count:\n%s", mbody)
+	}
+}
+
+func TestEmbedEndpoint(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+	ref := referenceFramework(t, fixture.model1)
+	src := fixture.srcs[1]
+
+	want, err := ref.EmbedSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, body := do(t, s, "POST", "/v1/embed", EmbedRequest{Source: src})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp EmbedResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Dim != len(want) || len(resp.Vector) != len(want) {
+		t.Fatalf("dim %d, want %d", resp.Dim, len(want))
+	}
+	for i := range want {
+		if resp.Vector[i] != want[i] {
+			t.Fatalf("vector[%d] = %v, want %v", i, resp.Vector[i], want[i])
+		}
+	}
+	rec2, _ := do(t, s, "POST", "/v1/embed", EmbedRequest{Source: src})
+	if rec2.Header().Get("X-Neurovec-Cache") != "hit" {
+		t.Fatal("repeated embed not a cache hit")
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+	rec, body := do(t, s, "POST", "/v1/sweep", AnnotateRequest{Source: fixture.srcs[2]})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Speedup) != len(resp.VFs) {
+		t.Fatalf("%d rows, %d VFs", len(resp.Speedup), len(resp.VFs))
+	}
+	for _, row := range resp.Speedup {
+		if len(row) != len(resp.IFs) {
+			t.Fatalf("%d cols, %d IFs", len(row), len(resp.IFs))
+		}
+	}
+	if resp.Speedup[0][0] != 1 && resp.BaselineCycles <= 0 {
+		t.Fatalf("suspicious sweep: %+v", resp)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+	rec, body := do(t, s, "GET", "/healthz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp HealthResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.ModelVersion == "" || resp.Workers < 1 {
+		t.Fatalf("bad health: %+v", resp)
+	}
+}
+
+func TestReloadSwapsVersion(t *testing.T) {
+	testFixture(t)
+	path := servingPath(t)
+	s := newTestServer(t, Config{ModelPath: path})
+	v1 := s.ModelVersion()
+
+	// A retrained checkpoint lands on disk; reload must swap it in.
+	copyFile(t, fixture.model2, path)
+	rec, body := do(t, s, "POST", "/v1/reload", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp ReloadResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PreviousVersion != v1 || resp.ModelVersion == v1 || resp.ModelVersion == "" {
+		t.Fatalf("reload versions: %+v (had %s)", resp, v1)
+	}
+	if s.ModelVersion() != resp.ModelVersion {
+		t.Fatal("server not serving the reloaded version")
+	}
+
+	// Responses now come from the new model version.
+	rec2, body2 := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: fixture.srcs[0]})
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec2.Code, body2)
+	}
+	var aresp AnnotateResponse
+	if err := json.Unmarshal(body2, &aresp); err != nil {
+		t.Fatal(err)
+	}
+	if aresp.ModelVersion != resp.ModelVersion {
+		t.Fatalf("annotate served %q after reload to %q", aresp.ModelVersion, resp.ModelVersion)
+	}
+}
+
+func TestReloadBadCheckpointKeepsServing(t *testing.T) {
+	testFixture(t)
+	path := servingPath(t)
+	s := newTestServer(t, Config{ModelPath: path})
+	v1 := s.ModelVersion()
+
+	if err := os.WriteFile(path, []byte("corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := do(t, s, "POST", "/v1/reload", nil)
+	if rec.Code == http.StatusOK {
+		t.Fatal("reload of corrupt checkpoint succeeded")
+	}
+	if s.ModelVersion() != v1 {
+		t.Fatal("corrupt reload changed the serving model")
+	}
+	rec2, _ := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: fixture.srcs[0]})
+	if rec2.Code != http.StatusOK {
+		t.Fatal("server stopped serving after failed reload")
+	}
+}
+
+func TestRequestErrors(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+
+	req := httptest.NewRequest("POST", "/v1/annotate", strings.NewReader("{not json"))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", rec.Code)
+	}
+
+	rec2, _ := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: "int x;"})
+	if rec2.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("no-loop source: status %d, want 422", rec2.Code)
+	}
+
+	rec3, _ := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: "for (("})
+	if rec3.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("parse error: status %d, want 422", rec3.Code)
+	}
+
+	// Every endpoint must classify a loop-free program the same way.
+	rec4, _ := do(t, s, "POST", "/v1/embed", EmbedRequest{Source: "int x;"})
+	if rec4.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("embed no-loop source: status %d, want 422", rec4.Code)
+	}
+	rec5, _ := do(t, s, "POST", "/v1/sweep", AnnotateRequest{Source: "int x;"})
+	if rec5.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("sweep no-loop source: status %d, want 422", rec5.Code)
+	}
+}
+
+// TestConcurrentAnnotateWithReload is the -race acceptance test: parallel
+// /v1/annotate traffic mixing cache hits and misses while checkpoints are
+// hot-reloaded mid-flight. Every response must be a 200 whose annotation
+// matches the golden output for whichever model version served it.
+func TestConcurrentAnnotateWithReload(t *testing.T) {
+	testFixture(t)
+	path := servingPath(t)
+	// An explicit queue depth keeps the test deterministic on single-core
+	// machines, where the default (4x GOMAXPROCS) could shed this load.
+	s := newTestServer(t, Config{ModelPath: path, QueueDepth: 64})
+
+	// Golden annotations per model version.
+	golden := make(map[string]map[string]string) // version -> source -> annotated
+	for _, mp := range []string{fixture.model1, fixture.model2} {
+		ref := referenceFramework(t, mp)
+		m := make(map[string]string, len(fixture.srcs))
+		for _, src := range fixture.srcs {
+			annotated, _, err := ref.AnnotateSource(src, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m[src] = annotated
+		}
+		golden[ref.ModelVersion()] = m
+	}
+
+	const workers = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				src := fixture.srcs[(w+r)%len(fixture.srcs)]
+				rec, body := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: src})
+				if rec.Code != http.StatusOK {
+					t.Errorf("worker %d: status %d: %s", w, rec.Code, body)
+					return
+				}
+				var resp AnnotateResponse
+				if err := json.Unmarshal(body, &resp); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				m, ok := golden[resp.ModelVersion]
+				if !ok {
+					t.Errorf("worker %d: unknown model version %q", w, resp.ModelVersion)
+					return
+				}
+				if resp.Annotated != m[src] {
+					t.Errorf("worker %d: annotation does not match golden for version %s", w, resp.ModelVersion)
+					return
+				}
+			}
+		}(w)
+	}
+
+	// Hot-reload between the two checkpoints while traffic is in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 4; i++ {
+			from := fixture.model1
+			if i%2 == 0 {
+				from = fixture.model2
+			}
+			copyFile(t, from, path)
+			rec, body := do(t, s, "POST", "/v1/reload", nil)
+			if rec.Code != http.StatusOK {
+				t.Errorf("reload %d: status %d: %s", i, rec.Code, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// Sanity: traffic actually exercised both hit and miss paths.
+	hits, misses := s.metrics.CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("want mixed cache traffic, got hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestEmbedBatchCoalescing checks that concurrent embed requests are served
+// through shared batches.
+func TestEmbedBatchCoalescing(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1, QueueDepth: 64})
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct sources so every request misses the cache.
+			src := fixture.srcs[i%len(fixture.srcs)]
+			src = src + fmt.Sprintf("\n// variant %d\n", i)
+			rec, body := do(t, s, "POST", "/v1/embed", EmbedRequest{Source: src})
+			if rec.Code != http.StatusOK {
+				t.Errorf("embed %d: status %d: %s", i, rec.Code, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	_, mbody := do(t, s, "GET", "/metrics", nil)
+	text := string(mbody)
+	if !strings.Contains(text, fmt.Sprintf("neurovec_embed_batched_requests_total %d", n)) {
+		t.Fatalf("metrics missing %d batched embeds:\n%s", n, text)
+	}
+}
