@@ -5,31 +5,39 @@
 //
 //	report   regenerate the paper's figures as text tables
 //	train    train a PPO agent on the synthetic corpus and print the curves
-//	annotate train briefly (or load a snapshot), then inject learned pragmas
-//	         into a C file
+//	annotate run a decision policy over a C file and inject its pragmas
 //	serve    run a long-lived HTTP/JSON inference service from a snapshot
-//	brute    exhaustively search (VF, IF) for every loop of a C file
+//	brute    alias for the policy runner with -policy brute (per-loop table)
 //	sweep    print the full VF x IF grid for the first loop of a C file
+//
+// Every decision method of the paper's comparison is selectable with the
+// shared -policy flag (annotate, brute, and sweep all take it): rl (the
+// trained agent, the default), costmodel, brute, random, polly, and nns.
+// Model-free policies need no training or checkpoint; rl and nns train
+// in-process unless -load supplies a snapshot. -timeout bounds inference:
+// deadline-aware policies (brute) return their best answer so far.
 //
 // Trained models persist with `train -save model.gob` and are consumed with
 // `annotate -load model.gob` or `serve -model model.gob`. The serve command
 // loads the checkpoint once and answers /v1/annotate, /v1/embed, /v1/sweep,
-// /healthz and /metrics (see package neurovec/internal/service for the JSON
-// API); SIGHUP or POST /v1/reload swaps in a retrained checkpoint without
-// downtime.
+// /v1/policies, /healthz and /metrics (see package neurovec/internal/service
+// for the JSON API); SIGHUP or POST /v1/reload swaps in a retrained
+// checkpoint without downtime.
 //
 // Examples:
 //
 //	neurovec report -fig 7
 //	neurovec report -fig all -full
-//	neurovec sweep -file kernel.c
+//	neurovec sweep -file kernel.c -policy costmodel
 //	neurovec annotate -file kernel.c -samples 1000 -iters 30
+//	neurovec annotate -file kernel.c -policy brute -timeout 2s
 //	neurovec train -samples 1000 -iters 30 -save model.gob
 //	neurovec annotate -file kernel.c -load model.gob
-//	neurovec serve -model model.gob -addr :8080
+//	neurovec serve -model model.gob -addr :8080 -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +48,7 @@ import (
 	"neurovec/internal/dataset"
 	"neurovec/internal/deps"
 	"neurovec/internal/experiments"
+	"neurovec/internal/policy"
 	"neurovec/internal/rl"
 )
 
@@ -83,12 +92,16 @@ func usage() {
 commands:
   report    regenerate the paper's figures (-fig 1|2|5|6|7|8|9|all, -full)
   train     train a PPO agent and print learning curves (-save model.gob)
-  annotate  inject learned vectorization pragmas into a C file (-load model.gob)
-  serve     serve inference over HTTP/JSON from a snapshot (-model model.gob);
-            endpoints /v1/annotate /v1/embed /v1/sweep /v1/reload /healthz
-            /metrics; SIGHUP hot-reloads the model
-  brute     brute-force the best (VF, IF) per loop of a C file
+  annotate  inject a policy's vectorization pragmas into a C file
+            (-policy rl|costmodel|brute|random|polly|nns, -load model.gob,
+            -timeout 2s)
+  serve     serve inference over HTTP/JSON from a snapshot (-model model.gob,
+            -timeout 30s); endpoints /v1/annotate /v1/embed /v1/sweep
+            /v1/policies /v1/reload /healthz /metrics; SIGHUP hot-reloads
+  brute     alias for the policy runner with -policy brute: best (VF, IF)
+            per loop of a C file as a table
   sweep     print the VF x IF performance grid for a C file's first loop
+            (-policy marks the method's chosen cell)
   explain   show the simulator's cycle breakdown per loop (baseline vs best)
 `)
 }
@@ -228,11 +241,31 @@ func buildTrainer(n, iters, batch int, lr float64, seed int64, space string) (*c
 	return fw, &rc, nil
 }
 
-func cmdAnnotate(args []string) error {
-	fs := flag.NewFlagSet("annotate", flag.ExitOnError)
-	file := fs.String("file", "", "C source file to annotate (required)")
-	n := fs.Int("samples", 800, "synthetic training samples")
-	iters := fs.Int("iters", 25, "PPO iterations")
+// cmdAnnotate and cmdBrute are one policy runner: annotate defaults to the
+// trained agent and prints the annotated source, brute is the historical
+// alias defaulting to -policy brute and printing the per-loop table.
+func cmdAnnotate(args []string) error { return runPolicyCmd("annotate", args) }
+
+func cmdBrute(args []string) error { return runPolicyCmd("brute", args) }
+
+// policyNeedsModel reports whether the policy decides from trained state, so
+// the runner must load a checkpoint or train in-process first. Everything
+// else (costmodel, brute, random, polly) runs model-free.
+func policyNeedsModel(name string) bool { return name == "rl" || name == "nns" }
+
+func runPolicyCmd(cmd string, args []string) error {
+	defaultPolicy := core.DefaultPolicy
+	if cmd == "brute" {
+		defaultPolicy = "brute"
+	}
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	file := fs.String("file", "", "C source file (required)")
+	policyName := fs.String("policy", defaultPolicy,
+		"decision policy: "+strings.Join(policy.List(), ", "))
+	timeout := fs.Duration("timeout", 0,
+		"bound inference time; deadline-aware policies answer best-so-far")
+	n := fs.Int("samples", 800, "synthetic training samples (model-backed policies without -load)")
+	iters := fs.Int("iters", 25, "PPO iterations (model-backed policies without -load)")
 	seed := fs.Int64("seed", 1, "seed")
 	load := fs.String("load", "", "load a trained snapshot (train -save) instead of training")
 	model := fs.String("model", "", "alias for -load")
@@ -240,23 +273,30 @@ func cmdAnnotate(args []string) error {
 		return err
 	}
 	if *file == "" {
-		return fmt.Errorf("annotate: -file is required")
+		return fmt.Errorf("%s: -file is required", cmd)
 	}
 	if *load == "" {
 		*load = *model
+	}
+	if *load != "" && *policyName == "nns" {
+		// A checkpoint carries weights but no corpus, and the NNS index is
+		// built from labelled units; training in-process is the only path.
+		return fmt.Errorf("%s: -policy nns trains in-process and cannot use -load (checkpoints carry no corpus for the NNS index)", cmd)
 	}
 	src, err := os.ReadFile(*file)
 	if err != nil {
 		return err
 	}
+
 	var fw *core.Framework
-	if *load != "" {
-		fw = core.New(core.DefaultConfig())
+	switch {
+	case *load != "":
+		fw = core.New(core.DefaultConfig(), core.WithSeed(*seed))
 		if err := fw.LoadModelFile(*load); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "loaded model from %s (version %s)\n", *load, fw.ModelVersion())
-	} else {
+	case policyNeedsModel(*policyName):
 		var rc *rl.Config
 		fw, rc, err = buildTrainer(*n, *iters, 200, 5e-4, *seed, "discrete")
 		if err != nil {
@@ -264,43 +304,34 @@ func cmdAnnotate(args []string) error {
 		}
 		fmt.Fprintf(os.Stderr, "training agent on %d loop units...\n", fw.NumSamples())
 		fw.Train(rc)
+	default:
+		fw = core.New(core.DefaultConfig(), core.WithSeed(*seed))
 	}
-	out, decisions, err := fw.AnnotateSource(string(src), nil)
-	if err != nil {
-		return err
-	}
-	for _, d := range decisions {
-		fmt.Fprintf(os.Stderr, "loop %s: VF=%d IF=%d\n", d.Label, d.VF, d.IF)
-	}
-	fmt.Print(out)
-	return nil
-}
 
-func cmdBrute(args []string) error {
-	fs := flag.NewFlagSet("brute", flag.ExitOnError)
-	file := fs.String("file", "", "C source file (required)")
-	if err := fs.Parse(args); err != nil {
-		return err
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	if *file == "" {
-		return fmt.Errorf("brute: -file is required")
-	}
-	src, err := os.ReadFile(*file)
+	inf, err := fw.PredictSource(ctx, string(src), nil, core.WithPolicyName(*policyName))
 	if err != nil {
 		return err
 	}
-	fw := core.New(core.DefaultConfig())
-	if err := fw.LoadSource(*file, string(src), nil); err != nil {
-		return err
+	if inf.Truncated {
+		fmt.Fprintf(os.Stderr, "%s: deadline expired, decisions are best-so-far\n", cmd)
 	}
-	for i := 0; i < fw.NumSamples(); i++ {
-		u := fw.Units()[i]
-		vf, ifc := fw.BruteForceLabel(i)
-		base := fw.BaselineCycles(i)
-		best := fw.Cycles(i, vf, ifc)
-		fmt.Printf("%-28s best VF=%-3d IF=%-3d  speedup over baseline %.3fx\n",
-			u.Name, vf, ifc, base/best)
+	if cmd == "brute" {
+		for _, lp := range inf.Loops {
+			fmt.Printf("%-28s best VF=%-3d IF=%-3d  speedup over baseline %.3fx\n",
+				fmt.Sprintf("%s/%s", *file, lp.Label), lp.VF, lp.IF, lp.Speedup)
+		}
+		return nil
 	}
+	for _, d := range inf.Decisions {
+		fmt.Fprintf(os.Stderr, "loop %s (%s): VF=%d IF=%d\n", d.Label, inf.Policy, d.VF, d.IF)
+	}
+	fmt.Print(inf.Annotated)
 	return nil
 }
 
@@ -343,19 +374,46 @@ func cmdExplain(args []string) error {
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
 	file := fs.String("file", "", "C source file (required)")
+	policyName := fs.String("policy", "",
+		"also report this policy's chosen cell: "+strings.Join(policy.List(), ", "))
+	timeout := fs.Duration("timeout", 0, "bound the grid walk and policy decision")
+	load := fs.String("load", "", "trained snapshot (required for model-backed policies like rl)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *file == "" {
 		return fmt.Errorf("sweep: -file is required")
 	}
+	if *policyName == "nns" {
+		// nns needs a labelled in-process corpus a checkpoint cannot carry.
+		return fmt.Errorf("sweep: -policy nns needs an in-process corpus and is unavailable here; use annotate -policy nns")
+	}
+	if *load == "" && policyNeedsModel(*policyName) {
+		return fmt.Errorf("sweep: -policy %s needs trained state; pass -load model.gob", *policyName)
+	}
 	src, err := os.ReadFile(*file)
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	// The same stateless grid computation backs the service's /v1/sweep.
 	fw := core.New(core.DefaultConfig())
-	sw, err := fw.SweepSource(string(src), nil)
+	if *load != "" {
+		if err := fw.LoadModelFile(*load); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded model from %s (version %s)\n", *load, fw.ModelVersion())
+	}
+	var opts []core.InferOption
+	if *policyName != "" {
+		opts = append(opts, core.WithPolicyName(*policyName))
+	}
+	sw, err := fw.SweepSource(ctx, string(src), nil, opts...)
 	if err != nil {
 		return err
 	}
@@ -370,6 +428,13 @@ func cmdSweep(args []string) error {
 			fmt.Printf("%10.3f", sw.Speedup[i][j])
 		}
 		fmt.Println()
+	}
+	if sw.Policy != "" {
+		suffix := ""
+		if sw.Truncated {
+			suffix = " (truncated search)"
+		}
+		fmt.Printf("policy %s chooses VF=%d IF=%d%s\n", sw.Policy, sw.ChosenVF, sw.ChosenIF, suffix)
 	}
 	return nil
 }

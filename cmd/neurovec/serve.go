@@ -26,6 +26,8 @@ func cmdServe(args []string) error {
 	cacheEntries := fs.Int("cache", 1024, "response cache entries (negative disables caching)")
 	batch := fs.Int("batch", 16, "max coalesced embedding requests per batch")
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "linger time to fill an embedding batch")
+	timeout := fs.Duration("timeout", 0,
+		"per-request compute timeout (0 disables); requests may shorten it via timeout_ms")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -34,12 +36,13 @@ func cmdServe(args []string) error {
 	}
 
 	srv, err := service.New(service.Config{
-		ModelPath:    *model,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cacheEntries,
-		MaxBatch:     *batch,
-		BatchWait:    *batchWait,
+		ModelPath:      *model,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheEntries:   *cacheEntries,
+		MaxBatch:       *batch,
+		BatchWait:      *batchWait,
+		RequestTimeout: *timeout,
 	})
 	if err != nil {
 		return err

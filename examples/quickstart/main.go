@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,7 +46,7 @@ func main() {
 
 	// 4. Vectorize new code: the agent reads the loop, predicts (VF, IF),
 	//    and the framework injects the pragma (paper Figure 4).
-	annotated, decisions, err := fw.AnnotateSource(kernel, nil)
+	annotated, decisions, err := fw.AnnotateSource(context.Background(), kernel, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

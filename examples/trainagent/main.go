@@ -45,7 +45,10 @@ func main() {
 	}
 	var agentCycles, bruteCycles, baseCycles float64
 	for i := start; i < fw.NumSamples(); i++ {
-		vf, ifc := fw.Predict(i)
+		vf, ifc, err := fw.Predict(i)
+		if err != nil {
+			log.Fatal(err)
+		}
 		bvf, bifc := fw.BruteForceLabel(i)
 		agentCycles += fw.Cycles(i, vf, ifc)
 		bruteCycles += fw.Cycles(i, bvf, bifc)

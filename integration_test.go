@@ -2,6 +2,7 @@ package neurovec_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -63,7 +64,10 @@ func TestEndToEndWorkflow(t *testing.T) {
 	}
 	var agentC, bruteC, baseC, nnsC float64
 	for i := start; i < restored.NumSamples(); i++ {
-		vf, ifc := restored.Predict(i)
+		vf, ifc, err := restored.Predict(i)
+		if err != nil {
+			t.Fatal(err)
+		}
 		agentC += restored.Cycles(i, vf, ifc)
 		bvf, bifc := restored.BruteForceLabel(i)
 		bruteC += restored.Cycles(i, bvf, bifc)
@@ -80,7 +84,7 @@ func TestEndToEndWorkflow(t *testing.T) {
 	t.Logf("held-out cycles: baseline=%.0f agent=%.0f nns=%.0f brute=%.0f", baseC, agentC, nnsC, bruteC)
 
 	// Annotate new code with the restored model.
-	out, decisions, err := restored.AnnotateSource(`
+	out, decisions, err := restored.AnnotateSource(context.Background(), `
 float u[1024];
 float v[1024];
 float dotp() {

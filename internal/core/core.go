@@ -6,23 +6,32 @@
 // (vectorization planning) and "execution" (cycle-level simulation, standing
 // in for the paper's physical testbed). Typical use:
 //
-//	fw := core.New(core.DefaultConfig())
+//	fw := core.New(core.DefaultConfig(), core.WithSeed(1))
 //	fw.LoadSet(dataset.Generate(dataset.GenConfig{N: 5000, Seed: 1}))
 //	stats := fw.Train(nil)                   // PPO + end-to-end embedding
-//	annotated, _, _ := fw.AnnotateSource(src, nil) // inference on new code
+//	annotated, _, _ := fw.AnnotateSource(ctx, src, nil) // inference on new code
 //
-// The framework also exposes the reward function, the baseline/brute-force/
-// Polly comparators and the learned embedding, from which the supervised
-// methods (NNS, decision trees) of Section 3.5 are derived.
+// Inference is policy-parameterized: every decision method of the paper's
+// comparison (trained agent, baseline cost model, brute force, random,
+// Polly, NNS over the learned embedding) is served through the pluggable
+// interface of package neurovec/internal/policy, selected per call:
+//
+//	inf, err := fw.PredictSource(ctx, src, nil, core.WithPolicyName("brute"))
+//
+// The framework also exposes the reward function and the learned embedding,
+// from which the supervised methods (NNS, decision trees) of Section 3.5
+// are derived.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 
 	"neurovec/internal/code2vec"
 	"neurovec/internal/costmodel"
@@ -33,6 +42,7 @@ import (
 	"neurovec/internal/lower"
 	"neurovec/internal/machine"
 	"neurovec/internal/nn"
+	"neurovec/internal/policy"
 	"neurovec/internal/rl"
 	"neurovec/internal/sim"
 	"neurovec/internal/vectorizer"
@@ -102,12 +112,23 @@ type Framework struct {
 	// modelVersion fingerprints the last saved/loaded checkpoint; see
 	// ModelVersion.
 	modelVersion string
+
+	// policies caches per-name policy instances resolved through the
+	// registry. Guarded by policyMu because inference-time callers (the
+	// service) resolve policies concurrently; invalidated by the mutating
+	// APIs (Train, LoadModel, Load*) whose corpus or weights a policy may
+	// have captured.
+	policyMu sync.Mutex
+	policies map[string]policy.Policy
 }
 
-// New creates an empty framework.
-func New(cfg Config) *Framework {
+// New creates an empty framework from cfg with opts applied on top.
+func New(cfg Config, opts ...Option) *Framework {
 	if cfg.Arch == nil {
 		cfg = DefaultConfig()
+	}
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	if cfg.Sim.Arch == nil {
 		cfg.Sim.Arch = cfg.Arch
@@ -121,6 +142,67 @@ func (f *Framework) Units() []*Unit { return f.units }
 
 // Agent returns the trained agent (nil before Train).
 func (f *Framework) Agent() *rl.Agent { return f.agent }
+
+// Arch returns the target architecture (part of the policy.Host contract).
+func (f *Framework) Arch() *machine.Arch { return f.Cfg.Arch }
+
+// Seed returns the framework seed (part of the policy.Host contract).
+func (f *Framework) Seed() int64 { return f.Cfg.Seed }
+
+// Decider returns the trained agent's greedy decision function over
+// embedding vectors, or ErrNoAgent when no agent is trained/loaded (part of
+// the policy.Host contract). The returned closure reads f.agent per call so
+// it stays current across ContinueTraining and LoadModel.
+func (f *Framework) Decider() (func(vec []float64) (vf, ifc int), error) {
+	if f.agent == nil {
+		return nil, ErrNoAgent
+	}
+	return func(vec []float64) (int, int) { return f.agent.PredictObs(vec) }, nil
+}
+
+// DefaultPolicy is the policy PredictSource and AnnotateSource use when the
+// caller does not choose one: the paper's trained deep-RL agent.
+const DefaultPolicy = "rl"
+
+// Policy resolves a named decision policy from the registry, bound to this
+// framework, constructing and caching the instance on first use. Safe for
+// concurrent callers; the cache is invalidated when training or loading
+// changes the state a policy may have captured.
+func (f *Framework) Policy(name string) (policy.Policy, error) {
+	f.policyMu.Lock()
+	if p, ok := f.policies[name]; ok {
+		f.policyMu.Unlock()
+		return p, nil
+	}
+	f.policyMu.Unlock()
+	// Construct outside the lock: a factory may be expensive (the NNS index
+	// brute-force-labels the corpus), and holding policyMu through it would
+	// stall every concurrent request resolving any policy. Racing callers
+	// may build duplicates; the first one cached wins.
+	p, err := policy.New(name, f)
+	if err != nil {
+		return nil, err
+	}
+	f.policyMu.Lock()
+	defer f.policyMu.Unlock()
+	if existing, ok := f.policies[name]; ok {
+		return existing, nil
+	}
+	if f.policies == nil {
+		f.policies = make(map[string]policy.Policy)
+	}
+	f.policies[name] = p
+	return p, nil
+}
+
+// invalidatePolicies drops cached policy instances; called by every mutation
+// that changes the corpus or the trained weights an instance may hold (the
+// NNS index, for example, is built from both).
+func (f *Framework) invalidatePolicies() {
+	f.policyMu.Lock()
+	f.policies = nil
+	f.policyMu.Unlock()
+}
 
 // LoadSet parses, lowers and extracts every sample of a dataset. Programs
 // with multiple innermost loops contribute one unit per loop.
@@ -184,11 +266,18 @@ func (f *Framework) LoadSource(name, source string, params map[string]int64) err
 	if len(infos) == 0 {
 		return fmt.Errorf("core: load %s: %w", name, ErrNoLoops)
 	}
+	f.invalidatePolicies()
 	return nil
 }
 
 // ErrNoLoops is reported when a program contains nothing to vectorize.
 var ErrNoLoops = errors.New("program has no loops")
+
+// ErrNoAgent is reported by the inference paths when no agent has been
+// trained or loaded — surfaced explicitly instead of the historical silent
+// (1, 1) fallback that masked misconfigured deployments. It aliases
+// policy.ErrNoAgent so errors.Is matches across both packages.
+var ErrNoAgent = policy.ErrNoAgent
 
 // LoadDir loads every .c file under dir, recursively — the paper's input
 // granularity ("the directory of code files is fed to the framework as text
@@ -367,6 +456,7 @@ func (f *Framework) Train(cfg *rl.Config) *rl.Stats {
 		c.Seed = f.Cfg.Seed
 	}
 	f.agent = rl.NewAgent(&embedAdapter{fw: f}, c)
+	f.invalidatePolicies()
 	return f.agent.Train(f)
 }
 
@@ -389,6 +479,7 @@ func (f *Framework) TrainWithEmbedder(emb rl.Embedder, cfg *rl.Config) *rl.Stats
 		c.Seed = f.Cfg.Seed
 	}
 	f.agent = rl.NewAgent(emb, c)
+	f.invalidatePolicies()
 	return f.agent.Train(f)
 }
 
@@ -399,12 +490,13 @@ func (f *Framework) TrainWithEmbedder(emb rl.Embedder, cfg *rl.Config) *rl.Stats
 // new programs first (LoadSource/LoadBenchmarks), then call this.
 func (f *Framework) ContinueTraining(iterations int) (*rl.Stats, error) {
 	if f.agent == nil {
-		return nil, fmt.Errorf("core: no agent; call Train first")
+		return nil, fmt.Errorf("core: no agent; call Train first: %w", ErrNoAgent)
 	}
-	saved := f.agent.Cfg.Iterations
-	f.agent.Cfg.Iterations = iterations
-	stats := f.agent.Train(f)
-	f.agent.Cfg.Iterations = saved
+	// The iteration count is passed explicitly rather than written into the
+	// shared Cfg: a save/restore of Cfg.Iterations would expose a transient
+	// value to anything concurrently reading the agent's config.
+	f.invalidatePolicies()
+	stats := f.agent.TrainIterations(f, iterations)
 	return stats, nil
 }
 
@@ -422,12 +514,16 @@ func (f *Framework) UnitLoops() []*ir.Loop {
 	return out
 }
 
-// Predict returns the agent's greedy (VF, IF) for a loaded unit.
-func (f *Framework) Predict(sample int) (vf, ifc int) {
+// Predict returns the agent's greedy (VF, IF) for a loaded unit, or
+// ErrNoAgent when no agent has been trained or loaded. (It used to return a
+// silent (1, 1) in that case, which made a misconfigured deployment
+// indistinguishable from a policy that genuinely picks scalar code.)
+func (f *Framework) Predict(sample int) (vf, ifc int, err error) {
 	if f.agent == nil {
-		return 1, 1
+		return 0, 0, ErrNoAgent
 	}
-	return f.agent.Predict(sample)
+	vf, ifc = f.agent.Predict(sample)
+	return vf, ifc, nil
 }
 
 // BruteForceLabel exhaustively searches the action space for a unit and
@@ -446,14 +542,15 @@ func (f *Framework) BruteForceLabel(sample int) (vf, ifc int) {
 }
 
 // AnnotateSource runs inference on new source text: it extracts the loops,
-// embeds each, asks the agent for factors, and returns the source with the
-// pragmas injected (the paper's Figure 4 output) plus the decisions.
+// asks the selected policy (default: the trained agent) for factors, and
+// returns the source with the pragmas injected (the paper's Figure 4 output)
+// plus the decisions.
 //
 // It is a thin wrapper over PredictSource and shares its concurrency
 // contract: no framework state is mutated, so concurrent annotation requests
 // on a trained framework are safe.
-func (f *Framework) AnnotateSource(source string, params map[string]int64) (string, []extractor.Decision, error) {
-	inf, err := f.PredictSource(source, params)
+func (f *Framework) AnnotateSource(ctx context.Context, source string, params map[string]int64, opts ...InferOption) (string, []extractor.Decision, error) {
+	inf, err := f.PredictSource(ctx, source, params, opts...)
 	if err != nil {
 		return "", nil, err
 	}

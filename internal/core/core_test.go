@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -137,8 +139,8 @@ func TestTrainImprovesReward(t *testing.T) {
 
 func TestPredictWithoutTraining(t *testing.T) {
 	fw := smallFramework(t, 5)
-	if vf, ifc := fw.Predict(0); vf != 1 || ifc != 1 {
-		t.Fatalf("untrained predict = (%d,%d), want scalar fallback", vf, ifc)
+	if _, _, err := fw.Predict(0); !errors.Is(err, ErrNoAgent) {
+		t.Fatalf("untrained predict err = %v, want ErrNoAgent", err)
 	}
 }
 
@@ -155,7 +157,7 @@ void kernel(float a) {
 }
 `
 	unitsBefore := fw.NumSamples()
-	out, decisions, err := fw.AnnotateSource(src, nil)
+	out, decisions, err := fw.AnnotateSource(context.Background(), src, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +241,10 @@ func TestOnlineTrainingAdaptsToNewLoops(t *testing.T) {
 	cyclesAt := func() float64 {
 		total := 0.0
 		for i := start; i < end; i++ {
-			vf, ifc := fw.Predict(i)
+			vf, ifc, err := fw.Predict(i)
+			if err != nil {
+				t.Fatal(err)
+			}
 			total += fw.Cycles(i, vf, ifc)
 		}
 		return total
@@ -278,6 +283,76 @@ func TestLoadDir(t *testing.T) {
 	}
 	if fw.NumSamples() != 2 {
 		t.Fatalf("units = %d, want 2", fw.NumSamples())
+	}
+}
+
+func TestLoadDirNested(t *testing.T) {
+	dir := t.TempDir()
+	deep := filepath.Join(dir, "sub", "deeper")
+	if err := os.MkdirAll(deep, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	loop := func(name string) string {
+		return "int " + name + "[64];\nvoid f_" + name + "() { for (int i = 0; i < 64; i++) { " + name + "[i] = i; } }\n"
+	}
+	files := map[string]string{
+		filepath.Join(dir, "a.c"):             loop("a"),
+		filepath.Join(dir, "sub", "b.c"):      loop("b"),
+		filepath.Join(deep, "c.c"):            loop("c"),
+		filepath.Join(dir, "sub", "noloop.c"): "int g() { return 7; }\n", // ErrNoLoops: skipped, not fatal
+		filepath.Join(dir, "sub", "notes.md"): "# not C\n",               // non-.c: ignored
+	}
+	for path, src := range files {
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fw := New(DefaultConfig())
+	n, err := fw.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("loaded %d files, want 3 (nested dirs walked, loopless and non-C skipped)", n)
+	}
+	if fw.NumSamples() != 3 {
+		t.Fatalf("units = %d, want 3", fw.NumSamples())
+	}
+}
+
+func TestLoadDirPropagatesParseErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.c"), []byte("void f() { for }"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fw := New(DefaultConfig())
+	if _, err := fw.LoadDir(dir); err == nil {
+		t.Fatal("expected a parse error to propagate (only ErrNoLoops is skippable)")
+	}
+}
+
+func TestContinueTrainingKeepsConfigIterations(t *testing.T) {
+	fw := smallFramework(t, 20)
+	fw.Train(fastRL(2))
+	want := fw.Agent().Cfg.Iterations
+	if _, err := fw.ContinueTraining(5); err != nil {
+		t.Fatal(err)
+	}
+	if got := fw.Agent().Cfg.Iterations; got != want {
+		t.Fatalf("ContinueTraining mutated Cfg.Iterations: %d -> %d", want, got)
+	}
+}
+
+func TestNewWithOptions(t *testing.T) {
+	fw := New(DefaultConfig(), WithSeed(9), WithCompileBudget(5, -4))
+	if fw.Cfg.Seed != 9 || fw.Cfg.Embed.Seed != 9 {
+		t.Fatalf("WithSeed not applied: seed=%d embed seed=%d", fw.Cfg.Seed, fw.Cfg.Embed.Seed)
+	}
+	if fw.Cfg.CompileTimeoutFactor != 5 || fw.Cfg.TimeoutPenalty != -4 {
+		t.Fatalf("WithCompileBudget not applied: %+v", fw.Cfg)
+	}
+	if fw.Cfg.Sim.Arch == nil {
+		t.Fatal("simulator arch not defaulted")
 	}
 }
 
@@ -334,14 +409,15 @@ void f() {
 
 func TestAnnotateSourceErrors(t *testing.T) {
 	fw := smallFramework(t, 10)
-	if _, _, err := fw.AnnotateSource("int a[4]; void f() { for (int i = 0; i < 4; i++) { a[i] = i; } }", nil); err == nil {
-		t.Fatal("expected error without a trained agent")
+	ctx := context.Background()
+	if _, _, err := fw.AnnotateSource(ctx, "int a[4]; void f() { for (int i = 0; i < 4; i++) { a[i] = i; } }", nil); !errors.Is(err, ErrNoAgent) {
+		t.Fatalf("err without a trained agent = %v, want ErrNoAgent", err)
 	}
 	fw.Train(fastRL(2))
-	if _, _, err := fw.AnnotateSource("not C at all", nil); err == nil {
+	if _, _, err := fw.AnnotateSource(ctx, "not C at all", nil); err == nil {
 		t.Fatal("expected parse error")
 	}
-	if _, _, err := fw.AnnotateSource("int f() { return 1; }", nil); err == nil {
+	if _, _, err := fw.AnnotateSource(ctx, "int f() { return 1; }", nil); err == nil {
 		t.Fatal("expected no-loops error")
 	}
 }

@@ -1,13 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"neurovec/internal/code2vec"
 	"neurovec/internal/costmodel"
 	"neurovec/internal/extractor"
+	"neurovec/internal/ir"
 	"neurovec/internal/lang"
 	"neurovec/internal/lower"
+	"neurovec/internal/policy"
 	"neurovec/internal/sim"
 	"neurovec/internal/vectorizer"
 )
@@ -19,8 +22,55 @@ import (
 // EmbedSource safe for any number of concurrent callers, which is what the
 // serving layer (internal/service) relies on. The mutating APIs (LoadSource,
 // Train, LoadModel, ...) remain single-threaded setup operations.
+//
+// Inference is policy-parameterized: the decision for each loop comes from a
+// policy.Policy — the trained agent by default, or any registered method
+// (costmodel, brute, random, polly, nns) selected with WithPolicy /
+// WithPolicyName. The context is threaded into every Decide call so
+// deadline-aware policies (brute force) can return their best answer so far
+// instead of blowing the caller's latency budget.
 
-// LoopPrediction is the agent's decision for one loop plus its simulated
+// InferOption configures one PredictSource / AnnotateSource / SweepSource
+// call.
+type InferOption func(*inferOpts)
+
+type inferOpts struct {
+	pol     policy.Policy
+	polName string
+}
+
+// WithPolicy uses a concrete policy instance for this call — the hook for
+// policies that are not in the registry (e.g. a trained ranker model's
+// Policy()).
+func WithPolicy(p policy.Policy) InferOption {
+	return func(o *inferOpts) { o.pol = p }
+}
+
+// WithPolicyName resolves the named policy from the registry, bound to this
+// framework, at call time. Unknown names fail the call with
+// policy.ErrUnknown.
+func WithPolicyName(name string) InferOption {
+	return func(o *inferOpts) { o.polName = name }
+}
+
+// resolvePolicy picks the policy for a call: an explicit instance wins, then
+// a registry name, then fallback (DefaultPolicy for prediction, "" meaning
+// none for sweeps).
+func (f *Framework) resolvePolicy(o *inferOpts, fallback string) (policy.Policy, error) {
+	if o.pol != nil {
+		return o.pol, nil
+	}
+	name := o.polName
+	if name == "" {
+		name = fallback
+	}
+	if name == "" {
+		return nil, nil
+	}
+	return f.Policy(name)
+}
+
+// LoopPrediction is the policy's decision for one loop plus its simulated
 // effect: program cycles with only this loop switched from the baseline
 // decision to the predicted one.
 type LoopPrediction struct {
@@ -35,9 +85,14 @@ type LoopPrediction struct {
 	Speedup float64
 }
 
-// Inference is the full result of running the trained policy on one source
+// Inference is the full result of running a decision policy on one source
 // program.
 type Inference struct {
+	// Policy names the decision method that produced the result.
+	Policy string
+	// Truncated reports that at least one loop's decision came from a
+	// search cut short by the context deadline (best-so-far answer).
+	Truncated bool
 	// Annotated is the source re-printed with the decisions' pragmas
 	// injected (the paper's Figure 4 artifact).
 	Annotated string
@@ -52,12 +107,23 @@ type Inference struct {
 }
 
 // PredictSource runs inference on new source text without mutating the
-// framework: it parses and lowers the program, embeds each innermost loop,
-// asks the agent for factors via the stateless policy path, and simulates
-// the outcome. Safe for concurrent callers on a trained framework.
-func (f *Framework) PredictSource(source string, params map[string]int64) (*Inference, error) {
-	if f.agent == nil {
-		return nil, fmt.Errorf("core: agent not trained")
+// framework: it parses and lowers the program, asks the selected policy for
+// factors loop by loop, and simulates the outcome. The default policy is
+// the trained agent; without one the call fails with ErrNoAgent. Safe for
+// concurrent callers.
+func (f *Framework) PredictSource(ctx context.Context, source string, params map[string]int64, opts ...InferOption) (*Inference, error) {
+	var o inferOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	pol, err := f.resolvePolicy(&o, DefaultPolicy)
+	if err != nil {
+		return nil, err
+	}
+	// A deadline-aware policy still answers (best-so-far) under an expired
+	// context; everything else fails fast before any simulation work.
+	if err := ctx.Err(); err != nil && !policy.IsDeadlineAware(pol) {
+		return nil, err
 	}
 	prog, err := lang.Parse(source)
 	if err != nil {
@@ -67,36 +133,39 @@ func (f *Framework) PredictSource(source string, params map[string]int64) (*Infe
 	if len(infos) == 0 {
 		return nil, fmt.Errorf("core: no loops in source: %w", ErrNoLoops)
 	}
-	opts := f.Cfg.Lower
+	opts2 := f.Cfg.Lower
 	if params != nil {
-		opts.ParamValues = params
+		opts2.ParamValues = params
 	}
-	irp, err := lower.Program(prog, opts)
+	irp, err := lower.Program(prog, opts2)
 	if err != nil {
 		return nil, err
 	}
 	basePlans := costmodel.Plans(irp, f.Cfg.Arch)
 	baseCycles := sim.Program(irp, basePlans, f.Cfg.Sim).Cycles
 
-	inf := &Inference{BaselineCycles: baseCycles}
+	inf := &Inference{Policy: pol.Name(), BaselineCycles: baseCycles}
 	combined := clonePlans(basePlans)
 	for _, info := range infos {
-		vec, _ := f.embed.Forward(code2vec.ExtractContexts(info.Outermost, f.Cfg.Embed))
-		vf, ifc := f.agent.PredictObs(vec)
 		loop := irp.FindLoop(info.Label)
 		if loop == nil {
 			return nil, fmt.Errorf("core: loop %s missing from IR", info.Label)
 		}
-		plan := vectorizer.New(loop, f.Cfg.Arch, vf, ifc)
+		d, err := pol.Decide(ctx, f.loopRequest(source, info, irp, loop, basePlans))
+		if err != nil {
+			return nil, fmt.Errorf("core: policy %s on loop %s: %w", pol.Name(), info.Label, err)
+		}
+		inf.Truncated = inf.Truncated || d.Truncated
+		plan := vectorizer.New(loop, f.Cfg.Arch, d.VF, d.IF)
 		single := clonePlans(basePlans)
 		single[info.Label] = plan
 		cycles := sim.Program(irp, single, f.Cfg.Sim).Cycles
-		inf.Decisions = append(inf.Decisions, extractor.Decision{Label: info.Label, VF: vf, IF: ifc})
+		inf.Decisions = append(inf.Decisions, extractor.Decision{Label: info.Label, VF: d.VF, IF: d.IF})
 		inf.Loops = append(inf.Loops, LoopPrediction{
 			Label:   info.Label,
 			Func:    info.Func,
-			VF:      vf,
-			IF:      ifc,
+			VF:      d.VF,
+			IF:      d.IF,
 			Cycles:  cycles,
 			Speedup: safeRatio(baseCycles, cycles),
 		})
@@ -106,6 +175,28 @@ func (f *Framework) PredictSource(source string, params map[string]int64) (*Infe
 	inf.Speedup = safeRatio(baseCycles, inf.PredictedCycles)
 	inf.Annotated = extractor.Annotate(prog, inf.Decisions)
 	return inf, nil
+}
+
+// loopRequest assembles the policy.Request for one loop of a lowered
+// program. Embedding and candidate evaluation are closures so policies that
+// never use them cost nothing.
+func (f *Framework) loopRequest(source string, info extractor.LoopInfo, irp *ir.Program, loop *ir.Loop, basePlans map[string]*vectorizer.Plan) *policy.Request {
+	return &policy.Request{
+		Name:   info.Label,
+		Source: source,
+		Prog:   irp,
+		Loop:   loop,
+		Arch:   f.Cfg.Arch,
+		Embed: func() []float64 {
+			vec, _ := f.embed.Forward(code2vec.ExtractContexts(info.Outermost, f.Cfg.Embed))
+			return vec
+		},
+		Evaluate: func(vf, ifc int) float64 {
+			single := clonePlans(basePlans)
+			single[loop.Label] = vectorizer.New(loop, f.Cfg.Arch, vf, ifc)
+			return sim.Program(irp, single, f.Cfg.Sim).Cycles
+		},
+	}
 }
 
 // Sweep is the VF x IF performance grid for one loop of a program.
@@ -120,13 +211,31 @@ type Sweep struct {
 	// Speedup[i][j] is BaselineCycles over the cycles with (VFs[i], IFs[j])
 	// injected at Loop and the baseline decision everywhere else.
 	Speedup [][]float64
+	// Policy, ChosenVF, ChosenIF report the decision of the policy selected
+	// with WithPolicy/WithPolicyName for the swept loop — the grid cell the
+	// method would pick. Policy is empty when no policy was requested.
+	Policy    string
+	ChosenVF  int
+	ChosenIF  int
+	Truncated bool
 }
 
 // SweepSource measures the full factor grid for the first innermost loop of
 // the source, without loading it as a unit. Like PredictSource it builds
 // only per-request state and is safe for concurrent callers; it does not
-// need a trained agent.
-func (f *Framework) SweepSource(source string, params map[string]int64) (*Sweep, error) {
+// need a trained agent. The context cancels the grid walk (a partial grid
+// is discarded, unlike a policy search's best-so-far answer). When a policy
+// is selected via options, its decision for the swept loop is reported
+// alongside the grid.
+func (f *Framework) SweepSource(ctx context.Context, source string, params map[string]int64, opts ...InferOption) (*Sweep, error) {
+	var o inferOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	pol, err := f.resolvePolicy(&o, "")
+	if err != nil {
+		return nil, err
+	}
 	prog, err := lang.Parse(source)
 	if err != nil {
 		return nil, err
@@ -135,11 +244,11 @@ func (f *Framework) SweepSource(source string, params map[string]int64) (*Sweep,
 	if len(infos) == 0 {
 		return nil, fmt.Errorf("core: no loops in source: %w", ErrNoLoops)
 	}
-	opts := f.Cfg.Lower
+	opts2 := f.Cfg.Lower
 	if params != nil {
-		opts.ParamValues = params
+		opts2.ParamValues = params
 	}
-	irp, err := lower.Program(prog, opts)
+	irp, err := lower.Program(prog, opts2)
 	if err != nil {
 		return nil, err
 	}
@@ -156,14 +265,38 @@ func (f *Framework) SweepSource(source string, params map[string]int64) (*Sweep,
 		IFs:            f.Cfg.Arch.IFs(),
 		BaselineCycles: baseCycles,
 	}
+	gridCycles := make(map[[2]int]float64, len(sw.VFs)*len(sw.IFs))
 	for _, vf := range sw.VFs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := make([]float64, 0, len(sw.IFs))
 		for _, ifc := range sw.IFs {
 			plans := clonePlans(basePlans)
 			plans[loop.Label] = vectorizer.New(loop, f.Cfg.Arch, vf, ifc)
-			row = append(row, safeRatio(baseCycles, sim.Program(irp, plans, f.Cfg.Sim).Cycles))
+			cycles := sim.Program(irp, plans, f.Cfg.Sim).Cycles
+			gridCycles[[2]int{vf, ifc}] = cycles
+			row = append(row, safeRatio(baseCycles, cycles))
 		}
 		sw.Speedup = append(sw.Speedup, row)
+	}
+	if pol != nil {
+		req := f.loopRequest(source, infos[0], irp, loop, basePlans)
+		// A search policy over the same objective would re-simulate the grid
+		// the sweep just walked; serve those evaluations from the computed
+		// cells (brute's overlay becomes a free argmin).
+		simulate := req.Evaluate
+		req.Evaluate = func(vf, ifc int) float64 {
+			if c, ok := gridCycles[[2]int{vf, ifc}]; ok {
+				return c
+			}
+			return simulate(vf, ifc)
+		}
+		d, err := pol.Decide(ctx, req)
+		if err != nil {
+			return nil, fmt.Errorf("core: policy %s on loop %s: %w", pol.Name(), infos[0].Label, err)
+		}
+		sw.Policy, sw.ChosenVF, sw.ChosenIF, sw.Truncated = pol.Name(), d.VF, d.IF, d.Truncated
 	}
 	return sw, nil
 }

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"neurovec/internal/code2vec"
+	"neurovec/internal/lower"
+	"neurovec/internal/machine"
+	"neurovec/internal/sim"
+)
+
+// Option tweaks a framework configuration at construction time. Options are
+// the ergonomic path for callers that want the defaults with a few fields
+// changed; assembling a full Config by hand remains supported:
+//
+//	fw := core.New(core.DefaultConfig(), core.WithSeed(7), core.WithArch(myArch))
+type Option func(*Config)
+
+// WithArch targets a different machine model. The simulator follows the
+// architecture unless WithSimConfig overrides it afterwards.
+func WithArch(a *machine.Arch) Option {
+	return func(c *Config) {
+		c.Arch = a
+		c.Sim.Arch = a
+	}
+}
+
+// WithSeed seeds every stochastic component (embedding init, RL training,
+// stochastic policies).
+func WithSeed(seed int64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithEmbedConfig replaces the code2vec embedding configuration.
+func WithEmbedConfig(e code2vec.Config) Option {
+	return func(c *Config) { c.Embed = e }
+}
+
+// WithSimConfig replaces the simulator configuration.
+func WithSimConfig(s sim.Config) Option {
+	return func(c *Config) { c.Sim = s }
+}
+
+// WithLowerOptions replaces the lowering options (runtime parameter values,
+// unrolling behaviour).
+func WithLowerOptions(o lower.Options) Option {
+	return func(c *Config) { c.Lower = o }
+}
+
+// WithCompileBudget sets the Section 3.4 compile-time guardrail: factor is
+// the allowed blowup over the baseline compile time, penalty the reward a
+// configuration that exceeds it receives.
+func WithCompileBudget(factor, penalty float64) Option {
+	return func(c *Config) {
+		c.CompileTimeoutFactor = factor
+		c.TimeoutPenalty = penalty
+	}
+}

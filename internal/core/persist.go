@@ -72,6 +72,9 @@ func (f *Framework) LoadModel(r io.Reader) error {
 	for _, u := range f.units {
 		u.Ctxs = reextract(u, h.Embed)
 	}
+	// Cached policy instances may hold the previous weights (the NNS index
+	// embeds with them); resolve afresh against the restored model.
+	f.invalidatePolicies()
 	return nil
 }
 

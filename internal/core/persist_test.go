@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -16,7 +17,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	type pair struct{ vf, ifc int }
 	want := make([]pair, fw.NumSamples())
 	for i := range want {
-		vf, ifc := fw.Predict(i)
+		vf, ifc, err := fw.Predict(i)
+		if err != nil {
+			t.Fatal(err)
+		}
 		want[i] = pair{vf, ifc}
 	}
 
@@ -31,7 +35,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := range want {
-		vf, ifc := fw2.Predict(i)
+		vf, ifc, err := fw2.Predict(i)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if vf != want[i].vf || ifc != want[i].ifc {
 			t.Fatalf("unit %d: restored policy predicts (%d,%d), original (%d,%d)",
 				i, vf, ifc, want[i].vf, want[i].ifc)
@@ -82,8 +89,11 @@ func TestSaveLoadFile(t *testing.T) {
 	if err := fw2.LoadModelFile(path); err != nil {
 		t.Fatal(err)
 	}
-	v1, i1 := fw.Predict(0)
-	v2, i2 := fw2.Predict(0)
+	v1, i1, err1 := fw.Predict(0)
+	v2, i2, err2 := fw2.Predict(0)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 	if v1 != v2 || i1 != i2 {
 		t.Fatal("file round trip changed predictions")
 	}
@@ -111,11 +121,11 @@ void f() {
     }
 }
 `
-	out1, d1, err := fw.AnnotateSource(src, nil)
+	out1, d1, err := fw.AnnotateSource(context.Background(), src, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out2, d2, err := fw2.AnnotateSource(src, nil)
+	out2, d2, err := fw2.AnnotateSource(context.Background(), src, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +151,10 @@ func TestLoadSetFromDatasetAfterRestore(t *testing.T) {
 	if fw2.NumSamples() < 5 {
 		t.Fatal("units not loadable after restore")
 	}
-	vf, ifc := fw2.Predict(0)
+	vf, ifc, err := fw2.Predict(0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if vf < 1 || ifc < 1 {
 		t.Fatal("prediction after restore invalid")
 	}

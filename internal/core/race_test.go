@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestConcurrentInference(t *testing.T) {
 	}
 	want := make([]golden, len(srcs))
 	for i, src := range srcs {
-		annotated, _, err := fw.AnnotateSource(src, nil)
+		annotated, _, err := fw.AnnotateSource(context.Background(), src, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -42,7 +43,7 @@ func TestConcurrentInference(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sw, err := fw.SweepSource(src, nil)
+		sw, err := fw.SweepSource(context.Background(), src, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +60,7 @@ func TestConcurrentInference(t *testing.T) {
 			defer wg.Done()
 			for r := 0; r < rounds; r++ {
 				i := (w + r) % len(srcs)
-				annotated, _, err := fw.AnnotateSource(srcs[i], nil)
+				annotated, _, err := fw.AnnotateSource(context.Background(), srcs[i], nil)
 				if err != nil {
 					errs <- err
 					return
@@ -77,7 +78,7 @@ func TestConcurrentInference(t *testing.T) {
 					t.Errorf("worker %d: concurrent embedding differs for source %d", w, i)
 					return
 				}
-				inf, err := fw.PredictSource(srcs[i], nil)
+				inf, err := fw.PredictSource(context.Background(), srcs[i], nil)
 				if err != nil {
 					errs <- err
 					return
@@ -86,7 +87,7 @@ func TestConcurrentInference(t *testing.T) {
 					t.Errorf("worker %d: PredictSource disagrees with AnnotateSource", w)
 					return
 				}
-				sw, err := fw.SweepSource(srcs[i], nil)
+				sw, err := fw.SweepSource(context.Background(), srcs[i], nil)
 				if err != nil {
 					errs <- err
 					return
@@ -113,7 +114,7 @@ func TestPredictSourceMatchesUnitPath(t *testing.T) {
 	fw.Train(fastRL(4))
 	src := raceSources(t, 1)[0]
 
-	inf, err := fw.PredictSource(src, nil)
+	inf, err := fw.PredictSource(context.Background(), src, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,10 @@ func TestPredictSourceMatchesUnitPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, d := range inf.Decisions {
-		vf, ifc := fw.Predict(start + i)
+		vf, ifc, err := fw.Predict(start + i)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if vf != d.VF || ifc != d.IF {
 			t.Fatalf("loop %s: stateless path (%d,%d), unit path (%d,%d)",
 				d.Label, d.VF, d.IF, vf, ifc)
@@ -135,7 +139,7 @@ func TestPredictSourceSpeedups(t *testing.T) {
 	fw := smallFramework(t, 30)
 	fw.Train(fastRL(4))
 	src := raceSources(t, 1)[0]
-	inf, err := fw.PredictSource(src, nil)
+	inf, err := fw.PredictSource(context.Background(), src, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

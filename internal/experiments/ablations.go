@@ -86,7 +86,7 @@ func AblationCompilePenalty(o Options) *Table {
 		blowup, timeouts := 0.0, 0
 		n := fw.NumSamples()
 		for i := 0; i < n; i++ {
-			vf, ifc := fw.Predict(i)
+			vf, ifc := mustPredict(fw, i)
 			ratio := fw.CompileBlowup(i, vf, ifc)
 			blowup += ratio
 			if ratio > 10 {
@@ -177,7 +177,7 @@ func NeuralCostModel(o Options) *Table {
 		base, rlC, rkC, brC := 0.0, 0.0, 0.0, 0.0
 		for i := start; i < end; i++ {
 			base += fw.BaselineCycles(i)
-			vf, ifc := fw.Predict(i)
+			vf, ifc := mustPredict(fw, i)
 			rlC += fw.Cycles(i, vf, ifc)
 			vf, ifc = model.Best(i)
 			rkC += fw.Cycles(i, vf, ifc)

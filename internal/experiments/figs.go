@@ -408,7 +408,7 @@ func evaluateBenchmarks(fw *core.Framework, sup *supervised, bs []dataset.Benchm
 				}))
 			case "RL":
 				vals[col] = perf(decide(func(i int, _ *ir.Loop) (int, int) {
-					return fw.Predict(i)
+					return mustPredict(fw, i)
 				}))
 			case "brute":
 				vals[col] = perf(decide(func(i int, _ *ir.Loop) (int, int) {
@@ -423,6 +423,16 @@ func evaluateBenchmarks(fw *core.Framework, sup *supervised, bs []dataset.Benchm
 		t.Notes = append(t.Notes, fmt.Sprintf("geomean %-8s %.3fx", c, t.GeoMean(c)))
 	}
 	return t
+}
+
+// mustPredict is the experiment harness's view of Framework.Predict: every
+// table trains its agent before querying it, so ErrNoAgent here is a bug.
+func mustPredict(fw *core.Framework, i int) (int, int) {
+	vf, ifc, err := fw.Predict(i)
+	if err != nil {
+		panic(err)
+	}
+	return vf, ifc
 }
 
 // pollyCycles runs the Polly analogue over the program and simulates it;

@@ -10,13 +10,19 @@ import (
 // curves. Each iteration collects cfg.Batch environment steps (one step =
 // one compilation + simulated run, as in the paper) and performs cfg.Epochs
 // passes of clipped-surrogate updates over them.
-func (a *Agent) Train(env Env) *Stats {
+func (a *Agent) Train(env Env) *Stats { return a.TrainIterations(env, a.Cfg.Iterations) }
+
+// TrainIterations is Train with an explicit iteration count. The override is
+// a parameter rather than a temporary Cfg.Iterations mutation so that a
+// concurrently-serving reader of the shared config (e.g. an inference path
+// inspecting Agent.Cfg) never observes a transient value mid-continuation.
+func (a *Agent) TrainIterations(env Env, iterations int) *Stats {
 	cfg := a.Cfg
 	opt := nn.NewAdam(cfg.LR)
 	stats := &Stats{}
 	steps := 0
 
-	for iter := 0; iter < cfg.Iterations; iter++ {
+	for iter := 0; iter < iterations; iter++ {
 		// ---- Rollout ----
 		batch := make([]*transition, cfg.Batch)
 		rewardSum := 0.0

@@ -9,6 +9,7 @@
 package search
 
 import (
+	"context"
 	"math"
 	"math/rand"
 )
@@ -21,16 +22,29 @@ type Evaluator func(vf, ifc int) float64
 // its score. Ties break toward smaller factors, matching how an exhaustive
 // scripted search would iterate.
 func BruteForce(vfs, ifs []int, eval Evaluator) (vf, ifc int, best float64) {
+	vf, ifc, best, _ = BruteForceContext(context.Background(), vfs, ifs, eval)
+	return vf, ifc, best
+}
+
+// BruteForceContext is BruteForce with cooperative cancellation: it checks
+// ctx before every candidate evaluation and, once the context is done,
+// returns the best pair found so far instead of finishing the grid.
+// complete reports whether the whole space was explored; a context that is
+// already done yields the scalar fallback (1, 1) with complete == false.
+func BruteForceContext(ctx context.Context, vfs, ifs []int, eval Evaluator) (vf, ifc int, best float64, complete bool) {
 	best = math.Inf(1)
 	vf, ifc = 1, 1
 	for _, v := range vfs {
 		for _, f := range ifs {
+			if ctx.Err() != nil {
+				return vf, ifc, best, false
+			}
 			if s := eval(v, f); s < best {
 				best, vf, ifc = s, v, f
 			}
 		}
 	}
-	return vf, ifc, best
+	return vf, ifc, best, true
 }
 
 // Random picks a uniformly random action — the paper's random-search

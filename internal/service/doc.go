@@ -3,17 +3,29 @@
 // re-loads a model on every invocation, a Server loads one trained
 // checkpoint (written by `neurovec train -save`) and serves inference over
 // HTTP/JSON with a bounded worker pool, request batching for embeddings, an
-// LRU response cache, and atomic model hot-reload.
+// LRU response cache, per-request policy selection, request deadlines, and
+// atomic model hot-reload.
 //
 // # Architecture
 //
 //   - Every compute request runs on a worker pool sized by GOMAXPROCS with a
 //     bounded queue; when the queue is full the server sheds load with 503
 //     instead of building an unbounded backlog.
+//   - Decisions come from pluggable policies (package
+//     neurovec/internal/policy): rl (the trained agent, the default),
+//     costmodel, brute, random, polly, and nns, selected per request by the
+//     "policy" field. GET /v1/policies lists them with availability.
 //   - Responses are cached in an LRU keyed by endpoint, model version,
-//     source hash and runtime parameters. A repeated request is a cache hit
-//     (observable via the X-Neurovec-Cache response header and /metrics);
-//     bodies are byte-identical on hit and miss.
+//     policy, source hash and runtime parameters. A repeated request is a
+//     cache hit (observable via the X-Neurovec-Cache response header and
+//     /metrics); bodies are byte-identical on hit and miss. Responses
+//     truncated by a deadline are never cached.
+//   - Config.RequestTimeout (and the request's own timeout_ms, which can
+//     shorten but not extend it) bounds compute through the request context.
+//     On /v1/annotate, deadline-aware policies (brute) answer with their
+//     best pair so far and "truncated": true; other policies fail with 504
+//     when the deadline passes. /v1/sweep's grid walk aborts with 504 at
+//     the deadline regardless of the overlay policy.
 //   - /v1/embed requests are coalesced: a collector goroutine gathers up to
 //     MaxBatch waiting requests (lingering at most BatchWait) and executes
 //     them as one pool job, amortizing scheduling under load.
@@ -23,20 +35,24 @@
 //     requests finish on the snapshot they started with, and version-keyed
 //     caching makes stale entries unreachable. Inference itself uses
 //     core.Framework's stateless paths (PredictSource, EmbedSource,
-//     SweepSource), which only read the trained weights.
+//     SweepSource), which only read the configuration and trained weights.
 //
 // # HTTP API
 //
-// POST /v1/annotate — run the trained policy on a C program.
+// POST /v1/annotate — run a decision policy on a C program.
 //
 // Request:
 //
 //	{"source": "float a[4096]; float b[4096]; void f(int n) { for (int i = 0; i < n; i++) a[i] += b[i]; }",
-//	 "params": {"n": 4096}}        // optional runtime values for symbolic bounds
+//	 "params": {"n": 4096},        // optional runtime values for symbolic bounds
+//	 "policy": "brute",            // optional; default "rl" (see GET /v1/policies)
+//	 "timeout_ms": 250}            // optional per-request deadline
 //
 // Response 200:
 //
 //	{"model_version": "8c6a…",
+//	 "policy": "brute",
+//	 "truncated": true,            // only when a deadline cut the search short
 //	 "annotated": "…source with #pragma clang loop vectorize_width(…) interleave_count(…)…",
 //	 "loops": [{"label": "L0", "func": "f", "vf": 8, "if": 2,
 //	            "cycles": 1234.5, "speedup": 1.8}],
@@ -51,12 +67,28 @@
 // Response: {"model_version": "8c6a…", "dim": 340, "vector": [0.12, …]}
 //
 // POST /v1/sweep — measure the full VF x IF grid for the first innermost
-// loop (no agent involved; speedups are relative to the baseline cost
-// model).
+// loop (speedups are relative to the baseline cost model). An optional
+// "policy" marks the cell that method would pick.
 //
-// Request:  {"source": "…", "params": {…}}
-// Response: {"model_version": "8c6a…", "loop": "L0", "vfs": [1,2,…],
-//	"ifs": [1,2,…], "baseline_cycles": 2222.1, "speedup": [[1.0, …], …]}
+// Request:
+//
+//	{"source": "…", "params": {…}, "policy": "costmodel"}
+//
+// Response:
+//
+//	{"model_version": "8c6a…", "loop": "L0", "vfs": [1,2,…], "ifs": [1,2,…],
+//	 "baseline_cycles": 2222.1, "speedup": [[1.0, …], …],
+//	 "policy": "costmodel", "chosen_vf": 4, "chosen_if": 2}
+//
+// GET /v1/policies — discover the registered decision policies and whether
+// this serving snapshot can run them.
+//
+// Response:
+//
+//	{"default": "rl", "model_version": "8c6a…",
+//	 "policies": [{"name": "brute", "available": true},
+//	              {"name": "nns", "available": false,
+//	               "reason": "policy nns: … no loaded units to index …"}, …]}
 //
 // POST /v1/reload — re-read the checkpoint path and swap it in atomically.
 //
@@ -64,27 +96,36 @@
 //
 // GET /healthz — liveness plus the serving snapshot's identity.
 //
-// Response: {"status": "ok", "model_version": "8c6a…", "model_path": "m.gob",
-//	"model_loaded_at": "2026-07-27T12:00:00Z", "uptime_seconds": 42.0,
-//	"workers": 8, "cache_entries": 17}
+// Response:
+//
+//	{"status": "ok", "model_version": "8c6a…", "model_path": "m.gob",
+//	 "model_loaded_at": "2026-07-27T12:00:00Z", "uptime_seconds": 42.0,
+//	 "workers": 8, "cache_entries": 17}
 //
 // GET /metrics — Prometheus text format: neurovec_requests_total,
-// neurovec_request_duration_seconds histogram, neurovec_cache_hits_total /
-// neurovec_cache_misses_total / neurovec_cache_hit_ratio,
-// neurovec_model_reloads_total, neurovec_embed_batches_total,
-// neurovec_pool_rejected_total, neurovec_model_info{version="…"}.
+// neurovec_request_duration_seconds histogram,
+// neurovec_policy_requests_total{policy="…",outcome="…"},
+// neurovec_cache_hits_total / neurovec_cache_misses_total /
+// neurovec_cache_hit_ratio, neurovec_model_reloads_total,
+// neurovec_embed_batches_total, neurovec_pool_rejected_total,
+// neurovec_model_info{version="…"}.
 //
-// Errors are JSON ({"error": "…"}): 400 for malformed requests, 422 for
-// programs that do not parse or contain no loops, 503 when the work queue is
-// full, 500 otherwise.
+// Errors are JSON ({"error": "…"}): 400 for malformed requests or unknown
+// policy names, 409 for policies this serving state cannot run (no trained
+// agent, no corpus for the NNS index), 422 for programs that do not parse or
+// contain no loops, 503 when the work queue is full, 504 when the request
+// deadline expires on a policy that cannot answer early, 500 otherwise.
 //
 // # Example
 //
 //	neurovec train -samples 1000 -iters 30 -save model.gob
-//	neurovec serve -model model.gob -addr :8080 &
+//	neurovec serve -model model.gob -addr :8080 -timeout 30s &
+//	curl -s localhost:8080/v1/policies
 //	curl -s localhost:8080/v1/annotate \
 //	     -d '{"source":"float a[1024]; void f() { for (int i = 0; i < 1024; i++) a[i] = a[i] * 2; }"}'
-//	curl -s localhost:8080/metrics | grep cache
+//	curl -s localhost:8080/v1/annotate \
+//	     -d '{"source":"…", "policy":"brute", "timeout_ms": 100}'
+//	curl -s localhost:8080/metrics | grep policy
 //	neurovec train -samples 4000 -iters 60 -save model.gob   # retrain…
 //	curl -s -X POST localhost:8080/v1/reload                 # …swap without downtime
 package service

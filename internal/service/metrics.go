@@ -26,11 +26,18 @@ type endpointStats struct {
 	observed int64
 }
 
+// policyStats counts one policy's computed decisions by outcome.
+type policyStats struct {
+	ok   int64
+	errs int64
+}
+
 // Metrics is the service's stdlib-only metrics registry. All methods are
 // safe for concurrent use.
 type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
+	policies  map[string]*policyStats
 
 	cacheHits   int64
 	cacheMisses int64
@@ -46,7 +53,30 @@ type Metrics struct {
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{endpoints: make(map[string]*endpointStats)}
+	return &Metrics{
+		endpoints: make(map[string]*endpointStats),
+		policies:  make(map[string]*policyStats),
+	}
+}
+
+// Policy records one policy decision computed for a request (cache hits are
+// not counted here — they never re-run the policy).
+func (m *Metrics) Policy(name string, ok bool) {
+	if name == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.policies[name]
+	if st == nil {
+		st = &policyStats{}
+		m.policies[name] = st
+	}
+	if ok {
+		st.ok++
+	} else {
+		st.errs++
+	}
 }
 
 // ObserveRequest records one finished request.
@@ -180,6 +210,24 @@ func (m *Metrics) render(w io.Writer) (int64, error) {
 			return n, err
 		}
 		if err := p("neurovec_request_duration_seconds_count{endpoint=%q} %d\n", ep, st.observed); err != nil {
+			return n, err
+		}
+	}
+
+	if err := p("# HELP neurovec_policy_requests_total Policy decisions computed, by policy and outcome.\n# TYPE neurovec_policy_requests_total counter\n"); err != nil {
+		return n, err
+	}
+	polNames := make([]string, 0, len(m.policies))
+	for name := range m.policies {
+		polNames = append(polNames, name)
+	}
+	sort.Strings(polNames)
+	for _, name := range polNames {
+		st := m.policies[name]
+		if err := p("neurovec_policy_requests_total{policy=%q,outcome=\"ok\"} %d\n", name, st.ok); err != nil {
+			return n, err
+		}
+		if err := p("neurovec_policy_requests_total{policy=%q,outcome=\"error\"} %d\n", name, st.errs); err != nil {
 			return n, err
 		}
 	}

@@ -15,6 +15,7 @@ import (
 
 	"neurovec/internal/core"
 	"neurovec/internal/lang"
+	"neurovec/internal/policy"
 )
 
 // Config tunes the server. The zero value of every optional field picks a
@@ -42,6 +43,12 @@ type Config struct {
 	BatchWait time.Duration
 	// MaxRequestBytes bounds request bodies (default 1MiB).
 	MaxRequestBytes int64
+	// RequestTimeout bounds the compute time of one request, wired through
+	// the request context: deadline-aware policies (brute) return their
+	// best-so-far answer, everything else fails with 504 when the deadline
+	// passes. A request's timeout_ms field may shorten (never extend) it.
+	// Zero disables the server-side bound.
+	RequestTimeout time.Duration
 }
 
 // model is one immutable serving snapshot; hot-reload swaps the whole
@@ -99,6 +106,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/embed", s.instrument("/v1/embed", s.handleEmbed))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("POST /v1/reload", s.instrument("/v1/reload", s.handleReload))
+	s.mux.HandleFunc("GET /v1/policies", s.instrument("/v1/policies", s.handlePolicies))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
@@ -191,7 +199,10 @@ func writeJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Write(body)
 }
 
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps an error onto its HTTP status. r distinguishes a
+// server-imposed deadline (504) from a client that went away (499); a nil r
+// treats every context error as a client disconnect.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
 	status := http.StatusInternalServerError
 	var he *httpError
 	switch {
@@ -201,10 +212,23 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrNoLoops):
 		status = http.StatusUnprocessableEntity
+	case errors.Is(err, policy.ErrUnknown):
+		// Asking for a policy that does not exist is a malformed request.
+		status = http.StatusBadRequest
+	case errors.Is(err, core.ErrNoAgent), errors.Is(err, policy.ErrUnavailable):
+		// The policy exists but this serving state cannot run it (agent
+		// not trained/loaded, no corpus for the NNS index): 409 Conflict.
+		status = http.StatusConflict
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		// The client went away mid-request; 499 (nginx's "client closed
-		// request") keeps routine disconnects out of the 5xx rate.
-		status = 499
+		if r != nil && r.Context().Err() == nil {
+			// The client is still there: our own request timeout expired.
+			status = http.StatusGatewayTimeout
+		} else {
+			// The client went away mid-request; 499 (nginx's "client
+			// closed request") keeps routine disconnects out of the 5xx
+			// rate.
+			status = 499
+		}
 	}
 	body, _ := json.Marshal(map[string]string{"error": err.Error()})
 	writeJSON(w, status, body)
@@ -224,11 +248,14 @@ func decodeBody(r *http.Request, dst any) error {
 	return nil
 }
 
-// cacheKey derives the LRU key: endpoint, model version, source hash and the
-// (sorted) runtime parameters.
-func cacheKey(endpoint, version, source string, params map[string]int64) string {
+// cacheKey derives the LRU key: endpoint, model version, decision policy,
+// source hash and the (sorted) runtime parameters. The policy is part of the
+// key because the same source yields different bodies per method — serving a
+// cached rl answer to a brute request would silently A/B-corrupt a
+// comparison.
+func cacheKey(endpoint, version, policyName, source string, params map[string]int64) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s\x00%s\x00", endpoint, version)
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00", endpoint, version, policyName)
 	h.Write([]byte(source))
 	keys := make([]string, 0, len(params))
 	for k := range params {
@@ -256,27 +283,59 @@ func (s *Server) tryCacheHit(w http.ResponseWriter, key string) bool {
 	return true
 }
 
-// respondFresh renders a freshly computed payload, caches it, and replies.
+// uncacheable is implemented by payloads that must not enter the response
+// cache — a deadline-truncated search answer depends on the requester's
+// timeout, so serving it to a later, more patient client would be wrong.
+type uncacheable interface {
+	skipCache() bool
+}
+
+// respondFresh renders a freshly computed payload, caches it (unless the
+// payload opts out), and replies.
 func (s *Server) respondFresh(w http.ResponseWriter, key string, payload any) {
 	body, err := json.Marshal(payload)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, nil, err)
 		return
 	}
-	s.cache.Put(key, body)
+	if u, ok := payload.(uncacheable); !ok || !u.skipCache() {
+		s.cache.Put(key, body)
+	}
 	w.Header().Set("X-Neurovec-Cache", "miss")
 	writeJSON(w, http.StatusOK, body)
 }
 
+// requestCtx derives the compute context for one request: the client's
+// context bounded by the server's RequestTimeout, further shortened (never
+// extended) by the request's own timeout_ms.
+func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if rd := time.Duration(timeoutMS) * time.Millisecond; d <= 0 || rd < d {
+			d = rd
+		}
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
 // serveCached implements the shared miss path: check the cache, otherwise
 // run compute on the worker pool, cache the rendered response, and reply.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string, compute func() (any, error)) {
+//
+// ctx (the deadline-bounded compute context) is passed into compute only;
+// the wait itself is bounded by the client's own context. A deadline-aware
+// policy returns shortly *after* the deadline with its best-so-far answer —
+// abandoning the wait at the deadline would throw that answer away and turn
+// every truncation into a 504.
+func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ctx context.Context, key string, compute func(ctx context.Context) (any, error)) {
 	if s.tryCacheHit(w, key) {
 		return
 	}
 	var payload any
 	var cerr error
-	err := s.pool.Do(r.Context(), func() { payload, cerr = compute() })
+	err := s.pool.Do(r.Context(), func() { payload, cerr = compute(ctx) })
 	if errors.Is(err, ErrOverloaded) {
 		s.metrics.PoolRejected()
 	}
@@ -284,7 +343,7 @@ func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, key string,
 		err = cerr
 	}
 	if err != nil {
-		writeError(w, classify(err))
+		writeError(w, r, classify(err))
 		return
 	}
 	s.respondFresh(w, key, payload)
@@ -300,6 +359,18 @@ func classify(err error) error {
 	return err
 }
 
+// isRequestError reports errors caused by the request itself — unparseable
+// or loop-free programs, the client's deadline, a mid-request disconnect —
+// rather than by the decision policy. They must not count against the
+// per-policy error metric an operator alerts on.
+func isRequestError(err error) bool {
+	var perr *lang.ParseError
+	return errors.As(err, &perr) ||
+		errors.Is(err, core.ErrNoLoops) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // ---- Endpoints ----
 
 // AnnotateRequest is the /v1/annotate and /v1/sweep request body.
@@ -308,6 +379,14 @@ type AnnotateRequest struct {
 	Source string `json:"source"`
 	// Params optionally supplies runtime values for symbolic loop bounds.
 	Params map[string]int64 `json:"params,omitempty"`
+	// Policy selects the decision method by registry name (see
+	// GET /v1/policies). Empty means the trained agent for /v1/annotate and
+	// no decision overlay for /v1/sweep.
+	Policy string `json:"policy,omitempty"`
+	// TimeoutMS bounds this request's compute time; it can shorten the
+	// server's RequestTimeout but never extend it. Deadline-aware policies
+	// (brute) degrade to their best-so-far answer with "truncated": true.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // LoopDecision is one loop's predicted factors in an AnnotateResponse.
@@ -323,6 +402,8 @@ type LoopDecision struct {
 // AnnotateResponse is the /v1/annotate response body.
 type AnnotateResponse struct {
 	ModelVersion    string         `json:"model_version"`
+	Policy          string         `json:"policy"`
+	Truncated       bool           `json:"truncated,omitempty"`
 	Annotated       string         `json:"annotated"`
 	Loops           []LoopDecision `json:"loops"`
 	BaselineCycles  float64        `json:"baseline_cycles"`
@@ -330,21 +411,55 @@ type AnnotateResponse struct {
 	Speedup         float64        `json:"speedup"`
 }
 
+func (r *AnnotateResponse) skipCache() bool { return r.Truncated }
+
+// resolvePolicy maps a request's policy name onto a bound instance.
+// fallback is the name used for an empty field ("" keeps it unset). The
+// returned label is safe for metrics: client-supplied names that are not in
+// the registry collapse to "unknown" so request bodies cannot mint
+// unbounded label cardinality.
+func resolvePolicy(m *model, name, fallback string) (label string, pol policy.Policy, err error) {
+	if name == "" {
+		name = fallback
+	}
+	if name == "" {
+		return "", nil, nil
+	}
+	pol, err = m.fw.Policy(name)
+	if errors.Is(err, policy.ErrUnknown) {
+		return "unknown", nil, err
+	}
+	return name, pol, err
+}
+
 func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	var req AnnotateRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	m := s.model.Load()
-	key := cacheKey("annotate", m.version, req.Source, req.Params)
-	s.serveCached(w, r, key, func() (any, error) {
-		inf, err := m.fw.PredictSource(req.Source, req.Params)
+	polName, pol, err := resolvePolicy(m, req.Policy, core.DefaultPolicy)
+	if err != nil {
+		s.metrics.Policy(polName, false)
+		writeError(w, r, err)
+		return
+	}
+	key := cacheKey("annotate", m.version, polName, req.Source, req.Params)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	s.serveCached(w, r, ctx, key, func(ctx context.Context) (any, error) {
+		inf, err := m.fw.PredictSource(ctx, req.Source, req.Params, core.WithPolicy(pol))
+		if err == nil || !isRequestError(err) {
+			s.metrics.Policy(polName, err == nil)
+		}
 		if err != nil {
 			return nil, err
 		}
 		resp := &AnnotateResponse{
 			ModelVersion:    m.version,
+			Policy:          inf.Policy,
+			Truncated:       inf.Truncated,
 			Annotated:       inf.Annotated,
 			BaselineCycles:  inf.BaselineCycles,
 			PredictedCycles: inf.PredictedCycles,
@@ -375,32 +490,34 @@ type EmbedResponse struct {
 func (s *Server) handleEmbed(w http.ResponseWriter, r *http.Request) {
 	var req EmbedRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	m := s.model.Load()
-	key := cacheKey("embed", m.version, req.Source, nil)
+	key := cacheKey("embed", m.version, "", req.Source, nil)
 	if s.tryCacheHit(w, key) {
 		return
 	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
 	job := &embedJob{source: req.Source, m: m, done: make(chan struct{})}
 	if err := s.embeds.enqueue(job); err != nil {
 		s.metrics.PoolRejected()
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	select {
 	case <-job.done:
-	case <-r.Context().Done():
+	case <-ctx.Done():
 		job.canceled.Store(true)
-		writeError(w, r.Context().Err())
+		writeError(w, r, ctx.Err())
 		return
 	}
 	if job.err != nil {
 		if errors.Is(job.err, ErrOverloaded) {
 			s.metrics.PoolRejected()
 		}
-		writeError(w, classify(job.err))
+		writeError(w, r, classify(job.err))
 		return
 	}
 	s.respondFresh(w, key, &EmbedResponse{ModelVersion: m.version, Dim: len(job.vec), Vector: job.vec})
@@ -432,7 +549,9 @@ func (s *Server) processEmbedBatch(batch []*embedJob) {
 	}
 }
 
-// SweepResponse is the /v1/sweep response body.
+// SweepResponse is the /v1/sweep response body. The policy fields are only
+// present when the request selected a policy: they mark the grid cell that
+// method would pick.
 type SweepResponse struct {
 	ModelVersion   string      `json:"model_version"`
 	Loop           string      `json:"loop"`
@@ -440,18 +559,39 @@ type SweepResponse struct {
 	IFs            []int       `json:"ifs"`
 	BaselineCycles float64     `json:"baseline_cycles"`
 	Speedup        [][]float64 `json:"speedup"`
+	Policy         string      `json:"policy,omitempty"`
+	ChosenVF       int         `json:"chosen_vf,omitempty"`
+	ChosenIF       int         `json:"chosen_if,omitempty"`
+	Truncated      bool        `json:"truncated,omitempty"`
 }
+
+func (r *SweepResponse) skipCache() bool { return r.Truncated }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req AnnotateRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	m := s.model.Load()
-	key := cacheKey("sweep", m.version, req.Source, req.Params)
-	s.serveCached(w, r, key, func() (any, error) {
-		sw, err := m.fw.SweepSource(req.Source, req.Params)
+	polName, pol, err := resolvePolicy(m, req.Policy, "")
+	if err != nil {
+		s.metrics.Policy(polName, false)
+		writeError(w, r, err)
+		return
+	}
+	key := cacheKey("sweep", m.version, polName, req.Source, req.Params)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	s.serveCached(w, r, ctx, key, func(ctx context.Context) (any, error) {
+		var opts []core.InferOption
+		if pol != nil {
+			opts = append(opts, core.WithPolicy(pol))
+		}
+		sw, err := m.fw.SweepSource(ctx, req.Source, req.Params, opts...)
+		if polName != "" && (err == nil || !isRequestError(err)) {
+			s.metrics.Policy(polName, err == nil)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -462,8 +602,57 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			IFs:            sw.IFs,
 			BaselineCycles: sw.BaselineCycles,
 			Speedup:        sw.Speedup,
+			Policy:         sw.Policy,
+			ChosenVF:       sw.ChosenVF,
+			ChosenIF:       sw.ChosenIF,
+			Truncated:      sw.Truncated,
 		}, nil
 	})
+}
+
+// PolicyStatus describes one registered policy in a PoliciesResponse.
+type PolicyStatus struct {
+	Name      string `json:"name"`
+	Available bool   `json:"available"`
+	// Reason explains an unavailable policy (no trained agent, no corpus
+	// for the NNS index, ...).
+	Reason string `json:"reason,omitempty"`
+}
+
+// PoliciesResponse is the GET /v1/policies response body.
+type PoliciesResponse struct {
+	Default      string         `json:"default"`
+	ModelVersion string         `json:"model_version"`
+	Policies     []PolicyStatus `json:"policies"`
+}
+
+// handlePolicies lists every registered decision policy and whether the
+// serving snapshot can run it — the discovery endpoint clients use before
+// A/B-ing methods.
+func (s *Server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	m := s.model.Load()
+	resp := &PoliciesResponse{Default: core.DefaultPolicy, ModelVersion: m.version}
+	for _, name := range policy.List() {
+		st := PolicyStatus{Name: name}
+		p, err := m.fw.Policy(name)
+		if err == nil {
+			if prober, ok := p.(policy.Prober); ok {
+				err = prober.Probe()
+			}
+		}
+		if err != nil {
+			st.Reason = err.Error()
+		} else {
+			st.Available = true
+		}
+		resp.Policies = append(resp.Policies, st)
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // ReloadResponse is the /v1/reload response body.
@@ -475,7 +664,7 @@ type ReloadResponse struct {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	previous, current, err := s.Reload()
 	if err != nil {
-		writeError(w, err)
+		writeError(w, r, err)
 		return
 	}
 	body, _ := json.Marshal(&ReloadResponse{PreviousVersion: previous, ModelVersion: current})

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -10,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"neurovec/internal/core"
 	"neurovec/internal/dataset"
@@ -141,7 +143,7 @@ func TestAnnotateMatchesCLIPathAndCaches(t *testing.T) {
 	ref := referenceFramework(t, fixture.model1)
 	src := fixture.srcs[0]
 
-	wantAnnotated, wantDecisions, err := ref.AnnotateSource(src, nil)
+	wantAnnotated, wantDecisions, err := ref.AnnotateSource(context.Background(), src, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,7 +377,7 @@ func TestConcurrentAnnotateWithReload(t *testing.T) {
 		ref := referenceFramework(t, mp)
 		m := make(map[string]string, len(fixture.srcs))
 		for _, src := range fixture.srcs {
-			annotated, _, err := ref.AnnotateSource(src, nil)
+			annotated, _, err := ref.AnnotateSource(context.Background(), src, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -439,6 +441,171 @@ func TestConcurrentAnnotateWithReload(t *testing.T) {
 	hits, misses := s.metrics.CacheStats()
 	if hits == 0 || misses == 0 {
 		t.Fatalf("want mixed cache traffic, got hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestAnnotatePolicySelection checks the tentpole acceptance criterion at
+// the HTTP layer: the policy request field selects the decision method, and
+// responses are cached under policy-aware keys (the same source under two
+// policies is two cache entries, not one).
+func TestAnnotatePolicySelection(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+	src := fixture.srcs[0]
+
+	for _, polName := range []string{"rl", "costmodel", "brute", "random", "polly"} {
+		rec, body := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: src, Policy: polName})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("policy %s: status %d: %s", polName, rec.Code, body)
+		}
+		if got := rec.Header().Get("X-Neurovec-Cache"); got != "miss" {
+			t.Fatalf("policy %s: first request cache header %q, want miss (policy must be part of the key)", polName, got)
+		}
+		var resp AnnotateResponse
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Policy != polName {
+			t.Fatalf("served policy %q, requested %q", resp.Policy, polName)
+		}
+		if len(resp.Loops) == 0 || !strings.Contains(resp.Annotated, "#pragma") {
+			t.Fatalf("policy %s: empty decision set: %+v", polName, resp)
+		}
+		// The repeat must hit the policy-specific entry.
+		rec2, _ := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: src, Policy: polName})
+		if rec2.Header().Get("X-Neurovec-Cache") != "hit" {
+			t.Fatalf("policy %s: repeat was not a cache hit", polName)
+		}
+	}
+
+	// Per-policy metrics recorded one computed decision each.
+	_, mbody := do(t, s, "GET", "/metrics", nil)
+	for _, polName := range []string{"rl", "costmodel", "brute", "random", "polly"} {
+		want := fmt.Sprintf("neurovec_policy_requests_total{policy=%q,outcome=\"ok\"} 1", polName)
+		if !strings.Contains(string(mbody), want) {
+			t.Fatalf("metrics missing %s:\n%s", want, mbody)
+		}
+	}
+}
+
+func TestAnnotatePolicyErrors(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+	src := fixture.srcs[0]
+
+	// Unknown policy: client error.
+	rec, body := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: src, Policy: "quantum"})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown policy: status %d (%s), want 400", rec.Code, body)
+	}
+	// nns needs a labelled corpus the checkpoint-only server cannot supply:
+	// conflict with serving state.
+	rec2, body2 := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: src, Policy: "nns"})
+	if rec2.Code != http.StatusConflict {
+		t.Fatalf("nns without corpus: status %d (%s), want 409", rec2.Code, body2)
+	}
+}
+
+func TestPoliciesEndpoint(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+	rec, body := do(t, s, "GET", "/v1/policies", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp PoliciesResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Default != "rl" || resp.ModelVersion == "" {
+		t.Fatalf("bad discovery response: %+v", resp)
+	}
+	status := map[string]PolicyStatus{}
+	for _, p := range resp.Policies {
+		status[p.Name] = p
+	}
+	for _, name := range []string{"rl", "costmodel", "brute", "random", "polly"} {
+		if !status[name].Available {
+			t.Fatalf("policy %s unavailable on a loaded checkpoint: %+v", name, status[name])
+		}
+	}
+	if nns := status["nns"]; nns.Available || nns.Reason == "" {
+		t.Fatalf("nns must list unavailable with a reason on a checkpoint-only server: %+v", nns)
+	}
+}
+
+func TestSweepPolicyOverlay(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+	rec, body := do(t, s, "POST", "/v1/sweep", AnnotateRequest{Source: fixture.srcs[2], Policy: "costmodel"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, body)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Policy != "costmodel" || resp.ChosenVF == 0 || resp.ChosenIF == 0 {
+		t.Fatalf("sweep missing policy overlay: %+v", resp)
+	}
+	found := false
+	for _, vf := range resp.VFs {
+		if vf == resp.ChosenVF {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("chosen VF %d not in grid %v", resp.ChosenVF, resp.VFs)
+	}
+}
+
+// TestRequestTimeout checks the configurable per-request deadline: with a
+// vanishingly small budget the default (rl) pipeline fails with 504, while
+// the deadline-aware brute policy degrades to a truncated 200 that must not
+// be cached.
+func TestRequestTimeout(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1, RequestTimeout: time.Nanosecond})
+	src := fixture.srcs[0]
+
+	rec, body := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: src})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("rl under 1ns deadline: status %d (%s), want 504", rec.Code, body)
+	}
+
+	// A per-request timeout_ms may shorten a generous server budget but the
+	// brute policy still answers, flagged truncated and uncached.
+	s2 := newTestServer(t, Config{ModelPath: fixture.model1, RequestTimeout: time.Minute})
+	req := AnnotateRequest{Source: src, Policy: "brute", TimeoutMS: 1}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		rec2, body2 := do(t, s2, "POST", "/v1/annotate", req)
+		if rec2.Code != http.StatusOK {
+			t.Fatalf("brute under deadline: status %d (%s), want 200", rec2.Code, body2)
+		}
+		var resp AnnotateResponse
+		if err := json.Unmarshal(body2, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Truncated {
+			if rec2.Header().Get("X-Neurovec-Cache") != "miss" {
+				t.Fatal("truncated response served from cache")
+			}
+			// A truncated answer must not poison the cache for later, more
+			// patient clients.
+			rec3, _ := do(t, s2, "POST", "/v1/annotate", AnnotateRequest{Source: src, Policy: "brute"})
+			if rec3.Header().Get("X-Neurovec-Cache") == "hit" {
+				t.Fatal("full-budget request hit a truncated cache entry")
+			}
+			return
+		}
+		// The machine finished the whole grid inside 1ms; try a fresh
+		// source to avoid the now-cached complete answer.
+		if time.Now().After(deadline) {
+			t.Skip("grid repeatedly completed within 1ms; truncation unobservable on this machine")
+		}
+		src += "\n// retry\n"
+		req.Source = src
 	}
 }
 
