@@ -9,6 +9,7 @@
 //	serve    run a long-lived HTTP/JSON inference service from a snapshot
 //	brute    alias for the policy runner with -policy brute (per-loop table)
 //	sweep    print the full VF x IF grid for the first loop of a C file
+//	eval     score a policy over a whole corpus (speedup, oracle regret)
 //
 // Every decision method of the paper's comparison is selectable with the
 // shared -policy flag (annotate, brute, and sweep all take it): rl (the
@@ -34,6 +35,8 @@
 //	neurovec train -samples 1000 -iters 30 -save model.gob
 //	neurovec annotate -file kernel.c -load model.gob
 //	neurovec serve -model model.gob -addr :8080 -timeout 30s
+//	neurovec eval -policy rl -load model.gob -corpus polybench,mibench -jobs 8 -out report.json
+//	neurovec eval -policy costmodel -corpus generated -n 64 -seed 1
 package main
 
 import (
@@ -71,6 +74,8 @@ func main() {
 		err = cmdBrute(os.Args[2:])
 	case "sweep":
 		err = cmdSweep(os.Args[2:])
+	case "eval":
+		err = cmdEval(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
 	case "-h", "--help", "help":
@@ -102,6 +107,10 @@ commands:
             per loop of a C file as a table
   sweep     print the VF x IF performance grid for a C file's first loop
             (-policy marks the method's chosen cell)
+  eval      evaluate a policy over a whole corpus against a baseline and the
+            brute-force oracle; writes a deterministic JSON/CSV report
+            (-policy rl, -baseline costmodel, -corpus polybench,mibench,
+            figure7,generated, -jobs N, -out report.json, -timeout 2s)
   explain   show the simulator's cycle breakdown per loop (baseline vs best)
 `)
 }

@@ -201,3 +201,74 @@ func TestBuildTrainerRejectsBadSpace(t *testing.T) {
 		t.Fatal("expected error for unknown action space")
 	}
 }
+
+func TestCmdEvalDeterministicReport(t *testing.T) {
+	dir := t.TempDir()
+	run := func(out string, jobs string) []byte {
+		t.Helper()
+		err := cmdEval([]string{
+			"-policy", "random", "-corpus", "generated", "-n", "4",
+			"-seed", "7", "-jobs", jobs, "-out", out,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	first := run(filepath.Join(dir, "a.json"), "1")
+	second := run(filepath.Join(dir, "b.json"), "4")
+	if string(first) != string(second) {
+		t.Fatalf("eval reports differ across runs/jobs:\n%s\n---\n%s", first, second)
+	}
+	var report struct {
+		Spec struct {
+			Policy string `json:"policy"`
+			Seed   int64  `json:"seed"`
+		} `json:"spec"`
+		Overall struct {
+			Files             int     `json:"files"`
+			MeanSpeedup       float64 `json:"mean_speedup"`
+			MeanOracleSpeedup float64 `json:"mean_oracle_speedup"`
+		} `json:"overall"`
+	}
+	if err := json.Unmarshal(first, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Spec.Policy != "random" || report.Spec.Seed != 7 {
+		t.Fatalf("spec = %+v", report.Spec)
+	}
+	if report.Overall.Files != 4 || report.Overall.MeanSpeedup <= 0 || report.Overall.MeanOracleSpeedup < 1 {
+		t.Fatalf("overall = %+v", report.Overall)
+	}
+}
+
+func TestCmdEvalCSVAndValidation(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.csv")
+	err := cmdEval([]string{
+		"-policy", "costmodel", "-corpus", "generated", "-n", "2",
+		"-seed", "3", "-format", "csv", "-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(body), "suite,name,loops,") {
+		t.Fatalf("csv header missing:\n%s", body)
+	}
+	if err := cmdEval([]string{"-corpus", "bogus"}); err == nil {
+		t.Error("unknown corpus accepted")
+	}
+	if err := cmdEval([]string{"-format", "xml"}); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if err := cmdEval([]string{"-policy", "nns", "-load", "x.gob"}); err == nil {
+		t.Error("nns with -load accepted")
+	}
+}

@@ -61,6 +61,15 @@ func Choose(l *ir.Loop, arch *machine.Arch) Choice {
 	return best
 }
 
+// Estimate returns the model's estimated cost of one scalar iteration's
+// worth of work at vectorization width vf — the per-configuration view of
+// the linear model behind Choose. It exists so consistency checks (and
+// diagnostics) can compare the model's full cost curve against the
+// simulator's measured cycles, not just the argmin.
+func Estimate(l *ir.Loop, vf int, arch *machine.Arch) float64 {
+	return iterCost(l, vf, arch)
+}
+
 // Plan returns the baseline decision as an executable vectorization plan.
 func Plan(l *ir.Loop, arch *machine.Arch) *vectorizer.Plan {
 	c := Choose(l, arch)

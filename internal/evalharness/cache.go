@@ -1,0 +1,106 @@
+package evalharness
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"neurovec/internal/policy"
+)
+
+// defaultEmbedCacheEntries bounds the cache: at the paper's 340-wide
+// vectors (~2.7KB each) the default costs ~11MB — enough to hold every
+// built-in suite many times over without letting a server-lifetime cache
+// grow without limit across eval requests and hot-reloads.
+const defaultEmbedCacheEntries = 4096
+
+// EmbedCache memoizes learned code vectors across evaluation runs, bounded
+// by insertion-order eviction. Keys combine the model version fingerprint,
+// the source hash, and the loop label, so a hot-reloaded checkpoint can
+// share one cache with its predecessor without ever serving stale vectors
+// (stale versions' entries simply age out). Safe for concurrent use.
+type EmbedCache struct {
+	mu    sync.Mutex
+	m     map[string][]float64
+	order []string // insertion order, for eviction
+	max   int
+}
+
+// NewEmbedCache returns an empty cache with the default size bound.
+func NewEmbedCache() *EmbedCache {
+	return &EmbedCache{m: map[string][]float64{}, max: defaultEmbedCacheEntries}
+}
+
+// Len returns the number of cached vectors.
+func (c *EmbedCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+func embedKey(version, sourceHash, loop string) string {
+	return version + "\x00" + sourceHash + "\x00" + loop
+}
+
+func sourceHash(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return hex.EncodeToString(sum[:])
+}
+
+// get returns the cached vector and whether it was present.
+func (c *EmbedCache) get(key string) ([]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	vec, ok := c.m[key]
+	return vec, ok
+}
+
+// put stores a vector, evicting the oldest entries once the bound is hit.
+// Eviction order never affects report numbers — a miss just recomputes.
+func (c *EmbedCache) put(key string, vec []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[key]; !exists {
+		for len(c.m) >= c.max && len(c.order) > 0 {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, key)
+	}
+	c.m[key] = vec
+}
+
+// cachingPolicy wraps a policy so that every request's lazy Embed closure is
+// served through the harness's EmbedCache. Embedding dominates the cost of
+// the learned policies (the code2vec forward pass per loop), so repeated
+// runs over the same corpus — the regression-gate workload — skip it
+// entirely.
+type cachingPolicy struct {
+	inner   policy.Policy
+	cache   *EmbedCache
+	version string
+}
+
+func (p *cachingPolicy) Name() string { return p.inner.Name() }
+
+// DeadlineAware forwards the inner policy's degradation contract so the
+// inference pipeline still runs deadline-aware searches under an expired
+// context.
+func (p *cachingPolicy) DeadlineAware() bool { return policy.IsDeadlineAware(p.inner) }
+
+func (p *cachingPolicy) Decide(ctx context.Context, req *policy.Request) (*policy.Decision, error) {
+	if req.Embed != nil {
+		inner := req.Embed
+		key := embedKey(p.version, sourceHash(req.Source), req.Name)
+		req.Embed = func() []float64 {
+			if vec, ok := p.cache.get(key); ok {
+				return vec
+			}
+			vec := inner()
+			p.cache.put(key, vec)
+			return vec
+		}
+	}
+	return p.inner.Decide(ctx, req)
+}

@@ -1,0 +1,163 @@
+package evalharness
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"neurovec/internal/dataset"
+)
+
+// Item is one program of an evaluation corpus.
+type Item struct {
+	// Suite groups items for aggregation ("polybench", "generated", ...).
+	Suite string
+	// Name identifies the item within its suite.
+	Name string
+	// Source is the program text.
+	Source string
+	// Params optionally supplies runtime values for symbolic loop bounds.
+	Params map[string]int64
+	// ScalarWorkFactor adds fixed non-loop work equal to this multiple of
+	// the baseline cycle count to every measurement — the MiBench regime
+	// where "the loops constitute a minor portion of the code".
+	ScalarWorkFactor float64
+}
+
+// Corpus is an ordered collection of evaluation items. Run iterates items
+// in slice order; Sort establishes the canonical (suite, name) order that
+// makes reports deterministic.
+type Corpus struct {
+	Items []Item
+}
+
+// Add appends items.
+func (c *Corpus) Add(items ...Item) { c.Items = append(c.Items, items...) }
+
+// Len returns the number of items.
+func (c *Corpus) Len() int { return len(c.Items) }
+
+// Sort orders items by (suite, name) — the canonical report order.
+func (c *Corpus) Sort() {
+	sort.SliceStable(c.Items, func(i, j int) bool {
+		a, b := c.Items[i], c.Items[j]
+		if a.Suite != b.Suite {
+			return a.Suite < b.Suite
+		}
+		return a.Name < b.Name
+	})
+}
+
+// Suites returns the distinct suite names in sorted order.
+func (c *Corpus) Suites() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, it := range c.Items {
+		if !seen[it.Suite] {
+			seen[it.Suite] = true
+			out = append(out, it.Suite)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FromBenchmarks wraps a dataset benchmark list as one suite.
+func FromBenchmarks(suite string, bs []dataset.Benchmark) *Corpus {
+	c := &Corpus{}
+	for _, b := range bs {
+		c.Add(Item{
+			Suite:            suite,
+			Name:             b.Name,
+			Source:           b.Source,
+			Params:           b.ParamValues,
+			ScalarWorkFactor: b.ScalarWorkFactor,
+		})
+	}
+	return c
+}
+
+// FromSet wraps a generated training set as one suite.
+func FromSet(suite string, set *dataset.Set) *Corpus {
+	c := &Corpus{}
+	for _, s := range set.Samples {
+		c.Add(Item{Suite: suite, Name: s.Name, Source: s.Source})
+	}
+	return c
+}
+
+// FromDir loads every .c file under dir (recursively, in sorted path order)
+// as one suite. Item names are slash-separated paths relative to dir.
+func FromDir(suite, dir string) (*Corpus, error) {
+	c := &Corpus{}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || filepath.Ext(path) != ".c" {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			rel = path
+		}
+		c.Add(Item{Suite: suite, Name: filepath.ToSlash(rel), Source: string(src)})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Sort()
+	return c, nil
+}
+
+// Suite names BuildCorpus understands.
+const (
+	SuitePolyBench = "polybench"
+	SuiteMiBench   = "mibench"
+	SuiteFigure7   = "figure7"
+	SuiteGenerated = "generated"
+)
+
+// BuildCorpus assembles a corpus from a comma-separated spec of built-in
+// suite names: "polybench", "mibench", "figure7" (the paper's twelve
+// held-out benchmarks), and "generated" (genN synthetic programs from the
+// seed). The result is in canonical (suite, name) order.
+func BuildCorpus(spec string, genN int, seed int64) (*Corpus, error) {
+	if spec == "" {
+		spec = SuiteGenerated
+	}
+	if genN <= 0 {
+		genN = 16
+	}
+	c := &Corpus{}
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case SuitePolyBench:
+			c.Add(FromBenchmarks(SuitePolyBench, dataset.PolyBench()).Items...)
+		case SuiteMiBench:
+			c.Add(FromBenchmarks(SuiteMiBench, dataset.MiBench()).Items...)
+		case SuiteFigure7, "eval":
+			c.Add(FromBenchmarks(SuiteFigure7, dataset.EvalBenchmarks()).Items...)
+		case SuiteGenerated:
+			c.Add(FromSet(SuiteGenerated, dataset.Generate(dataset.GenConfig{N: genN, Seed: seed})).Items...)
+		case "":
+			continue
+		default:
+			return nil, fmt.Errorf("evalharness: unknown corpus suite %q (want %s, %s, %s, or %s)",
+				name, SuitePolyBench, SuiteMiBench, SuiteFigure7, SuiteGenerated)
+		}
+	}
+	if len(c.Items) == 0 {
+		return nil, fmt.Errorf("evalharness: empty corpus spec %q", spec)
+	}
+	c.Sort()
+	return c, nil
+}

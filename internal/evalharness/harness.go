@@ -1,0 +1,240 @@
+// Package evalharness evaluates vectorization decision policies over whole
+// benchmark corpora — the paper's aggregate claim (mean speedup over the
+// baseline cost model, proximity to the brute-force oracle across suites)
+// as a reusable, parallel experiment engine.
+//
+// A Harness shards a Corpus over a worker pool. For every file it runs the
+// evaluated policy, the baseline, and the oracle side by side through the
+// framework's stateless inference path, then folds per-file speedup, oracle
+// regret, and decision agreement into per-suite and overall aggregates. The
+// result is a deterministic Report: files and suites are in canonical
+// order, numbers are a pure function of (corpus, spec), and the volatile
+// wall-clock block is kept separate — so two runs at the same seed render
+// byte-identical JSON/CSV regardless of the worker count, which is what
+// makes the report usable as a CI regression gate.
+//
+// Learned policies pay one code2vec forward pass per loop; the harness
+// memoizes those vectors in an EmbedCache keyed by model version and source
+// hash, so repeated runs (and shared caches across hot-reloads) skip the
+// embedding cost entirely.
+//
+//	h := evalharness.New(fw)
+//	corpus, _ := evalharness.BuildCorpus("polybench,mibench", 0, 1)
+//	report, _ := h.Run(ctx, corpus, evalharness.Options{Policy: "rl", Seed: 1})
+//	report.WriteJSON(os.Stdout, false)
+package evalharness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"neurovec/internal/core"
+	"neurovec/internal/policy"
+)
+
+// Options configures one evaluation run.
+type Options struct {
+	// Policy is the registry name of the method under evaluation. Required.
+	Policy string
+	// Baseline names the policy whose cycles anchor speedup (default
+	// "costmodel", the paper's LLVM baseline). Any registered policy works,
+	// so two learned methods can be compared head to head.
+	Baseline string
+	// Oracle names the policy whose cycles anchor regret (default "brute",
+	// the exhaustive search).
+	Oracle string
+	// Jobs is the worker-pool width (default GOMAXPROCS). It never affects
+	// the report's numbers, only the wall time.
+	Jobs int
+	// Timeout bounds each policy inference (policy, baseline, and oracle
+	// each get their own budget). Deadline-aware policies degrade to their
+	// best-so-far answer and mark the file Truncated; others record a
+	// per-file error. Zero means unbounded.
+	Timeout time.Duration
+	// Seed is stamped into the report spec; corpus generation upstream and
+	// stochastic policies (via the host seed) must already agree with it
+	// for the determinism contract to hold.
+	Seed int64
+}
+
+// Harness evaluates policies over corpora against one framework. Create it
+// once and reuse it: the embedding cache carries across runs.
+type Harness struct {
+	fw     *core.Framework
+	embeds *EmbedCache
+}
+
+// New returns a harness over fw with a fresh embedding cache.
+func New(fw *core.Framework) *Harness {
+	return &Harness{fw: fw, embeds: NewEmbedCache()}
+}
+
+// WithEmbedCache shares an existing embedding cache (e.g. one owned by the
+// serving layer, surviving model hot-reloads) and returns the harness.
+func (h *Harness) WithEmbedCache(c *EmbedCache) *Harness {
+	if c != nil {
+		h.embeds = c
+	}
+	return h
+}
+
+// EmbedCacheLen reports how many code vectors the harness has memoized.
+func (h *Harness) EmbedCacheLen() int { return h.embeds.Len() }
+
+// Run evaluates opts.Policy over the corpus. Per-file failures (parse
+// errors, loop-free programs, per-inference deadlines on non-degrading
+// policies) are recorded in the report; Run itself fails only on unusable
+// options, unresolvable policies, or parent-context cancellation.
+func (h *Harness) Run(ctx context.Context, corpus *Corpus, opts Options) (*Report, error) {
+	if corpus == nil || len(corpus.Items) == 0 {
+		return nil, errors.New("evalharness: empty corpus")
+	}
+	if opts.Policy == "" {
+		return nil, errors.New("evalharness: Options.Policy is required")
+	}
+	if opts.Baseline == "" {
+		opts.Baseline = "costmodel"
+	}
+	if opts.Oracle == "" {
+		opts.Oracle = "brute"
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
+	}
+
+	// Resolve every role up front so a misconfigured run (unknown policy,
+	// untrained agent) fails before any simulation work.
+	roles := [3]string{opts.Policy, opts.Baseline, opts.Oracle}
+	var pols [3]policy.Policy
+	version := h.fw.ModelVersion()
+	for i, name := range roles {
+		p, err := h.fw.Policy(name)
+		if err != nil {
+			return nil, fmt.Errorf("evalharness: resolve %s: %w", name, err)
+		}
+		pols[i] = &cachingPolicy{inner: p, cache: h.embeds, version: version}
+	}
+
+	started := time.Now()
+	files := make([]FileResult, len(corpus.Items))
+	jobs := opts.Jobs
+	if jobs > len(corpus.Items) {
+		jobs = len(corpus.Items)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(corpus.Items) || ctx.Err() != nil {
+					return
+				}
+				files[i] = h.evalOne(ctx, corpus.Items[i], pols, opts)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	report := &Report{
+		Spec: Spec{
+			Policy:       opts.Policy,
+			Baseline:     opts.Baseline,
+			Oracle:       opts.Oracle,
+			Seed:         opts.Seed,
+			Arch:         h.fw.Arch().Name,
+			ModelVersion: version,
+			TimeoutMS:    opts.Timeout.Milliseconds(),
+			Suites:       corpus.Suites(),
+			Files:        len(corpus.Items),
+		},
+		Files: files,
+	}
+	for _, suite := range report.Spec.Suites {
+		report.Suites = append(report.Suites, aggregate(suite, files))
+	}
+	overall := aggregate("", files)
+	overall.Suite = ""
+	report.Overall = overall
+	report.Timing = buildTiming(files, time.Since(started), jobs)
+	return report, nil
+}
+
+// evalOne scores one corpus item: policy, baseline, and oracle inference
+// plus the derived metrics. Identical role names share one inference.
+func (h *Harness) evalOne(ctx context.Context, it Item, pols [3]policy.Policy, opts Options) FileResult {
+	res := FileResult{Suite: it.Suite, Name: it.Name}
+
+	infs := make(map[string]*core.Inference, 3)
+	run := func(p policy.Policy) (*core.Inference, error) {
+		if inf, ok := infs[p.Name()]; ok {
+			return inf, nil
+		}
+		rctx, cancel := ctx, context.CancelFunc(func() {})
+		if opts.Timeout > 0 {
+			rctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		}
+		defer cancel()
+		inf, err := h.fw.PredictSource(rctx, it.Source, it.Params, core.WithPolicy(p))
+		if err != nil {
+			return nil, err
+		}
+		infs[p.Name()] = inf
+		return inf, nil
+	}
+
+	started := time.Now()
+	polInf, err := run(pols[0])
+	res.latency = time.Since(started)
+	var baseInf, oracleInf *core.Inference
+	if err == nil {
+		baseInf, err = run(pols[1])
+	}
+	if err == nil {
+		oracleInf, err = run(pols[2])
+	}
+	if err != nil {
+		res.Error = err.Error()
+		return res
+	}
+
+	// The MiBench regime: fixed scalar work proportional to the baseline's
+	// cycles dilutes loop-level wins into end-to-end numbers.
+	scalarWork := it.ScalarWorkFactor * baseInf.PredictedCycles
+	res.Loops = len(polInf.Decisions)
+	res.BaselineCycles = baseInf.PredictedCycles + scalarWork
+	res.PolicyCycles = polInf.PredictedCycles + scalarWork
+	res.OracleCycles = oracleInf.PredictedCycles + scalarWork
+	res.Speedup = safeRatio(res.BaselineCycles, res.PolicyCycles)
+	res.OracleSpeedup = safeRatio(res.BaselineCycles, res.OracleCycles)
+	res.Regret = safeRatio(res.PolicyCycles, res.OracleCycles) - 1
+	res.Truncated = polInf.Truncated || baseInf.Truncated || oracleInf.Truncated
+
+	oracleBy := make(map[string][2]int, len(oracleInf.Decisions))
+	for _, d := range oracleInf.Decisions {
+		oracleBy[d.Label] = [2]int{d.VF, d.IF}
+	}
+	for _, d := range polInf.Decisions {
+		if o, ok := oracleBy[d.Label]; ok && o[0] == d.VF && o[1] == d.IF {
+			res.AgreedLoops++
+		}
+	}
+	return res
+}
+
+func safeRatio(num, den float64) float64 {
+	if den <= 0 {
+		return 1
+	}
+	return num / den
+}

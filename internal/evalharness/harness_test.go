@@ -1,0 +1,306 @@
+package evalharness
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"neurovec/internal/core"
+	"neurovec/internal/dataset"
+	"neurovec/internal/rl"
+)
+
+func modelFree(t *testing.T, seed int64) *core.Framework {
+	t.Helper()
+	return core.New(core.DefaultConfig(), core.WithSeed(seed))
+}
+
+func runJSON(t *testing.T, h *Harness, corpus *Corpus, opts Options) []byte {
+	t.Helper()
+	report, err := h.Run(context.Background(), corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRunDeterministicAcrossJobsAndRuns(t *testing.T) {
+	corpus, err := BuildCorpus("generated", 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(modelFree(t, 3))
+	opts := Options{Policy: "random", Seed: 3}
+
+	opts.Jobs = 1
+	first := runJSON(t, h, corpus, opts)
+	opts.Jobs = 4
+	second := runJSON(t, h, corpus, opts)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("report differs across worker counts:\n--- jobs=1\n%s\n--- jobs=4\n%s", first, second)
+	}
+	// A fresh harness (cold caches, separate framework) must agree too.
+	third := runJSON(t, New(modelFree(t, 3)), corpus, Options{Policy: "random", Seed: 3, Jobs: 2})
+	if !bytes.Equal(first, third) {
+		t.Fatal("report differs across harness instances at the same seed")
+	}
+}
+
+func TestBruteAgainstItselfHasZeroRegret(t *testing.T) {
+	corpus, err := BuildCorpus("generated", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(modelFree(t, 1))
+	report, err := h.Run(context.Background(), corpus, Options{Policy: "brute", Seed: 1, Jobs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range report.Files {
+		if f.Error != "" {
+			t.Fatalf("%s/%s: unexpected error %q", f.Suite, f.Name, f.Error)
+		}
+		if f.Regret != 0 {
+			t.Errorf("%s: brute vs brute regret = %v, want 0", f.Name, f.Regret)
+		}
+		if f.AgreedLoops != f.Loops {
+			t.Errorf("%s: agreement %d/%d, want full", f.Name, f.AgreedLoops, f.Loops)
+		}
+		if f.Speedup != f.OracleSpeedup {
+			t.Errorf("%s: speedup %v != oracle speedup %v", f.Name, f.Speedup, f.OracleSpeedup)
+		}
+		if f.Speedup < 1 {
+			t.Errorf("%s: oracle slower than baseline (%vx)", f.Name, f.Speedup)
+		}
+	}
+	if report.Overall.Agreement != 1 {
+		t.Errorf("overall agreement = %v, want 1", report.Overall.Agreement)
+	}
+	if report.Overall.Errors != 0 {
+		t.Errorf("overall errors = %d, want 0", report.Overall.Errors)
+	}
+}
+
+func TestPerFileErrorsAreRecordedNotFatal(t *testing.T) {
+	corpus := &Corpus{}
+	corpus.Add(
+		Item{Suite: "s", Name: "bad_parse", Source: "void f( {"},
+		Item{Suite: "s", Name: "no_loops", Source: "int x; void f() { x = 1; }"},
+		Item{Suite: "s", Name: "ok", Source: "float a[64]; float b[64]; void f() { for (int i = 0; i < 64; i++) { a[i] = a[i] + b[i]; } }"},
+	)
+	h := New(modelFree(t, 1))
+	report, err := h.Run(context.Background(), corpus, Options{Policy: "costmodel", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Overall.Errors != 2 {
+		t.Fatalf("errors = %d, want 2 (report: %+v)", report.Overall.Errors, report.Files)
+	}
+	byName := map[string]FileResult{}
+	for _, f := range report.Files {
+		byName[f.Name] = f
+	}
+	if byName["bad_parse"].Error == "" || byName["no_loops"].Error == "" {
+		t.Fatal("expected per-file errors for unparseable and loop-free items")
+	}
+	if byName["ok"].Error != "" || byName["ok"].Speedup <= 0 {
+		t.Fatalf("healthy item mis-scored: %+v", byName["ok"])
+	}
+	// Errored files must not drag the aggregates to zero.
+	if report.Overall.MeanSpeedup <= 0 {
+		t.Fatalf("overall mean speedup = %v, want > 0", report.Overall.MeanSpeedup)
+	}
+}
+
+func TestRunRejectsBadOptions(t *testing.T) {
+	h := New(modelFree(t, 1))
+	corpus, err := BuildCorpus("generated", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Run(context.Background(), &Corpus{}, Options{Policy: "brute"}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+	if _, err := h.Run(context.Background(), corpus, Options{}); err == nil {
+		t.Error("missing policy accepted")
+	}
+	if _, err := h.Run(context.Background(), corpus, Options{Policy: "no-such-policy"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	// rl without a trained agent must fail at resolution or first decide —
+	// either way Run reports it rather than emitting a zeroed report.
+	if report, err := h.Run(context.Background(), corpus, Options{Policy: "rl"}); err == nil {
+		for _, f := range report.Files {
+			if f.Error == "" {
+				t.Error("rl without an agent produced a decision")
+			}
+		}
+	}
+}
+
+func TestDeadlineTruncationIsReported(t *testing.T) {
+	corpus, err := BuildCorpus("generated", 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(modelFree(t, 2))
+	// Everything deadline-aware: an expired budget degrades each search to
+	// best-so-far instead of failing the file.
+	report, err := h.Run(context.Background(), corpus, Options{
+		Policy: "brute", Baseline: "brute", Oracle: "brute",
+		Timeout: time.Nanosecond, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Overall.Truncated != report.Overall.Files {
+		t.Fatalf("truncated = %d, want all %d files", report.Overall.Truncated, report.Overall.Files)
+	}
+	if report.Spec.TimeoutMS != 0 {
+		t.Fatalf("sub-millisecond timeout rounded to %dms in spec", report.Spec.TimeoutMS)
+	}
+}
+
+func TestTrainedPolicyUsesEmbedCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a small agent")
+	}
+	cfg := core.DefaultConfig()
+	cfg.Embed.OutDim = 32
+	cfg.Embed.EmbedDim = 8
+	cfg.Embed.MaxContexts = 30
+	cfg.Seed = 1
+	fw := core.New(cfg)
+	if err := fw.LoadSet(dataset.Generate(dataset.GenConfig{N: 12, Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	rc := rl.DefaultConfig(nil, nil)
+	rc.Batch = 48
+	rc.MiniBatch = 16
+	rc.Iterations = 2
+	rc.Hidden = []int{16, 16}
+	fw.Train(&rc)
+
+	corpus, err := BuildCorpus("generated", 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(fw)
+	first := runJSON(t, h, corpus, Options{Policy: "rl", Seed: 9, Jobs: 2})
+	if h.EmbedCacheLen() == 0 {
+		t.Fatal("rl evaluation left the embedding cache empty")
+	}
+	// Warm-cache rerun must not change a single byte.
+	second := runJSON(t, h, corpus, Options{Policy: "rl", Seed: 9, Jobs: 3})
+	if !bytes.Equal(first, second) {
+		t.Fatal("warm embedding cache changed the report")
+	}
+}
+
+func TestBuildCorpusSpecs(t *testing.T) {
+	c, err := BuildCorpus("polybench,mibench,figure7", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suites := c.Suites()
+	want := []string{"figure7", "mibench", "polybench"}
+	if strings.Join(suites, ",") != strings.Join(want, ",") {
+		t.Fatalf("suites = %v, want %v", suites, want)
+	}
+	for i := 1; i < len(c.Items); i++ {
+		a, b := c.Items[i-1], c.Items[i]
+		if a.Suite > b.Suite || (a.Suite == b.Suite && a.Name > b.Name) {
+			t.Fatalf("corpus not in canonical order at %d: %v then %v", i, a.Name, b.Name)
+		}
+	}
+	if _, err := BuildCorpus("bogus", 0, 1); err == nil {
+		t.Fatal("unknown suite accepted")
+	}
+	if _, err := BuildCorpus(",", 0, 1); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestReportCSVAndSummary(t *testing.T) {
+	corpus, err := BuildCorpus("generated", 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(modelFree(t, 5))
+	report, err := h.Run(context.Background(), corpus, Options{Policy: "costmodel", Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv1, csv2 bytes.Buffer
+	if err := report.WriteCSV(&csv1); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(csv1.String(), "\n"), "\n")
+	if len(lines) != 1+len(report.Files) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(report.Files))
+	}
+	if !strings.HasPrefix(lines[0], "suite,name,loops,") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	report2, err := h.Run(context.Background(), corpus, Options{Policy: "costmodel", Seed: 5, Jobs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report2.WriteCSV(&csv2); err != nil {
+		t.Fatal(err)
+	}
+	if csv1.String() != csv2.String() {
+		t.Fatal("CSV differs across runs at the same seed")
+	}
+	if s := report.Summary(); !strings.Contains(s, "overall") || !strings.Contains(s, "generated") {
+		t.Fatalf("summary missing rows:\n%s", s)
+	}
+	// Timing is present on the report but absent from deterministic JSON.
+	if report.Timing == nil || report.Timing.Jobs == 0 {
+		t.Fatal("timing block missing")
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "\"timing\"") {
+		t.Fatal("deterministic JSON leaked the timing block")
+	}
+	buf.Reset()
+	if err := report.WriteJSON(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "\"timing\"") {
+		t.Fatal("timing JSON missing the timing block")
+	}
+}
+
+func TestEmbedCacheBounded(t *testing.T) {
+	c := NewEmbedCache()
+	c.max = 8
+	for i := 0; i < 50; i++ {
+		c.put(string(rune('a'+i%26))+string(rune('0'+i/26)), []float64{float64(i)})
+	}
+	if c.Len() > 8 {
+		t.Fatalf("cache grew to %d entries past its bound of 8", c.Len())
+	}
+	// The most recent insertion survives; evicted keys just miss.
+	if _, ok := c.get("x1"); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+	// Overwriting an existing key must not duplicate it in the order list.
+	before := c.Len()
+	c.put("x1", []float64{99})
+	if c.Len() != before {
+		t.Fatalf("overwrite changed entry count %d -> %d", before, c.Len())
+	}
+	if v, _ := c.get("x1"); v[0] != 99 {
+		t.Fatalf("overwrite not visible: %v", v)
+	}
+}

@@ -1,0 +1,134 @@
+package lang_test
+
+import (
+	"reflect"
+	"testing"
+
+	"neurovec/internal/dataset"
+	"neurovec/internal/lang"
+)
+
+// normalizeAST strips source positions (and raw pragma text) from a parsed
+// program in place, so two parses of differently formatted but structurally
+// identical source compare equal under reflect.DeepEqual. It walks the AST
+// generically: any struct field of type lang.Pos is zeroed, and Pragma.Raw
+// is cleared (it preserves the original spelling, which printing
+// legitimately canonicalizes).
+func normalizeAST(v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Ptr, reflect.Interface:
+		if !v.IsNil() {
+			normalizeAST(v.Elem())
+		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			normalizeAST(v.Index(i))
+		}
+	case reflect.Struct:
+		if v.Type() == reflect.TypeOf(lang.Pos{}) {
+			v.Set(reflect.Zero(v.Type()))
+			return
+		}
+		if v.Type() == reflect.TypeOf(lang.Pragma{}) {
+			v.FieldByName("Raw").SetString("")
+		}
+		for i := 0; i < v.NumField(); i++ {
+			if f := v.Field(i); f.CanSet() {
+				normalizeAST(f)
+			}
+		}
+	}
+}
+
+// roundTrip asserts parse → print → parse is the identity on the AST
+// (modulo positions) and that printing is a fixed point.
+func roundTrip(t *testing.T, name, src string) {
+	t.Helper()
+	first, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	printed := lang.Print(first)
+	second, err := lang.Parse(printed)
+	if err != nil {
+		t.Fatalf("%s: reparse of printed source: %v\n%s", name, err, printed)
+	}
+	if reprinted := lang.Print(second); reprinted != printed {
+		t.Fatalf("%s: printing is not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", name, printed, reprinted)
+	}
+	normalizeAST(reflect.ValueOf(first))
+	normalizeAST(reflect.ValueOf(second))
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("%s: AST changed across print/parse round trip\nsource:\n%s\nprinted:\n%s", name, src, printed)
+	}
+}
+
+// TestParsePrintRoundTripProperty drives the round-trip property over a
+// fuzz-seeded synthetic corpus: every template family, many seeds, plus
+// every built-in benchmark suite. A failure here means the printer emits
+// something the parser reads back differently — the exact bug class that
+// silently corrupts annotated output.
+func TestParsePrintRoundTripProperty(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 10
+	}
+	for _, seed := range []int64{1, 2, 3, 17, 99} {
+		set := dataset.Generate(dataset.GenConfig{N: n, Seed: seed})
+		for _, s := range set.Samples {
+			roundTrip(t, s.Name, s.Source)
+		}
+	}
+	for _, b := range dataset.PolyBench() {
+		roundTrip(t, "polybench/"+b.Name, b.Source)
+	}
+	for _, b := range dataset.MiBench() {
+		roundTrip(t, "mibench/"+b.Name, b.Source)
+	}
+	for _, b := range dataset.EvalBenchmarks() {
+		roundTrip(t, "figure7/"+b.Name, b.Source)
+	}
+}
+
+// TestRoundTripWithPragmas covers the annotated-output shape: pragmas must
+// survive the round trip with their factors intact.
+func TestRoundTripWithPragmas(t *testing.T) {
+	src := `
+float a[1024];
+float b[1024];
+void kernel() {
+    #pragma clang loop vectorize_width(8) interleave_count(2)
+    for (int i = 0; i < 1024; i++) {
+        a[i] = a[i] + b[i];
+    }
+}
+`
+	roundTrip(t, "pragmas", src)
+}
+
+// FuzzParsePrintRoundTrip lets the fuzzer hunt for printable programs the
+// parser reads back differently. Seeds come from the synthetic generator;
+// unparseable mutations are skipped (the property only speaks about valid
+// programs).
+func FuzzParsePrintRoundTrip(f *testing.F) {
+	for _, s := range dataset.Generate(dataset.GenConfig{N: 8, Seed: 42}).Samples {
+		f.Add(s.Source)
+	}
+	f.Add("int x; void f() { for (int i = 0; i < 8; i++) { x += i; } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		first, err := lang.Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		printed := lang.Print(first)
+		second, err := lang.Parse(printed)
+		if err != nil {
+			t.Fatalf("printed source does not reparse: %v\n%s", err, printed)
+		}
+		normalizeAST(reflect.ValueOf(first))
+		normalizeAST(reflect.ValueOf(second))
+		if !reflect.DeepEqual(first, second) {
+			t.Fatalf("AST changed across round trip\nsource:\n%s\nprinted:\n%s", src, printed)
+		}
+	})
+}

@@ -80,6 +80,56 @@
 //	 "baseline_cycles": 2222.1, "speedup": [[1.0, …], …],
 //	 "policy": "costmodel", "chosen_vf": 4, "chosen_if": 2}
 //
+// # Evaluating policies
+//
+// GET/POST /v1/eval — evaluate a policy over a whole built-in corpus, the
+// service-side twin of `neurovec eval`. Every file runs through the policy
+// under evaluation, a baseline (default "costmodel"), and the brute-force
+// oracle; the response aggregates per-suite and overall mean/geomean
+// speedup, oracle regret (policy cycles over oracle cycles minus one), and
+// decision agreement. Numbers are a pure function of (model version,
+// request spec): the report's files and suites are canonically sorted and
+// the volatile timing block is omitted, so repeated identical specs return
+// identical bytes (usually straight from the response cache) and match the
+// CLI's `neurovec eval` output at the same seed.
+//
+// POST body (GET takes the same fields as query parameters):
+//
+//	{"policy": "rl",               // default "rl"
+//	 "baseline": "costmodel",      // default "costmodel"
+//	 "corpus": "polybench,mibench",// suites: polybench, mibench, figure7, generated
+//	 "n": 32,                      // generated-suite size (default 16, cap 256)
+//	 "seed": 1,                    // corpus + stochastic-policy seed
+//	 "jobs": 4,                    // parallelism cap (never changes the numbers)
+//	 "timeout_ms": 250}            // per-inference budget inside the evaluation
+//
+// Response 200:
+//
+//	{"model_version": "8c6a…",
+//	 "report": {
+//	   "spec":    {"policy": "rl", "baseline": "costmodel", "oracle": "brute",
+//	               "seed": 1, "suites": ["mibench", "polybench"], "files": 12, …},
+//	   "overall": {"files": 12, "loops": 14, "mean_speedup": 1.32,
+//	               "geomean_speedup": 1.28, "mean_oracle_speedup": 1.41,
+//	               "mean_regret": 0.07, "agreement": 0.64},
+//	   "suites":  [{"suite": "mibench", …}, {"suite": "polybench", …}],
+//	   "files":   [{"suite": "mibench", "name": "crc32", "loops": 1,
+//	                "baseline_cycles": 9041, "policy_cycles": 8120,
+//	                "oracle_cycles": 8101, "speedup": 1.11,
+//	                "oracle_speedup": 1.12, "regret": 0.002,
+//	                "agreed_loops": 0}, …]}}
+//
+// Example:
+//
+//	curl 'localhost:8080/v1/eval?policy=rl&corpus=polybench&seed=1'
+//	curl -d '{"policy": "rl", "corpus": "generated", "n": 32}' localhost:8080/v1/eval
+//
+// Evaluations are counted at /metrics as
+// neurovec_eval_runs_total{policy="…",outcome="…"} and
+// neurovec_eval_files_total{suite="…"}. Learned-policy embeddings are
+// memoized across eval runs (keyed by model version + source hash), so
+// repeated corpus evaluations — the regression-gate workload — are fast.
+//
 // GET /v1/policies — discover the registered decision policies and whether
 // this serving snapshot can run them.
 //

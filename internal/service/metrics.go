@@ -38,6 +38,8 @@ type Metrics struct {
 	mu        sync.Mutex
 	endpoints map[string]*endpointStats
 	policies  map[string]*policyStats
+	evalRuns  map[string]*policyStats // corpus evaluations, by policy
+	evalFiles map[string]int64        // evaluated files, by suite
 
 	cacheHits   int64
 	cacheMisses int64
@@ -56,6 +58,8 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		endpoints: make(map[string]*endpointStats),
 		policies:  make(map[string]*policyStats),
+		evalRuns:  make(map[string]*policyStats),
+		evalFiles: make(map[string]int64),
 	}
 }
 
@@ -77,6 +81,36 @@ func (m *Metrics) Policy(name string, ok bool) {
 	} else {
 		st.errs++
 	}
+}
+
+// EvalRun records one corpus evaluation computed for a /v1/eval request
+// (cache hits never re-run the harness and are not counted).
+func (m *Metrics) EvalRun(policy string, ok bool) {
+	if policy == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.evalRuns[policy]
+	if st == nil {
+		st = &policyStats{}
+		m.evalRuns[policy] = st
+	}
+	if ok {
+		st.ok++
+	} else {
+		st.errs++
+	}
+}
+
+// EvalFiles records n files evaluated under one suite.
+func (m *Metrics) EvalFiles(suite string, n int) {
+	if suite == "" || n <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.evalFiles[suite] += int64(n)
+	m.mu.Unlock()
 }
 
 // ObserveRequest records one finished request.
@@ -228,6 +262,38 @@ func (m *Metrics) render(w io.Writer) (int64, error) {
 			return n, err
 		}
 		if err := p("neurovec_policy_requests_total{policy=%q,outcome=\"error\"} %d\n", name, st.errs); err != nil {
+			return n, err
+		}
+	}
+
+	if err := p("# HELP neurovec_eval_runs_total Corpus evaluations computed, by policy and outcome.\n# TYPE neurovec_eval_runs_total counter\n"); err != nil {
+		return n, err
+	}
+	evalNames := make([]string, 0, len(m.evalRuns))
+	for name := range m.evalRuns {
+		evalNames = append(evalNames, name)
+	}
+	sort.Strings(evalNames)
+	for _, name := range evalNames {
+		st := m.evalRuns[name]
+		if err := p("neurovec_eval_runs_total{policy=%q,outcome=\"ok\"} %d\n", name, st.ok); err != nil {
+			return n, err
+		}
+		if err := p("neurovec_eval_runs_total{policy=%q,outcome=\"error\"} %d\n", name, st.errs); err != nil {
+			return n, err
+		}
+	}
+
+	if err := p("# HELP neurovec_eval_files_total Files evaluated by the corpus harness, by suite.\n# TYPE neurovec_eval_files_total counter\n"); err != nil {
+		return n, err
+	}
+	suiteNames := make([]string, 0, len(m.evalFiles))
+	for name := range m.evalFiles {
+		suiteNames = append(suiteNames, name)
+	}
+	sort.Strings(suiteNames)
+	for _, name := range suiteNames {
+		if err := p("neurovec_eval_files_total{suite=%q} %d\n", name, m.evalFiles[name]); err != nil {
 			return n, err
 		}
 	}

@@ -9,11 +9,13 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"neurovec/internal/core"
+	"neurovec/internal/evalharness"
 	"neurovec/internal/lang"
 	"neurovec/internal/policy"
 )
@@ -71,6 +73,18 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 
+	// evalEmbeds memoizes code vectors across /v1/eval runs. It is shared
+	// across hot-reloads — keys embed the model version, so a new
+	// checkpoint can never be served a stale vector.
+	evalEmbeds *evalharness.EmbedCache
+	// evalSem admits one corpus evaluation at a time. The harness brings
+	// its own goroutine pool (up to the worker-pool width), so running
+	// evals through the shared pool would stack pools and oversubscribe
+	// the CPU; instead evals bypass the pool entirely and excess eval
+	// requests shed with 503, leaving the latency-sensitive endpoints'
+	// concurrency bound intact.
+	evalSem chan struct{}
+
 	reloadMu sync.Mutex // serializes hot-reloads
 }
 
@@ -86,11 +100,13 @@ func New(cfg Config) (*Server, error) {
 		cfg.MaxRequestBytes = 1 << 20
 	}
 	s := &Server{
-		cfg:     cfg,
-		pool:    NewPool(cfg.Workers, cfg.QueueDepth),
-		cache:   NewCache(cfg.CacheEntries),
-		metrics: NewMetrics(),
-		start:   time.Now(),
+		cfg:        cfg,
+		pool:       NewPool(cfg.Workers, cfg.QueueDepth),
+		cache:      NewCache(cfg.CacheEntries),
+		metrics:    NewMetrics(),
+		evalEmbeds: evalharness.NewEmbedCache(),
+		evalSem:    make(chan struct{}, 1),
+		start:      time.Now(),
 	}
 	m, err := s.loadModel()
 	if err != nil {
@@ -105,6 +121,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/annotate", s.instrument("/v1/annotate", s.handleAnnotate))
 	s.mux.HandleFunc("POST /v1/embed", s.instrument("/v1/embed", s.handleEmbed))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/eval", s.instrument("/v1/eval", s.handleEval))
+	s.mux.HandleFunc("POST /v1/eval", s.instrument("/v1/eval", s.handleEval))
 	s.mux.HandleFunc("POST /v1/reload", s.instrument("/v1/reload", s.handleReload))
 	s.mux.HandleFunc("GET /v1/policies", s.instrument("/v1/policies", s.handlePolicies))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -608,6 +626,190 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Truncated:      sw.Truncated,
 		}, nil
 	})
+}
+
+// EvalRequest is the /v1/eval request body (POST) or query string (GET):
+// corpus-scale evaluation of a policy against a baseline and the
+// brute-force oracle. GET maps each field to a query parameter of the same
+// name (e.g. /v1/eval?policy=rl&corpus=polybench&seed=1).
+type EvalRequest struct {
+	// Policy is the method under evaluation (default "rl").
+	Policy string `json:"policy,omitempty"`
+	// Baseline anchors speedup (default "costmodel").
+	Baseline string `json:"baseline,omitempty"`
+	// Corpus is a comma-separated list of built-in suites: polybench,
+	// mibench, figure7, generated (default "generated").
+	Corpus string `json:"corpus,omitempty"`
+	// N sizes the generated suite (default 16, capped at 256 server-side).
+	N int `json:"n,omitempty"`
+	// Seed drives corpus generation and stochastic policies (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Jobs bounds evaluation parallelism (capped at the worker-pool width;
+	// never affects the numbers).
+	Jobs int `json:"jobs,omitempty"`
+	// TimeoutMS is the per-inference budget inside the evaluation; the
+	// whole request stays bounded by the server's RequestTimeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// maxEvalCorpus caps the generated-suite size a request may demand: one
+// eval file costs dozens of oracle simulations, and the endpoint must not
+// become a free denial-of-service lever.
+const maxEvalCorpus = 256
+
+// EvalResponse is the /v1/eval response body. Report numbers are a pure
+// function of (model version, request spec): repeated calls return
+// identical values — and usually identical bytes straight from the cache.
+type EvalResponse struct {
+	ModelVersion string              `json:"model_version"`
+	Report       *evalharness.Report `json:"report"`
+}
+
+func (r *EvalResponse) skipCache() bool {
+	// A deadline-truncated evaluation depends on this requester's budget;
+	// serving it to a later, more patient client would be wrong.
+	return r.Report != nil && r.Report.Overall.Truncated > 0
+}
+
+// decodeEvalRequest parses a GET query string or a POST JSON body.
+func decodeEvalRequest(r *http.Request) (*EvalRequest, error) {
+	req := &EvalRequest{}
+	if r.Method == http.MethodPost {
+		if err := decodeBody(r, req); err != nil {
+			return nil, err
+		}
+	} else {
+		q := r.URL.Query()
+		req.Policy = q.Get("policy")
+		req.Baseline = q.Get("baseline")
+		req.Corpus = q.Get("corpus")
+		for _, f := range []struct {
+			name string
+			dst  *int64
+		}{
+			{"seed", &req.Seed},
+			{"timeout_ms", &req.TimeoutMS},
+		} {
+			if v := q.Get(f.name); v != "" {
+				n, err := strconv.ParseInt(v, 10, 64)
+				if err != nil {
+					return nil, &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf("bad %s: %v", f.name, err)}
+				}
+				*f.dst = n
+			}
+		}
+		for _, f := range []struct {
+			name string
+			dst  *int
+		}{
+			{"n", &req.N},
+			{"jobs", &req.Jobs},
+		} {
+			if v := q.Get(f.name); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return nil, &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf("bad %s: %v", f.name, err)}
+				}
+				*f.dst = n
+			}
+		}
+	}
+	if req.Policy == "" {
+		req.Policy = core.DefaultPolicy
+	}
+	if req.Baseline == "" {
+		req.Baseline = "costmodel"
+	}
+	if req.Corpus == "" {
+		req.Corpus = "generated"
+	}
+	if req.N <= 0 {
+		req.N = 16
+	}
+	if req.N > maxEvalCorpus {
+		return nil, &httpError{status: http.StatusBadRequest,
+			msg: fmt.Sprintf("n=%d exceeds the per-request corpus cap of %d", req.N, maxEvalCorpus)}
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	return req, nil
+}
+
+// handleEval evaluates a policy over a whole built-in corpus through the
+// evaluation harness — the service-side twin of `neurovec eval`, returning
+// the same deterministic report (without the volatile timing block).
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	req, err := decodeEvalRequest(r)
+	if err != nil {
+		writeError(w, r, err)
+		return
+	}
+	m := s.model.Load()
+	// Resolve both roles up front: unknown names are the client's fault
+	// (400), unavailable ones the deployment's (409) — and the metric label
+	// stays bounded because unregistered names collapse to "unknown". Only
+	// a failure of the evaluated policy itself counts against its error
+	// metric; a bad baseline name is not the policy's fault.
+	polName, _, err := resolvePolicy(m, req.Policy, core.DefaultPolicy)
+	if err != nil {
+		s.metrics.EvalRun(polName, false)
+		writeError(w, r, err)
+		return
+	}
+	if _, _, err := resolvePolicy(m, req.Baseline, "costmodel"); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	corpus, err := evalharness.BuildCorpus(req.Corpus, req.N, req.Seed)
+	if err != nil {
+		writeError(w, r, &httpError{status: http.StatusBadRequest, msg: err.Error()})
+		return
+	}
+	jobs := req.Jobs
+	if jobs <= 0 || jobs > s.pool.Workers() {
+		jobs = s.pool.Workers()
+	}
+
+	specKey := fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d\x00%d", req.Policy, req.Baseline, req.Corpus, req.N, req.Seed, req.TimeoutMS)
+	key := cacheKey("eval", m.version, polName, specKey, nil)
+	if s.tryCacheHit(w, key) {
+		return
+	}
+	// Admission control: the harness parallelizes internally, so evals run
+	// on the handler goroutine gated by evalSem (one at a time) instead of
+	// occupying a pool slot while spawning a second pool's worth of work.
+	select {
+	case s.evalSem <- struct{}{}:
+		defer func() { <-s.evalSem }()
+	default:
+		s.metrics.PoolRejected()
+		writeError(w, r, ErrOverloaded)
+		return
+	}
+	ctx, cancel := s.requestCtx(r, 0)
+	defer cancel()
+	report, err := evalharness.New(m.fw).WithEmbedCache(s.evalEmbeds).Run(ctx, corpus, evalharness.Options{
+		Policy:   req.Policy,
+		Baseline: req.Baseline,
+		Jobs:     jobs,
+		Timeout:  time.Duration(req.TimeoutMS) * time.Millisecond,
+		Seed:     req.Seed,
+	})
+	if err == nil || !isRequestError(err) {
+		s.metrics.EvalRun(polName, err == nil)
+	}
+	if err != nil {
+		writeError(w, r, classify(err))
+		return
+	}
+	for _, suite := range report.Suites {
+		s.metrics.EvalFiles(suite.Suite, suite.Files)
+	}
+	// The timing block is volatile and the response is cacheable; keep the
+	// service report byte-stable like the CLI's.
+	report.Timing = nil
+	s.respondFresh(w, key, &EvalResponse{ModelVersion: m.version, Report: report})
 }
 
 // PolicyStatus describes one registered policy in a PoliciesResponse.

@@ -636,3 +636,151 @@ func TestEmbedBatchCoalescing(t *testing.T) {
 		t.Fatalf("metrics missing %d batched embeds:\n%s", n, text)
 	}
 }
+
+func TestEvalEndpoint(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+
+	type evalReport struct {
+		ModelVersion string `json:"model_version"`
+		Report       struct {
+			Spec struct {
+				Policy   string `json:"policy"`
+				Baseline string `json:"baseline"`
+				Seed     int64  `json:"seed"`
+			} `json:"spec"`
+			Overall struct {
+				Files             int     `json:"files"`
+				MeanSpeedup       float64 `json:"mean_speedup"`
+				MeanOracleSpeedup float64 `json:"mean_oracle_speedup"`
+				MeanRegret        float64 `json:"mean_regret"`
+			} `json:"overall"`
+			Suites []struct {
+				Suite string `json:"suite"`
+				Files int    `json:"files"`
+			} `json:"suites"`
+			Timing *struct{} `json:"timing"`
+		} `json:"report"`
+	}
+
+	rec, body := do(t, s, "POST", "/v1/eval", map[string]any{
+		"policy": "rl", "corpus": "generated", "n": 4, "seed": 7, "jobs": 2,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST /v1/eval: %d %s", rec.Code, body)
+	}
+	var resp evalReport
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ModelVersion != s.ModelVersion() {
+		t.Errorf("model_version = %q, want %q", resp.ModelVersion, s.ModelVersion())
+	}
+	if resp.Report.Spec.Policy != "rl" || resp.Report.Spec.Baseline != "costmodel" || resp.Report.Spec.Seed != 7 {
+		t.Errorf("spec = %+v", resp.Report.Spec)
+	}
+	if resp.Report.Overall.Files != 4 || resp.Report.Overall.MeanSpeedup <= 0 {
+		t.Errorf("overall = %+v", resp.Report.Overall)
+	}
+	if len(resp.Report.Suites) != 1 || resp.Report.Suites[0].Suite != "generated" {
+		t.Errorf("suites = %+v", resp.Report.Suites)
+	}
+	if resp.Report.Timing != nil {
+		t.Error("service report leaked the volatile timing block")
+	}
+
+	// Identical spec → cache hit with byte-identical body.
+	rec2, body2 := do(t, s, "POST", "/v1/eval", map[string]any{
+		"policy": "rl", "corpus": "generated", "n": 4, "seed": 7, "jobs": 2,
+	})
+	if rec2.Code != http.StatusOK || rec2.Header().Get("X-Neurovec-Cache") != "hit" {
+		t.Fatalf("repeat eval: code %d cache %q", rec2.Code, rec2.Header().Get("X-Neurovec-Cache"))
+	}
+	if string(body) != string(body2) {
+		t.Error("cached eval body differs from fresh body")
+	}
+
+	// GET with the same spec (different jobs) must return the same numbers.
+	rec3, body3 := do(t, s, "GET", "/v1/eval?policy=rl&corpus=generated&n=4&seed=7&jobs=1", nil)
+	if rec3.Code != http.StatusOK {
+		t.Fatalf("GET /v1/eval: %d %s", rec3.Code, body3)
+	}
+	var resp3 evalReport
+	if err := json.Unmarshal(body3, &resp3); err != nil {
+		t.Fatal(err)
+	}
+	if resp3.Report.Overall != resp.Report.Overall {
+		t.Errorf("GET numbers %+v != POST numbers %+v", resp3.Report.Overall, resp.Report.Overall)
+	}
+
+	// The harness should have populated the shared embedding cache, and the
+	// eval metrics should be exposed.
+	if s.evalEmbeds.Len() == 0 {
+		t.Error("eval left the shared embedding cache empty")
+	}
+	recM, metricsBody := do(t, s, "GET", "/metrics", nil)
+	if recM.Code != http.StatusOK {
+		t.Fatalf("/metrics: %d", recM.Code)
+	}
+	for _, want := range []string{
+		`neurovec_eval_runs_total{policy="rl",outcome="ok"} `,
+		`neurovec_eval_files_total{suite="generated"} `,
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestEvalEndpointErrors(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+
+	rec, _ := do(t, s, "POST", "/v1/eval", map[string]any{"policy": "no-such"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown policy: %d, want 400", rec.Code)
+	}
+	rec, _ = do(t, s, "POST", "/v1/eval", map[string]any{"corpus": "bogus"})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown corpus: %d, want 400", rec.Code)
+	}
+	rec, _ = do(t, s, "POST", "/v1/eval", map[string]any{"n": 100000})
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized corpus: %d, want 400", rec.Code)
+	}
+	rec, _ = do(t, s, "GET", "/v1/eval?seed=notanumber", nil)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad query param: %d, want 400", rec.Code)
+	}
+	// nns needs a loaded corpus the checkpoint cannot carry: 409.
+	rec, _ = do(t, s, "POST", "/v1/eval", map[string]any{"policy": "nns", "n": 2})
+	if rec.Code != http.StatusConflict {
+		t.Errorf("nns on checkpoint-only server: %d, want 409", rec.Code)
+	}
+}
+
+func TestEvalShedsWhenBusy(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+	// Occupy the single eval slot; a concurrent eval must shed with 503
+	// rather than stack a second harness pool on the CPU.
+	s.evalSem <- struct{}{}
+	defer func() { <-s.evalSem }()
+	rec, body := do(t, s, "POST", "/v1/eval", map[string]any{"policy": "costmodel", "n": 2})
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("busy eval: %d %s, want 503", rec.Code, body)
+	}
+}
+
+func TestEvalBaselineErrorNotChargedToPolicy(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+	rec, _ := do(t, s, "POST", "/v1/eval", map[string]any{"policy": "costmodel", "baseline": "nope", "n": 2})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad baseline: %d, want 400", rec.Code)
+	}
+	_, metricsBody := do(t, s, "GET", "/metrics", nil)
+	if strings.Contains(string(metricsBody), `neurovec_eval_runs_total{policy="costmodel",outcome="error"} 1`) {
+		t.Error("baseline resolution failure was charged to the evaluated policy's error counter")
+	}
+}

@@ -1,0 +1,84 @@
+package vectorizer_test
+
+import (
+	"testing"
+
+	"neurovec/internal/dataset"
+	"neurovec/internal/deps"
+	"neurovec/internal/lang"
+	"neurovec/internal/lower"
+	"neurovec/internal/machine"
+	"neurovec/internal/vectorizer"
+)
+
+// TestAppliedPlansNeverExceedLegality cross-checks the two halves of the
+// correctness contract on randomly generated loops: internal/deps decides
+// what is legal, internal/vectorizer decides what is applied, and no
+// requested (VF, IF) — however aggressive — may ever yield an applied plan
+// beyond the dependence-limited bound. This is the property that lets the
+// framework treat every policy's output as a hint rather than a proof
+// obligation ("if the agent accidentally injected bad pragmas, the
+// compiler will ignore it").
+func TestAppliedPlansNeverExceedLegality(t *testing.T) {
+	arch := machine.IntelAVX2()
+	n := 60
+	if testing.Short() {
+		n = 15
+	}
+	loops := 0
+	for _, seed := range []int64{1, 7, 23} {
+		for _, s := range dataset.Generate(dataset.GenConfig{N: n, Seed: seed}).Samples {
+			prog, err := lang.Parse(s.Source)
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name, err)
+			}
+			irp, err := lower.Program(prog, lower.DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s: %v", s.Name, err)
+			}
+			for _, loop := range irp.InnermostLoops() {
+				loops++
+				legal := deps.Analyze(loop)
+				if legal.MaxVF < 1 {
+					t.Fatalf("%s/%s: deps reports MaxVF %d < 1", s.Name, loop.Label, legal.MaxVF)
+				}
+				for _, vf := range arch.VFs() {
+					for _, ifc := range arch.IFs() {
+						plan := vectorizer.New(loop, arch, vf, ifc)
+						if plan.VF > legal.MaxVF {
+							t.Fatalf("%s/%s: requested VF=%d applied VF=%d beyond legal max %d (%s)",
+								s.Name, loop.Label, vf, plan.VF, legal.MaxVF, legal.Reason)
+						}
+						if plan.VF > arch.MaxVF || plan.IF > arch.MaxIF {
+							t.Fatalf("%s/%s: plan (VF=%d, IF=%d) beyond architecture bounds (%d, %d)",
+								s.Name, loop.Label, plan.VF, plan.IF, arch.MaxVF, arch.MaxIF)
+						}
+						if plan.VF < 1 || plan.IF < 1 {
+							t.Fatalf("%s/%s: degenerate plan (VF=%d, IF=%d)", s.Name, loop.Label, plan.VF, plan.IF)
+						}
+						if plan.VF&(plan.VF-1) != 0 || plan.IF&(plan.IF-1) != 0 {
+							t.Fatalf("%s/%s: non-power-of-two plan (VF=%d, IF=%d)", s.Name, loop.Label, plan.VF, plan.IF)
+						}
+						// A loop the analysis limits must report the clamp,
+						// so diagnostics never claim a denied request was
+						// honoured.
+						if vf > legal.MaxVF && plan.VF == vf {
+							t.Fatalf("%s/%s: illegal VF=%d silently honoured", s.Name, loop.Label, vf)
+						}
+						if plan.VF != vf || plan.IF != ifc {
+							if !plan.Clamped {
+								t.Fatalf("%s/%s: plan (%d,%d) != request (%d,%d) but Clamped is false",
+									s.Name, loop.Label, plan.VF, plan.IF, vf, ifc)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if loops == 0 {
+		t.Fatal("generated corpus produced no loops to cross-check")
+	}
+	t.Logf("cross-checked %d generated loops over the full %dx%d action grid",
+		loops, len(arch.VFs()), len(arch.IFs()))
+}
