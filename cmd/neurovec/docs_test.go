@@ -1,0 +1,186 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The documentation checks pin the repo's markdown to reality: every
+// relative link must resolve, every repo path named in backticks must
+// exist, every `neurovec <cmd>` in a code fence must be a real subcommand,
+// and every flag the training guide shows for `neurovec train` must exist
+// in the command's flag set. CI runs these as its doc-check step.
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	root := repoRoot(t)
+	files := []string{filepath.Join(root, "README.md")}
+	matches, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(files, matches...)
+}
+
+// TestDocsRelativeLinksResolve checks [text](path) links against the tree.
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	linkRe := regexp.MustCompile(`\]\(([^)]+)\)`)
+	for _, doc := range docFiles(t) {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(body), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "#") {
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: link target %q does not exist", filepath.Base(doc), m[1])
+			}
+		}
+	}
+}
+
+// TestDocsRepoPathsExist checks that backticked repo paths (`internal/…`,
+// `cmd/…`, `docs/…`, `.github/…`, `examples/…`) name real files or
+// directories.
+func TestDocsRepoPathsExist(t *testing.T) {
+	root := repoRoot(t)
+	pathRe := regexp.MustCompile("`((?:internal|cmd|docs|examples|\\.github)/[A-Za-z0-9_./-]+)`")
+	for _, doc := range docFiles(t) {
+		body, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range pathRe.FindAllStringSubmatch(string(body), -1) {
+			if _, err := os.Stat(filepath.Join(root, m[1])); err != nil {
+				t.Errorf("%s: repo path `%s` does not exist", filepath.Base(doc), m[1])
+			}
+		}
+	}
+}
+
+// fenceCommands extracts `neurovec <sub> …` command lines (with backslash
+// continuations folded in) from a markdown file's code fences.
+func fenceCommands(t *testing.T, doc string) []string {
+	t.Helper()
+	body, err := os.ReadFile(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmds []string
+	inFence := false
+	continuing := false
+	for _, line := range strings.Split(string(body), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			inFence = !inFence
+			continuing = false
+			continue
+		}
+		if !inFence {
+			continue
+		}
+		if continuing {
+			cmds[len(cmds)-1] += " " + strings.TrimSuffix(trimmed, `\`)
+			continuing = strings.HasSuffix(trimmed, `\`)
+			continue
+		}
+		if strings.HasPrefix(trimmed, "neurovec ") {
+			cmds = append(cmds, strings.TrimSuffix(trimmed, `\`))
+			continuing = strings.HasSuffix(trimmed, `\`)
+		}
+	}
+	return cmds
+}
+
+var knownSubcommands = map[string]bool{
+	"report": true, "train": true, "annotate": true, "serve": true,
+	"brute": true, "sweep": true, "eval": true, "explain": true, "help": true,
+}
+
+// TestDocsSubcommandsAreReal checks that every `neurovec <sub>` shown in a
+// code fence is a subcommand main dispatches on.
+func TestDocsSubcommandsAreReal(t *testing.T) {
+	for _, doc := range docFiles(t) {
+		for _, cmd := range fenceCommands(t, doc) {
+			fields := strings.Fields(cmd)
+			if len(fields) < 2 {
+				continue
+			}
+			if !knownSubcommands[fields[1]] {
+				t.Errorf("%s: unknown subcommand in %q", filepath.Base(doc), cmd)
+			}
+		}
+	}
+}
+
+// trainFlagNames lists the real `neurovec train` flags via the command's
+// own flag-set constructor.
+func trainFlagNames(t *testing.T) map[string]bool {
+	t.Helper()
+	fs, _ := trainFlagSet()
+	names := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { names[f.Name] = true })
+	return names
+}
+
+// TestDocsTrainFlagsAreReal checks every -flag shown for `neurovec train` —
+// in code fences and in TRAINING.md's flags table — against the actual
+// flag set.
+func TestDocsTrainFlagsAreReal(t *testing.T) {
+	names := trainFlagNames(t)
+	flagRe := regexp.MustCompile(`(?:^|\s)-([a-z][a-z-]*)`)
+	for _, doc := range docFiles(t) {
+		for _, cmd := range fenceCommands(t, doc) {
+			fields := strings.Fields(cmd)
+			if len(fields) < 2 || fields[1] != "train" {
+				continue
+			}
+			for _, m := range flagRe.FindAllStringSubmatch(cmd, -1) {
+				if !names[m[1]] {
+					t.Errorf("%s: `neurovec train` has no flag -%s (from %q)", filepath.Base(doc), m[1], cmd)
+				}
+			}
+		}
+	}
+
+	// TRAINING.md's flags table: every `-flag` between "## Flags" and the
+	// next section must exist.
+	body, err := os.ReadFile(filepath.Join(repoRoot(t), "docs", "TRAINING.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableRe := regexp.MustCompile("`-([a-z][a-z-]*)`")
+	section := string(body)
+	if i := strings.Index(section, "## Flags"); i >= 0 {
+		section = section[i:]
+		if j := strings.Index(section[2:], "\n## "); j >= 0 {
+			section = section[:j+2]
+		}
+	} else {
+		t.Fatal("TRAINING.md has no Flags section")
+	}
+	for _, m := range tableRe.FindAllStringSubmatch(section, -1) {
+		if !names[m[1]] {
+			t.Errorf("TRAINING.md flags table lists -%s, which `neurovec train` does not define", m[1])
+		}
+	}
+}

@@ -39,7 +39,7 @@ func cmdEval(args []string) error {
 		"include the volatile wall-clock block in the JSON report (breaks byte-identity)")
 	nTrain := fs.Int("samples", 800, "synthetic training samples (model-backed policies without -load)")
 	iters := fs.Int("iters", 25, "PPO iterations (model-backed policies without -load)")
-	load := fs.String("load", "", "load a trained snapshot (train -save) instead of training")
+	load := fs.String("load", "", "load a trained snapshot (train -out) instead of training")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -4,7 +4,7 @@
 // Subcommands:
 //
 //	report   regenerate the paper's figures as text tables
-//	train    train a PPO agent on the synthetic corpus and print the curves
+//	train    parallel PPO training over a corpus, with checkpoint/resume
 //	annotate run a decision policy over a C file and inject its pragmas
 //	serve    run a long-lived HTTP/JSON inference service from a snapshot
 //	brute    alias for the policy runner with -policy brute (per-loop table)
@@ -18,12 +18,19 @@
 // in-process unless -load supplies a snapshot. -timeout bounds inference:
 // deadline-aware policies (brute) return their best answer so far.
 //
-// Trained models persist with `train -save model.gob` and are consumed with
-// `annotate -load model.gob` or `serve -model model.gob`. The serve command
-// loads the checkpoint once and answers /v1/annotate, /v1/embed, /v1/sweep,
-// /v1/policies, /healthz and /metrics (see package neurovec/internal/service
-// for the JSON API); SIGHUP or POST /v1/reload swaps in a retrained
-// checkpoint without downtime.
+// Training runs through the parallel pipeline (internal/trainer): rollout
+// collection shards over -jobs workers with deterministic per-slot seeding,
+// -corpus/-dir select real benchmark suites (shared with eval),
+// -checkpoint-every writes resumable checkpoints, -resume continues an
+// interrupted run bit-exactly, and -eval-every interleaves a learning-curve
+// evaluation against the baseline. The final checkpoint doubles as a model
+// snapshot: it is consumed with `annotate -load model.gob` or
+// `serve -model model.gob`. The serve command loads the checkpoint once and
+// answers /v1/annotate, /v1/embed, /v1/sweep, /v1/policies, /v1/train,
+// /healthz and /metrics (see package neurovec/internal/service for the JSON
+// API); SIGHUP or POST /v1/reload swaps in a retrained checkpoint without
+// downtime, and asynchronous training jobs started with POST /v1/train can
+// be promoted into serving the same way.
 //
 // Examples:
 //
@@ -32,7 +39,9 @@
 //	neurovec sweep -file kernel.c -policy costmodel
 //	neurovec annotate -file kernel.c -samples 1000 -iters 30
 //	neurovec annotate -file kernel.c -policy brute -timeout 2s
-//	neurovec train -samples 1000 -iters 30 -save model.gob
+//	neurovec train -corpus generated -n 1000 -iters 30 -jobs 8 -out model.gob
+//	neurovec train -corpus polybench,generated -checkpoint-every 5 -eval-every 5 -out model.gob
+//	neurovec train -resume model.gob -iters 60 -out model.gob
 //	neurovec annotate -file kernel.c -load model.gob
 //	neurovec serve -model model.gob -addr :8080 -timeout 30s
 //	neurovec eval -policy rl -load model.gob -corpus polybench,mibench -jobs 8 -out report.json
@@ -96,13 +105,17 @@ func usage() {
 
 commands:
   report    regenerate the paper's figures (-fig 1|2|5|6|7|8|9|all, -full)
-  train     train a PPO agent and print learning curves (-save model.gob)
+  train     parallel PPO training over a corpus (-corpus polybench,mibench,
+            figure7,generated, -dir ./kernels, -jobs N, -out model.gob,
+            -checkpoint-every K, -resume model.gob, -eval-every K);
+            deterministic at a fixed -seed for any -jobs
   annotate  inject a policy's vectorization pragmas into a C file
             (-policy rl|costmodel|brute|random|polly|nns, -load model.gob,
             -timeout 2s)
   serve     serve inference over HTTP/JSON from a snapshot (-model model.gob,
-            -timeout 30s); endpoints /v1/annotate /v1/embed /v1/sweep
-            /v1/policies /v1/reload /healthz /metrics; SIGHUP hot-reloads
+            -timeout 30s, -train-dir DIR); endpoints /v1/annotate /v1/embed
+            /v1/sweep /v1/eval /v1/train /v1/policies /v1/reload /healthz
+            /metrics; SIGHUP hot-reloads
   brute     alias for the policy runner with -policy brute: best (VF, IF)
             per loop of a C file as a table
   sweep     print the VF x IF performance grid for a C file's first loop
@@ -192,38 +205,6 @@ func cmdReport(args []string) error {
 	return nil
 }
 
-func cmdTrain(args []string) error {
-	fs := flag.NewFlagSet("train", flag.ExitOnError)
-	n := fs.Int("samples", 1000, "synthetic training samples")
-	iters := fs.Int("iters", 30, "PPO iterations")
-	batch := fs.Int("batch", 200, "rollout batch size (compilations per iteration)")
-	lr := fs.Float64("lr", 5e-4, "learning rate")
-	seed := fs.Int64("seed", 1, "seed")
-	space := fs.String("space", "discrete", "action space: discrete, cont1, cont2")
-	save := fs.String("save", "", "write the trained model snapshot to this path")
-	if err := fs.Parse(args); err != nil {
-		return err
-	}
-
-	fw, rc, err := buildTrainer(*n, *iters, *batch, *lr, *seed, *space)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("training on %d loop units (%s action space)\n", fw.NumSamples(), rc.Space)
-	stats := fw.Train(rc)
-	for i := range stats.RewardMean {
-		fmt.Printf("iter %3d  steps %7d  reward mean %+.4f  loss %.5f\n",
-			i, stats.Steps[i], stats.RewardMean[i], stats.Loss[i])
-	}
-	if *save != "" {
-		if err := fw.SaveModelFile(*save); err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "model saved to %s\n", *save)
-	}
-	return nil
-}
-
 func buildTrainer(n, iters, batch int, lr float64, seed int64, space string) (*core.Framework, *rl.Config, error) {
 	cfg := core.DefaultConfig()
 	cfg.Seed = seed
@@ -276,7 +257,7 @@ func runPolicyCmd(cmd string, args []string) error {
 	n := fs.Int("samples", 800, "synthetic training samples (model-backed policies without -load)")
 	iters := fs.Int("iters", 25, "PPO iterations (model-backed policies without -load)")
 	seed := fs.Int64("seed", 1, "seed")
-	load := fs.String("load", "", "load a trained snapshot (train -save) instead of training")
+	load := fs.String("load", "", "load a trained snapshot (train -out) instead of training")
 	model := fs.String("model", "", "alias for -load")
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -272,3 +272,44 @@ func TestCmdEvalCSVAndValidation(t *testing.T) {
 		t.Error("nns with -load accepted")
 	}
 }
+
+// TestCmdTrainCorpusJobsResume covers the rebuilt train command end to end:
+// corpus-shared selection, a checkpointed run, and a killed-and-resumed run
+// at a different worker count writing byte-identical final checkpoints.
+func TestCmdTrainCorpusJobsResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains small agents")
+	}
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.gob")
+	b := filepath.Join(dir, "b.gob")
+	common := []string{"-corpus", "generated", "-n", "3", "-batch", "24", "-seed", "7"}
+
+	if _, err := captureStdout(t, func() error {
+		return cmdTrain(append([]string{"-iters", "2", "-jobs", "2", "-out", a}, common...))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdTrain(append([]string{"-iters", "1", "-jobs", "4", "-out", b}, common...))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error {
+		return cmdTrain([]string{"-resume", b, "-iters", "2", "-jobs", "1"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	wantBytes, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(wantBytes) != string(gotBytes) {
+		t.Fatalf("resumed checkpoint differs from uninterrupted run (%d vs %d bytes)", len(wantBytes), len(gotBytes))
+	}
+}

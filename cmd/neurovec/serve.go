@@ -20,7 +20,7 @@ import (
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	model := fs.String("model", "", "trained model snapshot to serve (required; see train -save)")
+	model := fs.String("model", "", "trained model snapshot to serve (required; see train -out)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	queue := fs.Int("queue", 0, "work queue depth before shedding load (0 = 4x workers)")
 	cacheEntries := fs.Int("cache", 1024, "response cache entries (negative disables caching)")
@@ -28,6 +28,8 @@ func cmdServe(args []string) error {
 	batchWait := fs.Duration("batch-wait", 2*time.Millisecond, "linger time to fill an embedding batch")
 	timeout := fs.Duration("timeout", 0,
 		"per-request compute timeout (0 disables); requests may shorten it via timeout_ms")
+	trainDir := fs.String("train-dir", "",
+		"directory for POST /v1/train job checkpoints (default: a temp dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -43,6 +45,7 @@ func cmdServe(args []string) error {
 		MaxBatch:       *batch,
 		BatchWait:      *batchWait,
 		RequestTimeout: *timeout,
+		TrainDir:       *trainDir,
 	})
 	if err != nil {
 		return err

@@ -195,6 +195,13 @@ func (f *Framework) Policy(name string) (policy.Policy, error) {
 	return p, nil
 }
 
+// InvalidatePolicies drops cached policy instances. Every framework mutation
+// calls it internally; external training drivers that step the agent's
+// weights directly (package neurovec/internal/trainer) must call it before
+// resolving policies against the updated model, because a cached instance
+// (the NNS index, say) may have been built from the previous weights.
+func (f *Framework) InvalidatePolicies() { f.invalidatePolicies() }
+
 // invalidatePolicies drops cached policy instances; called by every mutation
 // that changes the corpus or the trained weights an instance may hold (the
 // NNS index, for example, is built from both).
@@ -439,9 +446,9 @@ func (f *Framework) EmbedSource(source string) ([]float64, error) {
 
 // ---- Training and inference ----
 
-// Train runs PPO over the loaded units. Passing nil uses the paper's
-// defaults. Returns the learning curves.
-func (f *Framework) Train(cfg *rl.Config) *rl.Stats {
+// normalizeRL fills an RL configuration's defaults from the framework: the
+// architecture's action space and the framework seed.
+func (f *Framework) normalizeRL(cfg *rl.Config) rl.Config {
 	c := rl.DefaultConfig(f.Cfg.Arch.VFs(), f.Cfg.Arch.IFs())
 	if cfg != nil {
 		c = *cfg
@@ -455,9 +462,24 @@ func (f *Framework) Train(cfg *rl.Config) *rl.Stats {
 	if c.Seed == 0 {
 		c.Seed = f.Cfg.Seed
 	}
-	f.agent = rl.NewAgent(&embedAdapter{fw: f}, c)
+	return c
+}
+
+// InitAgent builds a fresh, untrained agent over the framework's embedder
+// and installs it as the framework's agent, without running any training.
+// External training drivers (package neurovec/internal/trainer) use it to
+// own the iteration loop themselves; in-process callers normally use Train.
+// Passing nil uses the paper's default hyperparameters.
+func (f *Framework) InitAgent(cfg *rl.Config) *rl.Agent {
+	f.agent = rl.NewAgent(&embedAdapter{fw: f}, f.normalizeRL(cfg))
 	f.invalidatePolicies()
-	return f.agent.Train(f)
+	return f.agent
+}
+
+// Train runs PPO over the loaded units. Passing nil uses the paper's
+// defaults. Returns the learning curves.
+func (f *Framework) Train(cfg *rl.Config) *rl.Stats {
+	return f.InitAgent(cfg).Train(f)
 }
 
 // TrainWithEmbedder trains the agent on a caller-supplied observation source
@@ -465,20 +487,7 @@ func (f *Framework) Train(cfg *rl.Config) *rl.Stats {
 // (package features). The embedder's sample IDs must match the framework's
 // unit indices.
 func (f *Framework) TrainWithEmbedder(emb rl.Embedder, cfg *rl.Config) *rl.Stats {
-	c := rl.DefaultConfig(f.Cfg.Arch.VFs(), f.Cfg.Arch.IFs())
-	if cfg != nil {
-		c = *cfg
-		if len(c.VFs) == 0 {
-			c.VFs = f.Cfg.Arch.VFs()
-		}
-		if len(c.IFs) == 0 {
-			c.IFs = f.Cfg.Arch.IFs()
-		}
-	}
-	if c.Seed == 0 {
-		c.Seed = f.Cfg.Seed
-	}
-	f.agent = rl.NewAgent(emb, c)
+	f.agent = rl.NewAgent(emb, f.normalizeRL(cfg))
 	f.invalidatePolicies()
 	return f.agent.Train(f)
 }

@@ -23,9 +23,8 @@ type modelHeader struct {
 	RL    rl.Config
 	// Version is a fingerprint of the saved weights, stamped by SaveModel.
 	// It identifies a checkpoint (for cache keys, /healthz, reload logs)
-	// without the cost of re-hashing at load time. Snapshots written before
-	// versioning decode with an empty Version and are re-fingerprinted on
-	// load.
+	// without the cost of re-hashing at load time. A header with an empty
+	// Version is re-fingerprinted on load.
 	Version string
 }
 
@@ -33,7 +32,15 @@ type modelHeader struct {
 // The paper's deployment story — "once the model is trained it can be
 // plugged in as is for inference without further retraining" — is this
 // snapshot.
-func (f *Framework) SaveModel(w io.Writer) error {
+func (f *Framework) SaveModel(w io.Writer) error { return f.SaveModelWith(w, nil) }
+
+// SaveModelWith is SaveModel with an optional extra section appended to the
+// same gob stream — the hook the training pipeline uses to store optimizer
+// state and progress after the weights. Checkpoints written this way remain
+// plain model snapshots to every reader that ignores the extra section
+// (LoadModel, `neurovec serve -model`, `annotate -load`): loading simply
+// stops after the weights.
+func (f *Framework) SaveModelWith(w io.Writer, extra func(enc *gob.Encoder) error) error {
 	if f.agent == nil {
 		return fmt.Errorf("core: no trained agent to save")
 	}
@@ -45,13 +52,26 @@ func (f *Framework) SaveModel(w io.Writer) error {
 	// The agent's parameter set already includes the embedder's parameters
 	// (end-to-end training), so one snapshot covers everything. Use the
 	// same encoder: header and weights share one gob stream.
-	return nn.EncodeParams(enc, f.agent.Params())
+	if err := nn.EncodeParams(enc, f.agent.Params()); err != nil {
+		return err
+	}
+	if extra != nil {
+		return extra(enc)
+	}
+	return nil
 }
 
 // LoadModel restores a snapshot produced by SaveModel. The framework's
 // loaded units are preserved; the embedder and agent are rebuilt with the
-// stored configuration and weights.
-func (f *Framework) LoadModel(r io.Reader) error {
+// stored configuration and weights. Trailing checkpoint sections (training
+// state written by SaveModelWith) are ignored.
+func (f *Framework) LoadModel(r io.Reader) error { return f.LoadModelWith(r, nil) }
+
+// LoadModelWith is LoadModel with an optional extra section read from the
+// same gob stream after the weights — the counterpart of SaveModelWith used
+// by training resume. The callback sees the stream positioned exactly where
+// the save-side callback wrote.
+func (f *Framework) LoadModelWith(r io.Reader, extra func(dec *gob.Decoder) error) error {
 	dec := gob.NewDecoder(r)
 	var h modelHeader
 	if err := dec.Decode(&h); err != nil {
@@ -75,6 +95,9 @@ func (f *Framework) LoadModel(r io.Reader) error {
 	// Cached policy instances may hold the previous weights (the NNS index
 	// embeds with them); resolve afresh against the restored model.
 	f.invalidatePolicies()
+	if extra != nil {
+		return extra(dec)
+	}
 	return nil
 }
 

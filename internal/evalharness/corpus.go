@@ -31,6 +31,7 @@ type Item struct {
 // in slice order; Sort establishes the canonical (suite, name) order that
 // makes reports deterministic.
 type Corpus struct {
+	// Items is the ordered item list; Sort establishes canonical order.
 	Items []Item
 }
 

@@ -16,23 +16,31 @@ import (
 // aside); the worker count is deliberately absent because sharding never
 // changes the numbers, only the wall time.
 type Spec struct {
-	Policy       string `json:"policy"`
-	Baseline     string `json:"baseline"`
-	Oracle       string `json:"oracle"`
-	Seed         int64  `json:"seed"`
+	// Policy, Baseline, and Oracle are the registry names of the evaluated
+	// method, the speedup anchor, and the regret anchor.
+	Policy   string `json:"policy"`
+	Baseline string `json:"baseline"`
+	Oracle   string `json:"oracle"`
+	// Seed drives corpus generation and stochastic policies.
+	Seed int64 `json:"seed"`
+	// Arch names the target machine model; ModelVersion fingerprints the
+	// checkpoint the learned policies decided with.
 	Arch         string `json:"arch,omitempty"`
 	ModelVersion string `json:"model_version,omitempty"`
 	// TimeoutMS is the per-inference budget (0 = unbounded). It belongs in
 	// the spec because deadline truncation changes decisions.
-	TimeoutMS int64    `json:"timeout_ms,omitempty"`
-	Suites    []string `json:"suites"`
-	Files     int      `json:"files"`
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Suites and Files summarise the corpus shape.
+	Suites []string `json:"suites"`
+	Files  int      `json:"files"`
 }
 
 // FileResult is the evaluation outcome for one corpus item. Cycle counts
 // include the item's scalar-work offset (the MiBench whole-program regime),
 // so Speedup is end-to-end, not loop-only.
 type FileResult struct {
+	// Suite and Name identify the corpus item; Loops counts its decided
+	// innermost loops.
 	Suite string `json:"suite"`
 	Name  string `json:"name"`
 	Loops int    `json:"loops"`
@@ -67,6 +75,8 @@ type FileResult struct {
 // whole corpus). Files with errors count in Errors and are excluded from
 // every mean.
 type SuiteResult struct {
+	// Suite is the aggregated suite name ("" for the overall row); Files,
+	// Errors, and Loops count its items, failed items, and decided loops.
 	Suite  string `json:"suite"`
 	Files  int    `json:"files"`
 	Errors int    `json:"errors,omitempty"`
@@ -77,7 +87,8 @@ type SuiteResult struct {
 	GeoMeanSpeedup    float64 `json:"geomean_speedup"`
 	MeanOracleSpeedup float64 `json:"mean_oracle_speedup"`
 	// MeanRegret averages per-file regret; Agreement is the loop-weighted
-	// fraction of decisions identical to the oracle's.
+	// fraction of decisions identical to the oracle's; Truncated counts
+	// files whose searches a deadline cut short.
 	MeanRegret float64 `json:"mean_regret"`
 	Agreement  float64 `json:"agreement"`
 	Truncated  int     `json:"truncated,omitempty"`
@@ -88,6 +99,8 @@ type SuiteResult struct {
 // rendering (WriteJSON with timing=false, WriteCSV) so reports at equal
 // seeds are byte-identical.
 type Timing struct {
+	// WallMS is the whole run's wall-clock time; Jobs the worker count that
+	// produced it.
 	WallMS float64 `json:"wall_ms"`
 	Jobs   int     `json:"jobs"`
 	// Policy-inference latency percentiles across files, in milliseconds.
@@ -99,11 +112,15 @@ type Timing struct {
 // Report is the full result of one evaluation run. Files and Suites are in
 // canonical (suite, name) order.
 type Report struct {
+	// Spec is everything that determined the numbers; Overall aggregates
+	// the whole corpus, Suites each suite, Files each item.
 	Spec    Spec          `json:"spec"`
 	Overall SuiteResult   `json:"overall"`
 	Suites  []SuiteResult `json:"suites"`
 	Files   []FileResult  `json:"files"`
-	Timing  *Timing       `json:"timing,omitempty"`
+	// Timing is the volatile wall-clock block (nil in deterministic
+	// renderings).
+	Timing *Timing `json:"timing,omitempty"`
 }
 
 // WriteJSON renders the report as indented JSON. With timing=false the

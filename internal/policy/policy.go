@@ -83,6 +83,8 @@ type Request struct {
 
 // Decision is a policy's answer for one loop.
 type Decision struct {
+	// VF and IF are the chosen vectorization and interleaving factors,
+	// always drawn from the target architecture's action space.
 	VF int
 	IF int
 	// Truncated reports that the decision came from an incomplete search:

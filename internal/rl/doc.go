@@ -1,0 +1,34 @@
+// Package rl implements the deep-RL side of NeuroVectorizer: a contextual
+// bandit trained with proximal policy optimization (PPO).
+//
+// The episode length is one, as in the paper: the agent observes a loop's
+// code embedding, picks a (VF, IF) action, receives the normalized execution
+// time improvement as reward, and the episode ends. PPO's clipped surrogate
+// objective with a value baseline and an entropy bonus is used for updates,
+// and the policy gradient flows through the trunk network *into the
+// embedding generator*, training the representation end to end.
+//
+// Three action-space definitions are supported, matching the paper's
+// Figure 6 ablation: a discrete space (two categorical heads indexing the
+// VF and IF arrays — the best performer), a single continuous action
+// encoding both factors, and two continuous actions.
+//
+// # Training paths
+//
+// Agent.Train / Agent.TrainIterations are the original single-goroutine
+// loop: one shared RNG drives sample selection, action sampling, and
+// minibatch shuffling in sequence, so its results depend on that exact
+// interleaving. They remain the simple in-process path used by the
+// experiment harness.
+//
+// CollectBatch and UpdateBatch are the building blocks of the parallel
+// pipeline in package neurovec/internal/trainer. CollectBatch shards rollout
+// collection (the expensive part — every transition costs a simulated
+// compilation and run) across a worker pool, with each batch slot drawing
+// from its own RNG stream derived from (seed, iteration, slot). Because no
+// state is shared between slots, the collected batch — and therefore the
+// whole training run — is bit-identical for any worker count, and a
+// checkpoint needs only (seed, iteration) to reconstruct every stream on
+// resume. UpdateBatch then applies the PPO epochs sequentially (gradient
+// accumulation is inherently ordered) with an explicit shuffle RNG.
+package rl

@@ -1,17 +1,3 @@
-// Package rl implements the deep-RL side of NeuroVectorizer: a contextual
-// bandit trained with proximal policy optimization (PPO).
-//
-// The episode length is one, as in the paper: the agent observes a loop's
-// code embedding, picks a (VF, IF) action, receives the normalized execution
-// time improvement as reward, and the episode ends. PPO's clipped surrogate
-// objective with a value baseline and an entropy bonus is used for updates,
-// and the policy gradient flows through the trunk network *into the
-// embedding generator*, training the representation end to end.
-//
-// Three action-space definitions are supported, matching the paper's
-// Figure 6 ablation: a discrete space (two categorical heads indexing the
-// VF and IF arrays — the best performer), a single continuous action
-// encoding both factors, and two continuous actions.
 package rl
 
 import (
@@ -78,18 +64,29 @@ type Config struct {
 	VFs []int // e.g. {1,2,4,8,16,32,64}
 	IFs []int // e.g. {1,2,4,8,16}
 
-	Hidden      []int
-	LR          float64
-	Batch       int // env samples (compilations) per iteration
-	MiniBatch   int
-	Epochs      int // PPO epochs per iteration
-	Iterations  int
+	// Hidden lists the trunk's fully-connected layer widths (paper: 64x64).
+	Hidden []int
+	// LR is the Adam learning rate.
+	LR float64
+	// Batch is the number of env samples (compilations) per iteration;
+	// MiniBatch slices it for gradient steps.
+	Batch     int
+	MiniBatch int
+	// Epochs is the number of PPO passes over each batch; Iterations the
+	// number of collect-update cycles per training run.
+	Epochs     int
+	Iterations int
+	// ClipEps is the PPO clipped-surrogate epsilon; EntropyCoef and
+	// ValueCoef weight the entropy bonus and value loss; MaxGradNorm caps
+	// the global gradient norm per update.
 	ClipEps     float64
 	EntropyCoef float64
 	ValueCoef   float64
 	MaxGradNorm float64
-	Space       SpaceKind
-	Seed        int64
+	// Space selects the Figure 6 action-space definition.
+	Space SpaceKind
+	// Seed drives action sampling, minibatch shuffling, and weight init.
+	Seed int64
 }
 
 // DefaultConfig returns the paper's defaults (scaled batch for in-process
@@ -126,6 +123,8 @@ type Stats struct {
 
 // Agent is the PPO policy: embedder -> trunk -> {action heads, value head}.
 type Agent struct {
+	// Cfg is the hyperparameter set the agent was built with. Read-only
+	// after construction.
 	Cfg Config
 
 	emb    Embedder
@@ -224,23 +223,30 @@ type transition struct {
 	reward  float64
 }
 
-// sampleAction draws an action from the current policy.
+// sampleAction draws an action from the current policy using the agent's
+// shared RNG (the single-goroutine training path).
 func (a *Agent) sampleAction(out *evalOut) (vfIdx, ifIdx int, raw [2]float64, logp float64) {
+	return a.sampleActionWith(out, a.rng)
+}
+
+// sampleActionWith draws an action from the current policy using an explicit
+// RNG, so parallel rollout workers can each bring their own derived stream.
+func (a *Agent) sampleActionWith(out *evalOut, rng *rand.Rand) (vfIdx, ifIdx int, raw [2]float64, logp float64) {
 	switch a.Cfg.Space {
 	case Discrete:
 		pv := expv(out.logpVF)
 		pi := expv(out.logpIF)
-		vfIdx = nn.SampleCategorical(pv, a.rng)
-		ifIdx = nn.SampleCategorical(pi, a.rng)
+		vfIdx = nn.SampleCategorical(pv, rng)
+		ifIdx = nn.SampleCategorical(pi, rng)
 		logp = out.logpVF[vfIdx] + out.logpIF[ifIdx]
 	case Continuous1:
-		x := out.meanVF + a.rng.NormFloat64()*math.Exp(a.logStd.W[0])
+		x := out.meanVF + rng.NormFloat64()*math.Exp(a.logStd.W[0])
 		raw[0] = x
 		logp = nn.GaussianLogProb(x, out.meanVF, a.logStd.W[0])
 		vfIdx, ifIdx = a.decodeJoint(x)
 	case Continuous2:
-		x := out.meanVF + a.rng.NormFloat64()*math.Exp(a.logStd.W[0])
-		y := out.meanIF + a.rng.NormFloat64()*math.Exp(a.logStd.W[1])
+		x := out.meanVF + rng.NormFloat64()*math.Exp(a.logStd.W[0])
+		y := out.meanIF + rng.NormFloat64()*math.Exp(a.logStd.W[1])
 		raw[0], raw[1] = x, y
 		logp = nn.GaussianLogProb(x, out.meanVF, a.logStd.W[0]) +
 			nn.GaussianLogProb(y, out.meanIF, a.logStd.W[1])

@@ -2,6 +2,7 @@ package rl
 
 import (
 	"math"
+	"math/rand"
 
 	"neurovec/internal/nn"
 )
@@ -233,9 +234,13 @@ func normalizeAdvantages(batch []*transition) {
 	}
 }
 
-func (a *Agent) shuffle(batch []*transition) {
+func (a *Agent) shuffle(batch []*transition) { shuffleWith(batch, a.rng) }
+
+// shuffleWith is a Fisher-Yates shuffle driven by an explicit RNG, shared by
+// the single-goroutine and deterministic-parallel update paths.
+func shuffleWith(batch []*transition, rng *rand.Rand) {
 	for i := len(batch) - 1; i > 0; i-- {
-		j := a.rng.Intn(i + 1)
+		j := rng.Intn(i + 1)
 		batch[i], batch[j] = batch[j], batch[i]
 	}
 }

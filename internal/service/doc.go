@@ -1,10 +1,10 @@
 // Package service is the long-lived serving layer of the NeuroVectorizer
 // reproduction: vectorization-as-a-service. Where the CLI re-parses and
 // re-loads a model on every invocation, a Server loads one trained
-// checkpoint (written by `neurovec train -save`) and serves inference over
+// checkpoint (written by `neurovec train -out`) and serves inference over
 // HTTP/JSON with a bounded worker pool, request batching for embeddings, an
-// LRU response cache, per-request policy selection, request deadlines, and
-// atomic model hot-reload.
+// LRU response cache, per-request policy selection, request deadlines,
+// asynchronous training jobs, and atomic model hot-reload.
 //
 // # Architecture
 //
@@ -130,6 +130,58 @@
 // memoized across eval runs (keyed by model version + source hash), so
 // repeated corpus evaluations — the regression-gate workload — are fast.
 //
+// # Training jobs
+//
+// POST /v1/train — start an asynchronous training job on the parallel
+// pipeline (package neurovec/internal/trainer). The call returns
+// immediately with a job id; one job runs at a time (a concurrent POST is a
+// 409). Training runs on its own framework, so serving latency is
+// unaffected apart from CPU contention.
+//
+// Request (all fields optional):
+//
+//	{"corpus": "generated",        // suites: polybench, mibench, figure7, generated
+//	 "n": 16,                      // generated-suite size (cap 256)
+//	 "seed": 1,                    // fixes the run: equal specs train equal models
+//	 "jobs": 4,                    // rollout parallelism (never changes the weights)
+//	 "iterations": 10,             // PPO iterations (cap 200)
+//	 "batch": 100,                 // rollouts per iteration (cap 2000)
+//	 "lr": 0.0005,
+//	 "checkpoint_every": 5,        // intermediate checkpoints (final always written)
+//	 "eval_every": 5,              // interleaved learning-curve evaluation
+//	 "eval_corpus": "figure7"}     // corpus it scores on (default: corpus)
+//
+// Response 202: {"id": "train-0001-ab12cd34", "state": "running"}
+//
+// GET /v1/train/{id} — progress, training curves (reward_mean, loss per
+// iteration), and the interleaved learning curve (mean/geomean speedup over
+// the baseline, oracle regret, decision agreement per eval point):
+//
+//	{"id": "train-0001-ab12cd34", "state": "succeeded",
+//	 "request": {…}, "created_at": "…", "finished_at": "…",
+//	 "iterations_done": 10, "iterations_total": 10, "steps": 1000,
+//	 "units": 18, "reward_mean": [0.01, …], "loss": [0.82, …],
+//	 "curve": [{"iteration": 5, "steps": 500, "mean_speedup": 1.21,
+//	            "geomean_speedup": 1.18, "mean_regret": 0.09,
+//	            "agreement": 0.55, …}, …],
+//	 "model_version": "b01f…"}
+//
+// GET /v1/train lists every known job (newest first);
+// POST /v1/train/{id}/cancel stops a running job at its next iteration
+// boundary (state becomes "canceled").
+//
+// POST /v1/train/{id}/promote — hot-swap a succeeded job's checkpoint into
+// serving through the same reload path as POST /v1/reload: no restart,
+// in-flight requests finish on the old snapshot, and subsequent reloads
+// re-read the promoted checkpoint.
+//
+// Response: {"previous_version": "8c6a…", "model_version": "b01f…"}
+//
+// Job checkpoints are written under Config.TrainDir (`serve -train-dir`; a
+// temporary directory by default). Jobs are counted at /metrics as
+// neurovec_train_jobs_total{outcome="started|succeeded|failed|canceled"}
+// and neurovec_train_iterations_total.
+//
 // GET /v1/policies — discover the registered decision policies and whether
 // this serving snapshot can run them.
 //
@@ -168,7 +220,7 @@
 //
 // # Example
 //
-//	neurovec train -samples 1000 -iters 30 -save model.gob
+//	neurovec train -corpus generated -n 1000 -iters 30 -jobs 8 -out model.gob
 //	neurovec serve -model model.gob -addr :8080 -timeout 30s &
 //	curl -s localhost:8080/v1/policies
 //	curl -s localhost:8080/v1/annotate \
@@ -176,6 +228,8 @@
 //	curl -s localhost:8080/v1/annotate \
 //	     -d '{"source":"…", "policy":"brute", "timeout_ms": 100}'
 //	curl -s localhost:8080/metrics | grep policy
-//	neurovec train -samples 4000 -iters 60 -save model.gob   # retrain…
-//	curl -s -X POST localhost:8080/v1/reload                 # …swap without downtime
+//	curl -s -d '{"corpus":"generated","n":64,"iterations":20,"eval_every":5}' \
+//	     localhost:8080/v1/train                              # retrain in-service…
+//	curl -s localhost:8080/v1/train/train-0001-ab12cd34       # …watch the curves…
+//	curl -s -X POST localhost:8080/v1/train/train-0001-ab12cd34/promote   # …swap it in
 package service

@@ -41,6 +41,9 @@ type Metrics struct {
 	evalRuns  map[string]*policyStats // corpus evaluations, by policy
 	evalFiles map[string]int64        // evaluated files, by suite
 
+	trainJobs       map[string]int64 // training jobs, by outcome
+	trainIterations int64            // completed training iterations
+
 	cacheHits   int64
 	cacheMisses int64
 
@@ -60,7 +63,23 @@ func NewMetrics() *Metrics {
 		policies:  make(map[string]*policyStats),
 		evalRuns:  make(map[string]*policyStats),
 		evalFiles: make(map[string]int64),
+		trainJobs: make(map[string]int64),
 	}
+}
+
+// TrainJob records one training-job lifecycle event by outcome ("started",
+// "succeeded", "failed", "canceled").
+func (m *Metrics) TrainJob(outcome string) {
+	m.mu.Lock()
+	m.trainJobs[outcome]++
+	m.mu.Unlock()
+}
+
+// TrainIterations records n completed training iterations.
+func (m *Metrics) TrainIterations(n int) {
+	m.mu.Lock()
+	m.trainIterations += int64(n)
+	m.mu.Unlock()
 }
 
 // Policy records one policy decision computed for a request (cache hits are
@@ -296,6 +315,23 @@ func (m *Metrics) render(w io.Writer) (int64, error) {
 		if err := p("neurovec_eval_files_total{suite=%q} %d\n", name, m.evalFiles[name]); err != nil {
 			return n, err
 		}
+	}
+
+	if err := p("# HELP neurovec_train_jobs_total Training jobs, by lifecycle outcome.\n# TYPE neurovec_train_jobs_total counter\n"); err != nil {
+		return n, err
+	}
+	outcomes := make([]string, 0, len(m.trainJobs))
+	for o := range m.trainJobs {
+		outcomes = append(outcomes, o)
+	}
+	sort.Strings(outcomes)
+	for _, o := range outcomes {
+		if err := p("neurovec_train_jobs_total{outcome=%q} %d\n", o, m.trainJobs[o]); err != nil {
+			return n, err
+		}
+	}
+	if err := p("# HELP neurovec_train_iterations_total Completed training iterations across jobs.\n# TYPE neurovec_train_iterations_total counter\nneurovec_train_iterations_total %d\n", m.trainIterations); err != nil {
+		return n, err
 	}
 
 	hitRate := 0.0

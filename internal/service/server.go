@@ -23,7 +23,7 @@ import (
 // Config tunes the server. The zero value of every optional field picks a
 // production default.
 type Config struct {
-	// ModelPath is the checkpoint (written by `neurovec train -save`) to
+	// ModelPath is the checkpoint (written by `neurovec train -out`) to
 	// serve; it is re-read on every hot-reload. Required.
 	ModelPath string
 	// Core overrides the base framework configuration (architecture,
@@ -51,6 +51,13 @@ type Config struct {
 	// passes. A request's timeout_ms field may shorten (never extend) it.
 	// Zero disables the server-side bound.
 	RequestTimeout time.Duration
+	// TrainDir is where asynchronous training jobs (POST /v1/train) write
+	// their checkpoints. Empty means a temporary directory created on first
+	// use.
+	TrainDir string
+	// MaxTrainIterations caps the iterations one training job may request
+	// (default 200).
+	MaxTrainIterations int
 }
 
 // model is one immutable serving snapshot; hot-reload swaps the whole
@@ -86,6 +93,19 @@ type Server struct {
 	evalSem chan struct{}
 
 	reloadMu sync.Mutex // serializes hot-reloads
+	// modelPath is the checkpoint the next reload re-reads; it starts at
+	// cfg.ModelPath and moves when a training job is promoted. Guarded by
+	// reloadMu.
+	modelPath string
+
+	// Training-job state: one asynchronous job runs at a time; finished jobs
+	// are kept (bounded) for status polling and promotion. Guarded by
+	// trainMu.
+	trainMu     sync.Mutex
+	trainJobs   map[string]*trainJob
+	trainSeq    int64
+	trainActive bool
+	trainDir    string
 }
 
 // New loads the checkpoint at cfg.ModelPath and returns a ready server.
@@ -106,6 +126,8 @@ func New(cfg Config) (*Server, error) {
 		metrics:    NewMetrics(),
 		evalEmbeds: evalharness.NewEmbedCache(),
 		evalSem:    make(chan struct{}, 1),
+		trainJobs:  make(map[string]*trainJob),
+		modelPath:  cfg.ModelPath,
 		start:      time.Now(),
 	}
 	m, err := s.loadModel()
@@ -123,6 +145,11 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("GET /v1/eval", s.instrument("/v1/eval", s.handleEval))
 	s.mux.HandleFunc("POST /v1/eval", s.instrument("/v1/eval", s.handleEval))
+	s.mux.HandleFunc("POST /v1/train", s.instrument("/v1/train", s.handleTrainStart))
+	s.mux.HandleFunc("GET /v1/train", s.instrument("/v1/train", s.handleTrainList))
+	s.mux.HandleFunc("GET /v1/train/{id}", s.instrument("/v1/train", s.handleTrainStatus))
+	s.mux.HandleFunc("POST /v1/train/{id}/cancel", s.instrument("/v1/train", s.handleTrainCancel))
+	s.mux.HandleFunc("POST /v1/train/{id}/promote", s.instrument("/v1/train", s.handleTrainPromote))
 	s.mux.HandleFunc("POST /v1/reload", s.instrument("/v1/reload", s.handleReload))
 	s.mux.HandleFunc("GET /v1/policies", s.instrument("/v1/policies", s.handlePolicies))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
@@ -133,9 +160,18 @@ func New(cfg Config) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops the batcher and worker pool. The server must not serve
-// requests afterwards.
+// Close stops the batcher and worker pool and cancels any running training
+// job. The server must not serve requests afterwards.
 func (s *Server) Close() {
+	s.trainMu.Lock()
+	for _, j := range s.trainJobs {
+		j.mu.Lock()
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	}
+	s.trainMu.Unlock()
 	s.embeds.close()
 	s.pool.Close()
 }
@@ -147,35 +183,63 @@ func (s *Server) ModelVersion() string { return s.model.Load().version }
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // loadModel builds a fresh framework from the configured checkpoint.
-func (s *Server) loadModel() (*model, error) {
+func (s *Server) loadModel() (*model, error) { return s.loadModelFrom(s.cfg.ModelPath) }
+
+// loadModelFrom builds a fresh framework from the checkpoint at path.
+// Training checkpoints load like plain snapshots: their trailing training
+// section is ignored.
+func (s *Server) loadModelFrom(path string) (*model, error) {
 	base := core.DefaultConfig()
 	if s.cfg.Core != nil {
 		base = *s.cfg.Core
 	}
 	fw := core.New(base)
-	if err := fw.LoadModelFile(s.cfg.ModelPath); err != nil {
-		return nil, fmt.Errorf("service: load %s: %w", s.cfg.ModelPath, err)
+	if err := fw.LoadModelFile(path); err != nil {
+		return nil, fmt.Errorf("service: load %s: %w", path, err)
 	}
 	return &model{fw: fw, version: fw.ModelVersion(), loadedAt: time.Now()}, nil
 }
 
-// Reload atomically swaps in a freshly loaded checkpoint. In-flight requests
-// finish on the snapshot they started with; the response cache needs no
-// flush because keys embed the version. Returns the previous and new
-// versions.
+// Reload atomically swaps in a freshly loaded checkpoint from the current
+// model path (the configured one, or the last promoted training
+// checkpoint). In-flight requests finish on the snapshot they started with;
+// the response cache needs no flush because keys embed the version. Returns
+// the previous and new versions.
 func (s *Server) Reload() (previous, current string, err error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	m, err := s.loadModel()
+	return s.reloadLocked(s.modelPath)
+}
+
+// ReloadFrom is Reload from an explicit checkpoint path — the promotion
+// path for completed training jobs. On success subsequent reloads re-read
+// the new path; on failure the previous snapshot and path keep serving.
+func (s *Server) ReloadFrom(path string) (previous, current string, err error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return s.reloadLocked(path)
+}
+
+// reloadLocked swaps in the checkpoint at path. Callers hold reloadMu.
+func (s *Server) reloadLocked(path string) (previous, current string, err error) {
+	m, err := s.loadModelFrom(path)
 	if err != nil {
 		s.metrics.Reload(false)
 		return "", "", err
 	}
 	previous = s.model.Load().version
 	s.model.Store(m)
+	s.modelPath = path
 	s.metrics.Reload(true)
 	s.metrics.SetModel(m.version, m.loadedAt)
 	return previous, m.version, nil
+}
+
+// ModelPath returns the checkpoint path the next reload re-reads.
+func (s *Server) ModelPath() string {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	return s.modelPath
 }
 
 // ---- HTTP plumbing ----
@@ -889,7 +953,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body, _ := json.Marshal(&HealthResponse{
 		Status:        "ok",
 		ModelVersion:  m.version,
-		ModelPath:     s.cfg.ModelPath,
+		ModelPath:     s.ModelPath(),
 		ModelLoadedAt: m.loadedAt.UTC().Format(time.RFC3339),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Workers:       s.pool.Workers(),

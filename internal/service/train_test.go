@@ -1,0 +1,258 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"neurovec/internal/core"
+)
+
+// smallCore mirrors the fixture's embedding sizes so service-side training
+// jobs stay fast in tests.
+func smallCore() *core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Embed.OutDim = 48
+	cfg.Embed.EmbedDim = 12
+	cfg.Embed.MaxContexts = 40
+	return &cfg
+}
+
+func trainTestServer(t *testing.T) *Server {
+	t.Helper()
+	testFixture(t)
+	return newTestServer(t, Config{
+		ModelPath: servingPath(t),
+		Core:      smallCore(),
+		TrainDir:  t.TempDir(),
+	})
+}
+
+// startJob posts a training request and returns the job id.
+func startJob(t *testing.T, s *Server, req TrainRequest) string {
+	t.Helper()
+	rec, body := do(t, s, http.MethodPost, "/v1/train", req)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST /v1/train = %d: %s", rec.Code, body)
+	}
+	var resp TrainStartResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID == "" || resp.State != "running" {
+		t.Fatalf("unexpected start response: %+v", resp)
+	}
+	return resp.ID
+}
+
+// waitJob polls the status endpoint until the job leaves "running".
+func waitJob(t *testing.T, s *Server, id string) *TrainStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		rec, body := do(t, s, http.MethodGet, "/v1/train/"+id, nil)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET /v1/train/%s = %d: %s", id, rec.Code, body)
+		}
+		var st TrainStatusResponse
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "running" {
+			return &st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still running: %+v", id, st)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestTrainJobLifecycle pins the async-training acceptance criterion:
+// POST /v1/train returns a job id, the status reports learning curves, and
+// the completed job's model hot-swaps into serving without a restart.
+func TestTrainJobLifecycle(t *testing.T) {
+	s := trainTestServer(t)
+	before := s.ModelVersion()
+
+	id := startJob(t, s, TrainRequest{
+		Corpus:     "generated",
+		N:          2,
+		Seed:       5,
+		Iterations: 2,
+		Batch:      16,
+		EvalEvery:  2,
+	})
+	st := waitJob(t, s, id)
+	if st.State != "succeeded" {
+		t.Fatalf("job state %q (error %q), want succeeded", st.State, st.Error)
+	}
+	if st.IterationsDone != 2 || st.IterationsTotal != 2 {
+		t.Errorf("iterations %d/%d, want 2/2", st.IterationsDone, st.IterationsTotal)
+	}
+	if len(st.RewardMean) != 2 || len(st.Loss) != 2 {
+		t.Errorf("training curves have %d/%d points, want 2/2", len(st.RewardMean), len(st.Loss))
+	}
+	if len(st.Curve) != 1 || st.Curve[0].Iteration != 2 || st.Curve[0].MeanSpeedup <= 0 {
+		t.Errorf("learning curve %+v, want one sane point at iteration 2", st.Curve)
+	}
+	if st.ModelVersion == "" || st.ModelVersion == before {
+		t.Errorf("job model version %q should differ from serving version %q", st.ModelVersion, before)
+	}
+	if st.Units <= 0 {
+		t.Errorf("job reports %d units", st.Units)
+	}
+
+	// Promote into serving via the reload path: no restart, version swaps.
+	rec, body := do(t, s, http.MethodPost, "/v1/train/"+id+"/promote", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("promote = %d: %s", rec.Code, body)
+	}
+	var rel ReloadResponse
+	if err := json.Unmarshal(body, &rel); err != nil {
+		t.Fatal(err)
+	}
+	if rel.PreviousVersion != before || rel.ModelVersion != st.ModelVersion {
+		t.Errorf("promote swapped %q -> %q, want %q -> %q", rel.PreviousVersion, rel.ModelVersion, before, st.ModelVersion)
+	}
+	if got := s.ModelVersion(); got != st.ModelVersion {
+		t.Errorf("serving version %q after promote, want %q", got, st.ModelVersion)
+	}
+
+	// A plain reload now re-reads the promoted checkpoint.
+	if _, cur, err := s.Reload(); err != nil || cur != st.ModelVersion {
+		t.Errorf("reload after promote: version %q err %v", cur, err)
+	}
+
+	// The job listing includes the finished job, marked promoted.
+	rec, body = do(t, s, http.MethodGet, "/v1/train", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/train = %d", rec.Code)
+	}
+	var list TrainListResponse
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != id || !list.Jobs[0].Promoted {
+		t.Errorf("job listing %+v, want the promoted job", list.Jobs)
+	}
+}
+
+// TestTrainJobAdmissionAndCancel: one job at a time, a concurrent POST is a
+// 409, and cancel stops a running job at an iteration boundary.
+func TestTrainJobAdmissionAndCancel(t *testing.T) {
+	s := trainTestServer(t)
+	id := startJob(t, s, TrainRequest{N: 2, Iterations: 50, Batch: 200})
+
+	rec, body := do(t, s, http.MethodPost, "/v1/train", TrainRequest{N: 2})
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("concurrent POST /v1/train = %d (%s), want 409", rec.Code, body)
+	}
+
+	rec, _ = do(t, s, http.MethodPost, "/v1/train/"+id+"/cancel", nil)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("cancel = %d, want 202", rec.Code)
+	}
+	st := waitJob(t, s, id)
+	if st.State != "canceled" {
+		t.Fatalf("job state %q after cancel, want canceled", st.State)
+	}
+	if st.IterationsDone >= 50 {
+		t.Errorf("job ran to completion (%d iterations) despite cancel", st.IterationsDone)
+	}
+
+	// A canceled job cannot be promoted; a finished job cannot be canceled.
+	if rec, _ := do(t, s, http.MethodPost, "/v1/train/"+id+"/promote", nil); rec.Code != http.StatusConflict {
+		t.Errorf("promote canceled job = %d, want 409", rec.Code)
+	}
+	if rec, _ := do(t, s, http.MethodPost, "/v1/train/"+id+"/cancel", nil); rec.Code != http.StatusConflict {
+		t.Errorf("cancel finished job = %d, want 409", rec.Code)
+	}
+
+	// The slot frees up for the next job.
+	id2 := startJob(t, s, TrainRequest{N: 2, Iterations: 1, Batch: 8})
+	if st := waitJob(t, s, id2); st.State != "succeeded" {
+		t.Errorf("follow-up job state %q (error %q)", st.State, st.Error)
+	}
+}
+
+// TestTrainJobValidation covers request caps and unknown-job errors.
+func TestTrainJobValidation(t *testing.T) {
+	s := trainTestServer(t)
+	cases := []struct {
+		req  TrainRequest
+		want int
+	}{
+		{TrainRequest{Iterations: maxTrainIterationsCap + 1}, http.StatusBadRequest},
+		{TrainRequest{N: maxEvalCorpus + 1}, http.StatusBadRequest},
+		{TrainRequest{Batch: maxTrainBatch + 1}, http.StatusBadRequest},
+		{TrainRequest{EvalEvery: -1}, http.StatusBadRequest},
+		{TrainRequest{Corpus: "nope"}, http.StatusAccepted}, // fails async
+	}
+	for i, c := range cases {
+		rec, body := do(t, s, http.MethodPost, "/v1/train", c.req)
+		if rec.Code != c.want {
+			t.Errorf("case %d: status %d (%s), want %d", i, rec.Code, body, c.want)
+		}
+		if rec.Code == http.StatusAccepted {
+			var resp TrainStartResponse
+			if err := json.Unmarshal(body, &resp); err != nil {
+				t.Fatal(err)
+			}
+			st := waitJob(t, s, resp.ID)
+			if st.State != "failed" || st.Error == "" {
+				t.Errorf("case %d: bad-corpus job state %q error %q, want failed", i, st.State, st.Error)
+			}
+		}
+	}
+	for _, path := range []string{"/v1/train/nope", "/v1/train/nope/cancel", "/v1/train/nope/promote"} {
+		method := http.MethodPost
+		if path == "/v1/train/nope" {
+			method = http.MethodGet
+		}
+		if rec, _ := do(t, s, method, path, nil); rec.Code != http.StatusNotFound {
+			t.Errorf("%s %s = %d, want 404", method, path, rec.Code)
+		}
+	}
+}
+
+// TestTrainMetricsExposition checks the train-job counters render.
+func TestTrainMetricsExposition(t *testing.T) {
+	s := trainTestServer(t)
+	id := startJob(t, s, TrainRequest{N: 2, Iterations: 1, Batch: 8})
+	if st := waitJob(t, s, id); st.State != "succeeded" {
+		t.Fatalf("job state %q (error %q)", st.State, st.Error)
+	}
+	rec, body := do(t, s, http.MethodGet, "/metrics", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	for _, want := range []string{
+		`neurovec_train_jobs_total{outcome="started"} 1`,
+		`neurovec_train_jobs_total{outcome="succeeded"} 1`,
+		fmt.Sprintf("neurovec_train_iterations_total %d", 1),
+	} {
+		if !containsLine(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func containsLine(body, line string) bool {
+	for len(body) > 0 {
+		i := 0
+		for i < len(body) && body[i] != '\n' {
+			i++
+		}
+		if body[:i] == line {
+			return true
+		}
+		if i == len(body) {
+			break
+		}
+		body = body[i+1:]
+	}
+	return false
+}

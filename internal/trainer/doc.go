@@ -1,0 +1,42 @@
+// Package trainer is the parallel training pipeline of the NeuroVectorizer
+// reproduction: PPO over real benchmark corpora, sharded rollout collection,
+// durable checkpoints with full resume, and an interleaved evaluation loop
+// that records the learning curve against a baseline policy while training
+// runs.
+//
+// # Determinism
+//
+// A training run is a pure function of (corpus spec, seed, hyperparameters).
+// Rollout collection — the expensive part, one simulated compilation and run
+// per transition — is sharded across a worker pool, but every batch slot
+// draws from its own RNG stream derived from (seed, iteration, slot), so the
+// number of workers changes only the wall time: `-jobs 1` and `-jobs 32`
+// produce bit-identical weights, statistics, and checkpoint bytes. Gradient
+// updates are applied sequentially from the merged batch (PPO's accumulation
+// is inherently ordered) with a shuffle stream derived from
+// (seed, iteration).
+//
+// # Checkpoints
+//
+// A checkpoint is a superset of a model snapshot: the core model section
+// (embedding + agent configs and weights, exactly what core.SaveModel
+// writes, so `neurovec serve -model` and `annotate -load` consume
+// checkpoints directly) followed by a training section holding the iteration
+// counter, corpus spec, learning curves, and the Adam optimizer's step count
+// and per-parameter moments. RNG streams need no serialized state: they are
+// reconstructed from (seed, iteration) alone. Resuming an interrupted run
+// therefore continues bit-exactly — a killed-and-resumed run writes the same
+// final checkpoint bytes as an uninterrupted one.
+//
+// # Interleaved evaluation
+//
+// With Config.EvalEvery > 0, every K-th iteration scores the in-progress
+// agent over an evaluation corpus against a baseline policy (default
+// "costmodel") and the oracle (default "brute") through the evaluation
+// harness, appending an EvalPoint — mean/geomean speedup, oracle regret,
+// decision agreement — to the learning curve. The curve is part of the
+// checkpoint and of the training-job status the HTTP service reports.
+//
+// The pipeline is surfaced as `neurovec train` (see docs/TRAINING.md) and as
+// asynchronous service training jobs (POST /v1/train).
+package trainer
