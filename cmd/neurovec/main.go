@@ -18,6 +18,13 @@
 // in-process unless -load supplies a snapshot. -timeout bounds inference:
 // deadline-aware policies (brute) return their best answer so far.
 //
+// Decisions are loop-granular and speak the versioned v2 schema of package
+// neurovec/internal/api: every loop carries a stable LoopID (a
+// content+position hash that survives whitespace and comment edits),
+// -pin <loop_id|label>=VFxIF forces individual loops to explicit factors,
+// and -json prints the full per-loop api.CompileResponse — the same object
+// the server returns from POST /v2/compile (see docs/API.md).
+//
 // Training runs through the parallel pipeline (internal/trainer): rollout
 // collection shards over -jobs workers with deterministic per-slot seeding,
 // -corpus/-dir select real benchmark suites (shared with eval),
@@ -39,6 +46,7 @@
 //	neurovec sweep -file kernel.c -policy costmodel
 //	neurovec annotate -file kernel.c -samples 1000 -iters 30
 //	neurovec annotate -file kernel.c -policy brute -timeout 2s
+//	neurovec annotate -file kernel.c -load model.gob -pin L0=4x2 -json
 //	neurovec train -corpus generated -n 1000 -iters 30 -jobs 8 -out model.gob
 //	neurovec train -corpus polybench,generated -checkpoint-every 5 -eval-every 5 -out model.gob
 //	neurovec train -resume model.gob -iters 60 -out model.gob
@@ -50,12 +58,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"regexp"
+	"strconv"
 	"strings"
 
+	"neurovec/internal/api"
 	"neurovec/internal/core"
 	"neurovec/internal/dataset"
 	"neurovec/internal/deps"
@@ -111,11 +123,13 @@ commands:
             deterministic at a fixed -seed for any -jobs
   annotate  inject a policy's vectorization pragmas into a C file
             (-policy rl|costmodel|brute|random|polly|nns, -load model.gob,
-            -timeout 2s)
+            -timeout 2s, -pin <loop_id|label>=VFxIF, -json for the full
+            per-loop v2 response)
   serve     serve inference over HTTP/JSON from a snapshot (-model model.gob,
-            -timeout 30s, -train-dir DIR); endpoints /v1/annotate /v1/embed
-            /v1/sweep /v1/eval /v1/train /v1/policies /v1/reload /healthz
-            /metrics; SIGHUP hot-reloads
+            -timeout 30s, -train-dir DIR, -max-body BYTES, -drain 10s);
+            endpoints /v2/compile (per-loop decisions, pins, batches)
+            /v1/annotate /v1/embed /v1/sweep /v1/eval /v1/train /v1/policies
+            /v1/reload /healthz /metrics; SIGHUP hot-reloads
   brute     alias for the policy runner with -policy brute: best (VF, IF)
             per loop of a C file as a table
   sweep     print the VF x IF performance grid for a C file's first loop
@@ -238,6 +252,49 @@ func cmdAnnotate(args []string) error { return runPolicyCmd("annotate", args) }
 
 func cmdBrute(args []string) error { return runPolicyCmd("brute", args) }
 
+// labelRe matches parser loop labels (L0, L1, ...); any other pin address
+// is treated as a stable LoopID.
+var labelRe = regexp.MustCompile(`^L[0-9]+$`)
+
+// pinFlags parses repeated -pin flags of the form <loop_id|label>=VFxIF
+// (e.g. -pin L0=4x2 -pin 8c1f03ba90d2ee41=1x1) into api.Pins.
+type pinFlags []api.Pin
+
+func (p *pinFlags) String() string {
+	parts := make([]string, len(*p))
+	for i, pin := range *p {
+		parts[i] = fmt.Sprintf("%s=%dx%d", pin.Addr(), pin.VF, pin.IF)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *pinFlags) Set(s string) error {
+	addr, factors, ok := strings.Cut(s, "=")
+	if !ok || addr == "" {
+		return fmt.Errorf("want <loop_id|label>=VFxIF, got %q", s)
+	}
+	vfs, ifs, ok := strings.Cut(factors, "x")
+	if !ok {
+		return fmt.Errorf("want factors as VFxIF, got %q", factors)
+	}
+	vf, err := strconv.Atoi(vfs)
+	if err != nil {
+		return fmt.Errorf("bad VF in %q: %v", s, err)
+	}
+	ifc, err := strconv.Atoi(ifs)
+	if err != nil {
+		return fmt.Errorf("bad IF in %q: %v", s, err)
+	}
+	pin := api.Pin{VF: vf, IF: ifc}
+	if labelRe.MatchString(addr) {
+		pin.Label = addr
+	} else {
+		pin.Loop = api.LoopID(addr)
+	}
+	*p = append(*p, pin)
+	return nil
+}
+
 // policyNeedsModel reports whether the policy decides from trained state, so
 // the runner must load a checkpoint or train in-process first. Everything
 // else (costmodel, brute, random, polly) runs model-free.
@@ -259,6 +316,11 @@ func runPolicyCmd(cmd string, args []string) error {
 	seed := fs.Int64("seed", 1, "seed")
 	load := fs.String("load", "", "load a trained snapshot (train -out) instead of training")
 	model := fs.String("model", "", "alias for -load")
+	var pins pinFlags
+	fs.Var(&pins, "pin",
+		"pin one loop to explicit factors, as <loop_id|label>=VFxIF (repeatable)")
+	jsonOut := fs.Bool("json", false,
+		"print the full v2 per-loop response (api.CompileResponse) as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -304,24 +366,40 @@ func runPolicyCmd(cmd string, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	inf, err := fw.PredictSource(ctx, string(src), nil, core.WithPolicyName(*policyName))
+	// The CLI speaks the same loop-granular v2 schema as POST /v2/compile:
+	// one api.Decision per loop, addressable and pinnable by stable LoopID.
+	opts := []core.InferOption{core.WithPolicyName(*policyName)}
+	if len(pins) > 0 {
+		opts = append(opts, core.WithPins(pins))
+	}
+	resp, err := fw.PredictLoops(ctx, string(src), nil, opts...)
 	if err != nil {
 		return err
 	}
-	if inf.Truncated {
+	resp.File = *file
+	if resp.Truncated {
 		fmt.Fprintf(os.Stderr, "%s: deadline expired, decisions are best-so-far\n", cmd)
 	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(resp)
+	}
 	if cmd == "brute" {
-		for _, lp := range inf.Loops {
-			fmt.Printf("%-28s best VF=%-3d IF=%-3d  speedup over baseline %.3fx\n",
-				fmt.Sprintf("%s/%s", *file, lp.Label), lp.VF, lp.IF, lp.Speedup)
+		for _, d := range resp.Loops {
+			fmt.Printf("%-28s id %s  best VF=%-3d IF=%-3d  speedup over baseline %.3fx\n",
+				fmt.Sprintf("%s/%s", *file, d.Label), d.Loop, d.VF, d.IF, d.PredictedSpeedup)
 		}
 		return nil
 	}
-	for _, d := range inf.Decisions {
-		fmt.Fprintf(os.Stderr, "loop %s (%s): VF=%d IF=%d\n", d.Label, inf.Policy, d.VF, d.IF)
+	for _, d := range resp.Loops {
+		origin := resp.Policy
+		if d.Provenance.Origin == api.OriginPin {
+			origin = "pinned"
+		}
+		fmt.Fprintf(os.Stderr, "loop %s [id %s] (%s): VF=%d IF=%d\n", d.Label, d.Loop, origin, d.VF, d.IF)
 	}
-	fmt.Print(inf.Annotated)
+	fmt.Print(resp.Annotated)
 	return nil
 }
 
@@ -407,6 +485,7 @@ func cmdSweep(args []string) error {
 	if err != nil {
 		return err
 	}
+	fmt.Fprintf(os.Stderr, "sweeping loop %s [id %s]\n", sw.Loop, sw.ID)
 	fmt.Printf("%-8s", "")
 	for _, ifc := range sw.IFs {
 		fmt.Printf("%10s", fmt.Sprintf("IF=%d", ifc))

@@ -30,22 +30,33 @@ func cmdServe(args []string) error {
 		"per-request compute timeout (0 disables); requests may shorten it via timeout_ms")
 	trainDir := fs.String("train-dir", "",
 		"directory for POST /v1/train job checkpoints (default: a temp dir)")
+	maxBody := fs.Int64("max-body", 1<<20,
+		"request body size limit in bytes (applies to every endpoint, including /v2/compile batches)")
+	drain := fs.Duration("drain", 10*time.Second,
+		"how long SIGINT/SIGTERM waits for in-flight requests before exiting")
+	loopCache := fs.Int("loop-cache", 4096,
+		"per-loop cache entries (code vectors and loop-pure decisions; negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *model == "" {
 		return fmt.Errorf("serve: -model is required")
 	}
+	if *maxBody <= 0 {
+		return fmt.Errorf("serve: -max-body must be positive (got %d)", *maxBody)
+	}
 
 	srv, err := service.New(service.Config{
-		ModelPath:      *model,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheEntries:   *cacheEntries,
-		MaxBatch:       *batch,
-		BatchWait:      *batchWait,
-		RequestTimeout: *timeout,
-		TrainDir:       *trainDir,
+		ModelPath:        *model,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheEntries:     *cacheEntries,
+		LoopCacheEntries: *loopCache,
+		MaxBatch:         *batch,
+		BatchWait:        *batchWait,
+		MaxRequestBytes:  *maxBody,
+		RequestTimeout:   *timeout,
+		TrainDir:         *trainDir,
 	})
 	if err != nil {
 		return err
@@ -79,11 +90,13 @@ func cmdServe(args []string) error {
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "serve: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Graceful shutdown: stop accepting connections and drain in-flight
+	// requests for up to -drain before giving up and exiting.
+	fmt.Fprintf(os.Stderr, "serve: shutting down (draining in-flight requests for up to %s)\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		return err
+		return fmt.Errorf("serve: drain deadline exceeded: %w", err)
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err

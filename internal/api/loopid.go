@@ -1,0 +1,68 @@
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"neurovec/internal/extractor"
+	"neurovec/internal/lang"
+)
+
+// LoopID is the stable identity of one innermost loop: a content+position
+// hash. The content half is the canonical re-printed text of the loop's
+// enclosing nest (the snippet the code embedder reads) with pragmas
+// stripped; the position half is the containing function's name plus the
+// nest's ordinal in it and the loop's ordinal in the nest. The ID therefore
+// survives whitespace and comment edits — and pragma injection, so a
+// previously annotated file keeps its IDs — while any body edit, loop
+// reordering, or function rename produces new IDs.
+type LoopID string
+
+// LoopIDs computes the LoopID of every innermost loop in the program, keyed
+// by the parser's loop label. Labels are unique per parse, so the map
+// addresses exactly the loops extractor.Loops reports, in any order.
+func LoopIDs(prog *lang.Program) map[string]LoopID {
+	ids := make(map[string]LoopID)
+	// Group innermost loops under their nest root to derive the ordinals:
+	// extractor.Loops walks functions and nests in source order.
+	type nestKey struct {
+		fn   string
+		root *lang.ForStmt
+	}
+	nestIdx := make(map[nestKey]int)
+	nestCount := make(map[string]int)        // per function
+	loopCount := make(map[*lang.ForStmt]int) // per nest root
+	nestContent := make(map[*lang.ForStmt]string)
+	for _, info := range extractor.Loops(prog) {
+		k := nestKey{fn: info.Func, root: info.Outermost}
+		if _, seen := nestIdx[k]; !seen {
+			nestIdx[k] = nestCount[info.Func]
+			nestCount[info.Func]++
+			nestContent[info.Outermost] = canonicalNest(info.Outermost)
+		}
+		loopOrd := loopCount[info.Outermost]
+		loopCount[info.Outermost]++
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00%d\x00%d\x00%s", info.Func, nestIdx[k], loopOrd, nestContent[info.Outermost])
+		ids[info.Label] = LoopID(hex.EncodeToString(h.Sum(nil))[:16])
+	}
+	return ids
+}
+
+// canonicalNest renders the nest in canonical form: the printer normalizes
+// whitespace, the lexer already dropped comments, and pragma lines are
+// removed so annotating a file never changes its loop identities.
+func canonicalNest(root *lang.ForStmt) string {
+	printed := lang.PrintStmt(root)
+	lines := strings.Split(printed, "\n")
+	kept := lines[:0]
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "#pragma") {
+			continue
+		}
+		kept = append(kept, l)
+	}
+	return strings.Join(kept, "\n")
+}

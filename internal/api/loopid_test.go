@@ -1,0 +1,198 @@
+package api
+
+import (
+	"testing"
+
+	"neurovec/internal/extractor"
+	"neurovec/internal/lang"
+)
+
+func mustIDs(t *testing.T, src string) map[string]LoopID {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return LoopIDs(prog)
+}
+
+const baseSrc = `
+float a[64];
+float b[64];
+void f() {
+    for (int i = 0; i < 64; i++) {
+        a[i] = a[i] * 2;
+    }
+    for (int j = 0; j < 64; j++) {
+        b[j] = b[j] + 1;
+    }
+}
+`
+
+func TestLoopIDsStableAcrossWhitespaceAndComments(t *testing.T) {
+	base := mustIDs(t, baseSrc)
+	if len(base) != 2 {
+		t.Fatalf("want 2 loops, got %d", len(base))
+	}
+	reformatted := `
+float a[64];  float b[64];
+void f() {
+        // doubles every element
+        for (int i = 0;   i < 64;   i++) { a[i] = a[i] * 2; }
+
+        /* then bump b */
+        for (int j = 0;
+             j < 64;
+             j++) {
+            b[j] = b[j] + 1;
+        }
+}
+`
+	got := mustIDs(t, reformatted)
+	for label, id := range base {
+		if got[label] != id {
+			t.Errorf("loop %s: id changed across whitespace/comment edit: %s -> %s", label, id, got[label])
+		}
+	}
+}
+
+func TestLoopIDsStableAcrossPragmaInjection(t *testing.T) {
+	base := mustIDs(t, baseSrc)
+	prog, err := lang.Parse(baseSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := extractor.Annotate(prog, []extractor.Decision{
+		{Label: "L0", VF: 4, IF: 2},
+		{Label: "L1", VF: 8, IF: 1},
+	})
+	got := mustIDs(t, annotated)
+	for label, id := range base {
+		if got[label] != id {
+			t.Errorf("loop %s: id changed after pragma injection: %s -> %s", label, id, got[label])
+		}
+	}
+}
+
+func TestLoopIDsChangeOnBodyEdit(t *testing.T) {
+	base := mustIDs(t, baseSrc)
+	edited := `
+float a[64];
+float b[64];
+void f() {
+    for (int i = 0; i < 64; i++) {
+        a[i] = a[i] * 3;
+    }
+    for (int j = 0; j < 64; j++) {
+        b[j] = b[j] + 1;
+    }
+}
+`
+	got := mustIDs(t, edited)
+	if got["L0"] == base["L0"] {
+		t.Errorf("edited loop kept its id %s", base["L0"])
+	}
+	if got["L1"] != base["L1"] {
+		t.Errorf("untouched loop changed id: %s -> %s", base["L1"], got["L1"])
+	}
+}
+
+func TestLoopIDsChangeOnReorder(t *testing.T) {
+	base := mustIDs(t, baseSrc)
+	reordered := `
+float a[64];
+float b[64];
+void f() {
+    for (int j = 0; j < 64; j++) {
+        b[j] = b[j] + 1;
+    }
+    for (int i = 0; i < 64; i++) {
+        a[i] = a[i] * 2;
+    }
+}
+`
+	got := mustIDs(t, reordered)
+	// After the swap, L0 is the former L1's content at position 0 — a new
+	// identity on both counts — and vice versa.
+	if got["L0"] == base["L0"] || got["L0"] == base["L1"] {
+		t.Errorf("reordered loop L0 kept a prior id: %s", got["L0"])
+	}
+	if got["L1"] == base["L1"] || got["L1"] == base["L0"] {
+		t.Errorf("reordered loop L1 kept a prior id: %s", got["L1"])
+	}
+}
+
+func TestLoopIDsDependOnFunction(t *testing.T) {
+	base := mustIDs(t, baseSrc)
+	renamed := mustIDs(t, `
+float a[64];
+float b[64];
+void g() {
+    for (int i = 0; i < 64; i++) {
+        a[i] = a[i] * 2;
+    }
+    for (int j = 0; j < 64; j++) {
+        b[j] = b[j] + 1;
+    }
+}
+`)
+	for label := range base {
+		if renamed[label] == base[label] {
+			t.Errorf("loop %s: id survived a function rename", label)
+		}
+	}
+}
+
+func TestLoopIDsDistinctWithinNest(t *testing.T) {
+	ids := mustIDs(t, `
+float a[16][16];
+void f() {
+    for (int i = 0; i < 16; i++) {
+        for (int j = 0; j < 16; j++) {
+            a[i][j] = a[i][j] * 2;
+        }
+    }
+}
+`)
+	if len(ids) != 1 {
+		t.Fatalf("want 1 innermost loop, got %d", len(ids))
+	}
+	seen := map[LoopID]bool{}
+	for label, id := range ids {
+		if id == "" {
+			t.Errorf("loop %s: empty id", label)
+		}
+		if seen[id] {
+			t.Errorf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestCompileRequestValidate(t *testing.T) {
+	ok := &CompileRequest{Source: "void f() {}"}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	ok.Version = Version
+	if err := ok.Validate(); err != nil {
+		t.Errorf("explicit version rejected: %v", err)
+	}
+	for _, bad := range []*CompileRequest{
+		{Version: 1, Source: "void f() {}"},
+		{Version: 3, Source: "void f() {}"},
+		{Source: ""},
+		{Source: "void f() {}", Pins: []Pin{{VF: 4, IF: 2}}},
+		{Source: "void f() {}", Pins: []Pin{{Label: "L0", VF: 0, IF: 2}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid request %+v accepted", bad)
+		}
+	}
+	if err := (&Batch{Requests: nil}).Validate(); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := (&Batch{Version: 1, Requests: []CompileRequest{{Source: "x"}}}).Validate(); err == nil {
+		t.Error("version-1 batch accepted")
+	}
+}

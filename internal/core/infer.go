@@ -2,8 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
+	"neurovec/internal/api"
 	"neurovec/internal/code2vec"
 	"neurovec/internal/costmodel"
 	"neurovec/internal/extractor"
@@ -18,10 +20,17 @@ import (
 // This file is the framework's stateless inference path: everything here
 // builds per-request state (parse, lower, extract, simulate) and touches the
 // framework only through read-only views — the configuration and the trained
-// weights. That makes PredictSource, SweepSource, AnnotateSource and
-// EmbedSource safe for any number of concurrent callers, which is what the
-// serving layer (internal/service) relies on. The mutating APIs (LoadSource,
-// Train, LoadModel, ...) remain single-threaded setup operations.
+// weights. That makes PredictLoops, PredictSource, SweepSource,
+// AnnotateSource and EmbedSource safe for any number of concurrent callers,
+// which is what the serving layer (internal/service) relies on. The mutating
+// APIs (LoadSource, Train, LoadModel, ...) remain single-threaded setup
+// operations.
+//
+// PredictLoops is the loop-granular entrypoint and speaks the versioned v2
+// wire schema (package neurovec/internal/api) directly: one api.Decision per
+// innermost loop with a stable LoopID, provenance, and optional per-loop
+// pins. PredictSource and AnnotateSource are thin adapters over it;
+// SweepSource shares its compile pipeline.
 //
 // Inference is policy-parameterized: the decision for each loop comes from a
 // policy.Policy — the trained agent by default, or any registered method
@@ -30,13 +39,15 @@ import (
 // deadline-aware policies (brute force) can return their best answer so far
 // instead of blowing the caller's latency budget.
 
-// InferOption configures one PredictSource / AnnotateSource / SweepSource
-// call.
+// InferOption configures one PredictLoops / PredictSource / AnnotateSource /
+// SweepSource call.
 type InferOption func(*inferOpts)
 
 type inferOpts struct {
 	pol     policy.Policy
 	polName string
+	pins    []api.Pin
+	cache   LoopCache
 }
 
 // WithPolicy uses a concrete policy instance for this call — the hook for
@@ -52,6 +63,42 @@ func WithPolicy(p policy.Policy) InferOption {
 func WithPolicyName(name string) InferOption {
 	return func(o *inferOpts) { o.polName = name }
 }
+
+// WithPins forces individual loops to explicit factors: pinned loops bypass
+// the decision policy entirely (their Decision carries Origin "pin"), while
+// the rest of the program is decided as usual. A pin addressing a loop the
+// program does not contain, or factors outside the target architecture's
+// action space, fails the call with an error wrapping ErrBadPin.
+func WithPins(pins []api.Pin) InferOption {
+	return func(o *inferOpts) { o.pins = append(o.pins, pins...) }
+}
+
+// WithLoopCache serves per-loop state from c across calls: code vectors for
+// every policy, and (VF, IF) decisions for policies that are pure functions
+// of the loop (policy.IsLoopPure). Keys embed the checkpoint fingerprint and
+// the stable LoopID, so whitespace-edited re-requests still hit and a
+// hot-reload can never serve stale state; when the framework has no
+// fingerprinted checkpoint the cache is bypassed entirely.
+func WithLoopCache(c LoopCache) InferOption {
+	return func(o *inferOpts) { o.cache = c }
+}
+
+// LoopCache is the per-loop memo the serving layer plugs into inference.
+// Implementations must be safe for concurrent use; both sides treat entries
+// as immutable after Put.
+type LoopCache interface {
+	// GetDecision / PutDecision memoize a loop-pure policy's (VF, IF).
+	GetDecision(key string) (vf, ifc int, ok bool)
+	PutDecision(key string, vf, ifc int)
+	// GetEmbed / PutEmbed memoize the learned code vector for a loop.
+	GetEmbed(key string) ([]float64, bool)
+	PutEmbed(key string, vec []float64)
+}
+
+// ErrBadPin is wrapped by pin-validation failures: a pin addressing a loop
+// the program does not contain, or factors outside the architecture's
+// action space. The serving layer maps it to HTTP 400.
+var ErrBadPin = errors.New("bad pin")
 
 // resolvePolicy picks the policy for a call: an explicit instance wins, then
 // a registry name, then fallback (DefaultPolicy for prediction, "" meaning
@@ -70,10 +117,237 @@ func (f *Framework) resolvePolicy(o *inferOpts, fallback string) (policy.Policy,
 	return f.Policy(name)
 }
 
+// compiled is the per-request state every inference entrypoint builds once:
+// the parsed program, its extraction targets with stable loop identities,
+// the lowered IR, and the baseline plan/cycle anchors.
+type compiled struct {
+	prog       *lang.Program
+	infos      []extractor.LoopInfo
+	ids        map[string]api.LoopID
+	irp        *ir.Program
+	basePlans  map[string]*vectorizer.Plan
+	baseCycles float64
+}
+
+// compileSource parses, extracts, and lowers one source program and
+// simulates its baseline — the shared front half of PredictLoops and
+// SweepSource. It builds only per-request state.
+func (f *Framework) compileSource(source string, params map[string]int64) (*compiled, error) {
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	infos := extractor.Loops(prog)
+	if len(infos) == 0 {
+		return nil, fmt.Errorf("core: no loops in source: %w", ErrNoLoops)
+	}
+	opts := f.Cfg.Lower
+	if params != nil {
+		opts.ParamValues = params
+	}
+	irp, err := lower.Program(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	basePlans := costmodel.Plans(irp, f.Cfg.Arch)
+	return &compiled{
+		prog:       prog,
+		infos:      infos,
+		ids:        api.LoopIDs(prog),
+		irp:        irp,
+		basePlans:  basePlans,
+		baseCycles: sim.Program(irp, basePlans, f.Cfg.Sim).Cycles,
+	}, nil
+}
+
+// resolvePins maps each pin onto the parser label of the loop it addresses.
+// Every pin must address exactly one existing loop with legal factors.
+func (f *Framework) resolvePins(c *compiled, pins []api.Pin) (map[string]api.Pin, error) {
+	if len(pins) == 0 {
+		return nil, nil
+	}
+	byID := make(map[api.LoopID]string, len(c.ids))
+	for label, id := range c.ids {
+		byID[id] = label
+	}
+	labels := make(map[string]bool, len(c.infos))
+	for _, info := range c.infos {
+		labels[info.Label] = true
+	}
+	inSpace := func(v int, space []int) bool {
+		for _, s := range space {
+			if s == v {
+				return true
+			}
+		}
+		return false
+	}
+	out := make(map[string]api.Pin, len(pins))
+	for _, p := range pins {
+		label := p.Label
+		if p.Loop != "" {
+			l, ok := byID[p.Loop]
+			if !ok {
+				return nil, fmt.Errorf("core: %w: no loop with id %s", ErrBadPin, p.Loop)
+			}
+			label = l
+		} else if !labels[label] {
+			return nil, fmt.Errorf("core: %w: no loop with label %s", ErrBadPin, label)
+		}
+		if !inSpace(p.VF, f.Cfg.Arch.VFs()) || !inSpace(p.IF, f.Cfg.Arch.IFs()) {
+			return nil, fmt.Errorf("core: %w: pin %s: (VF=%d, IF=%d) outside the %s action space",
+				ErrBadPin, p.Addr(), p.VF, p.IF, f.Cfg.Arch.Name)
+		}
+		if _, dup := out[label]; dup {
+			return nil, fmt.Errorf("core: %w: loop %s pinned twice", ErrBadPin, label)
+		}
+		out[label] = p
+	}
+	return out, nil
+}
+
+// PredictLoops is the loop-granular inference entrypoint: it compiles the
+// source, decides every innermost loop — honoring per-loop pins, serving
+// unpinned loops from the selected policy (default: the trained agent) —
+// and returns the versioned per-loop response the v2 API serves verbatim.
+// Safe for concurrent callers; no framework state is mutated.
+func (f *Framework) PredictLoops(ctx context.Context, source string, params map[string]int64, opts ...InferOption) (*api.CompileResponse, error) {
+	var o inferOpts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	pol, err := f.resolvePolicy(&o, DefaultPolicy)
+	if err != nil {
+		return nil, err
+	}
+	// A deadline-aware policy still answers (best-so-far) under an expired
+	// context; everything else fails fast before any simulation work.
+	if err := ctx.Err(); err != nil && !policy.IsDeadlineAware(pol) {
+		return nil, err
+	}
+	c, err := f.compileSource(source, params)
+	if err != nil {
+		return nil, err
+	}
+	pinned, err := f.resolvePins(c, o.pins)
+	if err != nil {
+		return nil, err
+	}
+	// Per-loop caches are only sound against a fingerprinted checkpoint:
+	// an in-process framework can retrain without changing ModelVersion.
+	version := f.ModelVersion()
+	cache := o.cache
+	if version == "" {
+		cache = nil
+	}
+	decisionCacheable := policy.IsLoopPure(pol)
+
+	resp := &api.CompileResponse{
+		Version:        api.Version,
+		ModelVersion:   version,
+		Policy:         pol.Name(),
+		BaselineCycles: c.baseCycles,
+	}
+	combined := clonePlans(c.basePlans)
+	var decisions []extractor.Decision
+	for _, info := range c.infos {
+		loop := c.irp.FindLoop(info.Label)
+		if loop == nil {
+			return nil, fmt.Errorf("core: loop %s missing from IR", info.Label)
+		}
+		id := c.ids[info.Label]
+		var vf, ifc int
+		prov := api.Provenance{Origin: api.OriginPolicy, Policy: pol.Name(), ModelVersion: version}
+		switch pin, isPinned := pinned[info.Label]; {
+		case isPinned:
+			vf, ifc = pin.VF, pin.IF
+			prov = api.Provenance{Origin: api.OriginPin}
+		default:
+			dkey := decisionKey(version, pol.Name(), id)
+			if cv, ci, ok := cachedDecision(cache, decisionCacheable, dkey); ok {
+				vf, ifc = cv, ci
+				break
+			}
+			req := f.loopRequest(source, info, c.irp, loop, c.basePlans)
+			if cache != nil {
+				wrapEmbed(req, cache, embedKey(version, id))
+			}
+			d, err := pol.Decide(ctx, req)
+			if err != nil {
+				return nil, fmt.Errorf("core: policy %s on loop %s: %w", pol.Name(), info.Label, err)
+			}
+			vf, ifc = d.VF, d.IF
+			prov.Truncated = d.Truncated
+			resp.Truncated = resp.Truncated || d.Truncated
+			if cache != nil && decisionCacheable && !d.Truncated {
+				cache.PutDecision(dkey, vf, ifc)
+			}
+		}
+		plan := vectorizer.New(loop, f.Cfg.Arch, vf, ifc)
+		single := clonePlans(c.basePlans)
+		single[info.Label] = plan
+		cycles := sim.Program(c.irp, single, f.Cfg.Sim).Cycles
+		resp.Loops = append(resp.Loops, api.Decision{
+			Loop:             id,
+			Label:            info.Label,
+			Func:             info.Func,
+			VF:               vf,
+			IF:               ifc,
+			Cycles:           cycles,
+			PredictedSpeedup: safeRatio(c.baseCycles, cycles),
+			Provenance:       prov,
+		})
+		decisions = append(decisions, extractor.Decision{Label: info.Label, VF: vf, IF: ifc})
+		combined[info.Label] = plan
+	}
+	resp.PredictedCycles = sim.Program(c.irp, combined, f.Cfg.Sim).Cycles
+	resp.Speedup = safeRatio(c.baseCycles, resp.PredictedCycles)
+	resp.Annotated = extractor.Annotate(c.prog, decisions)
+	return resp, nil
+}
+
+// decisionKey / embedKey derive the LoopCache keys. Both embed the
+// checkpoint fingerprint; the decision key also names the policy so two
+// methods never trade answers.
+func decisionKey(version, policyName string, id api.LoopID) string {
+	return "d\x00" + version + "\x00" + policyName + "\x00" + string(id)
+}
+
+func embedKey(version string, id api.LoopID) string {
+	return "e\x00" + version + "\x00" + string(id)
+}
+
+func cachedDecision(cache LoopCache, cacheable bool, key string) (vf, ifc int, ok bool) {
+	if cache == nil || !cacheable {
+		return 0, 0, false
+	}
+	return cache.GetDecision(key)
+}
+
+// wrapEmbed memoizes the request's lazy embedding closure in the cache: the
+// code2vec forward pass dominates learned-policy latency, and the vector is
+// a pure function of (checkpoint, loop content) — exactly the cache key.
+func wrapEmbed(req *policy.Request, cache LoopCache, key string) {
+	inner := req.Embed
+	if inner == nil {
+		return
+	}
+	req.Embed = func() []float64 {
+		if vec, ok := cache.GetEmbed(key); ok {
+			return vec
+		}
+		vec := inner()
+		cache.PutEmbed(key, vec)
+		return vec
+	}
+}
+
 // LoopPrediction is the policy's decision for one loop plus its simulated
 // effect: program cycles with only this loop switched from the baseline
 // decision to the predicted one.
 type LoopPrediction struct {
+	// ID is the loop's stable content+position identity (see api.LoopIDs).
+	ID    api.LoopID
 	Label string
 	Func  string
 	VF    int
@@ -86,7 +360,8 @@ type LoopPrediction struct {
 }
 
 // Inference is the full result of running a decision policy on one source
-// program.
+// program — the legacy (v1) aggregate view, assembled from the per-loop
+// answer of PredictLoops.
 type Inference struct {
 	// Policy names the decision method that produced the result.
 	Policy string
@@ -107,73 +382,35 @@ type Inference struct {
 }
 
 // PredictSource runs inference on new source text without mutating the
-// framework: it parses and lowers the program, asks the selected policy for
-// factors loop by loop, and simulates the outcome. The default policy is
-// the trained agent; without one the call fails with ErrNoAgent. Safe for
+// framework. It is a thin adapter over PredictLoops, folding the per-loop
+// answer into the legacy aggregate Inference. The default policy is the
+// trained agent; without one the call fails with ErrNoAgent. Safe for
 // concurrent callers.
 func (f *Framework) PredictSource(ctx context.Context, source string, params map[string]int64, opts ...InferOption) (*Inference, error) {
-	var o inferOpts
-	for _, opt := range opts {
-		opt(&o)
-	}
-	pol, err := f.resolvePolicy(&o, DefaultPolicy)
+	resp, err := f.PredictLoops(ctx, source, params, opts...)
 	if err != nil {
 		return nil, err
 	}
-	// A deadline-aware policy still answers (best-so-far) under an expired
-	// context; everything else fails fast before any simulation work.
-	if err := ctx.Err(); err != nil && !policy.IsDeadlineAware(pol) {
-		return nil, err
+	inf := &Inference{
+		Policy:          resp.Policy,
+		Truncated:       resp.Truncated,
+		Annotated:       resp.Annotated,
+		BaselineCycles:  resp.BaselineCycles,
+		PredictedCycles: resp.PredictedCycles,
+		Speedup:         resp.Speedup,
 	}
-	prog, err := lang.Parse(source)
-	if err != nil {
-		return nil, err
-	}
-	infos := extractor.Loops(prog)
-	if len(infos) == 0 {
-		return nil, fmt.Errorf("core: no loops in source: %w", ErrNoLoops)
-	}
-	opts2 := f.Cfg.Lower
-	if params != nil {
-		opts2.ParamValues = params
-	}
-	irp, err := lower.Program(prog, opts2)
-	if err != nil {
-		return nil, err
-	}
-	basePlans := costmodel.Plans(irp, f.Cfg.Arch)
-	baseCycles := sim.Program(irp, basePlans, f.Cfg.Sim).Cycles
-
-	inf := &Inference{Policy: pol.Name(), BaselineCycles: baseCycles}
-	combined := clonePlans(basePlans)
-	for _, info := range infos {
-		loop := irp.FindLoop(info.Label)
-		if loop == nil {
-			return nil, fmt.Errorf("core: loop %s missing from IR", info.Label)
-		}
-		d, err := pol.Decide(ctx, f.loopRequest(source, info, irp, loop, basePlans))
-		if err != nil {
-			return nil, fmt.Errorf("core: policy %s on loop %s: %w", pol.Name(), info.Label, err)
-		}
-		inf.Truncated = inf.Truncated || d.Truncated
-		plan := vectorizer.New(loop, f.Cfg.Arch, d.VF, d.IF)
-		single := clonePlans(basePlans)
-		single[info.Label] = plan
-		cycles := sim.Program(irp, single, f.Cfg.Sim).Cycles
-		inf.Decisions = append(inf.Decisions, extractor.Decision{Label: info.Label, VF: d.VF, IF: d.IF})
+	for _, d := range resp.Loops {
+		inf.Decisions = append(inf.Decisions, extractor.Decision{Label: d.Label, VF: d.VF, IF: d.IF})
 		inf.Loops = append(inf.Loops, LoopPrediction{
-			Label:   info.Label,
-			Func:    info.Func,
+			ID:      d.Loop,
+			Label:   d.Label,
+			Func:    d.Func,
 			VF:      d.VF,
 			IF:      d.IF,
-			Cycles:  cycles,
-			Speedup: safeRatio(baseCycles, cycles),
+			Cycles:  d.Cycles,
+			Speedup: d.PredictedSpeedup,
 		})
-		combined[info.Label] = plan
 	}
-	inf.PredictedCycles = sim.Program(irp, combined, f.Cfg.Sim).Cycles
-	inf.Speedup = safeRatio(baseCycles, inf.PredictedCycles)
-	inf.Annotated = extractor.Annotate(prog, inf.Decisions)
 	return inf, nil
 }
 
@@ -201,8 +438,10 @@ func (f *Framework) loopRequest(source string, info extractor.LoopInfo, irp *ir.
 
 // Sweep is the VF x IF performance grid for one loop of a program.
 type Sweep struct {
-	// Loop is the label of the swept (first innermost) loop.
+	// Loop is the label of the swept (first innermost) loop; ID is its
+	// stable content+position identity.
 	Loop string
+	ID   api.LoopID
 	VFs  []int
 	IFs  []int
 	// BaselineCycles is the program cycle count under the baseline cost
@@ -221,12 +460,12 @@ type Sweep struct {
 }
 
 // SweepSource measures the full factor grid for the first innermost loop of
-// the source, without loading it as a unit. Like PredictSource it builds
-// only per-request state and is safe for concurrent callers; it does not
-// need a trained agent. The context cancels the grid walk (a partial grid
-// is discarded, unlike a policy search's best-so-far answer). When a policy
-// is selected via options, its decision for the swept loop is reported
-// alongside the grid.
+// the source, without loading it as a unit. It shares PredictLoops's compile
+// pipeline, builds only per-request state, and is safe for concurrent
+// callers; it does not need a trained agent. The context cancels the grid
+// walk (a partial grid is discarded, unlike a policy search's best-so-far
+// answer). When a policy is selected via options, its decision for the
+// swept loop is reported alongside the grid.
 func (f *Framework) SweepSource(ctx context.Context, source string, params map[string]int64, opts ...InferOption) (*Sweep, error) {
 	var o inferOpts
 	for _, opt := range opts {
@@ -236,34 +475,22 @@ func (f *Framework) SweepSource(ctx context.Context, source string, params map[s
 	if err != nil {
 		return nil, err
 	}
-	prog, err := lang.Parse(source)
+	c, err := f.compileSource(source, params)
 	if err != nil {
 		return nil, err
 	}
-	infos := extractor.Loops(prog)
-	if len(infos) == 0 {
-		return nil, fmt.Errorf("core: no loops in source: %w", ErrNoLoops)
-	}
-	opts2 := f.Cfg.Lower
-	if params != nil {
-		opts2.ParamValues = params
-	}
-	irp, err := lower.Program(prog, opts2)
-	if err != nil {
-		return nil, err
-	}
-	loop := irp.FindLoop(infos[0].Label)
+	info := c.infos[0]
+	loop := c.irp.FindLoop(info.Label)
 	if loop == nil {
-		return nil, fmt.Errorf("core: loop %s missing from IR", infos[0].Label)
+		return nil, fmt.Errorf("core: loop %s missing from IR", info.Label)
 	}
-	basePlans := costmodel.Plans(irp, f.Cfg.Arch)
-	baseCycles := sim.Program(irp, basePlans, f.Cfg.Sim).Cycles
 
 	sw := &Sweep{
-		Loop:           infos[0].Label,
+		Loop:           info.Label,
+		ID:             c.ids[info.Label],
 		VFs:            f.Cfg.Arch.VFs(),
 		IFs:            f.Cfg.Arch.IFs(),
-		BaselineCycles: baseCycles,
+		BaselineCycles: c.baseCycles,
 	}
 	gridCycles := make(map[[2]int]float64, len(sw.VFs)*len(sw.IFs))
 	for _, vf := range sw.VFs {
@@ -272,16 +499,16 @@ func (f *Framework) SweepSource(ctx context.Context, source string, params map[s
 		}
 		row := make([]float64, 0, len(sw.IFs))
 		for _, ifc := range sw.IFs {
-			plans := clonePlans(basePlans)
+			plans := clonePlans(c.basePlans)
 			plans[loop.Label] = vectorizer.New(loop, f.Cfg.Arch, vf, ifc)
-			cycles := sim.Program(irp, plans, f.Cfg.Sim).Cycles
+			cycles := sim.Program(c.irp, plans, f.Cfg.Sim).Cycles
 			gridCycles[[2]int{vf, ifc}] = cycles
-			row = append(row, safeRatio(baseCycles, cycles))
+			row = append(row, safeRatio(c.baseCycles, cycles))
 		}
 		sw.Speedup = append(sw.Speedup, row)
 	}
 	if pol != nil {
-		req := f.loopRequest(source, infos[0], irp, loop, basePlans)
+		req := f.loopRequest(source, info, c.irp, loop, c.basePlans)
 		// A search policy over the same objective would re-simulate the grid
 		// the sweep just walked; serve those evaluations from the computed
 		// cells (brute's overlay becomes a free argmin).
@@ -294,7 +521,7 @@ func (f *Framework) SweepSource(ctx context.Context, source string, params map[s
 		}
 		d, err := pol.Decide(ctx, req)
 		if err != nil {
-			return nil, fmt.Errorf("core: policy %s on loop %s: %w", pol.Name(), infos[0].Label, err)
+			return nil, fmt.Errorf("core: policy %s on loop %s: %w", pol.Name(), info.Label, err)
 		}
 		sw.Policy, sw.ChosenVF, sw.ChosenIF, sw.Truncated = pol.Name(), d.VF, d.IF, d.Truncated
 	}

@@ -89,6 +89,9 @@ func (p *cachingPolicy) Name() string { return p.inner.Name() }
 // context.
 func (p *cachingPolicy) DeadlineAware() bool { return policy.IsDeadlineAware(p.inner) }
 
+// LoopPure forwards the inner policy's per-loop memoization contract.
+func (p *cachingPolicy) LoopPure() bool { return policy.IsLoopPure(p.inner) }
+
 func (p *cachingPolicy) Decide(ctx context.Context, req *policy.Request) (*policy.Decision, error) {
 	if req.Embed != nil {
 		inner := req.Embed

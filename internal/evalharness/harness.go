@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"neurovec/internal/api"
 	"neurovec/internal/core"
 	"neurovec/internal/policy"
 )
@@ -148,6 +149,7 @@ func (h *Harness) Run(ctx context.Context, corpus *Corpus, opts Options) (*Repor
 
 	report := &Report{
 		Spec: Spec{
+			APIVersion:   api.Version,
 			Policy:       opts.Policy,
 			Baseline:     opts.Baseline,
 			Oracle:       opts.Oracle,
@@ -171,12 +173,15 @@ func (h *Harness) Run(ctx context.Context, corpus *Corpus, opts Options) (*Repor
 }
 
 // evalOne scores one corpus item: policy, baseline, and oracle inference
-// plus the derived metrics. Identical role names share one inference.
+// plus the derived metrics. Identical role names share one inference. Each
+// inference runs through the loop-granular v2 entrypoint, so the report's
+// per-file decisions are the same api.Decision objects the HTTP service
+// returns from POST /v2/compile — one schema across both surfaces.
 func (h *Harness) evalOne(ctx context.Context, it Item, pols [3]policy.Policy, opts Options) FileResult {
 	res := FileResult{Suite: it.Suite, Name: it.Name}
 
-	infs := make(map[string]*core.Inference, 3)
-	run := func(p policy.Policy) (*core.Inference, error) {
+	infs := make(map[string]*api.CompileResponse, 3)
+	run := func(p policy.Policy) (*api.CompileResponse, error) {
 		if inf, ok := infs[p.Name()]; ok {
 			return inf, nil
 		}
@@ -185,7 +190,7 @@ func (h *Harness) evalOne(ctx context.Context, it Item, pols [3]policy.Policy, o
 			rctx, cancel = context.WithTimeout(ctx, opts.Timeout)
 		}
 		defer cancel()
-		inf, err := h.fw.PredictSource(rctx, it.Source, it.Params, core.WithPolicy(p))
+		inf, err := h.fw.PredictLoops(rctx, it.Source, it.Params, core.WithPolicy(p))
 		if err != nil {
 			return nil, err
 		}
@@ -196,7 +201,7 @@ func (h *Harness) evalOne(ctx context.Context, it Item, pols [3]policy.Policy, o
 	started := time.Now()
 	polInf, err := run(pols[0])
 	res.latency = time.Since(started)
-	var baseInf, oracleInf *core.Inference
+	var baseInf, oracleInf *api.CompileResponse
 	if err == nil {
 		baseInf, err = run(pols[1])
 	}
@@ -211,7 +216,8 @@ func (h *Harness) evalOne(ctx context.Context, it Item, pols [3]policy.Policy, o
 	// The MiBench regime: fixed scalar work proportional to the baseline's
 	// cycles dilutes loop-level wins into end-to-end numbers.
 	scalarWork := it.ScalarWorkFactor * baseInf.PredictedCycles
-	res.Loops = len(polInf.Decisions)
+	res.Loops = len(polInf.Loops)
+	res.Decisions = polInf.Loops
 	res.BaselineCycles = baseInf.PredictedCycles + scalarWork
 	res.PolicyCycles = polInf.PredictedCycles + scalarWork
 	res.OracleCycles = oracleInf.PredictedCycles + scalarWork
@@ -220,12 +226,14 @@ func (h *Harness) evalOne(ctx context.Context, it Item, pols [3]policy.Policy, o
 	res.Regret = safeRatio(res.PolicyCycles, res.OracleCycles) - 1
 	res.Truncated = polInf.Truncated || baseInf.Truncated || oracleInf.Truncated
 
-	oracleBy := make(map[string][2]int, len(oracleInf.Decisions))
-	for _, d := range oracleInf.Decisions {
-		oracleBy[d.Label] = [2]int{d.VF, d.IF}
+	// Agreement matches decisions by stable LoopID: both inferences parsed
+	// the same source, so IDs line up exactly.
+	oracleBy := make(map[api.LoopID][2]int, len(oracleInf.Loops))
+	for _, d := range oracleInf.Loops {
+		oracleBy[d.Loop] = [2]int{d.VF, d.IF}
 	}
-	for _, d := range polInf.Decisions {
-		if o, ok := oracleBy[d.Label]; ok && o[0] == d.VF && o[1] == d.IF {
+	for _, d := range polInf.Loops {
+		if o, ok := oracleBy[d.Loop]; ok && o[0] == d.VF && o[1] == d.IF {
 			res.AgreedLoops++
 		}
 	}

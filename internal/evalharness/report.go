@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"neurovec/internal/api"
 )
 
 // Spec records everything that determines a report's numbers. Two runs with
@@ -16,6 +18,9 @@ import (
 // aside); the worker count is deliberately absent because sharding never
 // changes the numbers, only the wall time.
 type Spec struct {
+	// APIVersion is the wire-schema version of the per-loop decisions in
+	// Files (see package neurovec/internal/api).
+	APIVersion int `json:"api_version"`
 	// Policy, Baseline, and Oracle are the registry names of the evaluated
 	// method, the speedup anchor, and the regret anchor.
 	Policy   string `json:"policy"`
@@ -44,6 +49,10 @@ type FileResult struct {
 	Suite string `json:"suite"`
 	Name  string `json:"name"`
 	Loops int    `json:"loops"`
+	// Decisions are the evaluated policy's per-loop answers in the shared
+	// v2 schema — the same api.Decision objects POST /v2/compile returns,
+	// with stable LoopIDs and provenance.
+	Decisions []api.Decision `json:"decisions,omitempty"`
 	// BaselineCycles / PolicyCycles / OracleCycles are the simulated program
 	// cycle counts under the baseline, evaluated, and oracle policies.
 	BaselineCycles float64 `json:"baseline_cycles"`

@@ -55,6 +55,11 @@ func (p *rlPolicy) Probe() error {
 	return err
 }
 
+// LoopPure implements policy.LoopPure: the agent's greedy decision is a
+// pure function of the loop's embedding and the trained weights, so it is
+// sound to memoize per (checkpoint, loop) across files.
+func (p *rlPolicy) LoopPure() bool { return true }
+
 // Decide resolves the agent per call (not at construction) so a framework
 // that trains or hot-reloads after policy resolution serves the current
 // weights, and an untrained one fails with ErrNoAgent instead of (1, 1).

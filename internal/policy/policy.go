@@ -118,6 +118,22 @@ func IsDeadlineAware(p Policy) bool {
 	return ok && d.DeadlineAware()
 }
 
+// LoopPure is optionally implemented by policies whose decision is a pure
+// function of the single loop under decision (its content / learned
+// embedding) and the trained model — independent of the surrounding
+// program, runtime parameters, and request identity. Only such decisions
+// are sound to memoize per loop across files, which is what the serving
+// layer's per-loop decision cache does.
+type LoopPure interface {
+	LoopPure() bool
+}
+
+// IsLoopPure reports whether p's decisions may be memoized per loop.
+func IsLoopPure(p Policy) bool {
+	lp, ok := p.(LoopPure)
+	return ok && lp.LoopPure()
+}
+
 // Prober is optionally implemented by policies that can cheaply report
 // whether they could serve a decision right now (the discovery endpoint uses
 // it: a registered policy whose backing state is missing — an untrained

@@ -1,0 +1,314 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"neurovec/internal/api"
+	"neurovec/internal/core"
+	"neurovec/internal/policy"
+)
+
+// This file is the v2 surface of the server: POST /v2/compile speaks the
+// versioned per-loop wire schema of package neurovec/internal/api in three
+// request forms —
+//
+//   - a single JSON api.CompileRequest        → api.CompileResponse
+//   - a JSON api.Batch envelope {"requests"}  → api.BatchResponse (in order)
+//   - an NDJSON stream (Content-Type application/x-ndjson), one request per
+//     line → one response line per request, streamed back in order as each
+//     file completes
+//
+// Batched forms shard files over the worker pool; per-file failures become
+// per-response Error fields so one bad file never poisons a batch. Responses
+// are cached per file (keyed by model version, policy, source, params, and
+// pins), and inference runs with the server's per-loop cache armed: code
+// vectors and loop-pure policy decisions are memoized under stable LoopIDs,
+// so re-requests of whitespace-edited files skip the expensive work even
+// when the byte-level response cache misses.
+
+// loopCache adapts two bounded LRUs to core.LoopCache: (VF, IF) decisions
+// and code vectors, both keyed by the core under (checkpoint, LoopID).
+type loopCache struct {
+	decisions *Cache
+	embeds    *Cache
+}
+
+func newLoopCache(entries int) *loopCache {
+	return &loopCache{decisions: NewCache(entries), embeds: NewCache(entries)}
+}
+
+func (c *loopCache) GetDecision(key string) (vf, ifc int, ok bool) {
+	b, ok := c.decisions.Get(key)
+	if !ok || len(b) != 16 {
+		return 0, 0, false
+	}
+	return int(binary.LittleEndian.Uint64(b[:8])), int(binary.LittleEndian.Uint64(b[8:])), true
+}
+
+func (c *loopCache) PutDecision(key string, vf, ifc int) {
+	b := make([]byte, 16)
+	binary.LittleEndian.PutUint64(b[:8], uint64(vf))
+	binary.LittleEndian.PutUint64(b[8:], uint64(ifc))
+	c.decisions.Put(key, b)
+}
+
+func (c *loopCache) GetEmbed(key string) ([]float64, bool) {
+	b, ok := c.embeds.Get(key)
+	if !ok || len(b)%8 != 0 {
+		return nil, false
+	}
+	vec := make([]float64, len(b)/8)
+	for i := range vec {
+		vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return vec, true
+}
+
+func (c *loopCache) PutEmbed(key string, vec []float64) {
+	b := make([]byte, len(vec)*8)
+	for i, v := range vec {
+		binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+	}
+	c.embeds.Put(key, b)
+}
+
+// compilePayload gives the api type the response cache's opt-out hook:
+// truncated answers depend on the requester's deadline and must not be
+// served to a later, more patient client.
+type compilePayload struct{ *api.CompileResponse }
+
+func (p compilePayload) skipCache() bool { return p.Truncated }
+
+// compileEnvelope decodes both single-request and batch bodies: a body with
+// a non-empty "requests" array is a Batch, anything else a CompileRequest.
+type compileEnvelope struct {
+	api.CompileRequest
+	Requests []api.CompileRequest `json:"requests,omitempty"`
+}
+
+// compileCacheKey derives the per-file response-cache key. Pins are part of
+// the key in request order: two orderings of the same pins compute the same
+// response but cache separately, which costs a miss, never a wrong answer.
+func compileCacheKey(version, policyName string, req *api.CompileRequest) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "compile\x00%s\x00%s\x00%s\x00", version, policyName, req.File)
+	h.Write([]byte(req.Source))
+	keys := make([]string, 0, len(req.Params))
+	for k := range req.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(h, "\x00%s=%d", k, req.Params[k])
+	}
+	for _, p := range req.Pins {
+		fmt.Fprintf(h, "\x00pin:%s/%s=%dx%d", p.Loop, p.Label, p.VF, p.IF)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// compileCompute runs one file through the v2 core path. It is the single
+// compute function behind /v2/compile and the /v1/annotate shim, which is
+// what guarantees the two surfaces can never drift.
+func (s *Server) compileCompute(ctx context.Context, m *model, req *api.CompileRequest, polName string, pol policy.Policy) (*api.CompileResponse, error) {
+	opts := []core.InferOption{core.WithPolicy(pol)}
+	if s.loops != nil {
+		opts = append(opts, core.WithLoopCache(s.loops))
+	}
+	if len(req.Pins) > 0 {
+		opts = append(opts, core.WithPins(req.Pins))
+	}
+	resp, err := m.fw.PredictLoops(ctx, req.Source, req.Params, opts...)
+	if err == nil || !isRequestError(err) {
+		s.metrics.Policy(polName, err == nil)
+	}
+	if err != nil {
+		return nil, classify(err)
+	}
+	resp.File = req.File
+	for _, d := range resp.Loops {
+		s.metrics.CompileLoop(d.Provenance.Origin)
+	}
+	return resp, nil
+}
+
+// handleCompile serves POST /v2/compile, dispatching on the request form.
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-ndjson") {
+		s.handleCompileStream(w, r)
+		return
+	}
+	var env compileEnvelope
+	if err := decodeBody(r, &env); err != nil {
+		writeError(w, r, err)
+		return
+	}
+	m := s.model.Load()
+	if len(env.Requests) > 0 {
+		s.handleCompileBatch(w, r, m, &env)
+		return
+	}
+	req := env.CompileRequest
+	if err := req.Validate(); err != nil {
+		writeError(w, r, &httpError{status: http.StatusBadRequest, msg: err.Error()})
+		return
+	}
+	polName, pol, err := resolvePolicy(m, req.Policy, core.DefaultPolicy)
+	if err != nil {
+		s.metrics.Policy(polName, false)
+		writeError(w, r, err)
+		return
+	}
+	key := compileCacheKey(m.version, polName, &req)
+	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
+	defer cancel()
+	s.serveCached(w, r, ctx, key, func(ctx context.Context) (any, error) {
+		resp, err := s.compileCompute(ctx, m, &req, polName, pol)
+		if err != nil {
+			return nil, err
+		}
+		return compilePayload{resp}, nil
+	})
+}
+
+// handleCompileBatch answers a JSON Batch envelope: every file compiles
+// independently on the worker pool and Responses preserves request order.
+func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request, m *model, env *compileEnvelope) {
+	batch := api.Batch{Version: env.Version, Requests: env.Requests}
+	if err := batch.Validate(); err != nil {
+		writeError(w, r, &httpError{status: http.StatusBadRequest, msg: err.Error()})
+		return
+	}
+	out := api.BatchResponse{Version: api.Version, Responses: make([]api.CompileResponse, len(env.Requests))}
+	// Bound the in-flight files like the NDJSON path does: pool.Do enqueues
+	// without blocking, so spawning every request at once would overflow the
+	// work queue and hand spurious overload errors to large batches on an
+	// otherwise idle server.
+	sem := make(chan struct{}, s.pool.Workers()*2)
+	var wg sync.WaitGroup
+	for i := range env.Requests {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out.Responses[i] = *s.compileItem(r.Context(), m, &env.Requests[i])
+		}(i)
+	}
+	wg.Wait()
+	body, err := json.Marshal(&out)
+	if err != nil {
+		writeError(w, nil, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleCompileStream answers an NDJSON stream: requests are dispatched to
+// the pool as lines arrive (bounded in flight, so a huge batch cannot buffer
+// unboundedly) and responses stream back in request order as files finish.
+func (s *Server) handleCompileStream(w http.ResponseWriter, r *http.Request) {
+	m := s.model.Load()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+
+	type slot chan *api.CompileResponse
+	queue := make(chan slot, s.pool.Workers()*2)
+	go func() {
+		defer close(queue)
+		sc := bufio.NewScanner(r.Body)
+		maxLine := int(s.cfg.MaxRequestBytes)
+		sc.Buffer(make([]byte, 64*1024), maxLine)
+		for sc.Scan() {
+			line := bytes.TrimSpace(sc.Bytes())
+			if len(line) == 0 {
+				continue
+			}
+			lineCopy := append([]byte(nil), line...)
+			out := make(slot, 1)
+			queue <- out // backpressure before spawning work
+			go func() {
+				var req api.CompileRequest
+				dec := json.NewDecoder(bytes.NewReader(lineCopy))
+				dec.DisallowUnknownFields()
+				if err := dec.Decode(&req); err != nil {
+					out <- &api.CompileResponse{Version: api.Version, Error: "bad request line: " + err.Error()}
+					return
+				}
+				out <- s.compileItem(r.Context(), m, &req)
+			}()
+		}
+		if err := sc.Err(); err != nil {
+			out := make(slot, 1)
+			out <- &api.CompileResponse{Version: api.Version, Error: "bad request stream: " + err.Error()}
+			queue <- out
+		}
+	}()
+
+	enc := json.NewEncoder(w)
+	for out := range queue {
+		enc.Encode(<-out) // Encode appends the NDJSON newline
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+// compileItem compiles one batched file. Failures become the response's
+// Error field — a batch always yields one response per request — and cached
+// non-truncated responses are served and stored per file.
+func (s *Server) compileItem(rctx context.Context, m *model, req *api.CompileRequest) *api.CompileResponse {
+	fail := func(err error) *api.CompileResponse {
+		return &api.CompileResponse{Version: api.Version, File: req.File, Error: err.Error()}
+	}
+	if err := req.Validate(); err != nil {
+		return fail(err)
+	}
+	polName, pol, err := resolvePolicy(m, req.Policy, core.DefaultPolicy)
+	if err != nil {
+		s.metrics.Policy(polName, false)
+		return fail(err)
+	}
+	key := compileCacheKey(m.version, polName, req)
+	if body, ok := s.cache.Get(key); ok {
+		var resp api.CompileResponse
+		if json.Unmarshal(body, &resp) == nil {
+			s.metrics.CacheHit()
+			return &resp
+		}
+	}
+	s.metrics.CacheMiss()
+	ctx, cancel := s.computeCtx(rctx, req.TimeoutMS)
+	defer cancel()
+	var resp *api.CompileResponse
+	var cerr error
+	err = s.pool.Do(rctx, func() { resp, cerr = s.compileCompute(ctx, m, req, polName, pol) })
+	if errors.Is(err, ErrOverloaded) {
+		s.metrics.PoolRejected()
+	}
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fail(err)
+	}
+	if !resp.Truncated {
+		if body, err := json.Marshal(resp); err == nil {
+			s.cache.Put(key, body)
+		}
+	}
+	return resp
+}

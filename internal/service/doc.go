@@ -34,10 +34,24 @@
 //     checkpoint into a fresh framework and swaps the pointer; in-flight
 //     requests finish on the snapshot they started with, and version-keyed
 //     caching makes stale entries unreachable. Inference itself uses
-//     core.Framework's stateless paths (PredictSource, EmbedSource,
+//     core.Framework's stateless paths (PredictLoops, EmbedSource,
 //     SweepSource), which only read the configuration and trained weights.
+//   - Beneath the byte-level response cache sit per-loop caches keyed by
+//     (model version, stable LoopID): code vectors for every learned
+//     policy, and (VF, IF) decisions for loop-pure ones. LoopIDs survive
+//     whitespace and comment edits, so a reformatted file skips the
+//     expensive per-loop work even when its bytes miss the response cache.
 //
 // # HTTP API
+//
+// POST /v2/compile — the versioned per-loop compilation API: one
+// api.Decision per innermost loop with a stable loop_id and provenance,
+// per-loop pins, a JSON batch envelope ({"requests": […]}), and NDJSON
+// streaming (Content-Type: application/x-ndjson, one request per line, one
+// response line back per request in order). The /v1 endpoints below are
+// compatibility shims computed through the same v2 core path. Full schema
+// and the v1→v2 migration table: docs/API.md and package
+// neurovec/internal/api.
 //
 // POST /v1/annotate — run a decision policy on a C program.
 //
@@ -212,11 +226,15 @@
 // neurovec_embed_batches_total, neurovec_pool_rejected_total,
 // neurovec_model_info{version="…"}.
 //
-// Errors are JSON ({"error": "…"}): 400 for malformed requests or unknown
-// policy names, 409 for policies this serving state cannot run (no trained
-// agent, no corpus for the NNS index), 422 for programs that do not parse or
-// contain no loops, 503 when the work queue is full, 504 when the request
-// deadline expires on a policy that cannot answer early, 500 otherwise.
+// Errors are JSON ({"error": "…"}): 400 for malformed requests, unknown
+// policy names, unsupported schema versions, or bad pins (a pin naming a
+// loop the program does not contain, or off-action-space factors), 409 for
+// policies this serving state cannot run (no trained agent, no corpus for
+// the NNS index), 422 for programs that do not parse or contain no loops,
+// 503 when the work queue is full, 504 when the request deadline expires on
+// a policy that cannot answer early, 500 otherwise. Batched /v2/compile
+// files report failures per response (the "error" field) instead of failing
+// the batch.
 //
 // # Example
 //

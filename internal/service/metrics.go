@@ -44,6 +44,8 @@ type Metrics struct {
 	trainJobs       map[string]int64 // training jobs, by outcome
 	trainIterations int64            // completed training iterations
 
+	compileLoops map[string]int64 // per-loop decisions served, by origin
+
 	cacheHits   int64
 	cacheMisses int64
 
@@ -59,12 +61,24 @@ type Metrics struct {
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		endpoints: make(map[string]*endpointStats),
-		policies:  make(map[string]*policyStats),
-		evalRuns:  make(map[string]*policyStats),
-		evalFiles: make(map[string]int64),
-		trainJobs: make(map[string]int64),
+		endpoints:    make(map[string]*endpointStats),
+		policies:     make(map[string]*policyStats),
+		evalRuns:     make(map[string]*policyStats),
+		evalFiles:    make(map[string]int64),
+		trainJobs:    make(map[string]int64),
+		compileLoops: make(map[string]int64),
 	}
+}
+
+// CompileLoop records one per-loop decision served through the v2 compile
+// path, by provenance origin ("policy" or "pin").
+func (m *Metrics) CompileLoop(origin string) {
+	if origin == "" {
+		return
+	}
+	m.mu.Lock()
+	m.compileLoops[origin]++
+	m.mu.Unlock()
 }
 
 // TrainJob records one training-job lifecycle event by outcome ("started",
@@ -332,6 +346,20 @@ func (m *Metrics) render(w io.Writer) (int64, error) {
 	}
 	if err := p("# HELP neurovec_train_iterations_total Completed training iterations across jobs.\n# TYPE neurovec_train_iterations_total counter\nneurovec_train_iterations_total %d\n", m.trainIterations); err != nil {
 		return n, err
+	}
+
+	if err := p("# HELP neurovec_compile_loops_total Per-loop decisions served via the v2 compile path, by origin.\n# TYPE neurovec_compile_loops_total counter\n"); err != nil {
+		return n, err
+	}
+	origins := make([]string, 0, len(m.compileLoops))
+	for o := range m.compileLoops {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	for _, o := range origins {
+		if err := p("neurovec_compile_loops_total{origin=%q} %d\n", o, m.compileLoops[o]); err != nil {
+			return n, err
+		}
 	}
 
 	hitRate := 0.0

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"neurovec/internal/api"
 	"neurovec/internal/core"
 	"neurovec/internal/evalharness"
 	"neurovec/internal/lang"
@@ -33,6 +34,12 @@ type Config struct {
 	// CacheEntries bounds the response LRU (default 1024; negative
 	// disables caching).
 	CacheEntries int
+	// LoopCacheEntries bounds the per-loop caches (code vectors and
+	// loop-pure policy decisions, keyed by checkpoint fingerprint and
+	// stable LoopID; default 4096 each, negative disables). Unlike the
+	// response cache these survive whitespace edits of the source, because
+	// LoopIDs do.
+	LoopCacheEntries int
 	// Workers sizes the worker pool (default GOMAXPROCS).
 	Workers int
 	// QueueDepth bounds the pool's backlog (default 4x workers); a full
@@ -80,6 +87,11 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 
+	// loops memoizes per-loop state (code vectors, loop-pure decisions)
+	// across requests and files; nil when disabled. Keys embed the
+	// checkpoint fingerprint, so hot-reloads need no flush.
+	loops *loopCache
+
 	// evalEmbeds memoizes code vectors across /v1/eval runs. It is shared
 	// across hot-reloads — keys embed the model version, so a new
 	// checkpoint can never be served a stale vector.
@@ -116,6 +128,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheEntries == 0 {
 		cfg.CacheEntries = 1024
 	}
+	if cfg.LoopCacheEntries == 0 {
+		cfg.LoopCacheEntries = 4096
+	}
 	if cfg.MaxRequestBytes <= 0 {
 		cfg.MaxRequestBytes = 1 << 20
 	}
@@ -130,6 +145,9 @@ func New(cfg Config) (*Server, error) {
 		modelPath:  cfg.ModelPath,
 		start:      time.Now(),
 	}
+	if cfg.LoopCacheEntries > 0 {
+		s.loops = newLoopCache(cfg.LoopCacheEntries)
+	}
 	m, err := s.loadModel()
 	if err != nil {
 		s.pool.Close()
@@ -140,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 	s.embeds = newBatcher(cfg.MaxBatch, cfg.BatchWait, s.processEmbedBatch)
 
 	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v2/compile", s.instrument("/v2/compile", s.handleCompile))
 	s.mux.HandleFunc("POST /v1/annotate", s.instrument("/v1/annotate", s.handleAnnotate))
 	s.mux.HandleFunc("POST /v1/embed", s.instrument("/v1/embed", s.handleEmbed))
 	s.mux.HandleFunc("POST /v1/sweep", s.instrument("/v1/sweep", s.handleSweep))
@@ -294,8 +313,9 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 		status = http.StatusServiceUnavailable
 	case errors.Is(err, core.ErrNoLoops):
 		status = http.StatusUnprocessableEntity
-	case errors.Is(err, policy.ErrUnknown):
-		// Asking for a policy that does not exist is a malformed request.
+	case errors.Is(err, policy.ErrUnknown), errors.Is(err, core.ErrBadPin):
+		// Asking for a policy that does not exist — or pinning a loop the
+		// program does not contain — is a malformed request.
 		status = http.StatusBadRequest
 	case errors.Is(err, core.ErrNoAgent), errors.Is(err, policy.ErrUnavailable):
 		// The policy exists but this serving state cannot run it (agent
@@ -391,6 +411,12 @@ func (s *Server) respondFresh(w http.ResponseWriter, key string, payload any) {
 // context bounded by the server's RequestTimeout, further shortened (never
 // extended) by the request's own timeout_ms.
 func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	return s.computeCtx(r.Context(), timeoutMS)
+}
+
+// computeCtx is requestCtx from an explicit parent — the form batched
+// compilation uses, where many compute contexts derive from one request.
+func (s *Server) computeCtx(parent context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
 	d := s.cfg.RequestTimeout
 	if timeoutMS > 0 {
 		if rd := time.Duration(timeoutMS) * time.Millisecond; d <= 0 || rd < d {
@@ -398,9 +424,9 @@ func (s *Server) requestCtx(r *http.Request, timeoutMS int64) (context.Context, 
 		}
 	}
 	if d <= 0 {
-		return r.Context(), func() {}
+		return parent, func() {}
 	}
-	return context.WithTimeout(r.Context(), d)
+	return context.WithTimeout(parent, d)
 }
 
 // serveCached implements the shared miss path: check the cache, otherwise
@@ -449,6 +475,7 @@ func isRequestError(err error) bool {
 	var perr *lang.ParseError
 	return errors.As(err, &perr) ||
 		errors.Is(err, core.ErrNoLoops) ||
+		errors.Is(err, core.ErrBadPin) ||
 		errors.Is(err, context.Canceled) ||
 		errors.Is(err, context.DeadlineExceeded)
 }
@@ -472,7 +499,10 @@ type AnnotateRequest struct {
 }
 
 // LoopDecision is one loop's predicted factors in an AnnotateResponse.
+// LoopID carries the loop's stable v2 identity so v1 clients can migrate
+// to per-loop addressing (pins, /v2/compile) incrementally.
 type LoopDecision struct {
+	LoopID  string  `json:"loop_id,omitempty"`
 	Label   string  `json:"label"`
 	Func    string  `json:"func"`
 	VF      int     `json:"vf"`
@@ -531,30 +561,38 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 	s.serveCached(w, r, ctx, key, func(ctx context.Context) (any, error) {
-		inf, err := m.fw.PredictSource(ctx, req.Source, req.Params, core.WithPolicy(pol))
-		if err == nil || !isRequestError(err) {
-			s.metrics.Policy(polName, err == nil)
-		}
+		// The v1 endpoint is a compatibility shim: it computes through the
+		// same v2 per-loop path as POST /v2/compile (one compute function,
+		// one schema underneath) and folds the answer into the legacy
+		// whole-file shape.
+		creq := &api.CompileRequest{Source: req.Source, Params: req.Params, Policy: req.Policy}
+		resp, err := s.compileCompute(ctx, m, creq, polName, pol)
 		if err != nil {
 			return nil, err
 		}
-		resp := &AnnotateResponse{
-			ModelVersion:    m.version,
-			Policy:          inf.Policy,
-			Truncated:       inf.Truncated,
-			Annotated:       inf.Annotated,
-			BaselineCycles:  inf.BaselineCycles,
-			PredictedCycles: inf.PredictedCycles,
-			Speedup:         inf.Speedup,
-		}
-		for _, lp := range inf.Loops {
-			resp.Loops = append(resp.Loops, LoopDecision{
-				Label: lp.Label, Func: lp.Func, VF: lp.VF, IF: lp.IF,
-				Cycles: lp.Cycles, Speedup: lp.Speedup,
-			})
-		}
-		return resp, nil
+		return v1AnnotateFromCompile(resp), nil
 	})
+}
+
+// v1AnnotateFromCompile folds a v2 per-loop response into the legacy v1
+// annotate shape.
+func v1AnnotateFromCompile(resp *api.CompileResponse) *AnnotateResponse {
+	out := &AnnotateResponse{
+		ModelVersion:    resp.ModelVersion,
+		Policy:          resp.Policy,
+		Truncated:       resp.Truncated,
+		Annotated:       resp.Annotated,
+		BaselineCycles:  resp.BaselineCycles,
+		PredictedCycles: resp.PredictedCycles,
+		Speedup:         resp.Speedup,
+	}
+	for _, d := range resp.Loops {
+		out.Loops = append(out.Loops, LoopDecision{
+			LoopID: string(d.Loop), Label: d.Label, Func: d.Func,
+			VF: d.VF, IF: d.IF, Cycles: d.Cycles, Speedup: d.PredictedSpeedup,
+		})
+	}
+	return out
 }
 
 // EmbedRequest is the /v1/embed request body.
@@ -637,6 +675,7 @@ func (s *Server) processEmbedBatch(batch []*embedJob) {
 type SweepResponse struct {
 	ModelVersion   string      `json:"model_version"`
 	Loop           string      `json:"loop"`
+	LoopID         string      `json:"loop_id,omitempty"`
 	VFs            []int       `json:"vfs"`
 	IFs            []int       `json:"ifs"`
 	BaselineCycles float64     `json:"baseline_cycles"`
@@ -680,6 +719,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return &SweepResponse{
 			ModelVersion:   m.version,
 			Loop:           sw.Loop,
+			LoopID:         string(sw.ID),
 			VFs:            sw.VFs,
 			IFs:            sw.IFs,
 			BaselineCycles: sw.BaselineCycles,
