@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"neurovec/internal/benchsuite"
+)
+
+// cmdBench runs the in-process benchmark suite (internal/benchsuite) and
+// writes the canonical BENCH_*.json perf-trajectory artifact. CI runs it as
+// `neurovec bench -out BENCH_ci.json` and fails on malformed output; each
+// PR commits its numbers as BENCH_<pr>.json at the repo root.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "", "write the JSON artifact to this file (default stdout)")
+	pr := fs.Int("pr", 6, "PR number stamped into the artifact")
+	quiet := fs.Bool("q", false, "suppress per-benchmark progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logf := func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	if *quiet {
+		logf = nil
+	}
+	file, err := benchsuite.Run(*pr, logf)
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := file.WriteJSON(&buf); err != nil {
+		return err
+	}
+	// Self-check before writing: the artifact contract is enforced at the
+	// producer too, so a schema bug fails here instead of at CI's validator.
+	if err := benchsuite.Validate(buf.Bytes()); err != nil {
+		return fmt.Errorf("bench: generated artifact failed validation: %w", err)
+	}
+	if *out == "" {
+		_, err := os.Stdout.Write(buf.Bytes())
+		return err
+	}
+	return os.WriteFile(*out, buf.Bytes(), 0o644)
+}

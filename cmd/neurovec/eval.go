@@ -40,11 +40,16 @@ func cmdEval(args []string) error {
 	nTrain := fs.Int("samples", 800, "synthetic training samples (model-backed policies without -load)")
 	iters := fs.Int("iters", 25, "PPO iterations (model-backed policies without -load)")
 	load := fs.String("load", "", "load a trained snapshot (train -out) instead of training")
+	lopts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *format != "json" && *format != "csv" {
 		return fmt.Errorf("eval: unknown format %q (want json or csv)", *format)
+	}
+	logger, err := lopts.logger()
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
 	}
 
 	corpus, err := evalharness.BuildCorpus(*corpusSpec, *n, *seed)
@@ -72,14 +77,14 @@ func cmdEval(args []string) error {
 		if err := fw.LoadModelFile(*load); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "loaded model from %s (version %s)\n", *load, fw.ModelVersion())
+		logger.Info("loaded model", "path", *load, "model_version", fw.ModelVersion())
 	case needsModel:
 		var rc *rl.Config
 		fw, rc, err = buildTrainer(*nTrain, *iters, 200, 5e-4, *seed, "discrete")
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "training agent on %d loop units...\n", fw.NumSamples())
+		logger.Info("training agent", "units", fw.NumSamples(), "iterations", *iters)
 		fw.Train(rc)
 	default:
 		fw = core.New(core.DefaultConfig(), core.WithSeed(*seed))
@@ -116,7 +121,7 @@ func cmdEval(args []string) error {
 		return err
 	}
 	if *out != "" {
-		fmt.Fprintf(os.Stderr, "report written to %s\n", *out)
+		logger.Info("report written", "path", *out, "format", *format)
 	}
 	fmt.Fprint(os.Stderr, report.Summary())
 	if t := report.Timing; t != nil {

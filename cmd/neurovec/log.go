@@ -1,0 +1,37 @@
+package main
+
+import (
+	"flag"
+	"os"
+
+	obslog "neurovec/internal/obs/log"
+)
+
+// logOpts carries the -log-level / -log-format flags shared by the
+// long-running subcommands (serve, train, eval).
+type logOpts struct {
+	level  string
+	format string
+}
+
+// addLogFlags registers the shared logging flags on fs.
+func addLogFlags(fs *flag.FlagSet) *logOpts {
+	o := &logOpts{}
+	fs.StringVar(&o.level, "log-level", "info", "log verbosity: debug, info, warn, error")
+	fs.StringVar(&o.format, "log-format", "text", "log output format: text or json")
+	return o
+}
+
+// logger builds the structured stderr logger the flags describe. Logs go to
+// stderr so report/artifact output on stdout stays machine-parseable.
+func (o *logOpts) logger() (*obslog.Logger, error) {
+	lv, err := obslog.ParseLevel(o.level)
+	if err != nil {
+		return nil, err
+	}
+	f, err := obslog.ParseFormat(o.format)
+	if err != nil {
+		return nil, err
+	}
+	return obslog.New(os.Stderr, lv, f), nil
+}

@@ -72,6 +72,7 @@ import (
 	"neurovec/internal/dataset"
 	"neurovec/internal/deps"
 	"neurovec/internal/experiments"
+	"neurovec/internal/obs"
 	"neurovec/internal/policy"
 	"neurovec/internal/rl"
 )
@@ -99,6 +100,10 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -139,6 +144,10 @@ commands:
             (-policy rl, -baseline costmodel, -corpus polybench,mibench,
             figure7,generated, -jobs N, -out report.json, -timeout 2s)
   explain   show the simulator's cycle breakdown per loop (baseline vs best)
+  bench     run the in-process benchmark suite and emit the BENCH_*.json
+            perf-trajectory artifact (-out BENCH_6.json, -pr 6)
+  profile   capture CPU/heap profiles of an inference workload for
+            go tool pprof (-cpu cpu.prof, -heap heap.prof, -duration 5s)
 `)
 }
 
@@ -321,6 +330,8 @@ func runPolicyCmd(cmd string, args []string) error {
 		"pin one loop to explicit factors, as <loop_id|label>=VFxIF (repeatable)")
 	jsonOut := fs.Bool("json", false,
 		"print the full v2 per-loop response (api.CompileResponse) as JSON")
+	traceFlag := fs.Bool("trace", false,
+		"record per-stage pipeline span timings (printed to stderr; embedded in -json output)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -366,6 +377,11 @@ func runPolicyCmd(cmd string, args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var tr *obs.Trace
+	if *traceFlag {
+		tr = obs.NewTrace()
+		ctx = obs.WithRecorder(ctx, tr, nil)
+	}
 	// The CLI speaks the same loop-granular v2 schema as POST /v2/compile:
 	// one api.Decision per loop, addressable and pinnable by stable LoopID.
 	opts := []core.InferOption{core.WithPolicyName(*policyName)}
@@ -377,6 +393,10 @@ func runPolicyCmd(cmd string, args []string) error {
 		return err
 	}
 	resp.File = *file
+	if tr != nil {
+		resp.Trace = core.TraceSpans(tr)
+		printTrace(resp.Trace)
+	}
 	if resp.Truncated {
 		fmt.Fprintf(os.Stderr, "%s: deadline expired, decisions are best-so-far\n", cmd)
 	}
@@ -401,6 +421,19 @@ func runPolicyCmd(cmd string, args []string) error {
 	}
 	fmt.Print(resp.Annotated)
 	return nil
+}
+
+// printTrace renders a span block as an indented stderr table, mirroring
+// the `trace` array of a /v2/compile?trace=1 response.
+func printTrace(spans []api.TraceSpan) {
+	for _, sp := range spans {
+		label := sp.Name
+		if sp.Detail != "" {
+			label += " (" + sp.Detail + ")"
+		}
+		fmt.Fprintf(os.Stderr, "trace %8dµs %10dµs  %s%s\n",
+			sp.StartMicros, sp.DurationMicros, strings.Repeat("  ", sp.Depth), label)
+	}
 }
 
 func cmdExplain(args []string) error {

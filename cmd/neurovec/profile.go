@@ -1,0 +1,90 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"neurovec/internal/core"
+	"neurovec/internal/dataset"
+)
+
+// cmdProfile captures CPU and heap profiles of a representative inference
+// workload (PredictLoops over generated kernels) without needing a running
+// server — the offline twin of `serve -pprof`. The outputs feed
+// `go tool pprof`.
+func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	cpuPath := fs.String("cpu", "cpu.prof", "write the CPU profile here (empty disables)")
+	heapPath := fs.String("heap", "heap.prof", "write the heap profile here (empty disables)")
+	duration := fs.Duration("duration", 5*time.Second, "how long to drive the workload")
+	policyName := fs.String("policy", "costmodel", "decision policy to profile (model-free policies need no checkpoint)")
+	load := fs.String("load", "", "trained snapshot (required for model-backed policies like rl)")
+	n := fs.Int("n", 8, "generated kernels to cycle through")
+	seed := fs.Int64("seed", 1, "kernel-generation seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *load == "" && policyNeedsModel(*policyName) {
+		return fmt.Errorf("profile: -policy %s needs trained state; pass -load model.gob", *policyName)
+	}
+
+	fw := core.New(core.DefaultConfig(), core.WithSeed(*seed))
+	if *load != "" {
+		if err := fw.LoadModelFile(*load); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded model from %s (version %s)\n", *load, fw.ModelVersion())
+	}
+	set := dataset.Generate(dataset.GenConfig{N: *n, Seed: *seed})
+	srcs := make([]string, 0, len(set.Samples))
+	for _, s := range set.Samples {
+		srcs = append(srcs, s.Source)
+	}
+
+	if *cpuPath != "" {
+		f, err := os.Create(*cpuPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	ctx := context.Background()
+	deadline := time.Now().Add(*duration)
+	ops := 0
+	for time.Now().Before(deadline) {
+		if _, err := fw.PredictLoops(ctx, srcs[ops%len(srcs)], nil,
+			core.WithPolicyName(*policyName)); err != nil {
+			return err
+		}
+		ops++
+	}
+	fmt.Fprintf(os.Stderr, "profile: %d compilations in %s under policy %s\n", ops, *duration, *policyName)
+
+	if *heapPath != "" {
+		f, err := os.Create(*heapPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // one collection so the profile shows live objects, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
+	}
+	for _, p := range []string{*cpuPath, *heapPath} {
+		if p != "" {
+			fmt.Fprintf(os.Stderr, "profile: wrote %s\n", p)
+		}
+	}
+	return nil
+}

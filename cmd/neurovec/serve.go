@@ -36,6 +36,9 @@ func cmdServe(args []string) error {
 		"how long SIGINT/SIGTERM waits for in-flight requests before exiting")
 	loopCache := fs.Int("loop-cache", 4096,
 		"per-loop cache entries (code vectors and loop-pure decisions; negative disables)")
+	pprofFlag := fs.Bool("pprof", false,
+		"mount net/http/pprof under /debug/pprof/ (off by default: exposes internals)")
+	lopts := addLogFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,6 +47,10 @@ func cmdServe(args []string) error {
 	}
 	if *maxBody <= 0 {
 		return fmt.Errorf("serve: -max-body must be positive (got %d)", *maxBody)
+	}
+	logger, err := lopts.logger()
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
 	}
 
 	srv, err := service.New(service.Config{
@@ -57,12 +64,15 @@ func cmdServe(args []string) error {
 		MaxRequestBytes:  *maxBody,
 		RequestTimeout:   *timeout,
 		TrainDir:         *trainDir,
+		Pprof:            *pprofFlag,
+		Logger:           logger,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
-	fmt.Fprintf(os.Stderr, "serving model %s (version %s) on %s\n", *model, srv.ModelVersion(), *addr)
+	logger.Info("serving", "model", *model, "model_version", srv.ModelVersion(),
+		"addr", *addr, "pprof", *pprofFlag)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -72,12 +82,9 @@ func cmdServe(args []string) error {
 	defer signal.Stop(hup)
 	go func() {
 		for range hup {
-			prev, cur, err := srv.Reload()
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "serve: reload failed, keeping version %s: %v\n", srv.ModelVersion(), err)
-				continue
-			}
-			fmt.Fprintf(os.Stderr, "serve: reloaded model %s -> %s\n", prev, cur)
+			// The server logs the reload outcome (success or failure) itself
+			// through the shared structured logger; nothing to add here.
+			_, _, _ = srv.Reload()
 		}
 	}()
 
@@ -92,7 +99,7 @@ func cmdServe(args []string) error {
 	}
 	// Graceful shutdown: stop accepting connections and drain in-flight
 	// requests for up to -drain before giving up and exiting.
-	fmt.Fprintf(os.Stderr, "serve: shutting down (draining in-flight requests for up to %s)\n", *drain)
+	logger.Info("shutting down", "drain", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {

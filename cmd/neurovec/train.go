@@ -5,7 +5,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"os"
 	"os/signal"
 	"syscall"
 
@@ -31,6 +30,7 @@ type trainOpts struct {
 	resume          string
 	out             string
 	save            string
+	log             *logOpts
 }
 
 // trainFlagSet builds the `neurovec train` flag set. It is a separate
@@ -58,6 +58,7 @@ func trainFlagSet() (*flag.FlagSet, *trainOpts) {
 	fs.StringVar(&o.resume, "resume", "", "resume training from this checkpoint (corpus, seed, and hyperparameters come from it)")
 	fs.StringVar(&o.out, "out", "", "checkpoint path (the final file doubles as the serving snapshot)")
 	fs.StringVar(&o.save, "save", "", "alias for -out (historical name)")
+	o.log = addLogFlags(fs)
 	return fs, o
 }
 
@@ -78,6 +79,10 @@ func cmdTrain(args []string) error {
 	if o.checkpointEvery > 0 && o.out == "" && o.resume == "" {
 		return fmt.Errorf("train: -checkpoint-every needs -out")
 	}
+	logger, err := o.log.logger()
+	if err != nil {
+		return fmt.Errorf("train: %w", err)
+	}
 
 	progress := func(p trainer.Progress) {
 		fmt.Printf("iter %3d/%d  steps %7d  reward mean %+.4f  loss %.5f\n",
@@ -87,12 +92,11 @@ func cmdTrain(args []string) error {
 				e.MeanSpeedup, e.GeoMeanSpeedup, e.MeanOracleSpeedup, 100*e.MeanRegret, 100*e.Agreement)
 		}
 		if p.Checkpoint != "" {
-			fmt.Fprintf(os.Stderr, "checkpoint written to %s\n", p.Checkpoint)
+			logger.Info("checkpoint written", "path", p.Checkpoint, "iteration", p.Iteration)
 		}
 	}
 
 	var tr *trainer.Trainer
-	var err error
 	if o.resume != "" {
 		out := o.out
 		if out == "" {
@@ -108,7 +112,7 @@ func cmdTrain(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "resumed from %s\n", o.resume)
+		logger.Info("resumed", "checkpoint", o.resume)
 	} else {
 		rc, err2 := trainRLConfig(o)
 		if err2 != nil {
@@ -145,20 +149,20 @@ func cmdTrain(args []string) error {
 		if errors.Is(err, context.Canceled) && res != nil {
 			switch {
 			case res.CheckpointWritten:
-				fmt.Fprintf(os.Stderr, "train: interrupted after iteration %d; resume with -resume %s\n",
-					res.Iterations, res.CheckpointPath)
+				logger.Warn("interrupted; resumable",
+					"iteration", res.Iterations, "resume", res.CheckpointPath)
 			case o.resume != "":
-				fmt.Fprintf(os.Stderr, "train: interrupted after iteration %d; no new checkpoint, %s is still valid\n",
-					res.Iterations, o.resume)
+				logger.Warn("interrupted; no new checkpoint, previous one still valid",
+					"iteration", res.Iterations, "checkpoint", o.resume)
 			default:
-				fmt.Fprintf(os.Stderr, "train: interrupted after iteration %d; no checkpoint written (pass -out to make runs resumable)\n",
-					res.Iterations)
+				logger.Warn("interrupted; no checkpoint written (pass -out to make runs resumable)",
+					"iteration", res.Iterations)
 			}
 		}
 		return err
 	}
 	if res.ModelVersion != "" {
-		fmt.Fprintf(os.Stderr, "model saved to %s (version %s)\n", res.CheckpointPath, res.ModelVersion)
+		logger.Info("model saved", "path", res.CheckpointPath, "model_version", res.ModelVersion)
 	}
 	return nil
 }

@@ -119,6 +119,10 @@ type CompileRequest struct {
 	// TimeoutMS bounds this request's compute time; it can shorten the
 	// server's timeout but never extend it.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace asks for per-stage span timings in the response (the body form
+	// of the ?trace=1 query parameter). Traced requests bypass the response
+	// cache, so leave it off in production steady state.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Validate rejects requests this schema version cannot serve.
@@ -167,6 +171,30 @@ type CompileResponse struct {
 	// Error is set instead of the result fields when a batched request
 	// failed; the envelope keeps one response per request either way.
 	Error string `json:"error,omitempty"`
+	// RequestID echoes the X-Request-ID the serving layer assigned (or the
+	// client supplied) — the correlation key across log lines, traces, and
+	// error bodies. Empty when the response was not produced by the service.
+	RequestID string `json:"request_id,omitempty"`
+	// Trace carries per-stage span timings when the request asked for them
+	// (Trace field or ?trace=1). Spans are in start order; Depth expresses
+	// nesting (the root "compile" span is depth 0).
+	Trace []TraceSpan `json:"trace,omitempty"`
+}
+
+// TraceSpan is one timed pipeline stage of a traced compile request.
+// Timestamps are microseconds: StartMicros is the span's offset from the
+// start of request processing, DurationMicros its elapsed time.
+type TraceSpan struct {
+	// Name is the stage ("parse", "lower", "embed", "decide", "sim", ...);
+	// Detail optionally narrows it to a specific unit, e.g. a loop label.
+	Name   string `json:"name"`
+	Detail string `json:"detail,omitempty"`
+	// StartMicros and DurationMicros position the span on the request
+	// timeline, in microseconds.
+	StartMicros    int64 `json:"start_us"`
+	DurationMicros int64 `json:"duration_us"`
+	// Depth is the span's nesting level; 0 is the root.
+	Depth int `json:"depth"`
 }
 
 // Batch is the multi-file envelope of POST /v2/compile: requests are

@@ -1,0 +1,391 @@
+// Package benchsuite measures the repo's performance-critical kernels —
+// code2vec embedding, policy-network forward passes, the loop-granular
+// compile pipeline, and HTTP serving throughput — and renders the numbers
+// as the canonical BENCH_*.json perf-trajectory artifact.
+//
+// The suite runs in-process through testing.Benchmark, so `neurovec bench`
+// and `go test -bench` exercise exactly the same code and report the same
+// units (ns/op, allocs/op, B/op). Every PR commits a BENCH_<pr>.json at the
+// repo root; diffing consecutive artifacts is the project's performance
+// trajectory. Validate enforces the schema so CI fails on malformed output
+// before a regression hides behind a parse error.
+package benchsuite
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"neurovec/internal/api"
+	"neurovec/internal/core"
+	"neurovec/internal/dataset"
+	"neurovec/internal/nn"
+	"neurovec/internal/obs"
+	"neurovec/internal/rl"
+	"neurovec/internal/service"
+)
+
+// Schema identifies the artifact format; bump on incompatible changes.
+const Schema = "neurovec-bench/v1"
+
+// Required lists the benchmarks every artifact must contain — the
+// acceptance surface a PR's BENCH file is gated on.
+var Required = []string{
+	"embed_source",
+	"nn_forward",
+	"predict_loops_costmodel",
+	"server_compile_throughput",
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Env pins the machine context the numbers were taken on. Artifacts from
+// different environments are comparable only with that caveat attached.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Timestamp  string `json:"timestamp"`
+}
+
+// File is the whole BENCH_*.json artifact.
+type File struct {
+	Schema     string   `json:"schema"`
+	PR         int      `json:"pr"`
+	Env        Env      `json:"env"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// Run executes the full suite and returns the artifact. logf, when non-nil,
+// receives one progress line per benchmark (the CLI points it at stderr so
+// -out files stay clean).
+func Run(pr int, logf func(format string, args ...any)) (*File, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	fx, cleanup, err := setup()
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+
+	file := &File{
+		Schema: Schema,
+		PR:     pr,
+		Env: Env{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		},
+	}
+	for _, bm := range fx.benchmarks() {
+		r := testing.Benchmark(bm.fn)
+		res := Result{
+			Name:        bm.name,
+			Runs:        r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		logf("bench %-28s %12.1f ns/op %8d allocs/op %10d B/op (%d runs)",
+			res.Name, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp, res.Runs)
+		file.Benchmarks = append(file.Benchmarks, res)
+	}
+	sort.Slice(file.Benchmarks, func(i, j int) bool {
+		return file.Benchmarks[i].Name < file.Benchmarks[j].Name
+	})
+	return file, nil
+}
+
+// WriteJSON renders the artifact as indented JSON with a trailing newline.
+func (f *File) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Validate checks a serialized artifact: schema tag, environment block,
+// sane measurements, sorted unique names, and the Required benchmark set.
+// CI runs it against freshly generated output; a test runs it against the
+// committed artifact.
+func Validate(data []byte) error {
+	var f File
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return fmt.Errorf("benchsuite: parse: %w", err)
+	}
+	if f.Schema != Schema {
+		return fmt.Errorf("benchsuite: schema %q, want %q", f.Schema, Schema)
+	}
+	if f.PR <= 0 {
+		return fmt.Errorf("benchsuite: pr %d must be positive", f.PR)
+	}
+	if f.Env.GoVersion == "" || f.Env.GOOS == "" || f.Env.GOARCH == "" {
+		return fmt.Errorf("benchsuite: incomplete env block: %+v", f.Env)
+	}
+	if f.Env.NumCPU <= 0 || f.Env.GOMAXPROCS <= 0 {
+		return fmt.Errorf("benchsuite: implausible env block: %+v", f.Env)
+	}
+	if _, err := time.Parse(time.RFC3339, f.Env.Timestamp); err != nil {
+		return fmt.Errorf("benchsuite: env timestamp: %w", err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return fmt.Errorf("benchsuite: no benchmarks")
+	}
+	names := make(map[string]bool, len(f.Benchmarks))
+	for i, b := range f.Benchmarks {
+		if b.Name == "" {
+			return fmt.Errorf("benchsuite: benchmark %d has no name", i)
+		}
+		if names[b.Name] {
+			return fmt.Errorf("benchsuite: duplicate benchmark %q", b.Name)
+		}
+		names[b.Name] = true
+		if i > 0 && f.Benchmarks[i-1].Name > b.Name {
+			return fmt.Errorf("benchsuite: benchmarks not sorted at %q", b.Name)
+		}
+		if b.Runs <= 0 || b.NsPerOp <= 0 {
+			return fmt.Errorf("benchsuite: %s: runs=%d ns_per_op=%g must be positive", b.Name, b.Runs, b.NsPerOp)
+		}
+		if b.AllocsPerOp < 0 || b.BytesPerOp < 0 {
+			return fmt.Errorf("benchsuite: %s: negative alloc stats", b.Name)
+		}
+	}
+	for _, want := range Required {
+		if !names[want] {
+			return fmt.Errorf("benchsuite: missing required benchmark %q", want)
+		}
+	}
+	return nil
+}
+
+// fixtures holds the shared state the benchmarks close over: a framework
+// with a loaded corpus, a trained checkpoint, and two serving stacks (with
+// and without response caching).
+type fixtures struct {
+	fw       *core.Framework
+	srcs     []string
+	uncached *service.Server
+	cached   *service.Server
+}
+
+type benchmark struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// setup trains one small model (the service-test fixture's shape: quick but
+// real) and boots the serving stacks. The returned cleanup closes the
+// servers and removes the checkpoint.
+func setup() (*fixtures, func(), error) {
+	cfg := core.DefaultConfig()
+	cfg.Embed.OutDim = 48
+	cfg.Embed.EmbedDim = 12
+	cfg.Embed.MaxContexts = 40
+	fw := core.New(cfg)
+	if err := fw.LoadSet(dataset.Generate(dataset.GenConfig{N: 30, Seed: 1})); err != nil {
+		return nil, nil, err
+	}
+	rc := rl.DefaultConfig(nil, nil)
+	rc.Batch = 96
+	rc.MiniBatch = 32
+	rc.Iterations = 3
+	rc.LR = 1e-3
+	rc.Hidden = []int{32, 32}
+	fw.Train(&rc)
+
+	dir, err := os.MkdirTemp("", "neurovec-bench")
+	if err != nil {
+		return nil, nil, err
+	}
+	model := filepath.Join(dir, "model.gob")
+	if err := fw.SaveModelFile(model); err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	uncached, err := service.New(service.Config{
+		ModelPath: model, CacheEntries: -1, LoopCacheEntries: -1,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	cached, err := service.New(service.Config{ModelPath: model})
+	if err != nil {
+		uncached.Close()
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+
+	fx := &fixtures{fw: fw, uncached: uncached, cached: cached}
+	for _, s := range dataset.Generate(dataset.GenConfig{N: 4, Seed: 7}).Samples {
+		fx.srcs = append(fx.srcs, s.Source)
+	}
+	cleanup := func() {
+		uncached.Close()
+		cached.Close()
+		os.RemoveAll(dir)
+	}
+	return fx, cleanup, nil
+}
+
+func (fx *fixtures) benchmarks() []benchmark {
+	return []benchmark{
+		{"embed_source", fx.benchEmbedSource},
+		{"embed_forward", fx.benchEmbedForward},
+		{"nn_forward", benchNNForward},
+		{"predict_loops_costmodel", fx.benchPredictLoops},
+		{"reward_evaluation", fx.benchReward},
+		{"server_compile_throughput", fx.benchServer(false)},
+		{"server_compile_cached", fx.benchServer(true)},
+		{"span_disabled", benchSpanDisabled},
+		{"span_enabled", benchSpanEnabled},
+	}
+}
+
+// benchEmbedSource measures the end-to-end embedding path an unseen request
+// pays: parse, loop extraction, context extraction, code2vec forward.
+func (fx *fixtures) benchEmbedSource(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fx.fw.EmbedSource(fx.srcs[i%len(fx.srcs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEmbedForward measures the bare code2vec forward pass over an
+// already-extracted unit.
+func (fx *fixtures) benchEmbedForward(b *testing.B) {
+	b.ReportAllocs()
+	n := fx.fw.NumSamples()
+	for i := 0; i < b.N; i++ {
+		fx.fw.Embedding(i % n)
+	}
+}
+
+// benchNNForward measures one policy-network forward pass at the paper's
+// shape: a 340-dim code vector through two 256-unit layers into the 35-way
+// joint (VF, IF) head.
+func benchNNForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	mlp := nn.NewMLP("bench", 340, []int{256, 256, 35}, rng)
+	x := make([]float64, 340)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mlp.Apply(x)
+	}
+}
+
+// benchPredictLoops measures the whole compile pipeline (parse through
+// simulation) under the model-free baseline cost model.
+func (fx *fixtures) benchPredictLoops(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := fx.fw.PredictLoops(ctx, fx.srcs[i%len(fx.srcs)], nil,
+			core.WithPolicyName("costmodel"))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchReward measures one environment step — the "compilation + run" unit
+// the paper's sample-efficiency argument counts in.
+func (fx *fixtures) benchReward(b *testing.B) {
+	n := fx.fw.NumSamples()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fx.fw.Reward(i%n, 8, 2)
+	}
+}
+
+// benchServer measures POST /v2/compile through the full HTTP stack. The
+// uncached variant is the compute-bound throughput number; the cached one
+// shows what the response LRU buys on repeated sources.
+func (fx *fixtures) benchServer(cachedStack bool) func(b *testing.B) {
+	s := fx.uncached
+	if cachedStack {
+		s = fx.cached
+	}
+	return func(b *testing.B) {
+		bodies := make([]string, len(fx.srcs))
+		for i, src := range fx.srcs {
+			data, err := json.Marshal(api.CompileRequest{Source: src})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bodies[i] = string(data)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			req := httptest.NewRequest("POST", "/v2/compile", strings.NewReader(bodies[i%len(bodies)]))
+			rec := httptest.NewRecorder()
+			s.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+}
+
+// benchSpanDisabled measures the tracing no-op path every un-traced request
+// takes; it must stay at zero allocations (asserted in internal/obs tests).
+func benchSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := obs.StartSpan(ctx, "bench")
+		sp.End()
+	}
+}
+
+// benchSpanEnabled measures a recorded span: the cost a ?trace=1 request
+// pays per pipeline stage. The trace is recycled periodically so span
+// records don't accumulate without bound as b.N grows.
+func benchSpanEnabled(b *testing.B) {
+	base := context.Background()
+	ctx := obs.WithRecorder(base, obs.NewTrace(), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 1023 {
+			ctx = obs.WithRecorder(base, obs.NewTrace(), nil)
+		}
+		_, sp := obs.StartSpan(ctx, "bench")
+		sp.End()
+	}
+}

@@ -1,0 +1,118 @@
+package benchsuite
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func goodFile() *File {
+	f := &File{
+		Schema: Schema,
+		PR:     6,
+		Env: Env{
+			GoVersion:  "go1.22.0",
+			GOOS:       "linux",
+			GOARCH:     "amd64",
+			NumCPU:     8,
+			GOMAXPROCS: 8,
+			Timestamp:  "2026-08-08T12:00:00Z",
+		},
+	}
+	for _, name := range Required {
+		f.Benchmarks = append(f.Benchmarks, Result{
+			Name: name, Runs: 100, NsPerOp: 1234.5, AllocsPerOp: 3, BytesPerOp: 128,
+		})
+	}
+	return f
+}
+
+func TestValidateRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goodFile().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]func(*File){
+		"wrong schema":     func(f *File) { f.Schema = "bogus/v9" },
+		"zero pr":          func(f *File) { f.PR = 0 },
+		"empty env":        func(f *File) { f.Env.GoVersion = "" },
+		"bad timestamp":    func(f *File) { f.Env.Timestamp = "yesterday" },
+		"no benchmarks":    func(f *File) { f.Benchmarks = nil },
+		"missing required": func(f *File) { f.Benchmarks = f.Benchmarks[1:] },
+		"zero ns/op":       func(f *File) { f.Benchmarks[0].NsPerOp = 0 },
+		"negative allocs":  func(f *File) { f.Benchmarks[0].AllocsPerOp = -1 },
+		"unsorted": func(f *File) {
+			f.Benchmarks[0], f.Benchmarks[1] = f.Benchmarks[1], f.Benchmarks[0]
+		},
+		"duplicate": func(f *File) {
+			f.Benchmarks = append(f.Benchmarks, f.Benchmarks[0])
+		},
+	}
+	for name, mutate := range cases {
+		f := goodFile()
+		mutate(f)
+		var buf bytes.Buffer
+		if err := f.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(buf.Bytes()); err == nil {
+			t.Errorf("%s: malformed artifact accepted", name)
+		}
+	}
+	if err := Validate([]byte("not json")); err == nil {
+		t.Error("non-JSON accepted")
+	}
+	if err := Validate([]byte(`{"schema":"neurovec-bench/v1","surprise":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestCommittedArtifactValidates gates the BENCH_*.json files at the repo
+// root on the schema: a malformed committed artifact fails the build, not
+// just the CI bench step.
+func TestCommittedArtifactValidates(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no BENCH_*.json at the repo root; run `neurovec bench -out BENCH_<pr>.json`")
+	}
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(data); err != nil {
+			t.Errorf("%s: %v", filepath.Base(path), err)
+		}
+	}
+}
+
+func TestSuiteHasUniqueSortedRequiredNames(t *testing.T) {
+	// The static benchmark list must cover Required without running it.
+	fx := &fixtures{}
+	seen := map[string]bool{}
+	for _, bm := range fx.benchmarks() {
+		if seen[bm.name] {
+			t.Errorf("duplicate benchmark name %q", bm.name)
+		}
+		seen[bm.name] = true
+		if strings.ContainsAny(bm.name, " \t") {
+			t.Errorf("benchmark name %q contains whitespace", bm.name)
+		}
+	}
+	for _, want := range Required {
+		if !seen[want] {
+			t.Errorf("suite missing required benchmark %q", want)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"neurovec/internal/ir"
 	"neurovec/internal/lang"
 	"neurovec/internal/lower"
+	"neurovec/internal/obs"
 	"neurovec/internal/policy"
 	"neurovec/internal/sim"
 	"neurovec/internal/vectorizer"
@@ -131,13 +132,20 @@ type compiled struct {
 
 // compileSource parses, extracts, and lowers one source program and
 // simulates its baseline — the shared front half of PredictLoops and
-// SweepSource. It builds only per-request state.
-func (f *Framework) compileSource(source string, params map[string]int64) (*compiled, error) {
+// SweepSource. It builds only per-request state. Every stage runs under an
+// obs span, so an armed context (service requests, traced CLI calls) gets
+// per-stage latency for free and an unarmed one pays nothing.
+func (f *Framework) compileSource(ctx context.Context, source string, params map[string]int64) (*compiled, error) {
+	_, sp := obs.StartSpan(ctx, "parse")
 	prog, err := lang.Parse(source)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, sp = obs.StartSpan(ctx, "extract")
 	infos := extractor.Loops(prog)
+	ids := api.LoopIDs(prog)
+	sp.End()
 	if len(infos) == 0 {
 		return nil, fmt.Errorf("core: no loops in source: %w", ErrNoLoops)
 	}
@@ -145,18 +153,25 @@ func (f *Framework) compileSource(source string, params map[string]int64) (*comp
 	if params != nil {
 		opts.ParamValues = params
 	}
+	_, sp = obs.StartSpan(ctx, "lower")
 	irp, err := lower.Program(prog, opts)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	_, sp = obs.StartSpan(ctx, "deps")
 	basePlans := costmodel.Plans(irp, f.Cfg.Arch)
+	sp.End()
+	_, sp = obs.StartSpan(ctx, "sim_baseline")
+	baseCycles := sim.Program(irp, basePlans, f.Cfg.Sim).Cycles
+	sp.End()
 	return &compiled{
 		prog:       prog,
 		infos:      infos,
-		ids:        api.LoopIDs(prog),
+		ids:        ids,
 		irp:        irp,
 		basePlans:  basePlans,
-		baseCycles: sim.Program(irp, basePlans, f.Cfg.Sim).Cycles,
+		baseCycles: baseCycles,
 	}, nil
 }
 
@@ -225,7 +240,9 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 	if err := ctx.Err(); err != nil && !policy.IsDeadlineAware(pol) {
 		return nil, err
 	}
-	c, err := f.compileSource(source, params)
+	ctx, root := obs.StartSpan(ctx, "compile")
+	defer root.End()
+	c, err := f.compileSource(ctx, source, params)
 	if err != nil {
 		return nil, err
 	}
@@ -269,10 +286,17 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 				break
 			}
 			req := f.loopRequest(source, info, c.irp, loop, c.basePlans)
+			// Span wrap first, cache wrap outside it: a cache hit returns
+			// before the inner closure runs, so only real code2vec forward
+			// passes are timed as "embed".
+			traceEmbed(ctx, req, info.Label)
 			if cache != nil {
 				wrapEmbed(req, cache, embedKey(version, id))
 			}
-			d, err := pol.Decide(ctx, req)
+			dctx, dsp := obs.StartSpan(ctx, "decide")
+			dsp.Annotate(info.Label)
+			d, err := pol.Decide(dctx, req)
+			dsp.End()
 			if err != nil {
 				return nil, fmt.Errorf("core: policy %s on loop %s: %w", pol.Name(), info.Label, err)
 			}
@@ -286,7 +310,10 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 		plan := vectorizer.New(loop, f.Cfg.Arch, vf, ifc)
 		single := clonePlans(c.basePlans)
 		single[info.Label] = plan
+		_, ssp := obs.StartSpan(ctx, "sim")
+		ssp.Annotate(info.Label)
 		cycles := sim.Program(c.irp, single, f.Cfg.Sim).Cycles
+		ssp.End()
 		resp.Loops = append(resp.Loops, api.Decision{
 			Loop:             id,
 			Label:            info.Label,
@@ -300,10 +327,30 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 		decisions = append(decisions, extractor.Decision{Label: info.Label, VF: vf, IF: ifc})
 		combined[info.Label] = plan
 	}
+	_, ssp := obs.StartSpan(ctx, "sim")
+	ssp.Annotate("combined")
 	resp.PredictedCycles = sim.Program(c.irp, combined, f.Cfg.Sim).Cycles
+	ssp.End()
 	resp.Speedup = safeRatio(c.baseCycles, resp.PredictedCycles)
 	resp.Annotated = extractor.Annotate(c.prog, decisions)
 	return resp, nil
+}
+
+// traceEmbed wraps the request's lazy embedding closure in an "embed" span.
+// The closure runs inside the policy's Decide, so the span is started at call
+// time against the captured (armed) context, not the policy's.
+func traceEmbed(ctx context.Context, req *policy.Request, label string) {
+	inner := req.Embed
+	if inner == nil || !obs.Enabled(ctx) {
+		return
+	}
+	req.Embed = func() []float64 {
+		_, sp := obs.StartSpan(ctx, "embed")
+		sp.Annotate(label)
+		vec := inner()
+		sp.End()
+		return vec
+	}
 }
 
 // decisionKey / embedKey derive the LoopCache keys. Both embed the
@@ -475,7 +522,9 @@ func (f *Framework) SweepSource(ctx context.Context, source string, params map[s
 	if err != nil {
 		return nil, err
 	}
-	c, err := f.compileSource(source, params)
+	ctx, root := obs.StartSpan(ctx, "sweep")
+	defer root.End()
+	c, err := f.compileSource(ctx, source, params)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"neurovec/internal/api"
+	"neurovec/internal/obs"
+)
+
+// TraceSpans converts a finished obs.Trace into the wire form carried by
+// api.CompileResponse.Trace. It lives here because core is the one package
+// that already speaks both vocabularies: the service and the CLI call it to
+// attach trace blocks without importing obs types into their wire handling.
+func TraceSpans(t *obs.Trace) []api.TraceSpan {
+	if t == nil {
+		return nil
+	}
+	records := t.Spans()
+	if len(records) == 0 {
+		return nil
+	}
+	out := make([]api.TraceSpan, len(records))
+	for i, r := range records {
+		out[i] = api.TraceSpan{
+			Name:           r.Name,
+			Detail:         r.Detail,
+			StartMicros:    r.Start.Microseconds(),
+			DurationMicros: r.Duration.Microseconds(),
+			Depth:          r.Depth,
+		}
+	}
+	return out
+}

@@ -35,6 +35,7 @@ import (
 
 	"neurovec/internal/api"
 	"neurovec/internal/core"
+	"neurovec/internal/obs"
 	"neurovec/internal/policy"
 )
 
@@ -178,10 +179,13 @@ func (h *Harness) Run(ctx context.Context, corpus *Corpus, opts Options) (*Repor
 // per-file decisions are the same api.Decision objects the HTTP service
 // returns from POST /v2/compile — one schema across both surfaces.
 func (h *Harness) evalOne(ctx context.Context, it Item, pols [3]policy.Policy, opts Options) FileResult {
+	ctx, fsp := obs.StartSpan(ctx, "eval_file")
+	fsp.Annotate(it.Suite + "/" + it.Name)
+	defer fsp.End()
 	res := FileResult{Suite: it.Suite, Name: it.Name}
 
 	infs := make(map[string]*api.CompileResponse, 3)
-	run := func(p policy.Policy) (*api.CompileResponse, error) {
+	run := func(ctx context.Context, p policy.Policy) (*api.CompileResponse, error) {
 		if inf, ok := infs[p.Name()]; ok {
 			return inf, nil
 		}
@@ -199,14 +203,19 @@ func (h *Harness) evalOne(ctx context.Context, it Item, pols [3]policy.Policy, o
 	}
 
 	started := time.Now()
-	polInf, err := run(pols[0])
+	polInf, err := run(ctx, pols[0])
 	res.latency = time.Since(started)
 	var baseInf, oracleInf *api.CompileResponse
 	if err == nil {
-		baseInf, err = run(pols[1])
+		baseInf, err = run(ctx, pols[1])
 	}
 	if err == nil {
-		oracleInf, err = run(pols[2])
+		// The oracle's exhaustive sweep dominates eval wall time; give it a
+		// dedicated span so the cost is visible next to plain inference.
+		octx, osp := obs.StartSpan(ctx, "oracle")
+		osp.Annotate(pols[2].Name())
+		oracleInf, err = run(octx, pols[2])
+		osp.End()
 	}
 	if err != nil {
 		res.Error = err.Error()

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a Prometheus text exposition the way promtool's check-metrics
+// does: structural format errors (bad names, samples without metadata,
+// unparsable values) and histogram-shape errors (missing +Inf, decreasing
+// cumulative buckets, missing _sum/_count). It returns every problem found,
+// so a test can report them all at once; an empty slice means the exposition
+// is well-formed.
+func Lint(r io.Reader) []error {
+	var errs []error
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	// sample lines: name{labels} value  — labels optional.
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+	labelRe := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+
+	type meta struct {
+		help, typ string
+	}
+	families := map[string]*meta{}
+	typeOrder := []string{}
+
+	// histState tracks one histogram child's bucket shape while its lines
+	// stream by.
+	type histState struct {
+		last    int64
+		sawInf  bool
+		infVal  int64
+		count   int64
+		hasCnt  bool
+		hasSum  bool
+		baseKey string
+	}
+	hists := map[string]*histState{}
+
+	// base strips histogram suffixes to find the family a sample belongs to.
+	base := func(name string) (string, string) {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(name, suf)
+			if trimmed != name {
+				if m, ok := families[trimmed]; ok && m.typ == "histogram" {
+					return trimmed, suf
+				}
+			}
+		}
+		return name, ""
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			fields := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			name := fields[0]
+			if !nameRe.MatchString(name) {
+				errs = append(errs, fmt.Errorf("line %d: bad metric name %q in HELP", lineNo, name))
+				continue
+			}
+			if families[name] == nil {
+				families[name] = &meta{}
+			}
+			if families[name].help != "" {
+				errs = append(errs, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name))
+			}
+			help := ""
+			if len(fields) == 2 {
+				help = fields[1]
+			}
+			if help == "" {
+				errs = append(errs, fmt.Errorf("line %d: empty HELP text for %s", lineNo, name))
+				help = "(empty)"
+			}
+			families[name].help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				errs = append(errs, fmt.Errorf("line %d: malformed TYPE line", lineNo))
+				continue
+			}
+			name, typ := fields[0], fields[1]
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				errs = append(errs, fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, typ, name))
+			}
+			if families[name] == nil {
+				families[name] = &meta{}
+			}
+			if families[name].typ != "" {
+				errs = append(errs, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name))
+			}
+			families[name].typ = typ
+			typeOrder = append(typeOrder, name)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			errs = append(errs, fmt.Errorf("line %d: unparsable sample line %q", lineNo, line))
+			continue
+		}
+		name, labels, value := m[1], m[3], m[4]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			errs = append(errs, fmt.Errorf("line %d: %s: unparsable value %q", lineNo, name, value))
+		}
+		if labels != "" {
+			for _, pair := range splitLabels(labels) {
+				if !labelRe.MatchString(pair) {
+					errs = append(errs, fmt.Errorf("line %d: %s: malformed label pair %q", lineNo, name, pair))
+				}
+			}
+		}
+		fam, suffix := base(name)
+		md := families[fam]
+		if md == nil || md.typ == "" || md.help == "" {
+			errs = append(errs, fmt.Errorf("line %d: sample %s has no preceding HELP/TYPE", lineNo, name))
+			continue
+		}
+		if md.typ == "counter" && !strings.HasSuffix(fam, "_total") {
+			errs = append(errs, fmt.Errorf("line %d: counter %s should end in _total", lineNo, fam))
+		}
+		if md.typ == "histogram" {
+			key := fam + "\x00" + stripLE(labels)
+			st := hists[key]
+			if st == nil {
+				st = &histState{baseKey: key}
+				hists[key] = st
+			}
+			v, _ := strconv.ParseFloat(value, 64)
+			switch suffix {
+			case "_bucket":
+				le := extractLE(labels)
+				if le == "" {
+					errs = append(errs, fmt.Errorf("line %d: %s_bucket without le label", lineNo, fam))
+					continue
+				}
+				iv := int64(v)
+				if iv < st.last {
+					errs = append(errs, fmt.Errorf("line %d: %s: bucket counts decrease at le=%q", lineNo, fam, le))
+				}
+				st.last = iv
+				if le == "+Inf" {
+					st.sawInf = true
+					st.infVal = iv
+				}
+			case "_count":
+				st.hasCnt = true
+				st.count = int64(v)
+			case "_sum":
+				st.hasSum = true
+			default:
+				errs = append(errs, fmt.Errorf("line %d: bare sample %s for histogram family %s", lineNo, name, fam))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		errs = append(errs, fmt.Errorf("read: %w", err))
+	}
+	for _, st := range hists {
+		fam := strings.SplitN(st.baseKey, "\x00", 2)[0]
+		if !st.sawInf {
+			errs = append(errs, fmt.Errorf("%s: histogram child missing le=\"+Inf\" bucket", fam))
+		}
+		if !st.hasCnt || !st.hasSum {
+			errs = append(errs, fmt.Errorf("%s: histogram child missing _sum or _count", fam))
+		}
+		if st.sawInf && st.hasCnt && st.infVal != st.count {
+			errs = append(errs, fmt.Errorf("%s: +Inf bucket (%d) != _count (%d)", fam, st.infVal, st.count))
+		}
+	}
+	_ = typeOrder
+	return errs
+}
+
+// splitLabels splits a label body on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// stripLE removes the le pair so every bucket of one child shares a key.
+func stripLE(labels string) string {
+	var kept []string
+	for _, pair := range splitLabels(labels) {
+		if !strings.HasPrefix(pair, "le=") {
+			kept = append(kept, pair)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+// extractLE returns the le label's unquoted value, or "".
+func extractLE(labels string) string {
+	for _, pair := range splitLabels(labels) {
+		if strings.HasPrefix(pair, "le=") {
+			v := strings.TrimPrefix(pair, "le=")
+			if unq, err := strconv.Unquote(v); err == nil {
+				return unq
+			}
+			return v
+		}
+	}
+	return ""
+}

@@ -1,0 +1,200 @@
+// Package log is the repo's tiny leveled, structured logger: one line per
+// event, key=value fields, text or JSON output, no dependencies. It exists
+// so the CLI and the serving layer share one logging surface (-log-level /
+// -log-format flags) instead of scattering bare fmt.Fprintf calls.
+//
+// A nil *Logger is valid and discards everything, so library code can hold
+// one unconditionally:
+//
+//	var l *log.Logger            // nil: all methods are no-ops
+//	l = log.New(os.Stderr, log.LevelInfo, log.FormatText)
+//	l.Info("model loaded", "version", v, "path", p)
+package log
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int8
+
+// Severity levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String renders the level the way log lines spell it.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int(l))
+}
+
+// ParseLevel maps a -log-level flag value onto a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return LevelDebug, nil
+	case "info", "":
+		return LevelInfo, nil
+	case "warn", "warning":
+		return LevelWarn, nil
+	case "error":
+		return LevelError, nil
+	}
+	return LevelInfo, fmt.Errorf("log: unknown level %q (want debug, info, warn, or error)", s)
+}
+
+// Format selects the line encoding.
+type Format int8
+
+// Output formats.
+const (
+	FormatText Format = iota
+	FormatJSON
+)
+
+// ParseFormat maps a -log-format flag value onto a Format.
+func ParseFormat(s string) (Format, error) {
+	switch strings.ToLower(s) {
+	case "text", "":
+		return FormatText, nil
+	case "json":
+		return FormatJSON, nil
+	}
+	return FormatText, fmt.Errorf("log: unknown format %q (want text or json)", s)
+}
+
+// Logger writes leveled, structured lines. Safe for concurrent use; a nil
+// Logger discards everything.
+type Logger struct {
+	mu     *sync.Mutex
+	out    io.Writer
+	level  Level
+	format Format
+	fields []any // bound key/value pairs, always even length
+	now    func() time.Time
+}
+
+// New returns a logger writing lines at or above level to out.
+func New(out io.Writer, level Level, format Format) *Logger {
+	return &Logger{mu: &sync.Mutex{}, out: out, level: level, format: format, now: time.Now}
+}
+
+// With returns a logger that prepends the given key/value pairs to every
+// line — the request-scoped logger pattern (e.g. With("request_id", id)).
+func (l *Logger) With(kv ...any) *Logger {
+	if l == nil || len(kv) == 0 {
+		return l
+	}
+	child := *l
+	child.fields = append(append([]any{}, l.fields...), kv...)
+	return &child
+}
+
+// Enabled reports whether lines at lv would be written.
+func (l *Logger) Enabled(lv Level) bool { return l != nil && lv >= l.level }
+
+// Debug / Info / Warn / Error write one line with alternating key/value
+// fields appended to the bound ones.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at LevelInfo.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at LevelWarn.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at LevelError.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	ts := l.now().UTC().Format("2006-01-02T15:04:05.000Z07:00")
+	var line string
+	if l.format == FormatJSON {
+		line = l.jsonLine(ts, lv, msg, kv)
+	} else {
+		line = l.textLine(ts, lv, msg, kv)
+	}
+	l.mu.Lock()
+	io.WriteString(l.out, line)
+	l.mu.Unlock()
+}
+
+// pairs yields the combined bound+call fields as (key, value) tuples; an
+// odd trailing value gets the key "!BADKEY" rather than being dropped.
+func (l *Logger) pairs(kv []any) [][2]any {
+	all := append(append([]any{}, l.fields...), kv...)
+	var out [][2]any
+	for i := 0; i < len(all); i += 2 {
+		if i+1 >= len(all) {
+			out = append(out, [2]any{"!BADKEY", all[i]})
+			break
+		}
+		key, ok := all[i].(string)
+		if !ok {
+			key = fmt.Sprint(all[i])
+		}
+		out = append(out, [2]any{key, all[i+1]})
+	}
+	return out
+}
+
+func (l *Logger) textLine(ts string, lv Level, msg string, kv []any) string {
+	var b strings.Builder
+	b.WriteString(ts)
+	fmt.Fprintf(&b, " %-5s %s", strings.ToUpper(lv.String()), msg)
+	for _, p := range l.pairs(kv) {
+		v := fmt.Sprint(p[1])
+		if strings.ContainsAny(v, " \t\n\"=") || v == "" {
+			v = strconv.Quote(v)
+		}
+		fmt.Fprintf(&b, " %s=%s", p[0], v)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func (l *Logger) jsonLine(ts string, lv Level, msg string, kv []any) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	fmt.Fprintf(&b, `"time":%q,"level":%q,"msg":%s`, ts, lv.String(), jsonValue(msg))
+	for _, p := range l.pairs(kv) {
+		fmt.Fprintf(&b, `,%s:%s`, jsonValue(p[0].(string)), jsonValue(p[1]))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// jsonValue marshals v, degrading to its string form when it cannot be
+// marshaled (logging must never fail the caller).
+func jsonValue(v any) string {
+	if err, ok := v.(error); ok {
+		v = err.Error()
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return string(b)
+}

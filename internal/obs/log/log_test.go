@@ -1,0 +1,85 @@
+package log
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixed() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+
+func TestTextLine(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelInfo, FormatText)
+	l.now = fixed
+	l.Debug("dropped")
+	l.Info("model loaded", "version", 3, "path", "/tmp/m dir/model")
+	got := b.String()
+	want := "2026-08-08T12:00:00.000Z INFO  model loaded version=3 path=\"/tmp/m dir/model\"\n"
+	if got != want {
+		t.Errorf("text line:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestJSONLine(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelDebug, FormatJSON)
+	l.now = fixed
+	l.With("request_id", "abc").Warn("slow request", "elapsed_ms", 12.5)
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("line is not valid JSON: %v (%q)", err, b.String())
+	}
+	if m["level"] != "warn" || m["msg"] != "slow request" || m["request_id"] != "abc" || m["elapsed_ms"] != 12.5 {
+		t.Errorf("unexpected fields: %v", m)
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", "k", "v")
+	l.With("a", 1).Error("still fine")
+	if l.Enabled(LevelError) {
+		t.Errorf("nil logger reports enabled")
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelWarn, FormatText)
+	l.now = fixed
+	l.Info("hidden")
+	l.Warn("shown")
+	if strings.Contains(b.String(), "hidden") || !strings.Contains(b.String(), "shown") {
+		t.Errorf("level filter broken: %q", b.String())
+	}
+}
+
+func TestParseLevelAndFormat(t *testing.T) {
+	for s, want := range map[string]Level{"debug": LevelDebug, "INFO": LevelInfo, "warning": LevelWarn, "error": LevelError, "": LevelInfo} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Errorf("ParseLevel accepted garbage")
+	}
+	if f, err := ParseFormat("json"); err != nil || f != FormatJSON {
+		t.Errorf("ParseFormat(json) = %v, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Errorf("ParseFormat accepted garbage")
+	}
+}
+
+func TestOddKeyValues(t *testing.T) {
+	var b strings.Builder
+	l := New(&b, LevelInfo, FormatText)
+	l.now = fixed
+	l.Info("odd", "only-a-value")
+	if !strings.Contains(b.String(), "!BADKEY=only-a-value") {
+		t.Errorf("odd kv not flagged: %q", b.String())
+	}
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the tracing half of the package: a per-request span API
+// threaded through context. A context is "armed" with WithRecorder, which
+// attaches a Trace (per-span capture for ?trace=1 responses), a StageSink
+// (per-stage latency histograms), or both. StartSpan on an unarmed context
+// returns (ctx, nil) without allocating anything — the nil *Span's methods
+// are no-ops — so library code can instrument unconditionally and pay
+// nothing when nobody is watching.
+
+// StageSink receives the duration of every finished span, keyed by span
+// name. *HistogramVec with a single label implements it, which is how span
+// timings become neurovec_stage_duration_seconds{stage=...}.
+type StageSink interface {
+	ObserveStage(stage string, d time.Duration)
+}
+
+// ObserveStage lets a single-label HistogramVec act as a StageSink: the span
+// name is the label value, the duration is observed in seconds.
+func (v *HistogramVec) ObserveStage(stage string, d time.Duration) {
+	v.With(stage).Observe(d.Seconds())
+}
+
+// SpanRecord is one finished span as captured by a Trace.
+type SpanRecord struct {
+	// Name is the stage name passed to StartSpan; Detail optionally narrows
+	// it (e.g. the loop label) and never feeds metrics, only the trace.
+	Name   string
+	Detail string
+	// Start is the span's offset from the trace's creation; Depth is its
+	// nesting level (0 for a root span).
+	Start    time.Duration
+	Duration time.Duration
+	Depth    int
+}
+
+// Trace captures the spans of one request. Safe for concurrent use: batched
+// pipelines may finish spans from several goroutines.
+type Trace struct {
+	start time.Time
+	mu    sync.Mutex
+	spans []SpanRecord
+}
+
+// NewTrace starts an empty trace; span offsets are relative to this moment.
+func NewTrace() *Trace { return &Trace{start: time.Now()} }
+
+// Spans returns the finished spans in start order.
+func (t *Trace) Spans() []SpanRecord {
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// ctxKey indexes the recorder state in a context.
+type ctxKey struct{}
+
+// ctxState is what an armed context carries: where spans report, plus the
+// nesting depth of the innermost open span on this context path.
+type ctxState struct {
+	trace *Trace
+	sink  StageSink
+	depth int
+}
+
+// WithRecorder arms ctx: spans started under the returned context append to
+// trace (when non-nil) and report durations to sink (when non-nil). With
+// both nil the context is returned unchanged — still the zero-cost path.
+func WithRecorder(ctx context.Context, trace *Trace, sink StageSink) context.Context {
+	if trace == nil && sink == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &ctxState{trace: trace, sink: sink})
+}
+
+// Span is one in-flight timed region. The zero of the API is a nil *Span,
+// whose methods do nothing.
+type Span struct {
+	name   string
+	detail string
+	start  time.Time
+	depth  int
+	st     *ctxState
+}
+
+// StartSpan opens a span named name under ctx's recorder. On an unarmed
+// context it returns (ctx, nil) with zero allocations; otherwise the
+// returned context nests subsequent spans one level deeper. Close the span
+// with End.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	st, _ := ctx.Value(ctxKey{}).(*ctxState)
+	if st == nil {
+		return ctx, nil
+	}
+	sp := &Span{name: name, start: time.Now(), depth: st.depth, st: st}
+	return context.WithValue(ctx, ctxKey{}, &ctxState{trace: st.trace, sink: st.sink, depth: st.depth + 1}), sp
+}
+
+// Enabled reports whether ctx carries a recorder — the hook for
+// instrumentation that wants to skip building span details entirely.
+func Enabled(ctx context.Context) bool {
+	_, ok := ctx.Value(ctxKey{}).(*ctxState)
+	return ok
+}
+
+// Annotate attaches a detail string (e.g. a loop label) to the span's trace
+// record. Details never reach metrics, so they are free to be high-cardinality.
+func (s *Span) Annotate(detail string) {
+	if s != nil {
+		s.detail = detail
+	}
+}
+
+// End closes the span, reporting its duration to the sink and appending its
+// record to the trace. Safe on a nil span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	if s.st.sink != nil {
+		s.st.sink.ObserveStage(s.name, d)
+	}
+	if tr := s.st.trace; tr != nil {
+		tr.mu.Lock()
+		tr.spans = append(tr.spans, SpanRecord{
+			Name:     s.name,
+			Detail:   s.detail,
+			Start:    s.start.Sub(tr.start),
+			Duration: d,
+			Depth:    s.depth,
+		})
+		tr.mu.Unlock()
+	}
+}

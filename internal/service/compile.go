@@ -18,6 +18,7 @@ import (
 
 	"neurovec/internal/api"
 	"neurovec/internal/core"
+	"neurovec/internal/obs"
 	"neurovec/internal/policy"
 )
 
@@ -172,9 +173,13 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		writeError(w, r, err)
 		return
 	}
-	key := compileCacheKey(m.version, polName, &req)
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
+	if req.Trace || r.URL.Query().Get("trace") == "1" {
+		s.serveTracedCompile(w, r, ctx, m, &req, polName, pol)
+		return
+	}
+	key := compileCacheKey(m.version, polName, &req)
 	s.serveCached(w, r, ctx, key, func(ctx context.Context) (any, error) {
 		resp, err := s.compileCompute(ctx, m, &req, polName, pol)
 		if err != nil {
@@ -182,6 +187,39 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		}
 		return compilePayload{resp}, nil
 	})
+}
+
+// serveTracedCompile answers one traced compile request. Traced responses
+// bypass the response cache in both directions: a cached body carries no
+// spans, and a trace describes exactly one execution — serving it to another
+// request would be a lie. The stage histograms still record (the sink rides
+// along with the trace), and the per-loop caches still apply, so a traced
+// request on a warm server shows the cheap path it actually took.
+func (s *Server) serveTracedCompile(w http.ResponseWriter, r *http.Request, ctx context.Context, m *model, req *api.CompileRequest, polName string, pol policy.Policy) {
+	tr := obs.NewTrace()
+	ctx = obs.WithRecorder(ctx, tr, s.metrics.StageSink())
+	var resp *api.CompileResponse
+	var cerr error
+	err := s.pool.Do(r.Context(), func() { resp, cerr = s.compileCompute(ctx, m, req, polName, pol) })
+	if errors.Is(err, ErrOverloaded) {
+		s.metrics.PoolRejected()
+	}
+	if err == nil {
+		err = cerr
+	}
+	if err != nil {
+		writeError(w, r, classify(err))
+		return
+	}
+	resp.RequestID = w.Header().Get("X-Request-ID")
+	resp.Trace = core.TraceSpans(tr)
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeError(w, nil, err)
+		return
+	}
+	w.Header().Set("X-Neurovec-Cache", "bypass")
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleCompileBatch answers a JSON Batch envelope: every file compiles
@@ -283,16 +321,25 @@ func (s *Server) compileItem(rctx context.Context, m *model, req *api.CompileReq
 		return fail(err)
 	}
 	key := compileCacheKey(m.version, polName, req)
-	if body, ok := s.cache.Get(key); ok {
-		var resp api.CompileResponse
-		if json.Unmarshal(body, &resp) == nil {
-			s.metrics.CacheHit()
-			return &resp
+	// Traced items bypass the cache entirely (neither hit nor store): a
+	// cached body carries no spans and a trace describes one execution.
+	if !req.Trace {
+		if body, ok := s.cache.Get(key); ok {
+			var resp api.CompileResponse
+			if json.Unmarshal(body, &resp) == nil {
+				s.metrics.CacheHit()
+				return &resp
+			}
 		}
+		s.metrics.CacheMiss()
 	}
-	s.metrics.CacheMiss()
 	ctx, cancel := s.computeCtx(rctx, req.TimeoutMS)
 	defer cancel()
+	var tr *obs.Trace
+	if req.Trace {
+		tr = obs.NewTrace()
+		ctx = obs.WithRecorder(ctx, tr, s.metrics.StageSink())
+	}
 	var resp *api.CompileResponse
 	var cerr error
 	err = s.pool.Do(rctx, func() { resp, cerr = s.compileCompute(ctx, m, req, polName, pol) })
@@ -304,6 +351,10 @@ func (s *Server) compileItem(rctx context.Context, m *model, req *api.CompileReq
 	}
 	if err != nil {
 		return fail(err)
+	}
+	if tr != nil {
+		resp.Trace = core.TraceSpans(tr)
+		return resp
 	}
 	if !resp.Truncated {
 		if body, err := json.Marshal(resp); err == nil {

@@ -1,12 +1,11 @@
 package service
 
 import (
-	"bytes"
-	"fmt"
 	"io"
-	"sort"
 	"sync"
 	"time"
+
+	"neurovec/internal/obs"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-latency
@@ -17,58 +16,91 @@ var latencyBuckets = []float64{
 	0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// endpointStats aggregates one endpoint's request counters and latency
-// histogram.
-type endpointStats struct {
-	count    map[int]int64 // by HTTP status code
-	sum      float64       // total seconds
-	buckets  []int64       // cumulative counts per latencyBuckets entry
-	observed int64
+// stageBuckets are the upper bounds (seconds) of the per-stage pipeline
+// histogram. Stages run from microseconds (parse on a small kernel) to tens
+// of milliseconds (a brute-force decide), so the grid starts finer than the
+// request-level one.
+var stageBuckets = []float64{
+	0.00001, 0.00005, 0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5,
 }
 
-// policyStats counts one policy's computed decisions by outcome.
-type policyStats struct {
-	ok   int64
-	errs int64
-}
-
-// Metrics is the service's stdlib-only metrics registry. All methods are
-// safe for concurrent use.
+// Metrics is the service's metrics surface: a thin facade over obs.Registry
+// that keeps the recording API the rest of the package (and the trainer /
+// eval paths riding through it) already speaks. All methods are safe for
+// concurrent use; every update is an atomic on a pre-registered instrument.
 type Metrics struct {
-	mu        sync.Mutex
-	endpoints map[string]*endpointStats
-	policies  map[string]*policyStats
-	evalRuns  map[string]*policyStats // corpus evaluations, by policy
-	evalFiles map[string]int64        // evaluated files, by suite
+	reg *obs.Registry
 
-	trainJobs       map[string]int64 // training jobs, by outcome
-	trainIterations int64            // completed training iterations
+	requests     *obs.CounterVec   // endpoint, code
+	reqDur       *obs.HistogramVec // endpoint
+	stageDur     *obs.HistogramVec // stage (fed by obs spans)
+	queueWait    *obs.Histogram
+	policyReq    *obs.CounterVec // policy, outcome
+	evalRuns     *obs.CounterVec // policy, outcome
+	evalFiles    *obs.CounterVec // suite
+	trainJobs    *obs.CounterVec // outcome
+	trainIters   *obs.Counter
+	compileLoops *obs.CounterVec // origin
+	cacheHits    *obs.Counter
+	cacheMisses  *obs.Counter
+	reloads      *obs.Counter
+	reloadErrors *obs.Counter
+	batches      *obs.Counter
+	batchedJobs  *obs.Counter
+	poolRejected *obs.Counter
+	modelInfo    *obs.GaugeVec // version
 
-	compileLoops map[string]int64 // per-loop decisions served, by origin
-
-	cacheHits   int64
-	cacheMisses int64
-
-	reloads       int64
-	reloadErrors  int64
-	batches       int64
-	batchedJobs   int64
-	poolRejected  int64
-	modelVersion  string
-	modelLoadedAt time.Time
+	mu sync.Mutex // serializes SetModel's Reset+Set pair
 }
 
-// NewMetrics returns an empty registry.
+// NewMetrics returns a registry pre-populated with every metric family the
+// service exposes, so /metrics always carries full HELP/TYPE metadata even
+// before the first event.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		endpoints:    make(map[string]*endpointStats),
-		policies:     make(map[string]*policyStats),
-		evalRuns:     make(map[string]*policyStats),
-		evalFiles:    make(map[string]int64),
-		trainJobs:    make(map[string]int64),
-		compileLoops: make(map[string]int64),
+	r := obs.NewRegistry()
+	m := &Metrics{
+		reg:          r,
+		requests:     r.CounterVec("neurovec_requests_total", "Requests served, by endpoint and status code.", "endpoint", "code"),
+		reqDur:       r.HistogramVec("neurovec_request_duration_seconds", "Request latency histogram by endpoint.", latencyBuckets, "endpoint"),
+		stageDur:     r.HistogramVec("neurovec_stage_duration_seconds", "Compile-pipeline stage latency histogram (parse, lower, embed, decide, sim, ...).", stageBuckets, "stage"),
+		queueWait:    r.Histogram("neurovec_queue_wait_seconds", "Time jobs spend queued before a pool worker picks them up.", latencyBuckets),
+		policyReq:    r.CounterVec("neurovec_policy_requests_total", "Policy decisions computed, by policy and outcome.", "policy", "outcome"),
+		evalRuns:     r.CounterVec("neurovec_eval_runs_total", "Corpus evaluations computed, by policy and outcome.", "policy", "outcome"),
+		evalFiles:    r.CounterVec("neurovec_eval_files_total", "Files evaluated by the corpus harness, by suite.", "suite"),
+		trainJobs:    r.CounterVec("neurovec_train_jobs_total", "Training jobs, by lifecycle outcome.", "outcome"),
+		trainIters:   r.Counter("neurovec_train_iterations_total", "Completed training iterations across jobs."),
+		compileLoops: r.CounterVec("neurovec_compile_loops_total", "Per-loop decisions served via the v2 compile path, by origin.", "origin"),
+		cacheHits:    r.Counter("neurovec_cache_hits_total", "Response cache hits."),
+		cacheMisses:  r.Counter("neurovec_cache_misses_total", "Response cache misses."),
+		reloads:      r.Counter("neurovec_model_reloads_total", "Successful model hot-reloads."),
+		reloadErrors: r.Counter("neurovec_model_reload_errors_total", "Failed model hot-reloads."),
+		batches:      r.Counter("neurovec_embed_batches_total", "Embedding batches executed."),
+		batchedJobs:  r.Counter("neurovec_embed_batched_requests_total", "Embedding requests served through batches."),
+		poolRejected: r.Counter("neurovec_pool_rejected_total", "Requests rejected because the work queue was full."),
+		modelInfo:    r.GaugeVec("neurovec_model_info", "Currently served model (value is load time in unix seconds).", "version"),
 	}
+	r.GaugeFunc("neurovec_cache_hit_ratio", "Response cache hit ratio since start.", func() float64 {
+		hits, misses := m.CacheStats()
+		if total := hits + misses; total > 0 {
+			return float64(hits) / float64(total)
+		}
+		return 0
+	})
+	return m
 }
+
+// Registry exposes the underlying obs.Registry so other subsystems (trainer
+// jobs, the eval harness, pool gauges) can register into the same /metrics
+// exposition.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// StageSink returns the sink that turns obs span durations into
+// neurovec_stage_duration_seconds{stage} observations; hand it to
+// obs.WithRecorder when dispatching pipeline work.
+func (m *Metrics) StageSink() obs.StageSink { return m.stageDur }
+
+// ObserveQueueWait records how long one job waited in the pool queue.
+func (m *Metrics) ObserveQueueWait(d time.Duration) { m.queueWait.Observe(d.Seconds()) }
 
 // CompileLoop records one per-loop decision served through the v2 compile
 // path, by provenance origin ("policy" or "pin").
@@ -76,25 +108,15 @@ func (m *Metrics) CompileLoop(origin string) {
 	if origin == "" {
 		return
 	}
-	m.mu.Lock()
-	m.compileLoops[origin]++
-	m.mu.Unlock()
+	m.compileLoops.With(origin).Inc()
 }
 
 // TrainJob records one training-job lifecycle event by outcome ("started",
 // "succeeded", "failed", "canceled").
-func (m *Metrics) TrainJob(outcome string) {
-	m.mu.Lock()
-	m.trainJobs[outcome]++
-	m.mu.Unlock()
-}
+func (m *Metrics) TrainJob(outcome string) { m.trainJobs.With(outcome).Inc() }
 
 // TrainIterations records n completed training iterations.
-func (m *Metrics) TrainIterations(n int) {
-	m.mu.Lock()
-	m.trainIterations += int64(n)
-	m.mu.Unlock()
-}
+func (m *Metrics) TrainIterations(n int) { m.trainIters.Add(int64(n)) }
 
 // Policy records one policy decision computed for a request (cache hits are
 // not counted here — they never re-run the policy).
@@ -102,18 +124,7 @@ func (m *Metrics) Policy(name string, ok bool) {
 	if name == "" {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.policies[name]
-	if st == nil {
-		st = &policyStats{}
-		m.policies[name] = st
-	}
-	if ok {
-		st.ok++
-	} else {
-		st.errs++
-	}
+	m.policyReq.With(name, outcomeLabel(ok)).Inc()
 }
 
 // EvalRun records one corpus evaluation computed for a /v1/eval request
@@ -122,18 +133,7 @@ func (m *Metrics) EvalRun(policy string, ok bool) {
 	if policy == "" {
 		return
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.evalRuns[policy]
-	if st == nil {
-		st = &policyStats{}
-		m.evalRuns[policy] = st
-	}
-	if ok {
-		st.ok++
-	} else {
-		st.errs++
-	}
+	m.evalRuns.With(policy, outcomeLabel(ok)).Inc()
 }
 
 // EvalFiles records n files evaluated under one suite.
@@ -141,268 +141,79 @@ func (m *Metrics) EvalFiles(suite string, n int) {
 	if suite == "" || n <= 0 {
 		return
 	}
-	m.mu.Lock()
-	m.evalFiles[suite] += int64(n)
-	m.mu.Unlock()
+	m.evalFiles.With(suite).Add(int64(n))
 }
 
 // ObserveRequest records one finished request.
 func (m *Metrics) ObserveRequest(endpoint string, status int, elapsed time.Duration) {
-	sec := elapsed.Seconds()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	st := m.endpoints[endpoint]
-	if st == nil {
-		st = &endpointStats{count: make(map[int]int64), buckets: make([]int64, len(latencyBuckets))}
-		m.endpoints[endpoint] = st
-	}
-	st.count[status]++
-	st.sum += sec
-	st.observed++
-	for i, ub := range latencyBuckets {
-		if sec <= ub {
-			st.buckets[i]++
-		}
-	}
+	m.requests.With(endpoint, itoa(status)).Inc()
+	m.reqDur.With(endpoint).Observe(elapsed.Seconds())
 }
 
-// CacheHit / CacheMiss record response-cache outcomes.
-func (m *Metrics) CacheHit() {
-	m.mu.Lock()
-	m.cacheHits++
-	m.mu.Unlock()
-}
+// CacheHit records a response-cache hit.
+func (m *Metrics) CacheHit() { m.cacheHits.Inc() }
 
 // CacheMiss records a response-cache miss.
-func (m *Metrics) CacheMiss() {
-	m.mu.Lock()
-	m.cacheMisses++
-	m.mu.Unlock()
-}
+func (m *Metrics) CacheMiss() { m.cacheMisses.Inc() }
 
 // CacheStats returns the hit/miss counters.
 func (m *Metrics) CacheStats() (hits, misses int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.cacheHits, m.cacheMisses
+	return m.cacheHits.Value(), m.cacheMisses.Value()
 }
 
 // Reload records a model hot-reload attempt.
 func (m *Metrics) Reload(ok bool) {
-	m.mu.Lock()
 	if ok {
-		m.reloads++
+		m.reloads.Inc()
 	} else {
-		m.reloadErrors++
+		m.reloadErrors.Inc()
 	}
-	m.mu.Unlock()
 }
 
 // Batch records one embedding batch of n coalesced requests.
 func (m *Metrics) Batch(n int) {
-	m.mu.Lock()
-	m.batches++
-	m.batchedJobs += int64(n)
-	m.mu.Unlock()
+	m.batches.Inc()
+	m.batchedJobs.Add(int64(n))
 }
 
 // PoolRejected records a request turned away because the work queue was full.
-func (m *Metrics) PoolRejected() {
-	m.mu.Lock()
-	m.poolRejected++
-	m.mu.Unlock()
-}
+func (m *Metrics) PoolRejected() { m.poolRejected.Inc() }
 
 // SetModel records the currently served model version for the info gauge.
+// The vec is reset first so only the live version appears in the exposition.
 func (m *Metrics) SetModel(version string, loadedAt time.Time) {
+	if version == "" {
+		return
+	}
 	m.mu.Lock()
-	m.modelVersion = version
-	m.modelLoadedAt = loadedAt
+	m.modelInfo.Reset()
+	m.modelInfo.With(version).Set(float64(loadedAt.Unix()))
 	m.mu.Unlock()
 }
 
 // WriteTo renders the registry in the Prometheus text exposition format.
-// The exposition is rendered to a buffer under the lock and written to w
-// unlocked, so a slow scraper cannot stall request accounting service-wide.
-func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
-	var buf bytes.Buffer
-	if _, err := m.render(&buf); err != nil {
-		return 0, err
+// The exposition is rendered to a buffer before writing, so a slow scraper
+// cannot stall request accounting service-wide.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) { return m.reg.WriteTo(w) }
+
+func outcomeLabel(ok bool) string {
+	if ok {
+		return "ok"
 	}
-	return buf.WriteTo(w)
+	return "error"
 }
 
-// render writes the exposition while holding the registry lock.
-func (m *Metrics) render(w io.Writer) (int64, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var n int64
-	p := func(format string, args ...any) error {
-		k, err := fmt.Fprintf(w, format, args...)
-		n += int64(k)
-		return err
+// itoa renders small positive ints (HTTP status codes) without fmt.
+func itoa(n int) string {
+	if n <= 0 {
+		return "0"
 	}
-
-	if err := p("# HELP neurovec_requests_total Requests served, by endpoint and status code.\n# TYPE neurovec_requests_total counter\n"); err != nil {
-		return n, err
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
 	}
-	for _, ep := range sortedKeys(m.endpoints) {
-		st := m.endpoints[ep]
-		codes := make([]int, 0, len(st.count))
-		for c := range st.count {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			if err := p("neurovec_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, st.count[c]); err != nil {
-				return n, err
-			}
-		}
-	}
-
-	if err := p("# HELP neurovec_request_duration_seconds Request latency histogram by endpoint.\n# TYPE neurovec_request_duration_seconds histogram\n"); err != nil {
-		return n, err
-	}
-	for _, ep := range sortedKeys(m.endpoints) {
-		st := m.endpoints[ep]
-		for i, ub := range latencyBuckets {
-			if err := p("neurovec_request_duration_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, st.buckets[i]); err != nil {
-				return n, err
-			}
-		}
-		if err := p("neurovec_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, st.observed); err != nil {
-			return n, err
-		}
-		if err := p("neurovec_request_duration_seconds_sum{endpoint=%q} %g\n", ep, st.sum); err != nil {
-			return n, err
-		}
-		if err := p("neurovec_request_duration_seconds_count{endpoint=%q} %d\n", ep, st.observed); err != nil {
-			return n, err
-		}
-	}
-
-	if err := p("# HELP neurovec_policy_requests_total Policy decisions computed, by policy and outcome.\n# TYPE neurovec_policy_requests_total counter\n"); err != nil {
-		return n, err
-	}
-	polNames := make([]string, 0, len(m.policies))
-	for name := range m.policies {
-		polNames = append(polNames, name)
-	}
-	sort.Strings(polNames)
-	for _, name := range polNames {
-		st := m.policies[name]
-		if err := p("neurovec_policy_requests_total{policy=%q,outcome=\"ok\"} %d\n", name, st.ok); err != nil {
-			return n, err
-		}
-		if err := p("neurovec_policy_requests_total{policy=%q,outcome=\"error\"} %d\n", name, st.errs); err != nil {
-			return n, err
-		}
-	}
-
-	if err := p("# HELP neurovec_eval_runs_total Corpus evaluations computed, by policy and outcome.\n# TYPE neurovec_eval_runs_total counter\n"); err != nil {
-		return n, err
-	}
-	evalNames := make([]string, 0, len(m.evalRuns))
-	for name := range m.evalRuns {
-		evalNames = append(evalNames, name)
-	}
-	sort.Strings(evalNames)
-	for _, name := range evalNames {
-		st := m.evalRuns[name]
-		if err := p("neurovec_eval_runs_total{policy=%q,outcome=\"ok\"} %d\n", name, st.ok); err != nil {
-			return n, err
-		}
-		if err := p("neurovec_eval_runs_total{policy=%q,outcome=\"error\"} %d\n", name, st.errs); err != nil {
-			return n, err
-		}
-	}
-
-	if err := p("# HELP neurovec_eval_files_total Files evaluated by the corpus harness, by suite.\n# TYPE neurovec_eval_files_total counter\n"); err != nil {
-		return n, err
-	}
-	suiteNames := make([]string, 0, len(m.evalFiles))
-	for name := range m.evalFiles {
-		suiteNames = append(suiteNames, name)
-	}
-	sort.Strings(suiteNames)
-	for _, name := range suiteNames {
-		if err := p("neurovec_eval_files_total{suite=%q} %d\n", name, m.evalFiles[name]); err != nil {
-			return n, err
-		}
-	}
-
-	if err := p("# HELP neurovec_train_jobs_total Training jobs, by lifecycle outcome.\n# TYPE neurovec_train_jobs_total counter\n"); err != nil {
-		return n, err
-	}
-	outcomes := make([]string, 0, len(m.trainJobs))
-	for o := range m.trainJobs {
-		outcomes = append(outcomes, o)
-	}
-	sort.Strings(outcomes)
-	for _, o := range outcomes {
-		if err := p("neurovec_train_jobs_total{outcome=%q} %d\n", o, m.trainJobs[o]); err != nil {
-			return n, err
-		}
-	}
-	if err := p("# HELP neurovec_train_iterations_total Completed training iterations across jobs.\n# TYPE neurovec_train_iterations_total counter\nneurovec_train_iterations_total %d\n", m.trainIterations); err != nil {
-		return n, err
-	}
-
-	if err := p("# HELP neurovec_compile_loops_total Per-loop decisions served via the v2 compile path, by origin.\n# TYPE neurovec_compile_loops_total counter\n"); err != nil {
-		return n, err
-	}
-	origins := make([]string, 0, len(m.compileLoops))
-	for o := range m.compileLoops {
-		origins = append(origins, o)
-	}
-	sort.Strings(origins)
-	for _, o := range origins {
-		if err := p("neurovec_compile_loops_total{origin=%q} %d\n", o, m.compileLoops[o]); err != nil {
-			return n, err
-		}
-	}
-
-	hitRate := 0.0
-	if total := m.cacheHits + m.cacheMisses; total > 0 {
-		hitRate = float64(m.cacheHits) / float64(total)
-	}
-	if err := p("# HELP neurovec_cache_hits_total Response cache hits.\n# TYPE neurovec_cache_hits_total counter\nneurovec_cache_hits_total %d\n", m.cacheHits); err != nil {
-		return n, err
-	}
-	if err := p("# HELP neurovec_cache_misses_total Response cache misses.\n# TYPE neurovec_cache_misses_total counter\nneurovec_cache_misses_total %d\n", m.cacheMisses); err != nil {
-		return n, err
-	}
-	if err := p("# HELP neurovec_cache_hit_ratio Response cache hit ratio since start.\n# TYPE neurovec_cache_hit_ratio gauge\nneurovec_cache_hit_ratio %g\n", hitRate); err != nil {
-		return n, err
-	}
-	if err := p("# HELP neurovec_model_reloads_total Successful model hot-reloads.\n# TYPE neurovec_model_reloads_total counter\nneurovec_model_reloads_total %d\n", m.reloads); err != nil {
-		return n, err
-	}
-	if err := p("# HELP neurovec_model_reload_errors_total Failed model hot-reloads.\n# TYPE neurovec_model_reload_errors_total counter\nneurovec_model_reload_errors_total %d\n", m.reloadErrors); err != nil {
-		return n, err
-	}
-	if err := p("# HELP neurovec_embed_batches_total Embedding batches executed.\n# TYPE neurovec_embed_batches_total counter\nneurovec_embed_batches_total %d\n", m.batches); err != nil {
-		return n, err
-	}
-	if err := p("# HELP neurovec_embed_batched_requests_total Embedding requests served through batches.\n# TYPE neurovec_embed_batched_requests_total counter\nneurovec_embed_batched_requests_total %d\n", m.batchedJobs); err != nil {
-		return n, err
-	}
-	if err := p("# HELP neurovec_pool_rejected_total Requests rejected because the work queue was full.\n# TYPE neurovec_pool_rejected_total counter\nneurovec_pool_rejected_total %d\n", m.poolRejected); err != nil {
-		return n, err
-	}
-	if m.modelVersion != "" {
-		if err := p("# HELP neurovec_model_info Currently served model (value is load time in unix seconds).\n# TYPE neurovec_model_info gauge\nneurovec_model_info{version=%q} %d\n", m.modelVersion, m.modelLoadedAt.Unix()); err != nil {
-			return n, err
-		}
-	}
-	return n, nil
-}
-
-func sortedKeys(m map[string]*endpointStats) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
+	return string(buf[i:])
 }

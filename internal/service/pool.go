@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrOverloaded is returned by Pool.Do when the work queue is full; the HTTP
@@ -18,6 +19,7 @@ type poolJob struct {
 	run      func()
 	done     chan struct{}
 	canceled atomic.Bool
+	enqueued time.Time
 }
 
 // Pool is a bounded worker pool: a fixed number of goroutines (defaulting to
@@ -26,10 +28,15 @@ type poolJob struct {
 // the service backpressure: when every worker is busy and the queue is full,
 // Do fails fast with ErrOverloaded.
 type Pool struct {
-	jobs    chan *poolJob
-	wg      sync.WaitGroup
-	closed  atomic.Bool
-	workers int
+	jobs     chan *poolJob
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+	workers  int
+	inflight atomic.Int64
+	// onWait, when set (before the pool serves traffic), observes how long
+	// each job sat queued before a worker picked it up — the queue-wait
+	// latency histogram.
+	onWait func(time.Duration)
 }
 
 // NewPool starts a pool. workers <= 0 means GOMAXPROCS; queue <= 0 means
@@ -47,8 +54,13 @@ func NewPool(workers, queue int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for j := range p.jobs {
+				if p.onWait != nil {
+					p.onWait(time.Since(j.enqueued))
+				}
 				if !j.canceled.Load() {
+					p.inflight.Add(1)
 					j.run()
+					p.inflight.Add(-1)
 				}
 				close(j.done)
 			}
@@ -60,13 +72,19 @@ func NewPool(workers, queue int) *Pool {
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
+// QueueDepth returns the number of jobs waiting for a worker right now.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// InFlight returns the number of jobs currently executing.
+func (p *Pool) InFlight() int64 { return p.inflight.Load() }
+
 // Do queues fn and waits for it to finish. It returns ErrOverloaded without
 // queueing when the queue is full, and the context error if ctx is done
 // first — in that case fn is marked canceled and skipped if it has not
 // started yet (if it is already running it completes, but the caller has
 // gone).
 func (p *Pool) Do(ctx context.Context, fn func()) error {
-	j := &poolJob{run: fn, done: make(chan struct{})}
+	j := &poolJob{run: fn, done: make(chan struct{}), enqueued: time.Now()}
 	select {
 	case p.jobs <- j:
 	default:

@@ -2,12 +2,14 @@ package service
 
 import (
 	"context"
+	"crypto/rand"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -18,6 +20,8 @@ import (
 	"neurovec/internal/core"
 	"neurovec/internal/evalharness"
 	"neurovec/internal/lang"
+	"neurovec/internal/obs"
+	obslog "neurovec/internal/obs/log"
 	"neurovec/internal/policy"
 )
 
@@ -65,6 +69,13 @@ type Config struct {
 	// MaxTrainIterations caps the iterations one training job may request
 	// (default 200).
 	MaxTrainIterations int
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: the profile endpoints expose internals and cost CPU, so they
+	// are opt-in (`neurovec serve -pprof`).
+	Pprof bool
+	// Logger receives the server's structured log lines (request accounting,
+	// reloads, training-job lifecycle). Nil disables logging.
+	Logger *obslog.Logger
 }
 
 // model is one immutable serving snapshot; hot-reload swaps the whole
@@ -86,6 +97,7 @@ type Server struct {
 	embeds  *batcher
 	mux     *http.ServeMux
 	start   time.Time
+	log     *obslog.Logger
 
 	// loops memoizes per-loop state (code vectors, loop-pure decisions)
 	// across requests and files; nil when disabled. Keys embed the
@@ -144,7 +156,16 @@ func New(cfg Config) (*Server, error) {
 		trainJobs:  make(map[string]*trainJob),
 		modelPath:  cfg.ModelPath,
 		start:      time.Now(),
+		log:        cfg.Logger,
 	}
+	// Pool observability: queue-wait histogram plus scrape-time depth and
+	// in-flight gauges, all in the same registry /metrics renders.
+	s.pool.onWait = s.metrics.ObserveQueueWait
+	reg := s.metrics.Registry()
+	reg.GaugeFunc("neurovec_queue_depth", "Jobs waiting in the worker-pool queue.",
+		func() float64 { return float64(s.pool.QueueDepth()) })
+	reg.GaugeFunc("neurovec_inflight_jobs", "Jobs currently executing on the worker pool.",
+		func() float64 { return float64(s.pool.InFlight()) })
 	if cfg.LoopCacheEntries > 0 {
 		s.loops = newLoopCache(cfg.LoopCacheEntries)
 	}
@@ -173,6 +194,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/policies", s.instrument("/v1/policies", s.handlePolicies))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.Pprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s, nil
 }
 
@@ -244,6 +272,7 @@ func (s *Server) reloadLocked(path string) (previous, current string, err error)
 	m, err := s.loadModelFrom(path)
 	if err != nil {
 		s.metrics.Reload(false)
+		s.log.Error("model reload failed", "path", path, "error", err)
 		return "", "", err
 	}
 	previous = s.model.Load().version
@@ -251,6 +280,7 @@ func (s *Server) reloadLocked(path string) (previous, current string, err error)
 	s.modelPath = path
 	s.metrics.Reload(true)
 	s.metrics.SetModel(m.version, m.loadedAt)
+	s.log.Info("model reloaded", "previous_version", previous, "model_version", m.version, "path", path)
 	return previous, m.version, nil
 }
 
@@ -282,16 +312,51 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with latency/status accounting and the request
-// body limit.
+// instrument wraps a handler with the request-scoped plumbing every endpoint
+// shares: an X-Request-ID (honoring a sane client-supplied one), a context
+// armed with the per-stage latency sink so pipeline spans land in
+// neurovec_stage_duration_seconds, latency/status accounting, the request
+// body limit, and one structured log line per request.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
+		id := requestID(r)
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithRecorder(r.Context(), nil, s.metrics.StageSink()))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxRequestBytes)
 		h(rec, r)
-		s.metrics.ObserveRequest(endpoint, rec.status, time.Since(started))
+		elapsed := time.Since(started)
+		s.metrics.ObserveRequest(endpoint, rec.status, elapsed)
+		lvl := s.log.Debug
+		if rec.status >= 500 {
+			lvl = s.log.Warn
+		}
+		lvl("request", "request_id", id, "endpoint", endpoint, "method", r.Method,
+			"status", rec.status, "elapsed_ms", float64(elapsed.Microseconds())/1000)
 	}
+}
+
+// requestID returns the client's X-Request-ID when it is short and printable,
+// otherwise a fresh 8-byte random hex ID. Honoring client IDs lets a caller
+// correlate its own logs with ours; the sanity bound keeps hostile headers
+// out of log lines.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 64 && printableASCII(id) {
+		return id
+	}
+	var b [8]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+func printableASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x21 || s[i] > 0x7e {
+			return false
+		}
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, body []byte) {
@@ -332,7 +397,14 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 			status = 499
 		}
 	}
-	body, _ := json.Marshal(map[string]string{"error": err.Error()})
+	// The request ID was stamped on the response headers by instrument();
+	// echoing it in the body gives clients one correlation key for logs,
+	// traces, and failures. v1 shims share this path, so they get it too.
+	payload := map[string]string{"error": err.Error()}
+	if id := w.Header().Get("X-Request-ID"); id != "" {
+		payload["request_id"] = id
+	}
+	body, _ := json.Marshal(payload)
 	writeJSON(w, status, body)
 }
 

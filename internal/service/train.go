@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"neurovec/internal/obs"
 	"neurovec/internal/rl"
 	"neurovec/internal/trainer"
 )
@@ -295,6 +296,12 @@ func (s *Server) runTrainJob(job *trainJob, ctx context.Context) {
 	req := job.req
 	ckpt := job.checkpoint
 	job.mu.Unlock()
+	// Arm the job context with the metrics stage sink: the trainer's
+	// rollout/update/checkpoint/eval spans land in the same
+	// neurovec_stage_duration_seconds histogram the compile pipeline feeds.
+	ctx = obs.WithRecorder(ctx, nil, s.metrics.StageSink())
+	s.log.Info("training job started", "job_id", job.id, "corpus", req.Corpus,
+		"iterations", req.Iterations, "batch", req.Batch, "seed", req.Seed)
 
 	rc := rl.DefaultConfig(nil, nil)
 	rc.Batch = req.Batch
@@ -316,6 +323,8 @@ func (s *Server) runTrainJob(job *trainJob, ctx context.Context) {
 		s.trainActive = false
 		s.trainMu.Unlock()
 		s.metrics.TrainJob(outcome)
+		s.log.Info("training job finished", "job_id", job.id, "state", state,
+			"model_version", version, "error", errMsg)
 	}
 
 	tr, err := trainer.New(trainer.Config{

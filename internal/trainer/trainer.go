@@ -9,6 +9,7 @@ import (
 	"neurovec/internal/core"
 	"neurovec/internal/evalharness"
 	"neurovec/internal/nn"
+	"neurovec/internal/obs"
 	"neurovec/internal/rl"
 )
 
@@ -323,14 +324,18 @@ func (t *Trainer) Run(ctx context.Context) (*Result, error) {
 			// Preserve completed work: a cancellation checkpoint sits on an
 			// iteration boundary, so its bytes match a scheduled write there.
 			if t.cfg.CheckpointPath != "" && t.state.Iteration > lastCkpt {
-				if werr := t.writeCheckpoint(); werr == nil {
+				if werr := t.writeCheckpointTraced(ctx); werr == nil {
 					lastCkpt = t.state.Iteration
 				}
 			}
 			return t.result(start), err
 		}
+		_, rsp := obs.StartSpan(ctx, "rollout")
 		batch := t.agent.CollectBatch(t.fw, t.state.Seed, iter, t.jobs)
+		rsp.End()
+		_, usp := obs.StartSpan(ctx, "update")
 		loss := t.agent.UpdateBatch(batch, t.opt, t.state.Seed, iter)
+		usp.End()
 		steps += batch.Len()
 		t.state.RewardMean = append(t.state.RewardMean, batch.RewardMean())
 		t.state.Loss = append(t.state.Loss, loss)
@@ -351,7 +356,7 @@ func (t *Trainer) Run(ctx context.Context) (*Result, error) {
 		done := iter+1 == t.total
 		if t.cfg.CheckpointPath != "" &&
 			(done || (t.cfg.CheckpointEvery > 0 && (iter+1)%t.cfg.CheckpointEvery == 0)) {
-			if err := t.writeCheckpoint(); err != nil {
+			if err := t.writeCheckpointTraced(ctx); err != nil {
 				return t.result(start), err
 			}
 			lastCkpt = t.state.Iteration
@@ -378,6 +383,9 @@ func (t *Trainer) Run(ctx context.Context) (*Result, error) {
 // is ever reused (training advances the embedder too, and mid-training
 // weights have no model-version fingerprint to key a shared cache by).
 func (t *Trainer) evalPoint(ctx context.Context, iteration, steps int, rewardMean float64) (EvalPoint, error) {
+	ctx, sp := obs.StartSpan(ctx, "eval")
+	sp.Annotate(fmt.Sprintf("iteration=%d", iteration))
+	defer sp.End()
 	// Cached policy instances may hold pre-update weights (the NNS index).
 	t.fw.InvalidatePolicies()
 	report, err := evalharness.New(t.fw).Run(ctx, t.evalCorpus, evalharness.Options{
@@ -400,6 +408,14 @@ func (t *Trainer) evalPoint(ctx context.Context, iteration, steps int, rewardMea
 		MeanRegret:        report.Overall.MeanRegret,
 		Agreement:         report.Overall.Agreement,
 	}, nil
+}
+
+// writeCheckpointTraced wraps the checkpoint write in a "checkpoint" span so
+// checkpoint latency lands in the stage histogram alongside rollout/update.
+func (t *Trainer) writeCheckpointTraced(ctx context.Context) error {
+	_, sp := obs.StartSpan(ctx, "checkpoint")
+	defer sp.End()
+	return t.writeCheckpoint()
 }
 
 // result snapshots the run's outcome.
