@@ -1,0 +1,122 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkdirWrite(dir, name, src string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644)
+}
+
+// TestFixtureViolations runs the linter over the testdata fixture and checks
+// that every rule family fires where expected — and nowhere else.
+func TestFixtureViolations(t *testing.T) {
+	findings, err := runLint([]string{"testdata/src/internal/trainer"})
+	if err != nil {
+		t.Fatalf("runLint: %v", err)
+	}
+	want := map[string]int{
+		"detpkg":      2, // time.Now + rand.Intn; the allowed time.Now must not count
+		"ctxfirst":    1,
+		"metricnames": 5,
+		"mustparse":   1,
+	}
+	got := map[string]int{}
+	for _, f := range findings {
+		got[f.Rule]++
+	}
+	for rule, n := range want {
+		if got[rule] != n {
+			t.Errorf("rule %s: got %d findings, want %d\n%s", rule, got[rule], n, render(findings))
+		}
+	}
+	if len(findings) != 2+1+5+1 {
+		t.Errorf("total findings = %d, want 9\n%s", len(findings), render(findings))
+	}
+}
+
+// TestFindingsSortedAndPositioned locks the deterministic output contract:
+// findings arrive sorted by (file, line, col) and carry 1-based positions.
+func TestFindingsSortedAndPositioned(t *testing.T) {
+	findings, err := runLint([]string{"testdata/src/internal/trainer"})
+	if err != nil {
+		t.Fatalf("runLint: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("fixture produced no findings")
+	}
+	for i, f := range findings {
+		if f.Line < 1 || f.Col < 1 {
+			t.Errorf("finding %d has unpositioned location: %s", i, f)
+		}
+		if i > 0 {
+			p, q := findings[i-1], f
+			if p.File > q.File || (p.File == q.File && (p.Line > q.Line || (p.Line == q.Line && p.Col > q.Col))) {
+				t.Errorf("findings out of order: %s before %s", p, q)
+			}
+		}
+	}
+	if s := findings[0].String(); !strings.Contains(s, "testdata/src/internal/trainer/bad.go:") {
+		t.Errorf("rendered finding missing file position: %q", s)
+	}
+}
+
+// TestRepoIsClean is the repo invariant itself: the linter must pass over
+// the whole module. The walk runs from the module root (two levels up).
+func TestRepoIsClean(t *testing.T) {
+	findings, err := runLint([]string{"../../..."})
+	if err != nil {
+		t.Fatalf("runLint: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("repo has %d lint findings:\n%s", len(findings), render(findings))
+	}
+}
+
+// TestAllowDirectiveAboveLine checks the standalone-comment placement: a
+// directive on the line above the flagged statement suppresses it.
+func TestAllowDirectiveAboveLine(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+import "time"
+
+func f() time.Time {
+	//lint:allow detpkg reason
+	return time.Now()
+}
+
+func g() time.Time {
+	return time.Now()
+}
+`
+	path := dir + "/internal/trainer"
+	if err := mkdirWrite(path, "a.go", src); err != nil {
+		t.Fatal(err)
+	}
+	findings, err := runLint([]string{path})
+	if err != nil {
+		t.Fatalf("runLint: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the undirected time.Now:\n%s", len(findings), render(findings))
+	}
+	if findings[0].Rule != "detpkg" || findings[0].Line != 11 {
+		t.Errorf("unexpected finding: %s", findings[0])
+	}
+}
+
+func render(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	return b.String()
+}

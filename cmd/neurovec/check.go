@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"neurovec/internal/diag"
+	"neurovec/internal/evalharness"
+	"neurovec/internal/lang"
+	"neurovec/internal/lang/sema"
+)
+
+// cmdCheck runs the frontend's semantic analysis over C files and/or the
+// built-in corpora and prints the diagnostics — gcc-style by default, the
+// wire JSON with -json. The exit status distinguishes "checked clean"
+// (0, warnings allowed) from "errors found" (1), which is what lets CI
+// assert a corpus sweep has zero errors.
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print diagnostics as JSON (the v2 wire format)")
+	corpus := fs.String("corpus", "", "also check built-in suites: polybench,mibench,figure7,generated")
+	genN := fs.Int("n", 16, "generated-corpus size for -corpus generated")
+	seed := fs.Int64("seed", 1, "generated-corpus seed for -corpus generated")
+	strict := fs.Bool("strict", false, "exit non-zero on warnings too, not only errors")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *corpus == "" && fs.NArg() == 0 {
+		return fmt.Errorf("check: nothing to check (give C files and/or -corpus)")
+	}
+
+	// checkOne parses and analyses one named source, accumulating findings.
+	// Parse failures become a synthetic error diagnostic so every input
+	// contributes to one uniform report.
+	var all diag.List
+	checkOne := func(name, source string) {
+		prog, err := lang.ParseFile(name, source)
+		if err != nil {
+			d := diag.Diagnostic{Severity: diag.Error, Code: "PARSE", File: name, Message: err.Error()}
+			if perr, ok := err.(*lang.ParseError); ok {
+				d.Line, d.Col = perr.Pos.Line, perr.Pos.Col
+				d.Message = perr.Msg
+			}
+			all = append(all, d)
+			return
+		}
+		all = append(all, sema.Check(name, prog).Diags...)
+	}
+
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		checkOne(file, string(src))
+	}
+	if *corpus != "" {
+		c, err := evalharness.BuildCorpus(*corpus, *genN, *seed)
+		if err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		for _, it := range c.Items {
+			checkOne(it.Suite+"/"+it.Name, it.Source)
+		}
+	}
+	all.Sort()
+
+	if *asJSON {
+		out := struct {
+			Diagnostics diag.List `json:"diagnostics"`
+			Errors      int       `json:"errors"`
+			Warnings    int       `json:"warnings"`
+		}{Diagnostics: all, Errors: len(all.Errors()), Warnings: len(all) - len(all.Errors())}
+		if out.Diagnostics == nil {
+			out.Diagnostics = diag.List{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range all {
+			fmt.Println(d.String())
+		}
+		fmt.Printf("%d error(s), %d warning(s)\n", len(all.Errors()), len(all)-len(all.Errors()))
+	}
+
+	if all.HasErrors() || (*strict && len(all) > 0) {
+		os.Exit(1)
+	}
+	return nil
+}

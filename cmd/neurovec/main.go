@@ -10,6 +10,8 @@
 //	brute    alias for the policy runner with -policy brute (per-loop table)
 //	sweep    print the full VF x IF grid for the first loop of a C file
 //	eval     score a policy over a whole corpus (speedup, oracle regret)
+//	check    run semantic analysis over C files or corpora and print
+//	         machine-readable diagnostics
 //
 // Every decision method of the paper's comparison is selectable with the
 // shared -policy flag (annotate, brute, and sweep all take it): rl (the
@@ -100,6 +102,8 @@ func main() {
 		err = cmdEval(os.Args[2:])
 	case "explain":
 		err = cmdExplain(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
 	case "profile":
@@ -144,6 +148,10 @@ commands:
             (-policy rl, -baseline costmodel, -corpus polybench,mibench,
             figure7,generated, -jobs N, -out report.json, -timeout 2s)
   explain   show the simulator's cycle breakdown per loop (baseline vs best)
+  check     run semantic analysis over C files and/or built-in corpora and
+            print diagnostics (-json for the v2 wire format, -corpus
+            polybench,mibench,figure7,generated, -strict to fail on
+            warnings); exits 1 when errors are found
   bench     run the in-process benchmark suite and emit the BENCH_*.json
             perf-trajectory artifact (-out BENCH_6.json, -pr 6)
   profile   capture CPU/heap profiles of an inference workload for

@@ -1,0 +1,13 @@
+/* dot: a reduction kernel. The accumulator recurrence is recognized as a
+ * reduction by the lowering pass, so it neither trips the checker nor blocks
+ * vectorization. */
+float a[2048];
+float b[2048];
+
+float dot() {
+    float sum = 0.0;
+    for (int i = 0; i < 2048; i++) {
+        sum += a[i] * b[i];
+    }
+    return sum;
+}

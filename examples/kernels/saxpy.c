@@ -1,0 +1,14 @@
+/* saxpy: the canonical single-loop kernel. Checks clean and vectorizes
+ * freely; used by CI's `neurovec check` sweep and handy for trying the CLI:
+ *
+ *   neurovec check examples/kernels/saxpy.c
+ *   neurovec annotate examples/kernels/saxpy.c
+ */
+float x[4096];
+float y[4096];
+
+void saxpy(float alpha) {
+    for (int i = 0; i < 4096; i++) {
+        y[i] = alpha * x[i] + y[i];
+    }
+}

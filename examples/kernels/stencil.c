@@ -1,0 +1,14 @@
+/* stencil: a 2D five-point Jacobi sweep into a separate output grid. The
+ * distinct-array form keeps the inner loop dependence-free, so the checker
+ * reports nothing and the legality analysis allows full vectorization. */
+float in[128][128];
+float out[128][128];
+
+void jacobi() {
+    for (int i = 1; i < 127; i++) {
+        for (int j = 1; j < 127; j++) {
+            out[i][j] = 0.2 * (in[i][j] + in[i - 1][j] + in[i + 1][j]
+                               + in[i][j - 1] + in[i][j + 1]);
+        }
+    }
+}

@@ -21,6 +21,8 @@ package api
 
 import (
 	"fmt"
+
+	"neurovec/internal/diag"
 )
 
 // Version is the wire-schema version this package defines. Requests may
@@ -123,6 +125,11 @@ type CompileRequest struct {
 	// of the ?trace=1 query parameter). Traced requests bypass the response
 	// cache, so leave it off in production steady state.
 	Trace bool `json:"trace,omitempty"`
+	// Strict rejects sources with error-severity semantic diagnostics
+	// (HTTP 422, diagnostics in the error body) instead of compiling them.
+	// Lax mode — the default — compiles anyway and reports the diagnostics
+	// in the response's Diagnostics field.
+	Strict bool `json:"strict,omitempty"`
 }
 
 // Validate rejects requests this schema version cannot serve.
@@ -179,6 +186,12 @@ type CompileResponse struct {
 	// (Trace field or ?trace=1). Spans are in start order; Depth expresses
 	// nesting (the root "compile" span is depth 0).
 	Trace []TraceSpan `json:"trace,omitempty"`
+	// Diagnostics carries the semantic findings for the file in
+	// deterministic order (per-file diagnostics have an empty loop field;
+	// loop-scoped ones carry the loop's parser label). In lax mode — the
+	// default — error diagnostics appear here alongside a best-effort
+	// compile; in strict mode they arrive in the 422 error body instead.
+	Diagnostics diag.List `json:"diagnostics,omitempty"`
 }
 
 // TraceSpan is one timed pipeline stage of a traced compile request.

@@ -8,9 +8,11 @@ import (
 	"neurovec/internal/api"
 	"neurovec/internal/code2vec"
 	"neurovec/internal/costmodel"
+	"neurovec/internal/diag"
 	"neurovec/internal/extractor"
 	"neurovec/internal/ir"
 	"neurovec/internal/lang"
+	"neurovec/internal/lang/sema"
 	"neurovec/internal/lower"
 	"neurovec/internal/obs"
 	"neurovec/internal/policy"
@@ -49,6 +51,8 @@ type inferOpts struct {
 	polName string
 	pins    []api.Pin
 	cache   LoopCache
+	strict  bool
+	file    string
 }
 
 // WithPolicy uses a concrete policy instance for this call — the hook for
@@ -101,6 +105,46 @@ type LoopCache interface {
 // action space. The serving layer maps it to HTTP 400.
 var ErrBadPin = errors.New("bad pin")
 
+// ErrSemantic is the sentinel every strict-mode semantic rejection wraps;
+// callers match it with errors.Is and recover the diagnostics by unwrapping
+// to *SemanticError with errors.As. The serving layer maps it to HTTP 422
+// with the diagnostics in the response body.
+var ErrSemantic = errors.New("semantic errors")
+
+// SemanticError rejects a strict-mode compile whose source carries
+// error-severity semantic diagnostics. Diags holds every finding (warnings
+// included) in deterministic order.
+type SemanticError struct {
+	Diags diag.List
+}
+
+// Error summarises the rejection with the first error's rendered form.
+func (e *SemanticError) Error() string {
+	errs := e.Diags.Errors()
+	if len(errs) == 0 {
+		return "core: semantic errors"
+	}
+	msg := fmt.Sprintf("core: %d semantic error(s): %s", len(errs), errs[0].String())
+	return msg
+}
+
+// Unwrap ties the typed error to the ErrSemantic sentinel.
+func (e *SemanticError) Unwrap() error { return ErrSemantic }
+
+// WithStrictSema rejects sources carrying error-severity semantic
+// diagnostics with a *SemanticError instead of compiling them (lax mode, the
+// default, compiles anyway and annotates the response). Warnings never
+// reject in either mode.
+func WithStrictSema() InferOption {
+	return func(o *inferOpts) { o.strict = true }
+}
+
+// WithSourceName attributes diagnostics to the given file name. Purely
+// cosmetic: positions are unaffected.
+func WithSourceName(file string) InferOption {
+	return func(o *inferOpts) { o.file = file }
+}
+
 // resolvePolicy picks the policy for a call: an explicit instance wins, then
 // a registry name, then fallback (DefaultPolicy for prediction, "" meaning
 // none for sweeps).
@@ -128,6 +172,7 @@ type compiled struct {
 	irp        *ir.Program
 	basePlans  map[string]*vectorizer.Plan
 	baseCycles float64
+	diags      diag.List
 }
 
 // compileSource parses, extracts, and lowers one source program and
@@ -135,12 +180,23 @@ type compiled struct {
 // SweepSource. It builds only per-request state. Every stage runs under an
 // obs span, so an armed context (service requests, traced CLI calls) gets
 // per-stage latency for free and an unarmed one pays nothing.
-func (f *Framework) compileSource(ctx context.Context, source string, params map[string]int64) (*compiled, error) {
+func (f *Framework) compileSource(ctx context.Context, source string, params map[string]int64, o *inferOpts) (*compiled, error) {
 	_, sp := obs.StartSpan(ctx, "parse")
-	prog, err := lang.Parse(source)
+	prog, err := lang.ParseFile(o.file, source)
 	sp.End()
 	if err != nil {
 		return nil, err
+	}
+	// Semantic analysis runs before any lowering: strict mode rejects
+	// programs with error diagnostics outright, lax mode annotates the
+	// response and compiles anyway. Either way the proven per-loop facts
+	// feed the lowering below, which is what lets the dependence analysis
+	// accept provably safe loops it would otherwise reject.
+	_, sp = obs.StartSpan(ctx, "sema")
+	sinfo := sema.Check(o.file, prog)
+	sp.End()
+	if o.strict && sinfo.Diags.HasErrors() {
+		return nil, &SemanticError{Diags: sinfo.Diags}
 	}
 	_, sp = obs.StartSpan(ctx, "extract")
 	infos := extractor.Loops(prog)
@@ -153,6 +209,7 @@ func (f *Framework) compileSource(ctx context.Context, source string, params map
 	if params != nil {
 		opts.ParamValues = params
 	}
+	opts.Facts = sinfo.Facts
 	_, sp = obs.StartSpan(ctx, "lower")
 	irp, err := lower.Program(prog, opts)
 	sp.End()
@@ -172,6 +229,7 @@ func (f *Framework) compileSource(ctx context.Context, source string, params map
 		irp:        irp,
 		basePlans:  basePlans,
 		baseCycles: baseCycles,
+		diags:      sinfo.Diags,
 	}, nil
 }
 
@@ -242,7 +300,7 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 	}
 	ctx, root := obs.StartSpan(ctx, "compile")
 	defer root.End()
-	c, err := f.compileSource(ctx, source, params)
+	c, err := f.compileSource(ctx, source, params, &o)
 	if err != nil {
 		return nil, err
 	}
@@ -264,6 +322,7 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 		ModelVersion:   version,
 		Policy:         pol.Name(),
 		BaselineCycles: c.baseCycles,
+		Diagnostics:    c.diags,
 	}
 	combined := clonePlans(c.basePlans)
 	var decisions []extractor.Decision
@@ -524,7 +583,7 @@ func (f *Framework) SweepSource(ctx context.Context, source string, params map[s
 	}
 	ctx, root := obs.StartSpan(ctx, "sweep")
 	defer root.End()
-	c, err := f.compileSource(ctx, source, params)
+	c, err := f.compileSource(ctx, source, params, &o)
 	if err != nil {
 		return nil, err
 	}

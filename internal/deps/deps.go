@@ -39,7 +39,18 @@ const Unlimited = 1 << 20
 //     corresponding vector stores;
 //   - same-array accesses with differing strides are conservatively
 //     rejected (VF = 1) unless one of them never aliases the other
-//     (different congruence classes modulo gcd).
+//     (different congruence classes modulo gcd);
+//   - same-array pairs that advance differently with an enclosing loop are
+//     conservatively rejected: their address difference changes across outer
+//     iterations, invalidating every offset-based proof.
+//
+// When the frontend proved the loop's trip count (ir.Loop.ProvenTrip, set
+// from sema facts), the analysis additionally bounds every affine stream to
+// its swept range over [0, trip) and drops dependences that cannot be
+// realised inside the iteration space: a fixed location outside a store's
+// swept range, differing-stride streams with disjoint ranges, and
+// equal-stride distances no smaller than the trip count. Trip counts the
+// simulator merely assumes (TripKnown=false defaults) never participate.
 //
 // Recognised reductions do not create dependences; the lowering pass already
 // removed their accumulator traffic from the access list.
@@ -47,6 +58,7 @@ func Analyze(l *ir.Loop) Result {
 	if l.HasCall {
 		return Result{MaxVF: 1, Reason: "opaque call in loop body"}
 	}
+	trip := l.ProvenTrip // 0 means no proof: range reasoning disabled
 	maxVF := Unlimited
 	reason := ""
 	limit := func(vf int, why string) {
@@ -72,6 +84,14 @@ func Analyze(l *ir.Loop) Result {
 				return Result{MaxVF: 1, Reason: "non-affine access to stored array " + s.Array}
 			}
 			as := a.StrideFor(l.Label)
+			if !outerStridesEqual(s, a, l.Label) {
+				// The pair's address difference varies with an enclosing
+				// loop, so every offset-based proof below (same-location,
+				// congruence, distance, range) would reason from the wrong
+				// difference for outer iterations past the first.
+				limit(1, "outer-loop-variant access pair on "+s.Array)
+				continue
+			}
 			switch {
 			case ss == 0 && as == 0:
 				// Both loop-invariant: same scalar location every iteration.
@@ -80,10 +100,22 @@ func Analyze(l *ir.Loop) Result {
 				}
 			case ss == 0 || as == 0:
 				// A store sweeping past (or being swept past by) a fixed
-				// location: some iteration aliases; conservatively reject.
+				// location. With a proven trip count the swept range is
+				// bounded, and a fixed location it never reaches cannot
+				// alias; otherwise conservatively reject.
+				fixed, stride, base := s.Offset, as, a.Offset
+				if as == 0 {
+					fixed, stride, base = a.Offset, ss, s.Offset
+				}
+				if trip > 0 && !sweepHits(fixed, base, stride, trip) {
+					continue
+				}
 				limit(1, "mixed invariant/strided access to "+s.Array)
 			case ss != as:
-				if neverAlias(ss, s.Offset, as, a.Offset, l.Trip) {
+				if neverAlias(ss, s.Offset, as, a.Offset) {
+					continue
+				}
+				if trip > 0 && disjointRanges(ss, s.Offset, as, a.Offset, trip) {
 					continue
 				}
 				limit(1, "differing strides on "+s.Array)
@@ -99,6 +131,12 @@ func Analyze(l *ir.Loop) Result {
 					continue // different congruence classes: never alias
 				}
 				d := delta / ss
+				if trip > 0 && (d >= trip || -d >= trip) {
+					// The dependent iteration lies outside the proven
+					// iteration space: no pair of in-bounds iterations
+					// touches the same address.
+					continue
+				}
 				if d < 0 {
 					// With positive stride, a negative d means the access
 					// reads addresses the store already passed -> the read
@@ -123,17 +161,63 @@ func Analyze(l *ir.Loop) Result {
 }
 
 // neverAlias reports whether two affine streams with different strides can
-// be proven disjoint over the loop's iteration space via a gcd test.
-func neverAlias(s1, o1, s2, o2, trip int64) bool {
+// be proven disjoint via a gcd congruence test.
+func neverAlias(s1, o1, s2, o2 int64) bool {
 	g := gcd(abs64(s1), abs64(s2))
 	if g == 0 {
 		return false
 	}
-	if (o1-o2)%g != 0 {
-		return true
+	return (o1-o2)%g != 0
+}
+
+// outerStridesEqual reports whether two accesses advance identically with
+// every enclosing loop other than label. Only then is their address
+// difference invariant across outer iterations, which the range-based proofs
+// (sweepHits, disjointRanges, distance-vs-trip) all rely on.
+func outerStridesEqual(a, b *ir.Access, label string) bool {
+	for k, v := range a.Strides {
+		if k != label && b.StrideFor(k) != v {
+			return false
+		}
 	}
-	_ = trip
-	return false
+	for k, v := range b.Strides {
+		if k != label && a.StrideFor(k) != v {
+			return false
+		}
+	}
+	return true
+}
+
+// sweepHits reports whether the strided stream base + stride*i touches the
+// fixed element for some iteration i in [0, trip).
+func sweepHits(fixed, base, stride, trip int64) bool {
+	delta := fixed - base
+	if stride == 0 {
+		return delta == 0
+	}
+	if delta%stride != 0 {
+		return false
+	}
+	i := delta / stride
+	return i >= 0 && i < trip
+}
+
+// disjointRanges reports whether two affine streams touch disjoint element
+// ranges over the iteration space [0, trip).
+func disjointRanges(s1, o1, s2, o2, trip int64) bool {
+	lo1, hi1 := streamRange(s1, o1, trip)
+	lo2, hi2 := streamRange(s2, o2, trip)
+	return hi1 < lo2 || hi2 < lo1
+}
+
+// streamRange returns the inclusive element range swept by base + stride*i
+// for i in [0, trip).
+func streamRange(stride, base, trip int64) (lo, hi int64) {
+	last := base + stride*(trip-1)
+	if last < base {
+		return last, base
+	}
+	return base, last
 }
 
 // MaxLegalVF returns Analyze(l).MaxVF clamped to the architecture bound and

@@ -1,0 +1,153 @@
+// Package diag defines the machine-readable diagnostic records emitted by
+// the frontend's semantic analysis (and any future static checks).
+//
+// A Diagnostic is a severity, a stable code (SEMA0001, ...), a source span,
+// a human-readable message, and an optional fix hint. Diagnostics are plain
+// data with JSON tags so the same values flow unchanged through the v2 wire
+// schema, the `neurovec check` CLI, and test golden files. List ordering is
+// deterministic: Sort orders by file, position, code, and message, so two
+// runs over the same source always render byte-identical output.
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Severity classifies how a diagnostic affects compilation: errors reject
+// the program under strict mode, warnings and notes never do.
+type Severity int
+
+// Severities, ordered by increasing weight.
+const (
+	Note Severity = iota
+	Warning
+	Error
+)
+
+// String returns the lower-case severity name used in rendered diagnostics
+// and on the wire.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// MarshalJSON encodes the severity as its string name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON decodes a severity from its string name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = Error
+	case "warning":
+		*s = Warning
+	case "note":
+		*s = Note
+	default:
+		return fmt.Errorf("diag: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Diagnostic is one finding attributed to a source position.
+type Diagnostic struct {
+	Severity Severity `json:"severity"`
+	// Code is the stable diagnostic identifier (e.g. "SEMA0006"). Codes are
+	// append-only: a published code never changes meaning.
+	Code string `json:"code"`
+	// File is the name the source was parsed under; empty for anonymous
+	// sources (rendered as "<input>").
+	File string `json:"file,omitempty"`
+	// Line and Col are 1-based; 0 means the position is unknown.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Loop is the stable label (L0, L1, ...) of the loop the diagnostic is
+	// about, for loop-scoped findings; empty otherwise.
+	Loop string `json:"loop,omitempty"`
+	// Message states the finding. Hint, when present, suggests a fix.
+	Message string `json:"message"`
+	Hint    string `json:"hint,omitempty"`
+}
+
+// String renders the diagnostic gcc-style:
+//
+//	file.c:3:7: error: undeclared identifier "n" [SEMA0001]
+func (d Diagnostic) String() string {
+	file := d.File
+	if file == "" {
+		file = "<input>"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%d:%d: %s: %s [%s]", file, d.Line, d.Col, d.Severity, d.Message, d.Code)
+	if d.Hint != "" {
+		fmt.Fprintf(&b, " (hint: %s)", d.Hint)
+	}
+	return b.String()
+}
+
+// List is an ordered collection of diagnostics.
+type List []Diagnostic
+
+// Sort orders the list deterministically: by file, line, column, code, and
+// finally message, so equal inputs always produce identical output.
+func (l List) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		a, b := l[i], l[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Message < b.Message
+	})
+}
+
+// HasErrors reports whether any diagnostic has Error severity.
+func (l List) HasErrors() bool {
+	for _, d := range l {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns only the Error-severity diagnostics, preserving order.
+func (l List) Errors() List {
+	var out List
+	for _, d := range l {
+		if d.Severity == Error {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders every diagnostic on its own line, gcc-style.
+func (l List) String() string {
+	lines := make([]string, len(l))
+	for i, d := range l {
+		lines[i] = d.String()
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,105 @@
+package diag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestSeverityJSONRoundTrip(t *testing.T) {
+	for _, sev := range []Severity{Note, Warning, Error} {
+		raw, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", sev, err)
+		}
+		var back Severity
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if back != sev {
+			t.Errorf("round trip %v -> %s -> %v", sev, raw, back)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"bogus"`), &s); err == nil {
+		t.Error("unknown severity string decoded without error")
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Severity: Error, Code: "SEMA0001", File: "k.c", Line: 3, Col: 7,
+		Message: "undeclared identifier \"y\"", Hint: "declare it first"}
+	got := d.String()
+	for _, want := range []string{"k.c:3:7:", "error:", "[SEMA0001]", "(hint: declare it first)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+
+	anon := Diagnostic{Severity: Warning, Code: "SEMA0015", Line: 1, Col: 2, Message: "m"}
+	if !strings.HasPrefix(anon.String(), "<input>:1:2:") {
+		t.Errorf("anonymous file rendered as %q, want <input> prefix", anon.String())
+	}
+}
+
+func TestListSortIsDeterministic(t *testing.T) {
+	mk := func(file string, line, col int, code string) Diagnostic {
+		return Diagnostic{Severity: Error, Code: code, File: file, Line: line, Col: col, Message: code}
+	}
+	l := List{
+		mk("b.c", 1, 1, "SEMA0002"),
+		mk("a.c", 9, 1, "SEMA0001"),
+		mk("a.c", 2, 5, "SEMA0009"),
+		mk("a.c", 2, 5, "SEMA0003"),
+		mk("a.c", 2, 1, "SEMA0004"),
+	}
+	l.Sort()
+	wantOrder := []string{"SEMA0004", "SEMA0003", "SEMA0009", "SEMA0001", "SEMA0002"}
+	for i, code := range wantOrder {
+		if l[i].Code != code {
+			t.Fatalf("position %d = %s, want %s (full: %s)", i, l[i].Code, code, l.String())
+		}
+	}
+}
+
+func TestListErrorsAndHasErrors(t *testing.T) {
+	l := List{
+		{Severity: Warning, Code: "W", Message: "w"},
+		{Severity: Error, Code: "E", Message: "e"},
+		{Severity: Note, Code: "N", Message: "n"},
+	}
+	if !l.HasErrors() {
+		t.Error("HasErrors() = false with one error present")
+	}
+	errs := l.Errors()
+	if len(errs) != 1 || errs[0].Code != "E" {
+		t.Errorf("Errors() = %v, want the single E", errs)
+	}
+	warnOnly := List{{Severity: Warning, Code: "W", Message: "w"}}
+	if warnOnly.HasErrors() {
+		t.Error("HasErrors() = true for warnings only")
+	}
+	var empty List
+	if empty.HasErrors() || len(empty.Errors()) != 0 {
+		t.Error("empty list reports errors")
+	}
+}
+
+func TestListJSONCarriesLoopAndOmitsEmpty(t *testing.T) {
+	l := List{{Severity: Error, Code: "SEMA0013", File: "k.c", Line: 4, Col: 5,
+		Loop: "L1", Message: "non-canonical"}}
+	raw, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded[0]["loop"] != "L1" {
+		t.Errorf("loop field = %v, want L1", decoded[0]["loop"])
+	}
+	if _, present := decoded[0]["hint"]; present {
+		t.Error("empty hint serialized; want omitted")
+	}
+}

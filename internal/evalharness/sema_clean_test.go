@@ -1,0 +1,35 @@
+package evalharness
+
+import (
+	"testing"
+
+	"neurovec/internal/lang"
+	"neurovec/internal/lang/sema"
+)
+
+// TestShippedCorporaAreSemaClean is the repo invariant behind CI's corpus
+// sweep: every shipped benchmark (and the deterministic generated suite at
+// its default seed) must parse and check with zero diagnostics — errors
+// would reject under strict mode, and warnings would pollute every compile
+// response downstream.
+func TestShippedCorporaAreSemaClean(t *testing.T) {
+	corpus, err := BuildCorpus("polybench,mibench,figure7,generated", 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Items) == 0 {
+		t.Fatal("empty corpus")
+	}
+	for _, it := range corpus.Items {
+		name := it.Suite + "/" + it.Name
+		prog, err := lang.ParseFile(name, it.Source)
+		if err != nil {
+			t.Errorf("%s: parse: %v", name, err)
+			continue
+		}
+		info := sema.Check(name, prog)
+		if len(info.Diags) != 0 {
+			t.Errorf("%s: not sema-clean:\n%s", name, info.Diags.String())
+		}
+	}
+}

@@ -119,7 +119,11 @@ func AblationPolly(o Options) *Table {
 	for _, b := range cases {
 		opts := lower.DefaultOptions()
 		opts.ParamValues = b.ParamValues
-		irp, err := lower.Program(lang.MustParse(b.Source), opts)
+		prog, err := lang.ParseFile(b.Name, b.Source)
+		if err != nil {
+			panic(err)
+		}
+		irp, err := lower.Program(prog, opts)
 		if err != nil {
 			panic(err)
 		}

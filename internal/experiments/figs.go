@@ -353,7 +353,11 @@ func evaluateBenchmarks(fw *core.Framework, sup *supervised, bs []dataset.Benchm
 	for _, b := range bs {
 		opts := lower.DefaultOptions()
 		opts.ParamValues = b.ParamValues
-		irp, err := lower.Program(lang.MustParse(b.Source), opts)
+		prog, err := lang.ParseFile(b.Name, b.Source)
+		if err != nil {
+			panic(err)
+		}
+		irp, err := lower.Program(prog, opts)
 		if err != nil {
 			panic(err)
 		}

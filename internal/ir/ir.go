@@ -187,6 +187,11 @@ type Loop struct {
 	Trip      int64 // runtime trip count used by the simulator
 	TripKnown bool  // compile-time known (constant bounds)
 	Step      int64 // induction step, in iterations of the index variable
+	// ProvenTrip is a trip count proven by semantic analysis (0 when
+	// unproven). Trip falls back to a simulation default for runtime bounds,
+	// so the dependence analysis must never reason from it; ProvenTrip is
+	// the value it may use for iteration-space disjointness proofs.
+	ProvenTrip int64
 
 	Body       []Instr
 	Accesses   []*Access

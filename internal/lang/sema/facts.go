@@ -1,0 +1,74 @@
+package sema
+
+// LoopFact records what semantic analysis proved about one for loop. Facts
+// are keyed by the parser's stable loop label (L0, L1, ...), the same key the
+// lowered IR carries, so downstream passes can consume them without
+// re-deriving anything from the AST.
+type LoopFact struct {
+	// Label is the parser-assigned loop label; Func the enclosing function.
+	Label string
+	Func  string
+	// Canonical reports that the loop has the canonical induction form the
+	// lowering pass understands: a recognisable induction variable, a
+	// constant step, and a comparison bound.
+	Canonical bool
+	// IndexVar is the induction variable of a canonical loop.
+	IndexVar string
+	// TripProven is set when the trip count is a compile-time constant
+	// proven from constant bounds and step, with the induction variable
+	// never mutated in the loop body. Trip is that count. Unlike the
+	// simulator's trip estimate, a proven trip is a fact the dependence
+	// analysis may rely on for disjointness proofs.
+	TripProven bool
+	Trip       int64
+	// AffineSubscripts reports that every array subscript in the loop body
+	// is an affine function (constant coefficients) of enclosing induction
+	// variables.
+	AffineSubscripts bool
+	// DistinctArrays reports that every array referenced in the loop body
+	// has its own storage (a global or local declaration, not an array
+	// parameter that could alias another parameter).
+	DistinctArrays bool
+}
+
+// Facts is the set of per-loop facts proven for one program. The zero value
+// and nil are both valid empty sets.
+type Facts struct {
+	loops map[string]LoopFact
+}
+
+// Loop returns the fact record for the loop with the given label.
+func (f *Facts) Loop(label string) (LoopFact, bool) {
+	if f == nil {
+		return LoopFact{}, false
+	}
+	fact, ok := f.loops[label]
+	return fact, ok
+}
+
+// ProvenTrip returns the proven constant trip count for the labeled loop.
+// It implements the lower.LoopFacts hook, which is how proofs established
+// here reach the dependence analysis without lower depending on this
+// package.
+func (f *Facts) ProvenTrip(label string) (int64, bool) {
+	fact, ok := f.Loop(label)
+	if !ok || !fact.TripProven {
+		return 0, false
+	}
+	return fact.Trip, true
+}
+
+// Len returns the number of loops with recorded facts.
+func (f *Facts) Len() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.loops)
+}
+
+func (f *Facts) set(fact LoopFact) {
+	if f.loops == nil {
+		f.loops = make(map[string]LoopFact)
+	}
+	f.loops[fact.Label] = fact
+}

@@ -1,0 +1,49 @@
+package sema
+
+import (
+	"testing"
+
+	"neurovec/internal/dataset"
+	"neurovec/internal/lang"
+)
+
+// FuzzSemaNoPanic holds sema to its contract: Check never panics on any
+// parseable input. Seeds mirror the parser's round-trip fuzz corpus (the
+// synthetic generator) plus handwritten pathological programs around the
+// analyses most likely to trip — const folding, loop proofs, scoping.
+func FuzzSemaNoPanic(f *testing.F) {
+	for _, s := range dataset.Generate(dataset.GenConfig{N: 8, Seed: 42}).Samples {
+		f.Add(s.Source)
+	}
+	for _, src := range []string{
+		"int x; void f() { for (int i = 0; i < 8; i++) { x += i; } }",
+		"void f() { int x = 1 / 0; x = x % 0; }",
+		"void f() { for (;;) {} }",
+		"void f() { for (int i = 0; i < 8; i++) for (int i = 0; i < 8; i++) {} }",
+		"int a[1]; void f() { a[-1] = a[0 - 1]; }",
+		"void f() { int n; for (int i = n; i < n; i = i + n) {} }",
+		"float m[2][2]; void f() { m[m[0][0]][0] = 1.0; }",
+		"void f() { int x = (int)1.5 + (char)300; }",
+		"void f(int n) { if (n) { int n; } else { int n; } }",
+		"void f() { return; } void f() { return; }",
+	} {
+		f.Add(src)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Skip()
+		}
+		info := Check("fuzz.c", prog)
+		if info == nil {
+			t.Fatal("Check returned nil info")
+		}
+		// The facts table must honor its own invariants even on garbage:
+		// a proven trip is always positive.
+		for _, d := range info.Diags {
+			if d.Code == "" {
+				t.Errorf("diagnostic without a code: %s", d.String())
+			}
+		}
+	})
+}

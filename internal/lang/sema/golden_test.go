@@ -1,0 +1,112 @@
+package sema
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"neurovec/internal/lang"
+)
+
+var update = flag.Bool("update", false, "rewrite the diagnostics golden file")
+
+// goldenSource exercises a broad slice of the code catalog in one program;
+// the golden file pins the exact wire JSON — codes, positions, severities,
+// hints, loop labels, and ordering — so any drift in the diagnostic surface
+// is a reviewed change, not an accident.
+const goldenSource = `int a[64];
+float m[8][8];
+void kernel(int n) {
+    void v;
+    int dup;
+    int dup;
+    int x = missing + 1;
+    int s;
+    int w = s + a[99] + m[3];
+    int q = a;
+    int z = x / 0;
+    float g = m[1.5][0];
+    int r = min(1);
+    return 3;
+}
+void loops() {
+    for (int i = 10; i * 2; i = i * 2) { a[0] = 1; }
+    for (int j = 0; j < 64; j++) { j = j + 2; a[j] = j; }
+}
+`
+
+func TestGoldenDiagnostics(t *testing.T) {
+	prog, err := lang.ParseFile("golden.c", goldenSource)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := Check("golden.c", prog)
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(info.Diags); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got := buf.Bytes()
+
+	path := filepath.Join("testdata", "diag_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("diagnostics drifted from golden file (run with -update to accept):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// The golden program must keep covering a healthy slice of the catalog.
+	codes := map[string]bool{}
+	for _, d := range info.Diags {
+		codes[d.Code] = true
+	}
+	if len(codes) < 10 {
+		t.Errorf("golden program covers only %d distinct codes, want >= 10", len(codes))
+	}
+}
+
+// TestGoldenRoundTrip asserts the wire JSON decodes back to the same list —
+// the service's 422 body and the CLI's -json output both rely on it.
+func TestGoldenRoundTrip(t *testing.T) {
+	prog, err := lang.ParseFile("golden.c", goldenSource)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := Check("golden.c", prog)
+	raw, err := json.Marshal(info.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(back) != len(info.Diags) {
+		t.Fatalf("round trip lost diagnostics: %d vs %d", len(back), len(info.Diags))
+	}
+	for i, d := range info.Diags {
+		if back[i]["code"] != d.Code {
+			t.Errorf("diag %d code = %v, want %s", i, back[i]["code"], d.Code)
+		}
+		if sev, _ := back[i]["severity"].(string); sev != d.Severity.String() {
+			t.Errorf("diag %d severity = %q, want %q", i, sev, d.Severity.String())
+		}
+	}
+}

@@ -1,0 +1,1147 @@
+// Package sema implements semantic analysis for the mini-C frontend: symbol
+// resolution with scoped tables, type checking, definite-declaration checks,
+// constant-expression folding, array-shape and constant-subscript bounds
+// checking, and loop-canonicality classification.
+//
+// Check is a pure function from a parsed program to two outputs:
+//
+//   - a deterministic diag.List of findings (errors reject the program under
+//     the core's strict mode; warnings and notes only annotate), and
+//   - a Facts table of per-loop proofs (constant trip counts, affine
+//     subscript form, distinct-array storage) that downstream passes — in
+//     particular the dependence analysis in internal/deps — may rely on to
+//     accept provably safe loops they would otherwise reject.
+//
+// The analysis never panics on any parseable input; FuzzSemaNoPanic holds it
+// to that.
+package sema
+
+import (
+	"fmt"
+
+	"neurovec/internal/diag"
+	"neurovec/internal/lang"
+)
+
+// Diagnostic codes emitted by Check. Codes are stable and append-only; the
+// catalog with examples lives in docs/DIAGNOSTICS.md.
+const (
+	CodeUndeclared     = "SEMA0001" // use of an undeclared identifier
+	CodeRedeclared     = "SEMA0002" // redeclaration in the same scope
+	CodeVoidVar        = "SEMA0003" // variable or parameter of type void
+	CodeNotAnArray     = "SEMA0004" // subscript applied to a scalar
+	CodeRankMismatch   = "SEMA0005" // wrong number of subscripts for array rank
+	CodeOutOfBounds    = "SEMA0006" // constant subscript outside declared bounds
+	CodeArrayAsScalar  = "SEMA0007" // array name used where a scalar is required
+	CodeArity          = "SEMA0008" // wrong argument count in a call
+	CodeDivByZero      = "SEMA0009" // constant division or remainder by zero
+	CodeNonIntegerOp   = "SEMA0010" // float operand where an integer is required
+	CodeReturnMismatch = "SEMA0011" // return value disagrees with function type
+	CodeNarrowing      = "SEMA0012" // implicit float-to-integer conversion
+	CodeNonCanonical   = "SEMA0013" // loop not in canonical induction form
+	CodeIVMutation     = "SEMA0014" // induction variable mutated in loop body
+	CodeUnused         = "SEMA0015" // local variable never read
+	CodeUninitUse      = "SEMA0016" // local scalar read before first assignment
+)
+
+// Info is the result of checking one program.
+type Info struct {
+	// Diags holds every finding in deterministic order (diag.List.Sort).
+	Diags diag.List
+	// Facts holds the per-loop proofs established during checking.
+	Facts *Facts
+}
+
+// Check analyses a parsed program, attributing diagnostics to file. It is
+// safe for concurrent callers and never mutates the AST.
+func Check(file string, p *lang.Program) *Info {
+	c := &checker{file: file, facts: &Facts{}, funcs: map[string]*lang.FuncDecl{}}
+	if p != nil {
+		c.run(p)
+	}
+	c.diags.Sort()
+	return &Info{Diags: c.diags, Facts: c.facts}
+}
+
+type symKind int
+
+const (
+	symGlobal symKind = iota
+	symParam
+	symLocal
+)
+
+// symbol is one named entity in scope.
+type symbol struct {
+	name     string
+	typ      lang.Type
+	kind     symKind
+	pos      lang.Pos
+	used     bool // read at least once
+	assigned bool // definitely assigned at the current walk point
+	isConst  bool // holds a known constant value at the current walk point
+	constVal int64
+	poison   bool // synthesised for an undeclared name to stop cascades
+}
+
+// value is the checked result of an expression: its type plus, when the
+// expression denotes (part of) a named array, enough shape information to
+// diagnose rank errors precisely.
+type value struct {
+	typ      lang.Type
+	arr      string // array name when the value originates from an array
+	rank     int    // declared rank of that array
+	subs     int    // subscripts applied so far
+	isConst  bool
+	constVal int64
+}
+
+func (v value) isArray() bool { return v.typ.IsArray() }
+
+// loopState tracks one enclosing for loop while its body is checked.
+type loopState struct {
+	label   string
+	iv      string
+	mutated bool
+}
+
+type checker struct {
+	file  string
+	diags diag.List
+	facts *Facts
+
+	funcs  map[string]*lang.FuncDecl
+	scopes []map[string]*symbol
+	fn     *lang.FuncDecl
+	loops  []*loopState // innermost last
+}
+
+func (c *checker) report(sev diag.Severity, code string, pos lang.Pos, msg, hint string) {
+	c.diags = append(c.diags, diag.Diagnostic{
+		Severity: sev, Code: code, File: c.file,
+		Line: pos.Line, Col: pos.Col, Message: msg, Hint: hint,
+	})
+}
+
+func (c *checker) errorf(code string, pos lang.Pos, format string, args ...any) {
+	c.report(diag.Error, code, pos, fmt.Sprintf(format, args...), "")
+}
+
+func (c *checker) warnf(code string, pos lang.Pos, format string, args ...any) {
+	c.report(diag.Warning, code, pos, fmt.Sprintf(format, args...), "")
+}
+
+// ---- Scopes ----
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*symbol{}) }
+
+// popScope leaves a scope, reporting locals that were never read.
+func (c *checker) popScope() {
+	top := c.scopes[len(c.scopes)-1]
+	c.scopes = c.scopes[:len(c.scopes)-1]
+	var unused []*symbol
+	for _, s := range top {
+		if s.kind == symLocal && !s.used && !s.poison {
+			unused = append(unused, s)
+		}
+	}
+	// Map iteration order is random; sort by position for determinism.
+	for i := range unused {
+		for j := i + 1; j < len(unused); j++ {
+			a, b := unused[i], unused[j]
+			if b.pos.Line < a.pos.Line || (b.pos.Line == a.pos.Line && b.pos.Col < a.pos.Col) {
+				unused[i], unused[j] = unused[j], unused[i]
+			}
+		}
+	}
+	for _, s := range unused {
+		c.warnf(CodeUnused, s.pos, "variable %q declared but never read", s.name)
+	}
+}
+
+func (c *checker) declare(name string, typ lang.Type, kind symKind, pos lang.Pos) *symbol {
+	top := c.scopes[len(c.scopes)-1]
+	if prev, ok := top[name]; ok && !prev.poison {
+		c.errorf(CodeRedeclared, pos, "%q redeclared in this scope (previous declaration at %s)", name, prev.pos)
+	}
+	s := &symbol{name: name, typ: typ, kind: kind, pos: pos}
+	top[name] = s
+	return s
+}
+
+func (c *checker) lookup(name string) *symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// resolve returns the symbol for an identifier use, synthesising a poison
+// symbol (and reporting SEMA0001) when the name is not in scope.
+func (c *checker) resolve(id *lang.Ident) *symbol {
+	if s := c.lookup(id.Name); s != nil {
+		return s
+	}
+	c.errorf(CodeUndeclared, id.Pos, "undeclared identifier %q", id.Name)
+	s := &symbol{
+		name: id.Name, typ: lang.Type{Scalar: lang.TypeInt}, kind: symLocal,
+		pos: id.Pos, poison: true, assigned: true, used: true,
+	}
+	c.scopes[len(c.scopes)-1][id.Name] = s
+	return s
+}
+
+// ---- Program walk ----
+
+func (c *checker) run(p *lang.Program) {
+	c.pushScope() // file scope
+	for _, g := range p.Globals {
+		if g.Type.Scalar == lang.TypeVoid {
+			c.errorf(CodeVoidVar, g.Pos, "variable %q declared void", g.Name)
+		}
+		s := c.declare(g.Name, g.Type, symGlobal, g.Pos)
+		s.assigned = true
+		if g.Init != nil {
+			v := c.checkExpr(g.Init)
+			c.requireScalar(v, posOf(g.Init))
+			if v.isConst && !g.Type.IsArray() {
+				s.isConst, s.constVal = true, v.constVal
+			}
+		}
+	}
+	for _, f := range p.Funcs {
+		if prev, dup := c.funcs[f.Name]; dup {
+			c.errorf(CodeRedeclared, f.Pos, "function %q redefined (previous definition at %s)", f.Name, prev.Pos)
+			continue
+		}
+		c.funcs[f.Name] = f
+	}
+	for _, f := range p.Funcs {
+		if c.funcs[f.Name] != f {
+			continue // duplicate definition already reported
+		}
+		c.checkFunc(f)
+	}
+	c.scopes = c.scopes[:len(c.scopes)-1] // globals: no unused reporting
+}
+
+func (c *checker) checkFunc(f *lang.FuncDecl) {
+	c.fn = f
+	c.pushScope()
+	for _, prm := range f.Params {
+		if prm.Type.Scalar == lang.TypeVoid && !prm.Type.IsArray() {
+			c.errorf(CodeVoidVar, f.Pos, "parameter %q of %q declared void", prm.Name, f.Name)
+		}
+		s := c.declare(prm.Name, prm.Type, symParam, f.Pos)
+		s.assigned = true
+	}
+	if f.Body != nil {
+		c.checkBlock(f.Body)
+	}
+	c.popScope()
+	c.fn = nil
+}
+
+func (c *checker) checkBlock(b *lang.BlockStmt) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s lang.Stmt) {
+	switch st := s.(type) {
+	case *lang.DeclStmt:
+		if st.Type.Scalar == lang.TypeVoid {
+			c.errorf(CodeVoidVar, st.Pos, "variable %q declared void", st.Name)
+		}
+		var init value
+		if st.Init != nil {
+			init = c.checkExpr(st.Init)
+			c.requireScalar(init, st.Pos)
+			c.checkNarrowing(st.Type, init, st.Init, st.Pos)
+		}
+		sym := c.declare(st.Name, st.Type, symLocal, st.Pos)
+		if st.Type.IsArray() {
+			sym.assigned = true // arrays are storage, not flow-checked values
+		} else if st.Init != nil {
+			sym.assigned = true
+			if init.isConst {
+				sym.isConst, sym.constVal = true, init.constVal
+			}
+		}
+
+	case *lang.AssignStmt:
+		c.checkAssign(st)
+
+	case *lang.IncDecStmt:
+		c.checkIncDec(st)
+
+	case *lang.ExprStmt:
+		c.checkExpr(st.X)
+
+	case *lang.ForStmt:
+		c.checkFor(st)
+
+	case *lang.IfStmt:
+		cond := c.checkExpr(st.Cond)
+		c.requireScalar(cond, st.Pos)
+		c.invalidateBranchConsts(st.Then)
+		c.checkBlock(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+
+	case *lang.ReturnStmt:
+		ret := lang.TypeVoid
+		if c.fn != nil {
+			ret = c.fn.Return
+		}
+		switch {
+		case st.Value == nil && ret != lang.TypeVoid:
+			c.errorf(CodeReturnMismatch, st.Pos, "return with no value in function returning %s", ret)
+		case st.Value != nil && ret == lang.TypeVoid:
+			c.errorf(CodeReturnMismatch, st.Pos, "return with a value in void function")
+		case st.Value != nil:
+			v := c.checkExpr(st.Value)
+			c.requireScalar(v, st.Pos)
+		}
+
+	case *lang.BlockStmt:
+		c.checkBlock(st)
+	}
+}
+
+// checkAssign handles plain and compound assignment, reduction-style updates
+// included.
+func (c *checker) checkAssign(st *lang.AssignStmt) {
+	rhs := c.checkExpr(st.RHS)
+	c.requireScalar(rhs, st.Pos)
+
+	switch lhs := st.LHS.(type) {
+	case *lang.Ident:
+		sym := c.resolve(lhs)
+		if sym.typ.IsArray() {
+			c.errorf(CodeArrayAsScalar, lhs.Pos, "cannot assign to array %q as a whole", lhs.Name)
+			return
+		}
+		if st.Op != lang.Assign {
+			// Compound assignment reads the previous value.
+			c.noteRead(sym, lhs.Pos)
+			c.checkIntegerOnlyAssign(st.Op, sym.typ.Scalar, rhs, st.Pos)
+		}
+		c.checkNarrowing(sym.typ, rhs, st.RHS, st.Pos)
+		c.noteMutation(sym, st.Pos)
+		sym.assigned = true
+		if st.Op == lang.Assign && rhs.isConst {
+			sym.isConst, sym.constVal = true, rhs.constVal
+		} else {
+			sym.isConst = false
+		}
+	case *lang.IndexExpr:
+		v := c.checkExpr(lhs)
+		c.requireScalar(v, lhs.Pos)
+		if st.Op != lang.Assign {
+			c.checkIntegerOnlyAssign(st.Op, v.typ.Scalar, rhs, st.Pos)
+		}
+		c.checkNarrowing(v.typ, rhs, st.RHS, st.Pos)
+	default:
+		v := c.checkExpr(st.LHS)
+		c.requireScalar(v, st.Pos)
+	}
+}
+
+func (c *checker) checkIncDec(st *lang.IncDecStmt) {
+	switch x := st.X.(type) {
+	case *lang.Ident:
+		sym := c.resolve(x)
+		if sym.typ.IsArray() {
+			c.errorf(CodeArrayAsScalar, x.Pos, "cannot increment array %q", x.Name)
+			return
+		}
+		c.noteRead(sym, x.Pos)
+		c.noteMutation(sym, st.Pos)
+		sym.assigned = true
+		sym.isConst = false
+	default:
+		v := c.checkExpr(st.X)
+		c.requireScalar(v, st.Pos)
+	}
+}
+
+// noteMutation flags writes to an enclosing loop's induction variable.
+func (c *checker) noteMutation(sym *symbol, pos lang.Pos) {
+	for _, ls := range c.loops {
+		if ls.iv == sym.name {
+			ls.mutated = true
+			c.warnf(CodeIVMutation, pos, "induction variable %q of loop %s mutated in loop body", sym.name, ls.label)
+		}
+	}
+}
+
+// noteRead records a read of a symbol, reporting use-before-assignment for
+// local scalars.
+func (c *checker) noteRead(sym *symbol, pos lang.Pos) {
+	sym.used = true
+	if sym.kind == symLocal && !sym.typ.IsArray() && !sym.assigned {
+		c.warnf(CodeUninitUse, pos, "variable %q may be read before it is assigned", sym.name)
+		sym.assigned = true // report once
+	}
+}
+
+// invalidateBranchConsts drops constant-value knowledge for every variable
+// assigned anywhere in a conditionally executed subtree: after `if (c) n = 4;`
+// the checker no longer knows n. Declarations inside the branch are scoped to
+// it and need no invalidation.
+func (c *checker) invalidateBranchConsts(body lang.Stmt) {
+	lang.Walk(body, func(s lang.Stmt) bool {
+		var name string
+		switch st := s.(type) {
+		case *lang.AssignStmt:
+			if id, ok := st.LHS.(*lang.Ident); ok {
+				name = id.Name
+			}
+		case *lang.IncDecStmt:
+			if id, ok := st.X.(*lang.Ident); ok {
+				name = id.Name
+			}
+		}
+		if name != "" {
+			if sym := c.lookup(name); sym != nil {
+				sym.isConst = false
+			}
+		}
+		return true
+	})
+}
+
+// ---- Expressions ----
+
+func (c *checker) checkExpr(e lang.Expr) value {
+	switch ex := e.(type) {
+	case *lang.IntLit:
+		return value{typ: lang.Type{Scalar: lang.TypeInt}, isConst: true, constVal: ex.Value}
+
+	case *lang.FloatLit:
+		return value{typ: lang.Type{Scalar: lang.TypeDouble}}
+
+	case *lang.Ident:
+		sym := c.resolve(ex)
+		c.noteRead(sym, ex.Pos)
+		v := value{typ: sym.typ}
+		if sym.typ.IsArray() {
+			v.arr, v.rank = sym.name, len(sym.typ.Dims)
+		}
+		if sym.isConst {
+			v.isConst, v.constVal = true, sym.constVal
+		}
+		return v
+
+	case *lang.IndexExpr:
+		return c.checkIndex(ex)
+
+	case *lang.BinaryExpr:
+		return c.checkBinary(ex)
+
+	case *lang.UnaryExpr:
+		x := c.checkExpr(ex.X)
+		c.requireScalar(x, ex.Pos)
+		if ex.Op == lang.Tilde && x.typ.Scalar.IsFloat() {
+			c.errorf(CodeNonIntegerOp, ex.Pos, "operator ~ requires an integer operand, got %s", x.typ.Scalar)
+		}
+		out := value{typ: x.typ}
+		if x.isConst {
+			switch ex.Op {
+			case lang.Minus:
+				out.isConst, out.constVal = true, -x.constVal
+			case lang.Plus:
+				out.isConst, out.constVal = true, x.constVal
+			case lang.Tilde:
+				out.isConst, out.constVal = true, ^x.constVal
+			case lang.Bang:
+				out.isConst = true
+				if x.constVal == 0 {
+					out.constVal = 1
+				}
+			}
+		}
+		if ex.Op == lang.Bang {
+			out.typ = lang.Type{Scalar: lang.TypeInt}
+		}
+		return out
+
+	case *lang.CallExpr:
+		return c.checkCall(ex)
+
+	case *lang.CondExpr:
+		cond := c.checkExpr(ex.Cond)
+		c.requireScalar(cond, ex.Pos)
+		t := c.checkExpr(ex.Then)
+		f := c.checkExpr(ex.Else)
+		c.requireScalar(t, ex.Pos)
+		c.requireScalar(f, ex.Pos)
+		out := value{typ: lang.Type{Scalar: promote(t.typ.Scalar, f.typ.Scalar)}}
+		if cond.isConst && t.isConst && f.isConst {
+			out.isConst = true
+			if cond.constVal != 0 {
+				out.constVal = t.constVal
+			} else {
+				out.constVal = f.constVal
+			}
+		}
+		return out
+
+	case *lang.CastExpr:
+		x := c.checkExpr(ex.X)
+		c.requireScalar(x, ex.Pos)
+		out := value{typ: lang.Type{Scalar: ex.To}}
+		if x.isConst && ex.To.IsInteger() {
+			out.isConst, out.constVal = true, x.constVal
+		}
+		return out
+	}
+	return value{typ: lang.Type{Scalar: lang.TypeInt}}
+}
+
+// checkIndex checks one subscript application a[i] (chained for a[i][j]).
+func (c *checker) checkIndex(ex *lang.IndexExpr) value {
+	base := c.checkExpr(ex.Base)
+	idx := c.checkExpr(ex.Index)
+	c.requireScalar(idx, ex.Pos)
+	if idx.typ.Scalar.IsFloat() {
+		c.report(diag.Error, CodeNonIntegerOp, posOf(ex.Index),
+			fmt.Sprintf("array subscript must be an integer, got %s", idx.typ.Scalar),
+			"cast the subscript with (int)")
+	}
+
+	if !base.isArray() {
+		if base.arr != "" {
+			c.errorf(CodeRankMismatch, ex.Pos, "array %q has %d dimension(s) but is subscripted %d time(s)",
+				base.arr, base.rank, base.subs+1)
+		} else {
+			c.errorf(CodeNotAnArray, ex.Pos, "subscript applied to non-array value of type %s", base.typ)
+		}
+		return value{typ: lang.Type{Scalar: base.typ.Scalar}, arr: base.arr, rank: base.rank, subs: base.subs + 1}
+	}
+
+	dim := base.typ.Dims[0]
+	if idx.isConst && dim > 0 && (idx.constVal < 0 || idx.constVal >= dim) {
+		c.report(diag.Error, CodeOutOfBounds, posOf(ex.Index),
+			fmt.Sprintf("constant subscript %d out of bounds for array %q dimension of size %d",
+				idx.constVal, base.arr, dim),
+			fmt.Sprintf("valid indices are 0..%d", dim-1))
+	}
+	return value{
+		typ:  lang.Type{Scalar: base.typ.Scalar, Dims: base.typ.Dims[1:]},
+		arr:  base.arr,
+		rank: base.rank,
+		subs: base.subs + 1,
+	}
+}
+
+func (c *checker) checkBinary(ex *lang.BinaryExpr) value {
+	x := c.checkExpr(ex.X)
+	y := c.checkExpr(ex.Y)
+	c.requireScalar(x, ex.Pos)
+	c.requireScalar(y, ex.Pos)
+
+	switch ex.Op {
+	case lang.Percent, lang.Shl, lang.Shr, lang.Amp, lang.Pipe, lang.Caret:
+		if x.typ.Scalar.IsFloat() || y.typ.Scalar.IsFloat() {
+			c.errorf(CodeNonIntegerOp, ex.Pos, "operator %s requires integer operands, got %s and %s",
+				ex.Op, x.typ.Scalar, y.typ.Scalar)
+		}
+	}
+	if (ex.Op == lang.Slash || ex.Op == lang.Percent) && y.isConst && y.constVal == 0 {
+		c.errorf(CodeDivByZero, ex.Pos, "constant division by zero")
+	}
+
+	switch ex.Op {
+	case lang.Lt, lang.Gt, lang.Le, lang.Ge, lang.EqEq, lang.NotEq, lang.AndAnd, lang.OrOr:
+		out := value{typ: lang.Type{Scalar: lang.TypeInt}}
+		if x.isConst && y.isConst {
+			out.isConst, out.constVal = true, foldCompare(ex.Op, x.constVal, y.constVal)
+		}
+		return out
+	}
+
+	out := value{typ: lang.Type{Scalar: promote(x.typ.Scalar, y.typ.Scalar)}}
+	if x.isConst && y.isConst {
+		if v, ok := foldArith(ex.Op, x.constVal, y.constVal); ok {
+			out.isConst, out.constVal = true, v
+		}
+	}
+	return out
+}
+
+// builtinArity maps the recognised math builtins to their argument count;
+// these lower to vector-friendly ops rather than opaque calls.
+var builtinArity = map[string]int{
+	"min": 2, "max": 2,
+	"abs": 1, "fabs": 1, "fabsf": 1,
+	"sqrt": 1, "sqrtf": 1,
+}
+
+func (c *checker) checkCall(ex *lang.CallExpr) value {
+	args := make([]value, len(ex.Args))
+	for i, a := range ex.Args {
+		args[i] = c.checkExpr(a)
+		// Arrays decay to pointers as arguments to non-builtin calls; only
+		// the math builtins require scalar operands.
+		if _, builtin := builtinArity[ex.Fun]; builtin {
+			c.requireScalar(args[i], posOf(a))
+		}
+	}
+
+	if want, ok := builtinArity[ex.Fun]; ok {
+		if len(ex.Args) != want {
+			c.errorf(CodeArity, ex.Pos, "%s expects %d argument(s), got %d", ex.Fun, want, len(ex.Args))
+		}
+		t := lang.TypeDouble
+		switch ex.Fun {
+		case "sqrtf", "fabsf":
+			t = lang.TypeFloat
+		case "min", "max", "abs", "fabs":
+			t = lang.TypeInt
+			for _, a := range args {
+				t = promote(t, a.typ.Scalar)
+			}
+		}
+		return value{typ: lang.Type{Scalar: t}}
+	}
+	if fn, ok := c.funcs[ex.Fun]; ok {
+		if len(ex.Args) != len(fn.Params) {
+			c.errorf(CodeArity, ex.Pos, "%q expects %d argument(s), got %d", ex.Fun, len(fn.Params), len(ex.Args))
+		}
+		return value{typ: lang.Type{Scalar: fn.Return}}
+	}
+	// Unknown functions are treated as opaque externals (the lowering pass
+	// models them as unvectorizable calls); their result type is unknowable.
+	return value{typ: lang.Type{Scalar: lang.TypeInt}}
+}
+
+// requireScalar reports uses of an array value where a scalar is required.
+func (c *checker) requireScalar(v value, pos lang.Pos) {
+	if !v.isArray() {
+		return
+	}
+	if v.subs > 0 {
+		c.errorf(CodeRankMismatch, pos, "array %q has %d dimension(s) but is subscripted %d time(s)",
+			v.arr, v.rank, v.subs)
+	} else {
+		c.errorf(CodeArrayAsScalar, pos, "array %q used where a scalar value is required", v.arr)
+	}
+}
+
+// checkIntegerOnlyAssign rejects float operands of integer-only compound
+// assignment operators (%=, <<=, >>=, &=, |=, ^=).
+func (c *checker) checkIntegerOnlyAssign(op lang.Kind, lhs lang.ScalarType, rhs value, pos lang.Pos) {
+	switch op {
+	case lang.PercentAssign, lang.ShlAssign, lang.ShrAssign, lang.AmpAssign, lang.PipeAssign, lang.CaretAssign:
+		if lhs.IsFloat() || rhs.typ.Scalar.IsFloat() {
+			c.errorf(CodeNonIntegerOp, pos, "operator %s requires integer operands", op)
+		}
+		if (op == lang.PercentAssign) && rhs.isConst && rhs.constVal == 0 {
+			c.errorf(CodeDivByZero, pos, "constant division by zero")
+		}
+	case lang.SlashAssign:
+		if rhs.isConst && rhs.constVal == 0 {
+			c.errorf(CodeDivByZero, pos, "constant division by zero")
+		}
+	}
+}
+
+// checkNarrowing warns about implicit float-to-integer stores, which drop
+// the fractional part silently. Explicit casts opt out.
+func (c *checker) checkNarrowing(lhs lang.Type, rhs value, rhsExpr lang.Expr, pos lang.Pos) {
+	if lhs.IsArray() {
+		lhs = lang.Type{Scalar: lhs.Scalar}
+	}
+	if !lhs.Scalar.IsInteger() || !rhs.typ.Scalar.IsFloat() {
+		return
+	}
+	if _, explicit := rhsExpr.(*lang.CastExpr); explicit {
+		return
+	}
+	c.report(diag.Warning, CodeNarrowing, pos,
+		fmt.Sprintf("implicit conversion from %s to %s truncates", rhs.typ.Scalar, lhs.Scalar),
+		fmt.Sprintf("use an explicit (%s) cast", lhs.Scalar))
+}
+
+// ---- Loops: canonicality classification and trip-count proofs ----
+
+func (c *checker) checkFor(st *lang.ForStmt) {
+	c.pushScope() // the init declaration's scope
+	if st.Init != nil {
+		c.checkStmt(st.Init)
+	}
+
+	iv, lo, loKnown, initOK := c.analyzeInit(st.Init)
+	var ivSym *symbol
+	if iv != "" {
+		if ivSym = c.lookup(iv); ivSym != nil {
+			// The induction variable varies; forget any constant value the
+			// init assignment recorded.
+			ivSym.isConst = false
+		}
+	}
+
+	if st.Cond != nil {
+		cond := c.checkExpr(st.Cond)
+		c.requireScalar(cond, posOf(st.Cond))
+	}
+	step, down, stepOK := analyzeStep(c, st.Post, iv)
+	if st.Post != nil {
+		c.checkPost(st.Post, iv)
+	}
+	hi, hiKnown, inclusive, condOK := analyzeCond(c, st.Cond, iv, down)
+
+	canonical := initOK && stepOK && condOK
+	switch {
+	case !initOK:
+		c.loopDiag(diag.Error, CodeNonCanonical, st,
+			"non-canonical loop %s: init clause does not establish an induction variable", st.Label)
+	case !stepOK:
+		c.loopDiag(diag.Error, CodeNonCanonical, st,
+			"non-canonical loop %s: post clause does not step induction variable %q by a positive constant", st.Label, iv)
+	case !condOK:
+		c.loopDiag(diag.Warning, CodeNonCanonical, st,
+			"non-canonical loop %s: condition does not bound induction variable %q; trip count is unknown", st.Label, iv)
+	}
+
+	ls := &loopState{label: st.Label, iv: iv}
+	c.loops = append(c.loops, ls)
+	c.checkBlock(st.Body)
+	// Subscript-shape facts are judged while this loop is still on the
+	// stack, so its own induction variable counts as affine.
+	affine := c.affineSubscripts(st.Body)
+	distinct := c.distinctArrays(st.Body)
+	c.loops = c.loops[:len(c.loops)-1]
+
+	fact := LoopFact{Label: st.Label, Canonical: canonical, IndexVar: iv}
+	if c.fn != nil {
+		fact.Func = c.fn.Name
+	}
+	if canonical && loKnown && hiKnown && !ls.mutated {
+		// Re-derive step and bound after the body walk: an assignment inside
+		// the body to a variable the bound or step folded through has cleared
+		// its constant status (or changed its value), and the pre-body proof
+		// no longer holds. lo needs no re-check — the init clause runs once,
+		// before the body.
+		step2, down2, stepOK2 := analyzeStep(c, st.Post, iv)
+		hi2, hiKnown2, incl2, condOK2 := analyzeCond(c, st.Cond, iv, down2)
+		if stepOK2 && condOK2 && hiKnown2 &&
+			step2 == step && down2 == down && hi2 == hi && incl2 == inclusive {
+			fact.TripProven = true
+			fact.Trip = tripCount(lo, hi, step, down, inclusive)
+		}
+	}
+	fact.AffineSubscripts = affine
+	fact.DistinctArrays = distinct
+	c.facts.set(fact)
+
+	c.popScope()
+}
+
+// checkPost re-checks non-canonical post clauses: a canonical step (i++,
+// i += c) was already validated structurally, and checking it as an ordinary
+// statement would double-report reads of the induction variable.
+func (c *checker) checkPost(post lang.Stmt, iv string) {
+	switch po := post.(type) {
+	case *lang.IncDecStmt:
+		if id, ok := po.X.(*lang.Ident); ok && id.Name == iv {
+			return
+		}
+	case *lang.AssignStmt:
+		if id, ok := po.LHS.(*lang.Ident); ok && id.Name == iv {
+			// Still surface problems inside the step expression itself.
+			c.checkExpr(po.RHS)
+			return
+		}
+	}
+	c.checkStmt(post)
+}
+
+// loopDiag reports a diagnostic carrying the loop's stable label.
+func (c *checker) loopDiag(sev diag.Severity, code string, st *lang.ForStmt, format string, args ...any) {
+	c.diags = append(c.diags, diag.Diagnostic{
+		Severity: sev, Code: code, File: c.file,
+		Line: st.Pos.Line, Col: st.Pos.Col, Loop: st.Label,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// analyzeInit mirrors the lowering pass's induction-variable extraction so
+// sema's canonicality verdicts and trip proofs agree with what lower builds.
+func (c *checker) analyzeInit(init lang.Stmt) (iv string, lo int64, known, ok bool) {
+	switch in := init.(type) {
+	case *lang.DeclStmt:
+		if in.Type.IsArray() {
+			return "", 0, false, false
+		}
+		if in.Init == nil {
+			return in.Name, 0, false, true
+		}
+		v, okc := c.evalConst(in.Init)
+		return in.Name, v, okc, true
+	case *lang.AssignStmt:
+		id, okx := in.LHS.(*lang.Ident)
+		if !okx || in.Op != lang.Assign {
+			return "", 0, false, false
+		}
+		v, okc := c.evalConst(in.RHS)
+		return id.Name, v, okc, true
+	}
+	return "", 0, false, false
+}
+
+func analyzeStep(c *checker, post lang.Stmt, iv string) (step int64, down, ok bool) {
+	if iv == "" {
+		return 0, false, false
+	}
+	switch po := post.(type) {
+	case *lang.IncDecStmt:
+		if id, okx := po.X.(*lang.Ident); okx && id.Name == iv {
+			return 1, po.Dec, true
+		}
+	case *lang.AssignStmt:
+		id, okx := po.LHS.(*lang.Ident)
+		if !okx || id.Name != iv {
+			return 0, false, false
+		}
+		switch po.Op {
+		case lang.PlusAssign:
+			if v, okc := c.evalConst(po.RHS); okc && v > 0 {
+				return v, false, true
+			}
+		case lang.MinusAssign:
+			if v, okc := c.evalConst(po.RHS); okc && v > 0 {
+				return v, true, true
+			}
+		case lang.Assign:
+			if be, okb := po.RHS.(*lang.BinaryExpr); okb {
+				if x, okx2 := be.X.(*lang.Ident); okx2 && x.Name == iv {
+					if v, okc := c.evalConst(be.Y); okc && v > 0 {
+						switch be.Op {
+						case lang.Plus:
+							return v, false, true
+						case lang.Minus:
+							return v, true, true
+						}
+					}
+				}
+			}
+		}
+	}
+	return 0, false, false
+}
+
+func analyzeCond(c *checker, cond lang.Expr, iv string, down bool) (hi int64, known, inclusive, ok bool) {
+	be, okb := cond.(*lang.BinaryExpr)
+	if !okb || iv == "" {
+		return 0, false, false, false
+	}
+	var bound lang.Expr
+	op := be.Op
+	if id, okx := be.X.(*lang.Ident); okx && id.Name == iv {
+		bound = be.Y
+	} else if id, oky := be.Y.(*lang.Ident); oky && id.Name == iv {
+		bound = be.X
+		switch op {
+		case lang.Gt:
+			op = lang.Lt
+		case lang.Ge:
+			op = lang.Le
+		case lang.Lt:
+			op = lang.Gt
+		case lang.Le:
+			op = lang.Ge
+		}
+	} else {
+		return 0, false, false, false
+	}
+	switch {
+	case !down && (op == lang.Lt || op == lang.Le):
+		inclusive = op == lang.Le
+	case down && (op == lang.Gt || op == lang.Ge):
+		inclusive = op == lang.Ge
+	case op == lang.NotEq:
+		inclusive = false
+	default:
+		return 0, false, false, false
+	}
+	if v, okc := c.evalConst(bound); okc {
+		return v, true, inclusive, true
+	}
+	if _, okid := bound.(*lang.Ident); okid {
+		return 0, false, inclusive, true
+	}
+	return 0, false, inclusive, false
+}
+
+// tripCount matches the lowering pass's formula exactly; a proof that
+// disagreed with what the IR carries would be worse than no proof.
+func tripCount(lo, hi, step int64, down, inclusive bool) int64 {
+	if step <= 0 {
+		step = 1
+	}
+	var span int64
+	if down {
+		span = lo - hi
+	} else {
+		span = hi - lo
+	}
+	if inclusive {
+		span++
+	}
+	if span <= 0 {
+		return 0
+	}
+	return (span + step - 1) / step
+}
+
+// evalConst folds an integer constant expression using the checker's current
+// knowledge of constant-valued variables.
+func (c *checker) evalConst(e lang.Expr) (int64, bool) {
+	switch ex := e.(type) {
+	case *lang.IntLit:
+		return ex.Value, true
+	case *lang.Ident:
+		if sym := c.lookup(ex.Name); sym != nil && sym.isConst {
+			return sym.constVal, true
+		}
+	case *lang.UnaryExpr:
+		v, ok := c.evalConst(ex.X)
+		if !ok {
+			return 0, false
+		}
+		switch ex.Op {
+		case lang.Minus:
+			return -v, true
+		case lang.Plus:
+			return v, true
+		case lang.Tilde:
+			return ^v, true
+		}
+	case *lang.BinaryExpr:
+		x, okx := c.evalConst(ex.X)
+		y, oky := c.evalConst(ex.Y)
+		if okx && oky {
+			return foldArithOrCompare(ex.Op, x, y)
+		}
+	case *lang.CastExpr:
+		if ex.To.IsInteger() {
+			return c.evalConst(ex.X)
+		}
+	}
+	return 0, false
+}
+
+// ---- Per-loop fact helpers ----
+
+// affineSubscripts reports whether every subscript in the loop body is an
+// affine expression over enclosing induction variables and constants.
+func (c *checker) affineSubscripts(body *lang.BlockStmt) bool {
+	ivs := map[string]bool{}
+	for _, ls := range c.loops {
+		ivs[ls.iv] = true
+	}
+	affine := true
+	lang.Walk(body, func(s lang.Stmt) bool {
+		eachExpr(s, func(e lang.Expr) {
+			lang.WalkExpr(e, func(sub lang.Expr) bool {
+				if ix, ok := sub.(*lang.IndexExpr); ok {
+					if !c.affineExpr(ix.Index, ivs) {
+						affine = false
+					}
+				}
+				return true
+			})
+		})
+		return true
+	})
+	return affine
+}
+
+// affineExpr reports whether e is const + sum(const * iv) over ivs.
+func (c *checker) affineExpr(e lang.Expr, ivs map[string]bool) bool {
+	if _, ok := c.evalConst(e); ok {
+		return true
+	}
+	switch ex := e.(type) {
+	case *lang.Ident:
+		return ivs[ex.Name]
+	case *lang.UnaryExpr:
+		return ex.Op == lang.Minus && c.affineExpr(ex.X, ivs)
+	case *lang.BinaryExpr:
+		switch ex.Op {
+		case lang.Plus, lang.Minus:
+			return c.affineExpr(ex.X, ivs) && c.affineExpr(ex.Y, ivs)
+		case lang.Star:
+			if _, ok := c.evalConst(ex.X); ok {
+				return c.affineExpr(ex.Y, ivs)
+			}
+			if _, ok := c.evalConst(ex.Y); ok {
+				return c.affineExpr(ex.X, ivs)
+			}
+		}
+	}
+	return false
+}
+
+// distinctArrays reports whether every array referenced in the loop body has
+// its own storage (globals and locals; array parameters are pointers that
+// could alias one another).
+func (c *checker) distinctArrays(body *lang.BlockStmt) bool {
+	distinct := true
+	lang.Walk(body, func(s lang.Stmt) bool {
+		eachExpr(s, func(e lang.Expr) {
+			lang.WalkExpr(e, func(sub lang.Expr) bool {
+				if id, ok := sub.(*lang.Ident); ok {
+					if sym := c.lookup(id.Name); sym != nil && sym.typ.IsArray() && sym.kind == symParam {
+						distinct = false
+					}
+				}
+				return true
+			})
+		})
+		return true
+	})
+	return distinct
+}
+
+// eachExpr visits the top-level expressions of one statement (not nested
+// statements; lang.Walk handles those).
+func eachExpr(s lang.Stmt, fn func(lang.Expr)) {
+	switch st := s.(type) {
+	case *lang.DeclStmt:
+		if st.Init != nil {
+			fn(st.Init)
+		}
+	case *lang.AssignStmt:
+		fn(st.LHS)
+		fn(st.RHS)
+	case *lang.IncDecStmt:
+		fn(st.X)
+	case *lang.ExprStmt:
+		fn(st.X)
+	case *lang.ForStmt:
+		if st.Cond != nil {
+			fn(st.Cond)
+		}
+	case *lang.IfStmt:
+		fn(st.Cond)
+	case *lang.ReturnStmt:
+		if st.Value != nil {
+			fn(st.Value)
+		}
+	}
+}
+
+// ---- Folding helpers ----
+
+func promote(a, b lang.ScalarType) lang.ScalarType {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+func foldCompare(op lang.Kind, x, y int64) int64 {
+	var b bool
+	switch op {
+	case lang.Lt:
+		b = x < y
+	case lang.Gt:
+		b = x > y
+	case lang.Le:
+		b = x <= y
+	case lang.Ge:
+		b = x >= y
+	case lang.EqEq:
+		b = x == y
+	case lang.NotEq:
+		b = x != y
+	case lang.AndAnd:
+		b = x != 0 && y != 0
+	case lang.OrOr:
+		b = x != 0 || y != 0
+	}
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func foldArith(op lang.Kind, x, y int64) (int64, bool) {
+	switch op {
+	case lang.Plus:
+		return x + y, true
+	case lang.Minus:
+		return x - y, true
+	case lang.Star:
+		return x * y, true
+	case lang.Slash:
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case lang.Percent:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case lang.Amp:
+		return x & y, true
+	case lang.Pipe:
+		return x | y, true
+	case lang.Caret:
+		return x ^ y, true
+	case lang.Shl:
+		if y < 0 || y > 63 {
+			return 0, false
+		}
+		return x << uint(y), true
+	case lang.Shr:
+		if y < 0 || y > 63 {
+			return 0, false
+		}
+		return x >> uint(y), true
+	}
+	return 0, false
+}
+
+func foldArithOrCompare(op lang.Kind, x, y int64) (int64, bool) {
+	switch op {
+	case lang.Lt, lang.Gt, lang.Le, lang.Ge, lang.EqEq, lang.NotEq, lang.AndAnd, lang.OrOr:
+		return foldCompare(op, x, y), true
+	}
+	return foldArith(op, x, y)
+}
+
+func posOf(e lang.Expr) lang.Pos {
+	switch ex := e.(type) {
+	case *lang.Ident:
+		return ex.Pos
+	case *lang.IntLit:
+		return ex.Pos
+	case *lang.FloatLit:
+		return ex.Pos
+	case *lang.BinaryExpr:
+		return ex.Pos
+	case *lang.UnaryExpr:
+		return ex.Pos
+	case *lang.IndexExpr:
+		return ex.Pos
+	case *lang.CallExpr:
+		return ex.Pos
+	case *lang.CondExpr:
+		return ex.Pos
+	case *lang.CastExpr:
+		return ex.Pos
+	}
+	return lang.Pos{}
+}

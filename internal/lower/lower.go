@@ -28,6 +28,19 @@ type Options struct {
 	ParamValues map[string]int64
 	// DefaultTrip is used when a runtime bound has no entry in ParamValues.
 	DefaultTrip int64
+	// Facts optionally supplies per-loop proofs from semantic analysis
+	// (sema.Facts implements this). A proven trip count is copied onto
+	// ir.Loop.ProvenTrip, where the dependence analysis may rely on it;
+	// without facts ProvenTrip stays 0 and analysis is fully conservative.
+	Facts LoopFacts
+}
+
+// LoopFacts is the hook through which frontend proofs reach lowering without
+// this package depending on the sema package.
+type LoopFacts interface {
+	// ProvenTrip returns the proven constant trip count for the loop with
+	// the given parser label, if one was established.
+	ProvenTrip(label string) (int64, bool)
 }
 
 // DefaultOptions returns the options used throughout the evaluation:
@@ -283,6 +296,16 @@ func (e *env) lowerFor(st *lang.ForStmt, ctx *loopCtx, fn *ir.Func, parent *ir.L
 	}
 	if loop.Trip < 0 {
 		loop.Trip = 0
+	}
+	if e.opts.Facts != nil {
+		if proven, ok := e.opts.Facts.ProvenTrip(loop.Label); ok {
+			// Trust the proof only when it agrees with our own constant
+			// analysis (or when we had none): a disagreement means the fact
+			// table belongs to a different program revision.
+			if !loop.TripKnown || loop.Trip == proven {
+				loop.ProvenTrip = proven
+			}
+		}
 	}
 
 	// Enter loop scope.

@@ -77,6 +77,7 @@ func TestRegisterIdempotentAndKindMismatchPanics(t *testing.T) {
 			t.Errorf("re-registering as a different kind did not panic")
 		}
 	}()
+	//lint:allow metricnames deliberately reuses a counter name to prove kind collisions panic
 	r.Gauge("neurovec_test_idem_total", "Idem.")
 }
 

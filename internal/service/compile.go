@@ -106,6 +106,11 @@ type compileEnvelope struct {
 func compileCacheKey(version, policyName string, req *api.CompileRequest) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "compile\x00%s\x00%s\x00%s\x00", version, policyName, req.File)
+	if req.Strict {
+		// Strict and lax answers differ (422 vs annotated response); they
+		// must not share cache entries.
+		fmt.Fprintf(h, "strict\x00")
+	}
 	h.Write([]byte(req.Source))
 	keys := make([]string, 0, len(req.Params))
 	for k := range req.Params {
@@ -131,6 +136,12 @@ func (s *Server) compileCompute(ctx context.Context, m *model, req *api.CompileR
 	}
 	if len(req.Pins) > 0 {
 		opts = append(opts, core.WithPins(req.Pins))
+	}
+	if req.Strict {
+		opts = append(opts, core.WithStrictSema())
+	}
+	if req.File != "" {
+		opts = append(opts, core.WithSourceName(req.File))
 	}
 	resp, err := m.fw.PredictLoops(ctx, req.Source, req.Params, opts...)
 	if err == nil || !isRequestError(err) {
@@ -176,11 +187,11 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
 	if req.Trace || r.URL.Query().Get("trace") == "1" {
-		s.serveTracedCompile(w, r, ctx, m, &req, polName, pol)
+		s.serveTracedCompile(ctx, w, r, m, &req, polName, pol)
 		return
 	}
 	key := compileCacheKey(m.version, polName, &req)
-	s.serveCached(w, r, ctx, key, func(ctx context.Context) (any, error) {
+	s.serveCached(ctx, w, r, key, func(ctx context.Context) (any, error) {
 		resp, err := s.compileCompute(ctx, m, &req, polName, pol)
 		if err != nil {
 			return nil, err
@@ -195,7 +206,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 // request would be a lie. The stage histograms still record (the sink rides
 // along with the trace), and the per-loop caches still apply, so a traced
 // request on a warm server shows the cheap path it actually took.
-func (s *Server) serveTracedCompile(w http.ResponseWriter, r *http.Request, ctx context.Context, m *model, req *api.CompileRequest, polName string, pol policy.Policy) {
+func (s *Server) serveTracedCompile(ctx context.Context, w http.ResponseWriter, r *http.Request, m *model, req *api.CompileRequest, polName string, pol policy.Policy) {
 	tr := obs.NewTrace()
 	ctx = obs.WithRecorder(ctx, tr, s.metrics.StageSink())
 	var resp *api.CompileResponse
@@ -310,7 +321,15 @@ func (s *Server) handleCompileStream(w http.ResponseWriter, r *http.Request) {
 // non-truncated responses are served and stored per file.
 func (s *Server) compileItem(rctx context.Context, m *model, req *api.CompileRequest) *api.CompileResponse {
 	fail := func(err error) *api.CompileResponse {
-		return &api.CompileResponse{Version: api.Version, File: req.File, Error: err.Error()}
+		resp := &api.CompileResponse{Version: api.Version, File: req.File, Error: err.Error()}
+		// A strict-mode semantic rejection keeps its diagnostics: batch and
+		// NDJSON clients get the same machine-readable findings the single
+		// form carries in its 422 error body.
+		var serr *core.SemanticError
+		if errors.As(err, &serr) {
+			resp.Diagnostics = serr.Diags
+		}
+		return resp
 	}
 	if err := req.Validate(); err != nil {
 		return fail(err)

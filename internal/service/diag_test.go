@@ -1,0 +1,185 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"neurovec/internal/api"
+	"neurovec/internal/diag"
+)
+
+// The diagnostics tests cover the strict/lax split on the wire: lax
+// responses annotate, strict requests fail with 422 and carry the same
+// diagnostics JSON in the error body, and the two modes never share a cache
+// entry.
+
+const semaBadSrc = `
+int a[64];
+void f() {
+    a[0] = oops;
+    for (int i = 0; i < 64; i++) {
+        a[i] = i;
+    }
+}
+`
+
+func TestCompileLaxCarriesDiagnostics(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+
+	rec, body := do(t, s, "POST", "/v2/compile", api.CompileRequest{Source: semaBadSrc, File: "bad.c"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("lax status %d: %s", rec.Code, body)
+	}
+	var resp api.CompileResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Loops) == 0 {
+		t.Error("lax compile produced no decisions")
+	}
+	if !resp.Diagnostics.HasErrors() {
+		t.Fatalf("lax response missing error diagnostics: %s", body)
+	}
+	for _, d := range resp.Diagnostics {
+		if d.File != "bad.c" {
+			t.Errorf("diagnostic file = %q, want the request's File", d.File)
+		}
+	}
+}
+
+func TestCompileStrictRejects422WithDiagnostics(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+
+	rec, body := do(t, s, "POST", "/v2/compile", api.CompileRequest{Source: semaBadSrc, File: "bad.c", Strict: true})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("strict status %d, want 422: %s", rec.Code, body)
+	}
+	var errBody struct {
+		Error       string    `json:"error"`
+		Diagnostics diag.List `json:"diagnostics"`
+	}
+	if err := json.Unmarshal(body, &errBody); err != nil {
+		t.Fatalf("error body is not JSON: %v\n%s", err, body)
+	}
+	if errBody.Error == "" {
+		t.Error("422 body has no error message")
+	}
+	if !errBody.Diagnostics.HasErrors() {
+		t.Fatalf("422 body carries no error diagnostics: %s", body)
+	}
+
+	// The same source compiled lax must return the same diagnostics list —
+	// one analysis, two delivery channels.
+	_, laxBody := do(t, s, "POST", "/v2/compile", api.CompileRequest{Source: semaBadSrc, File: "bad.c"})
+	var lax api.CompileResponse
+	if err := json.Unmarshal(laxBody, &lax); err != nil {
+		t.Fatal(err)
+	}
+	strictJSON, _ := json.Marshal(errBody.Diagnostics)
+	laxJSON, _ := json.Marshal(lax.Diagnostics)
+	if string(strictJSON) != string(laxJSON) {
+		t.Errorf("strict and lax diagnostics disagree:\n%s\nvs\n%s", strictJSON, laxJSON)
+	}
+}
+
+func TestCompileStrictAcceptsCleanSource(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+
+	rec, body := do(t, s, "POST", "/v2/compile", api.CompileRequest{Source: fixture.srcs[0], Strict: true})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("strict status %d for clean source: %s", rec.Code, body)
+	}
+	var resp api.CompileResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Diagnostics) != 0 {
+		t.Errorf("clean source produced diagnostics: %s", body)
+	}
+}
+
+// TestCompileStrictDistinctCacheEntry: a lax hit must not satisfy a strict
+// request for the same source (and vice versa) — the cache key includes the
+// strict bit.
+func TestCompileStrictDistinctCacheEntry(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+
+	rec, _ := do(t, s, "POST", "/v2/compile", api.CompileRequest{Source: semaBadSrc})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("lax priming failed: %d", rec.Code)
+	}
+	rec, body := do(t, s, "POST", "/v2/compile", api.CompileRequest{Source: semaBadSrc, Strict: true})
+	if rec.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("strict after lax = %d, want 422 (cache must not cross modes): %s", rec.Code, body)
+	}
+}
+
+// TestCompileBatchStrictPerItem: in a strict batch, failing items carry
+// their diagnostics inline while clean items still compile.
+func TestCompileBatchStrictPerItem(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+
+	batch := api.Batch{Requests: []api.CompileRequest{
+		{Source: semaBadSrc, File: "bad.c", Strict: true},
+		{Source: fixture.srcs[0], File: "ok.c", Strict: true},
+	}}
+	rec, body := do(t, s, "POST", "/v2/compile", batch)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", rec.Code, body)
+	}
+	var br api.BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Responses) != 2 {
+		t.Fatalf("got %d responses, want 2", len(br.Responses))
+	}
+	bad, ok := br.Responses[0], br.Responses[1]
+	if bad.Error == "" || !bad.Diagnostics.HasErrors() {
+		t.Errorf("failed item missing error/diagnostics: %+v", bad)
+	}
+	if ok.Error != "" || len(ok.Loops) == 0 {
+		t.Errorf("clean item failed: %+v", ok)
+	}
+}
+
+// TestCompileNDJSONStrictDiagnostics: the streaming form carries the same
+// per-item diagnostics.
+func TestCompileNDJSONStrictDiagnostics(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+
+	var lines []string
+	for _, r := range []api.CompileRequest{
+		{Source: semaBadSrc, File: "bad.c", Strict: true},
+		{Source: fixture.srcs[0], File: "ok.c"},
+	} {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, string(raw))
+	}
+	rec := postCompile(t, s, strings.Join(lines, "\n")+"\n", "application/x-ndjson")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ndjson status %d: %s", rec.Code, rec.Body.String())
+	}
+	out := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(out) != 2 {
+		t.Fatalf("got %d response lines, want 2:\n%s", len(out), rec.Body.String())
+	}
+	var bad api.CompileResponse
+	if err := json.Unmarshal([]byte(out[0]), &bad); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Error == "" || !bad.Diagnostics.HasErrors() {
+		t.Errorf("strict ndjson item missing error/diagnostics: %s", out[0])
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"neurovec/internal/core"
 	"neurovec/internal/evalharness"
 	"neurovec/internal/lang"
+	"neurovec/internal/lower"
 	"neurovec/internal/obs"
 	obslog "neurovec/internal/obs/log"
 	"neurovec/internal/policy"
@@ -397,10 +398,19 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 			status = 499
 		}
 	}
+	var serr *core.SemanticError
+	if errors.As(err, &serr) {
+		status = http.StatusUnprocessableEntity
+	}
 	// The request ID was stamped on the response headers by instrument();
 	// echoing it in the body gives clients one correlation key for logs,
 	// traces, and failures. v1 shims share this path, so they get it too.
-	payload := map[string]string{"error": err.Error()}
+	payload := map[string]any{"error": err.Error()}
+	if serr != nil {
+		// Strict-mode rejections carry the full machine-readable finding
+		// list — the same JSON `neurovec check -json` prints.
+		payload["diagnostics"] = serr.Diags
+	}
 	if id := w.Header().Get("X-Request-ID"); id != "" {
 		payload["request_id"] = id
 	}
@@ -509,7 +519,7 @@ func (s *Server) computeCtx(parent context.Context, timeoutMS int64) (context.Co
 // policy returns shortly *after* the deadline with its best-so-far answer —
 // abandoning the wait at the deadline would throw that answer away and turn
 // every truncation into a 504.
-func (s *Server) serveCached(w http.ResponseWriter, r *http.Request, ctx context.Context, key string, compute func(ctx context.Context) (any, error)) {
+func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, r *http.Request, key string, compute func(ctx context.Context) (any, error)) {
 	if s.tryCacheHit(w, key) {
 		return
 	}
@@ -536,6 +546,13 @@ func classify(err error) error {
 	if errors.As(err, &perr) {
 		return &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
 	}
+	var lerr *lower.Error
+	if errors.As(err, &lerr) {
+		// A program the frontend accepted but the lowering pass cannot
+		// express (e.g. an unsupported loop form that slipped past lax
+		// sema) is the request's fault, not the server's.
+		return &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
 	return err
 }
 
@@ -546,6 +563,7 @@ func classify(err error) error {
 func isRequestError(err error) bool {
 	var perr *lang.ParseError
 	return errors.As(err, &perr) ||
+		errors.Is(err, core.ErrSemantic) ||
 		errors.Is(err, core.ErrNoLoops) ||
 		errors.Is(err, core.ErrBadPin) ||
 		errors.Is(err, context.Canceled) ||
@@ -632,7 +650,7 @@ func (s *Server) handleAnnotate(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey("annotate", m.version, polName, req.Source, req.Params)
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
-	s.serveCached(w, r, ctx, key, func(ctx context.Context) (any, error) {
+	s.serveCached(ctx, w, r, key, func(ctx context.Context) (any, error) {
 		// The v1 endpoint is a compatibility shim: it computes through the
 		// same v2 per-loop path as POST /v2/compile (one compute function,
 		// one schema underneath) and folds the answer into the legacy
@@ -776,7 +794,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey("sweep", m.version, polName, req.Source, req.Params)
 	ctx, cancel := s.requestCtx(r, req.TimeoutMS)
 	defer cancel()
-	s.serveCached(w, r, ctx, key, func(ctx context.Context) (any, error) {
+	s.serveCached(ctx, w, r, key, func(ctx context.Context) (any, error) {
 		var opts []core.InferOption
 		if pol != nil {
 			opts = append(opts, core.WithPolicy(pol))

@@ -253,7 +253,7 @@ func (s *Server) handleTrainStart(w http.ResponseWriter, r *http.Request) {
 	s.trainMu.Unlock()
 
 	s.metrics.TrainJob("started")
-	go s.runTrainJob(job, ctx)
+	go s.runTrainJob(ctx, job)
 
 	body, _ := json.Marshal(&TrainStartResponse{ID: job.id, State: job.state})
 	writeJSON(w, http.StatusAccepted, body)
@@ -291,7 +291,7 @@ func (s *Server) pruneTrainJobsLocked() {
 // runTrainJob executes one job to completion on its own goroutine. The
 // cancelable ctx was created at admission time so a cancel request can never
 // race job startup.
-func (s *Server) runTrainJob(job *trainJob, ctx context.Context) {
+func (s *Server) runTrainJob(ctx context.Context, job *trainJob) {
 	job.mu.Lock()
 	req := job.req
 	ckpt := job.checkpoint
