@@ -1,0 +1,25 @@
+package sema_test
+
+import (
+	"os"
+	"testing"
+
+	"neurovec/internal/lang"
+	"neurovec/internal/lang/sema"
+)
+
+func TestStaleTripProbe(t *testing.T) {
+	src, _ := os.ReadFile("/tmp/stale_trip.c")
+	p, err := lang.Parse(string(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := sema.Check("t.c", p)
+	for _, lab := range []string{"L0", "L1"} {
+		f, ok := info.Facts.Loop(lab)
+		t.Logf("%s: ok=%v canonical=%v tripProven=%v trip=%d", lab, ok, f.Canonical, f.TripProven, f.Trip)
+	}
+	for _, d := range info.Diags {
+		t.Logf("diag: %s", d.String())
+	}
+}
