@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -13,11 +14,23 @@ import (
 // writes the canonical BENCH_*.json perf-trajectory artifact. CI runs it as
 // `neurovec bench -out BENCH_ci.json` and fails on malformed output; each
 // PR commits its numbers as BENCH_<pr>.json at the repo root.
+//
+// With -baseline, the fresh numbers are additionally gated against a
+// committed artifact: ns/op and allocs/op are compared per benchmark under
+// the -tol-ns / -tol-allocs / -alloc-slack tolerances (plus the strict
+// zero-alloc invariant on benchsuite.ZeroAlloc), the diff report goes to
+// -diff (or stderr), and any regression makes the command exit non-zero.
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	out := fs.String("out", "", "write the JSON artifact to this file (default stdout)")
-	pr := fs.Int("pr", 6, "PR number stamped into the artifact")
+	pr := fs.Int("pr", 7, "PR number stamped into the artifact")
 	quiet := fs.Bool("q", false, "suppress per-benchmark progress on stderr")
+	baseline := fs.String("baseline", "", "committed BENCH_*.json to gate the fresh numbers against")
+	diff := fs.String("diff", "", "write the gate's diff report to this file (default stderr; needs -baseline)")
+	def := benchsuite.DefaultCompareOpts()
+	tolNs := fs.Float64("tol-ns", def.TolNs, "fractional ns/op headroom over baseline (1.0 = up to 2x)")
+	tolAllocs := fs.Float64("tol-allocs", def.TolAllocs, "fractional allocs/op headroom over baseline")
+	allocSlack := fs.Int64("alloc-slack", def.AllocSlack, "absolute allocs/op grace on top of -tol-allocs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -39,8 +52,37 @@ func cmdBench(args []string) error {
 		return fmt.Errorf("bench: generated artifact failed validation: %w", err)
 	}
 	if *out == "" {
-		_, err := os.Stdout.Write(buf.Bytes())
+		if _, err := os.Stdout.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(*out, buf.Bytes(), 0o644); err != nil {
 		return err
 	}
-	return os.WriteFile(*out, buf.Bytes(), 0o644)
+	if *baseline == "" {
+		return nil
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		return fmt.Errorf("bench: baseline: %w", err)
+	}
+	if err := benchsuite.Validate(data); err != nil {
+		return fmt.Errorf("bench: baseline %s: %w", *baseline, err)
+	}
+	var base benchsuite.File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench: baseline %s: %w", *baseline, err)
+	}
+	report, regs := benchsuite.Compare(&base, file, benchsuite.CompareOpts{
+		TolNs: *tolNs, TolAllocs: *tolAllocs, AllocSlack: *allocSlack,
+	})
+	if *diff == "" {
+		fmt.Fprint(os.Stderr, report)
+	} else if err := os.WriteFile(*diff, []byte(report), 0o644); err != nil {
+		return err
+	}
+	if len(regs) > 0 {
+		return fmt.Errorf("bench: %d regression(s) against %s", len(regs), *baseline)
+	}
+	return nil
 }

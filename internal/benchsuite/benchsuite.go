@@ -42,10 +42,31 @@ const Schema = "neurovec-bench/v1"
 // Required lists the benchmarks every artifact must contain — the
 // acceptance surface a PR's BENCH file is gated on.
 var Required = []string{
+	"embed_forward",
 	"embed_source",
 	"nn_forward",
 	"predict_loops_costmodel",
+	"predict_loops_costmodel_cached",
 	"server_compile_throughput",
+}
+
+// requiredSince records the PR that introduced each Required benchmark, so
+// Validate can keep accepting committed artifacts from before a benchmark
+// existed while still demanding it of every artifact generated afterwards.
+// Names absent from the map are required unconditionally.
+var requiredSince = map[string]int{
+	"embed_forward":                  6,
+	"predict_loops_costmodel_cached": 7,
+}
+
+// ZeroAlloc lists the benchmarks whose steady state must stay at exactly
+// 0 allocs/op — the PR 7 zero-allocation hot-path invariant. Compare fails
+// a current artifact whose measurement breaks it regardless of tolerance
+// (allocs/op is machine-independent, so there is no noise to forgive).
+var ZeroAlloc = []string{
+	"embed_forward",
+	"nn_forward",
+	"predict_loops_costmodel_cached",
 }
 
 // Result is one benchmark's measurement.
@@ -179,6 +200,9 @@ func Validate(data []byte) error {
 		}
 	}
 	for _, want := range Required {
+		if since, ok := requiredSince[want]; ok && f.PR < since {
+			continue
+		}
 		if !names[want] {
 			return fmt.Errorf("benchsuite: missing required benchmark %q", want)
 		}
@@ -262,6 +286,7 @@ func (fx *fixtures) benchmarks() []benchmark {
 		{"embed_forward", fx.benchEmbedForward},
 		{"nn_forward", benchNNForward},
 		{"predict_loops_costmodel", fx.benchPredictLoops},
+		{"predict_loops_costmodel_cached", fx.benchPredictLoopsCached},
 		{"reward_evaluation", fx.benchReward},
 		{"server_compile_throughput", fx.benchServer(false)},
 		{"server_compile_cached", fx.benchServer(true)},
@@ -282,18 +307,26 @@ func (fx *fixtures) benchEmbedSource(b *testing.B) {
 }
 
 // benchEmbedForward measures the bare code2vec forward pass over an
-// already-extracted unit.
+// already-extracted unit, written into a caller-owned vector the way the
+// pooled inference path does it. Steady state must be 0 allocs/op (the
+// ZeroAlloc gate); the warm-up call primes the framework's scratch pool so
+// the one-time buffer growth is not charged to the timed loop.
 func (fx *fixtures) benchEmbedForward(b *testing.B) {
-	b.ReportAllocs()
 	n := fx.fw.NumSamples()
+	dst := make([]float64, fx.fw.EmbedDim())
+	fx.fw.EmbeddingInto(dst, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		fx.fw.Embedding(i % n)
+		fx.fw.EmbeddingInto(dst, i%n)
 	}
 }
 
 // benchNNForward measures one policy-network forward pass at the paper's
 // shape: a 340-dim code vector through two 256-unit layers into the 35-way
-// joint (VF, IF) head.
+// joint (VF, IF) head, running through caller-owned scratch the way serving
+// inference does. Steady state must be 0 allocs/op (the ZeroAlloc gate);
+// the warm-up call sizes the scratch before the timed loop.
 func benchNNForward(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	mlp := nn.NewMLP("bench", 340, []int{256, 256, 35}, rng)
@@ -301,21 +334,51 @@ func benchNNForward(b *testing.B) {
 	for i := range x {
 		x[i] = rng.NormFloat64()
 	}
+	s := nn.NewScratch(mlp)
+	mlp.ApplyScratch(s, x)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		mlp.Apply(x)
+		mlp.ApplyScratch(s, x)
 	}
 }
 
 // benchPredictLoops measures the whole compile pipeline (parse through
-// simulation) under the model-free baseline cost model.
+// simulation) under the model-free baseline cost model. The option slice is
+// hoisted so the measurement charges the pipeline, not the variadic call.
 func (fx *fixtures) benchPredictLoops(b *testing.B) {
 	ctx := context.Background()
+	opts := []core.InferOption{core.WithPolicyName("costmodel")}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, err := fx.fw.PredictLoops(ctx, fx.srcs[i%len(fx.srcs)], nil,
-			core.WithPolicyName("costmodel"))
+		_, err := fx.fw.PredictLoops(ctx, fx.srcs[i%len(fx.srcs)], nil, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchPredictLoopsCached measures the memoized decision path: a repeated
+// (model version, policy, source) request served from the two-generation
+// response memo. Steady state must be 0 allocs/op (the ZeroAlloc gate) —
+// this is the cached-model /v2/compile decision the PR's invariant names.
+// Every distinct source is warmed before the timer starts.
+func (fx *fixtures) benchPredictLoopsCached(b *testing.B) {
+	ctx := context.Background()
+	memo := core.NewResponseMemo(64)
+	opts := []core.InferOption{
+		core.WithPolicyName("costmodel"),
+		core.WithResponseMemo(memo),
+	}
+	for _, src := range fx.srcs {
+		if _, err := fx.fw.PredictLoops(ctx, src, nil, opts...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := fx.fw.PredictLoops(ctx, fx.srcs[i%len(fx.srcs)], nil, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,137 @@
+package benchsuite
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CompareOpts tunes the bench-regression gate. Tolerances are fractional
+// headroom over the baseline: TolNs 1.0 lets ns/op double before failing.
+// ns/op is machine- and load-sensitive, so its default is deliberately
+// generous — the gate exists to catch order-of-magnitude slips and alloc
+// regressions, not 5% jitter. allocs/op is deterministic for a fixed
+// binary, so its tolerance is strict and AllocSlack (an absolute grace on
+// top of the fraction, mattering mostly near zero) is small.
+type CompareOpts struct {
+	TolNs      float64 // fractional ns/op headroom (default 1.0 = up to 2x baseline)
+	TolAllocs  float64 // fractional allocs/op headroom (default 0.25)
+	AllocSlack int64   // absolute allocs/op grace added to the fractional bound (default 2)
+}
+
+// DefaultCompareOpts returns the tolerances CI runs the gate with.
+func DefaultCompareOpts() CompareOpts {
+	return CompareOpts{TolNs: 1.0, TolAllocs: 0.25, AllocSlack: 2}
+}
+
+// Regression is one gate failure: a benchmark that disappeared, blew its
+// tolerance, or broke the zero-alloc invariant.
+type Regression struct {
+	Name   string
+	Reason string
+}
+
+func (r Regression) String() string { return r.Name + ": " + r.Reason }
+
+// Compare diffs current against baseline and returns a human-readable
+// report plus every regression found. The gate fails when a baseline
+// benchmark is missing from current, when ns/op or allocs/op exceed the
+// tolerances in opts, or when a ZeroAlloc benchmark present in current
+// measures above 0 allocs/op. Benchmarks new in current are reported but
+// never regressions — they have no baseline to regress from. Improvements
+// never fail the gate.
+func Compare(baseline, current *File, opts CompareOpts) (string, []Regression) {
+	if opts.TolNs <= 0 {
+		opts.TolNs = 1.0
+	}
+	if opts.TolAllocs <= 0 {
+		opts.TolAllocs = 0.25
+	}
+	if opts.AllocSlack < 0 {
+		opts.AllocSlack = 0
+	}
+
+	base := make(map[string]Result, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	cur := make(map[string]Result, len(current.Benchmarks))
+	names := make([]string, 0, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+		names = append(names, b.Name)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	zero := make(map[string]bool, len(ZeroAlloc))
+	for _, name := range ZeroAlloc {
+		zero[name] = true
+	}
+
+	var regs []Regression
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "bench gate: baseline PR %d (%s) vs current PR %d (%s)\n",
+		baseline.PR, baseline.Env.Timestamp, current.PR, current.Env.Timestamp)
+	fmt.Fprintf(&sb, "tolerances: ns/op +%.0f%%, allocs/op +%.0f%% (+%d absolute), zero-alloc set strict\n\n",
+		opts.TolNs*100, opts.TolAllocs*100, opts.AllocSlack)
+	fmt.Fprintf(&sb, "%-34s %14s %14s %8s  %9s %9s  %s\n",
+		"benchmark", "base ns/op", "cur ns/op", "ns Δ", "base a/op", "cur a/op", "verdict")
+
+	for _, name := range names {
+		b, haveBase := base[name]
+		c, haveCur := cur[name]
+		switch {
+		case !haveCur:
+			regs = append(regs, Regression{name, "present in baseline, missing from current artifact"})
+			fmt.Fprintf(&sb, "%-34s %14.1f %14s %8s  %9d %9s  MISSING\n",
+				name, b.NsPerOp, "-", "-", b.AllocsPerOp, "-")
+			continue
+		case !haveBase:
+			fmt.Fprintf(&sb, "%-34s %14s %14.1f %8s  %9s %9d  new\n",
+				name, "-", c.NsPerOp, "-", "-", c.AllocsPerOp)
+			if zero[name] && c.AllocsPerOp != 0 {
+				regs = append(regs, Regression{name, fmt.Sprintf(
+					"zero-alloc invariant broken: %d allocs/op, want 0", c.AllocsPerOp)})
+			}
+			continue
+		}
+
+		verdict := "ok"
+		nsDelta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		if c.NsPerOp > b.NsPerOp*(1+opts.TolNs) {
+			regs = append(regs, Regression{name, fmt.Sprintf(
+				"ns/op %.1f exceeds baseline %.1f by %.0f%% (tolerance %.0f%%)",
+				c.NsPerOp, b.NsPerOp, nsDelta*100, opts.TolNs*100)})
+			verdict = "FAIL ns"
+		}
+		allocBound := int64(float64(b.AllocsPerOp)*(1+opts.TolAllocs)) + opts.AllocSlack
+		if c.AllocsPerOp > allocBound {
+			regs = append(regs, Regression{name, fmt.Sprintf(
+				"allocs/op %d exceeds baseline %d (bound %d)",
+				c.AllocsPerOp, b.AllocsPerOp, allocBound)})
+			verdict = "FAIL allocs"
+		}
+		if zero[name] && c.AllocsPerOp != 0 {
+			regs = append(regs, Regression{name, fmt.Sprintf(
+				"zero-alloc invariant broken: %d allocs/op, want 0", c.AllocsPerOp)})
+			verdict = "FAIL zero-alloc"
+		}
+		fmt.Fprintf(&sb, "%-34s %14.1f %14.1f %+7.1f%%  %9d %9d  %s\n",
+			name, b.NsPerOp, c.NsPerOp, nsDelta*100, b.AllocsPerOp, c.AllocsPerOp, verdict)
+	}
+
+	if len(regs) == 0 {
+		sb.WriteString("\nno regressions\n")
+	} else {
+		fmt.Fprintf(&sb, "\n%d regression(s):\n", len(regs))
+		for _, r := range regs {
+			fmt.Fprintf(&sb, "  - %s\n", r)
+		}
+	}
+	return sb.String(), regs
+}

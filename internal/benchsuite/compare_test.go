@@ -1,0 +1,154 @@
+package benchsuite
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func twoFiles() (*File, *File) {
+	base := goodFile()
+	cur := goodFile()
+	cur.PR = 7
+	return base, cur
+}
+
+func find(f *File, name string) *Result {
+	for i := range f.Benchmarks {
+		if f.Benchmarks[i].Name == name {
+			return &f.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	base, cur := twoFiles()
+	// Zero the zero-alloc set in both so the invariant holds.
+	for _, name := range ZeroAlloc {
+		find(base, name).AllocsPerOp = 0
+		find(cur, name).AllocsPerOp = 0
+	}
+	// An improvement must not trip the gate.
+	cur.Benchmarks[len(cur.Benchmarks)-1].NsPerOp /= 10
+	report, regs := Compare(base, cur, DefaultCompareOpts())
+	if len(regs) != 0 {
+		t.Fatalf("clean comparison flagged regressions: %v", regs)
+	}
+	if !strings.Contains(report, "no regressions") {
+		t.Errorf("report missing success line:\n%s", report)
+	}
+}
+
+func TestCompareFlagsNsRegression(t *testing.T) {
+	base, cur := twoFiles()
+	for _, name := range ZeroAlloc {
+		find(base, name).AllocsPerOp = 0
+		find(cur, name).AllocsPerOp = 0
+	}
+	r := find(cur, "embed_source")
+	r.NsPerOp *= 3 // past the default 2x bound
+	report, regs := Compare(base, cur, DefaultCompareOpts())
+	if len(regs) != 1 || regs[0].Name != "embed_source" {
+		t.Fatalf("want one ns regression on embed_source, got %v", regs)
+	}
+	if !strings.Contains(report, "FAIL ns") {
+		t.Errorf("report missing ns verdict:\n%s", report)
+	}
+	// Within tolerance passes.
+	r.NsPerOp = find(base, "embed_source").NsPerOp * 1.5
+	if _, regs := Compare(base, cur, DefaultCompareOpts()); len(regs) != 0 {
+		t.Errorf("1.5x ns within default 2x tolerance flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base, cur := twoFiles()
+	for _, name := range ZeroAlloc {
+		find(base, name).AllocsPerOp = 0
+		find(cur, name).AllocsPerOp = 0
+	}
+	// goodFile sets 3 allocs/op; bound is 3*1.25+2 = 5 (integer-truncated).
+	find(cur, "embed_source").AllocsPerOp = 50
+	_, regs := Compare(base, cur, DefaultCompareOpts())
+	if len(regs) != 1 || !strings.Contains(regs[0].Reason, "allocs/op") {
+		t.Fatalf("want one alloc regression, got %v", regs)
+	}
+	find(cur, "embed_source").AllocsPerOp = 5
+	if _, regs := Compare(base, cur, DefaultCompareOpts()); len(regs) != 0 {
+		t.Errorf("allocs within bound flagged: %v", regs)
+	}
+}
+
+func TestCompareZeroAllocInvariant(t *testing.T) {
+	base, cur := twoFiles()
+	for _, name := range ZeroAlloc {
+		find(base, name).AllocsPerOp = 0
+		find(cur, name).AllocsPerOp = 0
+	}
+	// 1 alloc/op on a ZeroAlloc benchmark is inside the fractional+slack
+	// bound but must still fail: the invariant is strict.
+	find(cur, "nn_forward").AllocsPerOp = 1
+	report, regs := Compare(base, cur, DefaultCompareOpts())
+	if len(regs) != 1 || regs[0].Name != "nn_forward" {
+		t.Fatalf("want one zero-alloc regression on nn_forward, got %v", regs)
+	}
+	if !strings.Contains(regs[0].Reason, "zero-alloc") {
+		t.Errorf("reason does not name the invariant: %s", regs[0].Reason)
+	}
+	if !strings.Contains(report, "FAIL zero-alloc") {
+		t.Errorf("report missing zero-alloc verdict:\n%s", report)
+	}
+}
+
+func TestCompareFlagsMissingBenchmark(t *testing.T) {
+	base, cur := twoFiles()
+	for _, name := range ZeroAlloc {
+		find(base, name).AllocsPerOp = 0
+		find(cur, name).AllocsPerOp = 0
+	}
+	cur.Benchmarks = cur.Benchmarks[1:] // drop embed_forward
+	report, regs := Compare(base, cur, DefaultCompareOpts())
+	if len(regs) != 1 || regs[0].Name != "embed_forward" {
+		t.Fatalf("want one missing-benchmark regression, got %v", regs)
+	}
+	if !strings.Contains(report, "MISSING") {
+		t.Errorf("report missing MISSING verdict:\n%s", report)
+	}
+}
+
+func TestCompareNewBenchmark(t *testing.T) {
+	base, cur := twoFiles()
+	for _, name := range ZeroAlloc {
+		find(base, name).AllocsPerOp = 0
+		find(cur, name).AllocsPerOp = 0
+	}
+	// A benchmark new in current is informational, not a regression —
+	// unless it is in the ZeroAlloc set and allocates.
+	base.Benchmarks = base.Benchmarks[1:] // embed_forward absent from baseline
+	if _, regs := Compare(base, cur, DefaultCompareOpts()); len(regs) != 0 {
+		t.Fatalf("new benchmark flagged as regression: %v", regs)
+	}
+	find(cur, "embed_forward").AllocsPerOp = 4
+	if _, regs := Compare(base, cur, DefaultCompareOpts()); len(regs) != 1 {
+		t.Errorf("allocating new ZeroAlloc benchmark not flagged")
+	}
+}
+
+func TestZeroAllocSubsetOfRequired(t *testing.T) {
+	if !sort.StringsAreSorted(Required) {
+		t.Error("Required is not sorted")
+	}
+	if !sort.StringsAreSorted(ZeroAlloc) {
+		t.Error("ZeroAlloc is not sorted")
+	}
+	req := map[string]bool{}
+	for _, name := range Required {
+		req[name] = true
+	}
+	for _, name := range ZeroAlloc {
+		if !req[name] {
+			t.Errorf("ZeroAlloc benchmark %q is not in Required, so the gate could silently lose it", name)
+		}
+	}
+}

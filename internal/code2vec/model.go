@@ -104,6 +104,79 @@ func (m *Model) Forward(ctxs []Context) ([]float64, *State) {
 	return vec, st
 }
 
+// Scratch holds the reusable buffers ForwardInto needs. A Scratch belongs to
+// one caller at a time; pool or confine it. The zero value is ready to use —
+// buffers grow on demand and are retained across calls.
+type Scratch struct {
+	c      []float64 // one context input, 3*EmbedDim
+	h      []float64 // all squashed projections, n*OutDim
+	scores []float64 // attention logits, n
+	alpha  []float64 // attention weights, n
+}
+
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// ForwardInto is Forward for inference: it writes the code vector into dst
+// (which must have length Cfg.OutDim), keeps no State for Backward, and
+// performs zero heap allocations once s's buffers have grown to the bag
+// size. The result is bit-identical to Forward's — same floating-point
+// operation order throughout.
+func (m *Model) ForwardInto(dst []float64, ctxs []Context, s *Scratch) []float64 {
+	d := m.Cfg.EmbedDim
+	out := m.Cfg.OutDim
+	if len(dst) != out {
+		panic(&nn.ShapeError{Op: "code2vec dst", Got: len(dst), Want: out})
+	}
+	for o := range dst {
+		dst[o] = 0
+	}
+	if len(ctxs) == 0 {
+		return dst
+	}
+
+	n := len(ctxs)
+	s.c = growF(s.c, 3*d)
+	s.h = growF(s.h, n*out)
+	s.scores = growF(s.scores, n)
+	s.alpha = growF(s.alpha, n)
+	c := s.c
+	for i, cx := range ctxs {
+		copy(c[0:d], m.Tok.W[int(cx.Left)*d:(int(cx.Left)+1)*d])
+		copy(c[d:2*d], m.Path.W[int(cx.Path)*d:(int(cx.Path)+1)*d])
+		copy(c[2*d:3*d], m.Tok.W[int(cx.Right)*d:(int(cx.Right)+1)*d])
+
+		h := s.h[i*out : (i+1)*out]
+		for o := 0; o < out; o++ {
+			row := m.W.W[o*3*d : (o+1)*3*d]
+			sum := m.B.W[o]
+			for k, cv := range c {
+				sum += row[k] * cv
+			}
+			h[o] = math.Tanh(sum)
+		}
+
+		sc := 0.0
+		for o := 0; o < out; o++ {
+			sc += m.Attn.W[o] * h[o]
+		}
+		s.scores[i] = sc
+	}
+	nn.SoftmaxTo(s.alpha, s.scores)
+	for i := range ctxs {
+		a := s.alpha[i]
+		h := s.h[i*out : (i+1)*out]
+		for o := 0; o < out; o++ {
+			dst[o] += a * h[o]
+		}
+	}
+	return dst
+}
+
 // Backward accumulates parameter gradients given dLoss/dCodeVector.
 func (m *Model) Backward(st *State, dvec []float64) {
 	if len(st.ctxs) == 0 {

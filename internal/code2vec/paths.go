@@ -16,7 +16,6 @@ package code2vec
 import (
 	"fmt"
 	"hash/fnv"
-	"strings"
 
 	"neurovec/internal/lang"
 )
@@ -55,68 +54,101 @@ type Context struct {
 	Right uint32
 }
 
-// leaf is a terminal in the AST with the stack of node-type names above it.
+// leaf is a terminal in the AST; its ancestor-type stack lives in the
+// collector's shared arena at [lo:hi), so repeated extractions recycle one
+// backing array instead of copying a fresh stack per terminal.
 type leaf struct {
-	text  string
-	stack []string
+	text   string
+	lo, hi int
 }
 
 // ExtractContexts decomposes a statement (typically a ForStmt) into hashed
 // path contexts. Extraction is deterministic: when a snippet yields more
 // than cfg.MaxContexts contexts, an evenly spaced subset is kept.
+//
+// The returned slice is freshly owned by the caller. Hot paths that extract
+// repeatedly should hold an Extractor instead.
 func ExtractContexts(s lang.Stmt, cfg Config) []Context {
-	leaves := collectLeaves(s)
-	var ctxs []Context
+	return new(Extractor).Extract(s, cfg)
+}
+
+// Extractor runs repeated context extractions through one set of reusable
+// buffers (leaf list, ancestor arena, path scratch, context list). The slice
+// returned by Extract is valid only until the next Extract call; copy it to
+// retain. An Extractor belongs to one goroutine at a time; the zero value is
+// ready to use.
+type Extractor struct {
+	col  collector
+	path []byte
+	ctxs []Context
+	keep []Context // downsampled subset, when over budget
+}
+
+// Extract is ExtractContexts against the extractor's recycled buffers.
+func (e *Extractor) Extract(s lang.Stmt, cfg Config) []Context {
+	e.col.reset()
+	e.col.stmt(s)
+	leaves, arena := e.col.leaves, e.col.arena
+	e.ctxs = e.ctxs[:0]
 	for i := 0; i < len(leaves); i++ {
 		for j := i + 1; j < len(leaves) && j-i <= cfg.MaxWidth; j++ {
-			path, ok := pathBetween(leaves[i], leaves[j], cfg.MaxPathLen)
+			a := arena[leaves[i].lo:leaves[i].hi]
+			b := arena[leaves[j].lo:leaves[j].hi]
+			path, ok := appendPathBetween(e.path[:0], a, b, cfg.MaxPathLen)
+			e.path = path[:0]
 			if !ok {
 				continue
 			}
-			ctxs = append(ctxs, Context{
+			e.ctxs = append(e.ctxs, Context{
 				Left:  hashMod(leaves[i].text, cfg.TokenVocab),
-				Path:  hashMod(path, cfg.PathVocab),
+				Path:  hashBytesMod(path, cfg.PathVocab),
 				Right: hashMod(leaves[j].text, cfg.TokenVocab),
 			})
 		}
 	}
+	ctxs := e.ctxs
 	if len(ctxs) > cfg.MaxContexts {
 		step := float64(len(ctxs)) / float64(cfg.MaxContexts)
-		out := make([]Context, 0, cfg.MaxContexts)
+		e.keep = e.keep[:0]
 		for k := 0; k < cfg.MaxContexts; k++ {
-			out = append(out, ctxs[int(float64(k)*step)])
+			e.keep = append(e.keep, ctxs[int(float64(k)*step)])
 		}
-		ctxs = out
+		ctxs = e.keep
 	}
 	return ctxs
 }
 
-// pathBetween renders the AST path from a up to the lowest common ancestor
-// and down to b.
-func pathBetween(a, b leaf, maxLen int) (string, bool) {
+// appendPathBetween renders the AST path from stack a up to the lowest
+// common ancestor and down to stack b, appending to dst.
+func appendPathBetween(dst []byte, a, b []string, maxLen int) ([]byte, bool) {
 	p := 0
-	for p < len(a.stack) && p < len(b.stack) && a.stack[p] == b.stack[p] {
+	for p < len(a) && p < len(b) && a[p] == b[p] {
 		p++
 	}
 	if p == 0 {
-		return "", false // different roots; should not happen within one stmt
+		return dst, false // different roots; should not happen within one stmt
 	}
-	up := len(a.stack) - p
-	down := len(b.stack) - p
+	up := len(a) - p
+	down := len(b) - p
 	if up+down+1 > maxLen {
-		return "", false
+		return dst, false
 	}
-	var sb strings.Builder
-	for i := len(a.stack) - 1; i >= p; i-- {
-		sb.WriteString(a.stack[i])
-		sb.WriteByte('^')
+	for i := len(a) - 1; i >= p; i-- {
+		dst = append(dst, a[i]...)
+		dst = append(dst, '^')
 	}
-	sb.WriteString(a.stack[p-1])
-	for i := p; i < len(b.stack); i++ {
-		sb.WriteByte('_')
-		sb.WriteString(b.stack[i])
+	dst = append(dst, a[p-1]...)
+	for i := p; i < len(b); i++ {
+		dst = append(dst, '_')
+		dst = append(dst, b[i]...)
 	}
-	return sb.String(), true
+	return dst, true
+}
+
+// pathBetween is the string form of appendPathBetween, kept for tests.
+func pathBetween(a, b []string, maxLen int) (string, bool) {
+	out, ok := appendPathBetween(nil, a, b, maxLen)
+	return string(out), ok
 }
 
 func hashMod(s string, mod int) uint32 {
@@ -125,24 +157,41 @@ func hashMod(s string, mod int) uint32 {
 	return h.Sum32() % uint32(mod)
 }
 
+// hashBytesMod is hashMod over a byte slice without the string conversion —
+// the same FNV-1a over the same bytes yields the same bucket.
+func hashBytesMod(b []byte, mod int) uint32 {
+	h := fnv.New32a()
+	h.Write(b)
+	return h.Sum32() % uint32(mod)
+}
+
 // collectLeaves walks the statement gathering terminals with ancestor-type
-// stacks.
-func collectLeaves(s lang.Stmt) []leaf {
+// stacks (test helper; production goes through Extractor).
+func collectLeaves(s lang.Stmt) ([]leaf, []string) {
 	c := &collector{}
 	c.stmt(s)
-	return c.leaves
+	return c.leaves, c.arena
 }
 
 type collector struct {
 	stack  []string
+	arena  []string
 	leaves []leaf
+}
+
+func (c *collector) reset() {
+	c.stack = c.stack[:0]
+	c.arena = c.arena[:0]
+	c.leaves = c.leaves[:0]
 }
 
 func (c *collector) push(name string) { c.stack = append(c.stack, name) }
 func (c *collector) pop()             { c.stack = c.stack[:len(c.stack)-1] }
 
 func (c *collector) leaf(text string) {
-	c.leaves = append(c.leaves, leaf{text: text, stack: append([]string(nil), c.stack...)})
+	lo := len(c.arena)
+	c.arena = append(c.arena, c.stack...)
+	c.leaves = append(c.leaves, leaf{text: text, lo: lo, hi: len(c.arena)})
 }
 
 func (c *collector) stmt(s lang.Stmt) {

@@ -1,0 +1,125 @@
+package code2vec
+
+import (
+	"testing"
+)
+
+const squareSrc = `
+float x[256];
+void g() {
+    for (int i = 0; i < 256; i++) {
+        x[i] = x[i] * x[i];
+    }
+}
+`
+
+// TestForwardIntoParity pins the tentpole invariant: the scratch-backed
+// inference forward is bit-identical to the allocating one, across reuse of
+// the same Scratch on different bags.
+func TestForwardIntoParity(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OutDim = 48
+	cfg.EmbedDim = 12
+	m := NewModel(cfg)
+	var s Scratch
+	dst := make([]float64, cfg.OutDim)
+	for _, src := range []string{copySrc, squareSrc, copySrc} {
+		ctxs := ExtractContexts(loopStmt(t, src), cfg)
+		want, _ := m.Forward(ctxs)
+		got := m.ForwardInto(dst, ctxs, &s)
+		for o := range want {
+			if got[o] != want[o] {
+				t.Fatalf("%q out[%d] = %g, want %g (must be bit-identical)", src[:20], o, got[o], want[o])
+			}
+		}
+	}
+	// Empty bag: zero vector, like Forward.
+	got := m.ForwardInto(dst, nil, &s)
+	for o, v := range got {
+		if v != 0 {
+			t.Fatalf("empty bag out[%d] = %g, want 0", o, v)
+		}
+	}
+}
+
+func TestForwardIntoZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OutDim = 48
+	cfg.EmbedDim = 12
+	m := NewModel(cfg)
+	ctxs := ExtractContexts(loopStmt(t, copySrc), cfg)
+	var s Scratch
+	dst := make([]float64, cfg.OutDim)
+	m.ForwardInto(dst, ctxs, &s) // grow buffers
+	if allocs := testing.AllocsPerRun(50, func() { m.ForwardInto(dst, ctxs, &s) }); allocs != 0 {
+		t.Fatalf("ForwardInto allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestExtractorMatchesExtractContexts proves buffer recycling changes no
+// extraction result, including under the downsampling budget and across
+// back-to-back snippets reusing the same arena.
+func TestExtractorMatchesExtractContexts(t *testing.T) {
+	for _, budget := range []int{120, 10} {
+		cfg := DefaultConfig()
+		cfg.MaxContexts = budget
+		var e Extractor
+		for _, src := range []string{copySrc, squareSrc, copySrc} {
+			s := loopStmt(t, src)
+			want := ExtractContexts(s, cfg)
+			got := e.Extract(s, cfg)
+			if len(got) != len(want) {
+				t.Fatalf("budget %d: %d contexts, want %d", budget, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("budget %d: context %d = %v, want %v", budget, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestExtractorReusesBuffers asserts steady-state extraction stops growing
+// its backing arrays (the allocs that remain are per-call hashing, not
+// per-leaf copies).
+func TestExtractorReusesBuffers(t *testing.T) {
+	cfg := DefaultConfig()
+	s := loopStmt(t, copySrc)
+	var e Extractor
+	e.Extract(s, cfg)
+	c1, a1, p1 := cap(e.ctxs), cap(e.col.arena), cap(e.path)
+	for i := 0; i < 5; i++ {
+		e.Extract(s, cfg)
+	}
+	if cap(e.ctxs) != c1 || cap(e.col.arena) != a1 || cap(e.path) != p1 {
+		t.Fatalf("buffers regrew: ctxs %d->%d arena %d->%d path %d->%d",
+			c1, cap(e.ctxs), a1, cap(e.col.arena), p1, cap(e.path))
+	}
+}
+
+func TestHashBytesModMatchesHashMod(t *testing.T) {
+	for _, s := range []string{"", "For^Block_Assign:=", "a", "Index^For^Block"} {
+		if hashBytesMod([]byte(s), 4096) != hashMod(s, 4096) {
+			t.Fatalf("hashBytesMod(%q) != hashMod(%q)", s, s)
+		}
+	}
+}
+
+// TestPathBetweenArena sanity-checks the arena-backed leaf stacks feeding
+// appendPathBetween.
+func TestPathBetweenArena(t *testing.T) {
+	leaves, arena := collectLeaves(loopStmt(t, copySrc))
+	if len(leaves) < 2 {
+		t.Fatal("too few leaves")
+	}
+	a := arena[leaves[0].lo:leaves[0].hi]
+	b := arena[leaves[1].lo:leaves[1].hi]
+	if len(a) == 0 || a[0] != "For" || b[0] != "For" {
+		t.Fatalf("leaf stacks do not start at the loop root: %v / %v", a, b)
+	}
+	path, ok := pathBetween(a, b, DefaultConfig().MaxPathLen)
+	if !ok || path == "" {
+		t.Fatalf("no path between first two leaves (%v, %v)", a, b)
+	}
+}

@@ -120,7 +120,29 @@ type Framework struct {
 	// have captured.
 	policyMu sync.Mutex
 	policies map[string]policy.Policy
+
+	// embedPool recycles per-request embedding state (path-context
+	// extractor buffers, code2vec forward scratch, one code vector) across
+	// the inference paths, so steady-state embedding heap-allocates nothing
+	// beyond what a caller asks to own.
+	embedPool sync.Pool
 }
+
+// embedScratch is one caller's worth of embedding buffers.
+type embedScratch struct {
+	ex  code2vec.Extractor
+	sc  code2vec.Scratch
+	vec []float64
+}
+
+func (f *Framework) getEmbedScratch() *embedScratch {
+	if s, ok := f.embedPool.Get().(*embedScratch); ok {
+		return s
+	}
+	return &embedScratch{vec: make([]float64, f.embed.Dim())}
+}
+
+func (f *Framework) putEmbedScratch(s *embedScratch) { f.embedPool.Put(s) }
 
 // New creates an empty framework from cfg with opts applied on top.
 func New(cfg Config, opts ...Option) *Framework {
@@ -422,15 +444,33 @@ func (e *embedAdapter) Params() []*nn.Param { return e.fw.embed.Params() }
 func (e *embedAdapter) Dim() int            { return e.fw.embed.Dim() }
 
 // Embedding returns the current code vector for a unit — the representation
-// handed to NNS and decision trees after RL training (Section 3.5).
+// handed to NNS and decision trees after RL training (Section 3.5). The
+// returned slice is freshly owned by the caller; hot paths that can supply
+// a destination should use EmbeddingInto.
 func (f *Framework) Embedding(sample int) []float64 {
-	vec, _ := f.embed.Forward(f.units[sample].Ctxs)
+	vec := make([]float64, f.embed.Dim())
+	f.EmbeddingInto(vec, sample)
 	return vec
 }
 
+// EmbedDim returns the code-vector dimensionality — the length callers must
+// size EmbeddingInto destinations to.
+func (f *Framework) EmbedDim() int { return f.embed.Dim() }
+
+// EmbeddingInto writes the unit's current code vector into dst (length
+// EmbedDim) through pooled scratch, performing zero heap allocations in
+// steady state. Bit-identical to Embedding. Safe for concurrent callers.
+func (f *Framework) EmbeddingInto(dst []float64, sample int) []float64 {
+	s := f.getEmbedScratch()
+	defer f.putEmbedScratch(s)
+	return f.embed.ForwardInto(dst, f.units[sample].Ctxs, &s.sc)
+}
+
 // EmbedSource embeds an arbitrary source program's first innermost loop
-// without loading it as a unit. It builds only per-request state and is safe
-// for concurrent callers (the embedder's forward pass is read-only).
+// without loading it as a unit. It builds only per-request state plus
+// pooled extraction/forward scratch, and is safe for concurrent callers
+// (the embedder's forward pass is read-only). The returned vector is
+// freshly owned by the caller.
 func (f *Framework) EmbedSource(source string) ([]float64, error) {
 	prog, err := lang.Parse(source)
 	if err != nil {
@@ -440,7 +480,10 @@ func (f *Framework) EmbedSource(source string) ([]float64, error) {
 	if len(infos) == 0 {
 		return nil, fmt.Errorf("core: no loops in source: %w", ErrNoLoops)
 	}
-	vec, _ := f.embed.Forward(code2vec.ExtractContexts(infos[0].Outermost, f.Cfg.Embed))
+	s := f.getEmbedScratch()
+	defer f.putEmbedScratch(s)
+	vec := make([]float64, f.embed.Dim())
+	f.embed.ForwardInto(vec, s.ex.Extract(infos[0].Outermost, f.Cfg.Embed), &s.sc)
 	return vec, nil
 }
 

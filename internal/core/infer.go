@@ -4,9 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"neurovec/internal/api"
-	"neurovec/internal/code2vec"
 	"neurovec/internal/costmodel"
 	"neurovec/internal/diag"
 	"neurovec/internal/extractor"
@@ -14,6 +14,7 @@ import (
 	"neurovec/internal/lang"
 	"neurovec/internal/lang/sema"
 	"neurovec/internal/lower"
+	"neurovec/internal/nn"
 	"neurovec/internal/obs"
 	"neurovec/internal/policy"
 	"neurovec/internal/sim"
@@ -51,6 +52,7 @@ type inferOpts struct {
 	polName string
 	pins    []api.Pin
 	cache   LoopCache
+	memo    *ResponseMemo
 	strict  bool
 	file    string
 }
@@ -144,6 +146,22 @@ func WithStrictSema() InferOption {
 func WithSourceName(file string) InferOption {
 	return func(o *inferOpts) { o.file = file }
 }
+
+// inferOptsPool recycles the options struct across PredictLoops calls; the
+// option closures receive a pointer, which would otherwise heap-allocate the
+// struct on every call.
+var inferOptsPool = sync.Pool{New: func() any { return new(inferOpts) }}
+
+func gatherOpts(opts []InferOption) *inferOpts {
+	o := inferOptsPool.Get().(*inferOpts)
+	*o = inferOpts{pins: o.pins[:0]}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o
+}
+
+func releaseOpts(o *inferOpts) { inferOptsPool.Put(o) }
 
 // resolvePolicy picks the policy for a call: an explicit instance wins, then
 // a registry name, then fallback (DefaultPolicy for prediction, "" meaning
@@ -285,11 +303,12 @@ func (f *Framework) resolvePins(c *compiled, pins []api.Pin) (map[string]api.Pin
 // and returns the versioned per-loop response the v2 API serves verbatim.
 // Safe for concurrent callers; no framework state is mutated.
 func (f *Framework) PredictLoops(ctx context.Context, source string, params map[string]int64, opts ...InferOption) (*api.CompileResponse, error) {
-	var o inferOpts
-	for _, opt := range opts {
-		opt(&o)
-	}
-	pol, err := f.resolvePolicy(&o, DefaultPolicy)
+	// The options struct is pooled: option closures take *inferOpts, which
+	// would otherwise force a heap allocation per call and break the
+	// memo-hit path's zero-alloc invariant.
+	o := gatherOpts(opts)
+	defer releaseOpts(o)
+	pol, err := f.resolvePolicy(o, DefaultPolicy)
 	if err != nil {
 		return nil, err
 	}
@@ -298,9 +317,23 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 	if err := ctx.Err(); err != nil && !policy.IsDeadlineAware(pol) {
 		return nil, err
 	}
+	// Whole-response memo: a fully-cacheable call (fingerprinted checkpoint,
+	// no pins/params/strict) whose answer was computed before returns the
+	// shared response without compiling anything — the zero-alloc hit path.
+	var mkey memoKey
+	if o.memo != nil {
+		if v := f.ModelVersion(); v != "" && len(o.pins) == 0 && params == nil && !o.strict {
+			mkey = memoKey{version: v, policy: pol.Name(), file: o.file, source: source}
+			if resp, ok := o.memo.get(mkey); ok {
+				return resp, nil
+			}
+		} else {
+			o.memo = nil
+		}
+	}
 	ctx, root := obs.StartSpan(ctx, "compile")
 	defer root.End()
-	c, err := f.compileSource(ctx, source, params, &o)
+	c, err := f.compileSource(ctx, source, params, o)
 	if err != nil {
 		return nil, err
 	}
@@ -325,6 +358,10 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 		Diagnostics:    c.diags,
 	}
 	combined := clonePlans(c.basePlans)
+	// single is reused across loops (set one entry, simulate, restore):
+	// cloning the whole plan map per loop made the walk O(loops^2) in map
+	// copies, which dominated multi-loop files.
+	single := clonePlans(c.basePlans)
 	var decisions []extractor.Decision
 	for _, info := range c.infos {
 		loop := c.irp.FindLoop(info.Label)
@@ -354,7 +391,7 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 			}
 			dctx, dsp := obs.StartSpan(ctx, "decide")
 			dsp.Annotate(info.Label)
-			d, err := pol.Decide(dctx, req)
+			d, err := safeDecide(dctx, pol, req)
 			dsp.End()
 			if err != nil {
 				return nil, fmt.Errorf("core: policy %s on loop %s: %w", pol.Name(), info.Label, err)
@@ -367,12 +404,17 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 			}
 		}
 		plan := vectorizer.New(loop, f.Cfg.Arch, vf, ifc)
-		single := clonePlans(c.basePlans)
+		prev, hadPrev := single[info.Label]
 		single[info.Label] = plan
 		_, ssp := obs.StartSpan(ctx, "sim")
 		ssp.Annotate(info.Label)
 		cycles := sim.Program(c.irp, single, f.Cfg.Sim).Cycles
 		ssp.End()
+		if hadPrev {
+			single[info.Label] = prev
+		} else {
+			delete(single, info.Label)
+		}
 		resp.Loops = append(resp.Loops, api.Decision{
 			Loop:             id,
 			Label:            info.Label,
@@ -392,7 +434,43 @@ func (f *Framework) PredictLoops(ctx context.Context, source string, params map[
 	ssp.End()
 	resp.Speedup = safeRatio(c.baseCycles, resp.PredictedCycles)
 	resp.Annotated = extractor.Annotate(c.prog, decisions)
+	if o.memo != nil && !resp.Truncated {
+		o.memo.put(mkey, resp)
+	}
 	return resp, nil
+}
+
+// ErrModelShape is reported when the loaded model's layer dimensions do not
+// match the observation a policy fed it — a malformed checkpoint or an
+// embed-config skew. The nn package signals the mismatch with a typed panic
+// (*nn.ShapeError) deep inside a forward pass; safeDecide converts it into
+// this error at the core boundary so one bad request fails instead of
+// crashing a serving process.
+var ErrModelShape = errors.New("model/input shape mismatch")
+
+// safeDecide runs a policy decision, translating *nn.ShapeError panics
+// (raised by the networks on length mismatches, including inside the
+// request's lazy Embed closure) into an ErrModelShape-wrapping error. All
+// other panics propagate.
+func safeDecide(ctx context.Context, pol policy.Policy, req *policy.Request) (*policy.Decision, error) {
+	var d *policy.Decision
+	var err error
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				return
+			}
+			re, ok := r.(error)
+			var se *nn.ShapeError
+			if !ok || !errors.As(re, &se) {
+				panic(r)
+			}
+			err = fmt.Errorf("core: %w: %v", ErrModelShape, se)
+		}()
+		d, err = pol.Decide(ctx, req)
+	}()
+	return d, err
 }
 
 // traceEmbed wraps the request's lazy embedding closure in an "embed" span.
@@ -531,7 +609,13 @@ func (f *Framework) loopRequest(source string, info extractor.LoopInfo, irp *ir.
 		Loop:   loop,
 		Arch:   f.Cfg.Arch,
 		Embed: func() []float64 {
-			vec, _ := f.embed.Forward(code2vec.ExtractContexts(info.Outermost, f.Cfg.Embed))
+			// Extraction and the forward pass run in pooled scratch; only
+			// the returned vector is allocated, because policies (and the
+			// LoopCache wrapper) retain it past this call.
+			s := f.getEmbedScratch()
+			defer f.putEmbedScratch(s)
+			vec := make([]float64, f.embed.Dim())
+			f.embed.ForwardInto(vec, s.ex.Extract(info.Outermost, f.Cfg.Embed), &s.sc)
 			return vec
 		},
 		Evaluate: func(vf, ifc int) float64 {

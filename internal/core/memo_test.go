@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"neurovec/internal/api"
+	"neurovec/internal/nn"
+	"neurovec/internal/policy"
+	"neurovec/internal/rl"
+)
+
+func TestResponseMemoServesSharedResponse(t *testing.T) {
+	fw := versionedFramework(t)
+	memo := NewResponseMemo(0)
+	ctx := context.Background()
+	opts := []InferOption{WithPolicyName("costmodel"), WithResponseMemo(memo)}
+
+	r1, err := fw.PredictLoops(ctx, twoLoopSrc, nil, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := fw.PredictLoops(ctx, twoLoopSrc, nil, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("second call did not return the memoized response")
+	}
+	if memo.Len() != 1 {
+		t.Fatalf("memo holds %d responses, want 1", memo.Len())
+	}
+	// A different source is a different entry.
+	other := "float z[32]; void g() { for (int i = 0; i < 32; i++) { z[i] = z[i] + 1; } }"
+	r3, err := fw.PredictLoops(ctx, other, nil, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Fatal("different source served the same response")
+	}
+	if memo.Len() != 2 {
+		t.Fatalf("memo holds %d responses, want 2", memo.Len())
+	}
+}
+
+func TestResponseMemoBypasses(t *testing.T) {
+	ctx := context.Background()
+	t.Run("no model version", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.Embed.OutDim = 48
+		cfg.Embed.EmbedDim = 12
+		fw := New(cfg) // never saved/loaded: ModelVersion is empty
+		memo := NewResponseMemo(0)
+		if _, err := fw.PredictLoops(ctx, twoLoopSrc, nil, WithPolicyName("costmodel"), WithResponseMemo(memo)); err != nil {
+			t.Fatal(err)
+		}
+		if memo.Len() != 0 {
+			t.Fatalf("memo stored %d responses without a fingerprinted checkpoint", memo.Len())
+		}
+	})
+	t.Run("pins", func(t *testing.T) {
+		fw := versionedFramework(t)
+		memo := NewResponseMemo(0)
+		ids := sourceIDs(t, twoLoopSrc)
+		_, err := fw.PredictLoops(ctx, twoLoopSrc, nil,
+			WithPolicyName("costmodel"), WithResponseMemo(memo),
+			WithPins([]api.Pin{{Loop: ids["L0"], VF: 4, IF: 2}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if memo.Len() != 0 {
+			t.Fatalf("memo stored %d pinned responses", memo.Len())
+		}
+	})
+	t.Run("params", func(t *testing.T) {
+		fw := versionedFramework(t)
+		memo := NewResponseMemo(0)
+		src := "float a[64]; void f(int n) { for (int i = 0; i < n; i++) { a[i] = a[i] * 2; } }"
+		if _, err := fw.PredictLoops(ctx, src, map[string]int64{"n": 64},
+			WithPolicyName("costmodel"), WithResponseMemo(memo)); err != nil {
+			t.Fatal(err)
+		}
+		if memo.Len() != 0 {
+			t.Fatalf("memo stored %d parameterized responses", memo.Len())
+		}
+	})
+	t.Run("distinct file attribution", func(t *testing.T) {
+		fw := versionedFramework(t)
+		memo := NewResponseMemo(0)
+		r1, err := fw.PredictLoops(ctx, twoLoopSrc, nil,
+			WithPolicyName("costmodel"), WithResponseMemo(memo), WithSourceName("a.c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := fw.PredictLoops(ctx, twoLoopSrc, nil,
+			WithPolicyName("costmodel"), WithResponseMemo(memo), WithSourceName("b.c"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1 == r2 {
+			t.Fatal("responses with different file attribution were shared")
+		}
+	})
+}
+
+func TestResponseMemoTwoGenerationEviction(t *testing.T) {
+	m := NewResponseMemo(2)
+	mk := func(i int) memoKey { return memoKey{version: "v", policy: "p", source: fmt.Sprintf("s%d", i)} }
+	r := &api.CompileResponse{}
+	m.put(mk(0), r)
+	m.put(mk(1), r) // cur full
+	m.put(mk(2), r) // turnover: {0,1} -> prev, cur = {2}
+	if _, ok := m.get(mk(0)); !ok {
+		t.Fatal("entry lost after one turnover")
+	}
+	// The get above promoted 0 into cur; fill cur and turn over twice more
+	// so unpromoted entries age out.
+	m.put(mk(3), r)
+	m.put(mk(4), r)
+	m.put(mk(5), r)
+	if _, ok := m.get(mk(1)); ok {
+		t.Fatal("unpromoted entry survived two turnovers")
+	}
+}
+
+// TestPredictLoopsMemoZeroAllocs is the acceptance invariant behind the
+// predict_loops_costmodel_cached benchmark: a memo hit performs zero heap
+// allocations.
+func TestPredictLoopsMemoZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under the race detector")
+	}
+	fw := versionedFramework(t)
+	memo := NewResponseMemo(0)
+	ctx := context.Background()
+	opts := []InferOption{WithPolicyName("costmodel"), WithResponseMemo(memo)}
+	if _, err := fw.PredictLoops(ctx, twoLoopSrc, nil, opts...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.PredictLoops(ctx, twoLoopSrc, nil, opts...); err != nil {
+		t.Fatal(err) // second call promotes/settles pools
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := fw.PredictLoops(ctx, twoLoopSrc, nil, opts...); err != nil {
+			panic(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("memo-hit PredictLoops allocates %v per run, want 0", allocs)
+	}
+}
+
+func TestEmbeddingIntoParityAndAllocs(t *testing.T) {
+	fw := versionedFramework(t)
+	if err := fw.LoadSource("two.c", twoLoopSrc, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := fw.Embedding(0)
+	dst := make([]float64, len(want))
+	got := fw.EmbeddingInto(dst, 0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EmbeddingInto[%d] = %g, want %g (must be bit-identical)", i, got[i], want[i])
+		}
+	}
+	if raceEnabled {
+		return // sync.Pool drops items at random under the race detector
+	}
+	fw.EmbeddingInto(dst, 0) // settle the pool
+	if allocs := testing.AllocsPerRun(100, func() { fw.EmbeddingInto(dst, 0) }); allocs != 0 {
+		t.Fatalf("EmbeddingInto allocates %v per run, want 0", allocs)
+	}
+}
+
+// narrowEmbedder reports a different width than the vectors the core embed
+// path produces — the embed-config skew of a malformed deployment.
+type narrowEmbedder struct{ dim int }
+
+func (e *narrowEmbedder) Embed(sample int) ([]float64, any) { return make([]float64, e.dim), nil }
+func (e *narrowEmbedder) Backward(any, []float64)           {}
+func (e *narrowEmbedder) Params() []*nn.Param               { return nil }
+func (e *narrowEmbedder) Dim() int                          { return e.dim }
+
+// TestShapeMismatchSurfacesTypedError drives a real shape-skewed model
+// through PredictLoops and asserts the nn panic comes back as ErrModelShape
+// instead of crashing the caller.
+func TestShapeMismatchSurfacesTypedError(t *testing.T) {
+	fw := versionedFramework(t)
+	// Agent trained against a 16-wide embedder; the framework's code2vec
+	// model emits 48-wide vectors. The rl policy will feed 48 into a trunk
+	// expecting 16.
+	fw.agent = rl.NewAgent(&narrowEmbedder{dim: 16}, fw.normalizeRL(nil))
+	fw.invalidatePolicies()
+	_, err := fw.PredictLoops(context.Background(), twoLoopSrc, nil, WithPolicyName("rl"))
+	if err == nil {
+		t.Fatal("shape-skewed model did not error")
+	}
+	if !errors.Is(err, ErrModelShape) {
+		t.Fatalf("error %v does not wrap ErrModelShape", err)
+	}
+}
+
+// panicPolicy raises an arbitrary (non-shape) panic from Decide.
+type panicPolicy struct{}
+
+func (panicPolicy) Name() string { return "panic" }
+func (panicPolicy) Decide(context.Context, *policy.Request) (*policy.Decision, error) {
+	panic("unrelated bug")
+}
+
+// TestSafeDecideOnlyCatchesShapeErrors pins the recover's scope: arbitrary
+// panics must propagate (the pool-level recover owns those), only the typed
+// shape panic is translated here.
+func TestSafeDecideOnlyCatchesShapeErrors(t *testing.T) {
+	fw := versionedFramework(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-shape panic was swallowed")
+		}
+	}()
+	fw.PredictLoops(context.Background(), twoLoopSrc, nil, WithPolicy(panicPolicy{}))
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is on. Under race,
+// sync.Pool deliberately drops items at random to expose races, so
+// steady-state zero-allocation assertions over pooled scratch are not
+// meaningful and are skipped.
+const raceEnabled = true

@@ -10,6 +10,15 @@
 // computation as Forward but without caching. Apply only reads parameter
 // weights, so any number of goroutines may call it on a shared network as
 // long as no concurrent training step mutates the weights.
+//
+// The serving hot path uses the destination-passing variants instead:
+// Dense.ApplyTo, the activations' in-place ApplyTo, MLP.ApplyScratch with a
+// caller-owned Scratch, and SoftmaxTo/LogSoftmaxTo. They compute exactly the
+// same values as Apply (same floating-point operation order, so outputs are
+// bit-identical) but perform zero heap allocations, which is what keeps a
+// model-serving worker out of the garbage collector. Shape violations panic
+// with a typed *ShapeError so a serving boundary can recover it into an
+// error instead of crashing the process.
 package nn
 
 import (
@@ -17,6 +26,22 @@ import (
 	"math"
 	"math/rand"
 )
+
+// ShapeError is the typed panic value raised by every length check in this
+// package: a dense layer fed a vector of the wrong width, or a destination
+// buffer of the wrong size. It implements error so a recover() at a serving
+// boundary can surface it as a typed failure (a malformed checkpoint or an
+// embed-config skew) for the one request instead of crashing the process.
+type ShapeError struct {
+	Op   string // the operation that tripped, e.g. "dense trunk.fc0.W input"
+	Got  int
+	Want int
+}
+
+// Error renders the mismatch.
+func (e *ShapeError) Error() string {
+	return fmt.Sprintf("nn: %s: length %d, want %d", e.Op, e.Got, e.Want)
+}
 
 // Param is a learnable tensor with its gradient accumulator and Adam state.
 type Param struct {
@@ -80,10 +105,13 @@ func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
 	}
 }
 
-// Forward computes W x + b, caching the input for Backward.
+// Forward computes W x + b, caching the input for Backward. The cache is an
+// unaliased copy of x: callers are free to hand Forward a scratch-backed
+// slice and recycle it immediately, and a later in-place activation can
+// never corrupt the values Backward multiplies into the weight gradients.
 func (d *Dense) Forward(x []float64) []float64 {
 	if len(x) != d.In {
-		panic(fmt.Sprintf("nn: dense %s: input %d, want %d", d.W.Name, len(x), d.In))
+		panic(&ShapeError{Op: "dense " + d.W.Name + " input", Got: len(x), Want: d.In})
 	}
 	d.x = append(d.x[:0], x...)
 	return d.Apply(x)
@@ -92,19 +120,31 @@ func (d *Dense) Forward(x []float64) []float64 {
 // Apply computes W x + b without caching; it only reads the weights, so it
 // is safe for concurrent callers.
 func (d *Dense) Apply(x []float64) []float64 {
+	return d.ApplyTo(make([]float64, d.Out), x)
+}
+
+// ApplyTo computes W x + b into the caller-owned dst (len must be Out) and
+// returns it. It allocates nothing and only reads the weights, so it is safe
+// for concurrent callers each bringing their own dst. dst must not alias x.
+func (d *Dense) ApplyTo(dst, x []float64) []float64 {
 	if len(x) != d.In {
-		panic(fmt.Sprintf("nn: dense %s: input %d, want %d", d.W.Name, len(x), d.In))
+		panic(&ShapeError{Op: "dense " + d.W.Name + " input", Got: len(x), Want: d.In})
 	}
-	y := make([]float64, d.Out)
+	if len(dst) != d.Out {
+		panic(&ShapeError{Op: "dense " + d.W.Name + " dst", Got: len(dst), Want: d.Out})
+	}
+	if d.Out > 0 && d.In > 0 && &dst[0] == &x[0] {
+		panic(&ShapeError{Op: "dense " + d.W.Name + " dst aliases input", Got: d.Out, Want: d.In})
+	}
 	for o := 0; o < d.Out; o++ {
 		row := d.W.W[o*d.In : (o+1)*d.In]
 		s := d.B.W[o]
 		for i, xv := range x {
 			s += row[i] * xv
 		}
-		y[o] = s
+		dst[o] = s
 	}
-	return y
+	return dst
 }
 
 // Backward accumulates dW, db and returns dx.
@@ -113,6 +153,12 @@ func (d *Dense) Backward(dy []float64) []float64 {
 	for o := 0; o < d.Out; o++ {
 		g := dy[o]
 		if g == 0 {
+			// Audited fast path: skipping the row elides `d.B.G[o] += 0` and
+			// a row of `+= 0` weight-gradient accumulations — bit-identical
+			// to the slow path (x+0 == x for every float64 x, including
+			// ±Inf and NaN accumulators). A NaN g never takes this branch
+			// (NaN == 0 is false), so poisoned gradients still propagate
+			// loudly instead of being silently dropped.
 			continue
 		}
 		row := d.W.W[o*d.In : (o+1)*d.In]
@@ -143,11 +189,19 @@ func (t *Tanh) Forward(x []float64) []float64 {
 
 // Apply applies tanh elementwise without caching (stateless).
 func (t *Tanh) Apply(x []float64) []float64 {
-	out := make([]float64, len(x))
-	for i, v := range x {
-		out[i] = math.Tanh(v)
+	return t.ApplyTo(make([]float64, len(x)), x)
+}
+
+// ApplyTo applies tanh elementwise into dst (len must match x) and returns
+// it. dst may alias x for an in-place squash; nothing is allocated.
+func (t *Tanh) ApplyTo(dst, x []float64) []float64 {
+	if len(dst) != len(x) {
+		panic(&ShapeError{Op: "tanh dst", Got: len(dst), Want: len(x)})
 	}
-	return out
+	for i, v := range x {
+		dst[i] = math.Tanh(v)
+	}
+	return dst
 }
 
 // Backward multiplies by 1 - tanh^2.
@@ -180,13 +234,24 @@ func (r *ReLU) Forward(x []float64) []float64 {
 
 // Apply applies max(0, x) without caching (stateless).
 func (r *ReLU) Apply(x []float64) []float64 {
-	out := make([]float64, len(x))
+	return r.ApplyTo(make([]float64, len(x)), x)
+}
+
+// ApplyTo applies max(0, x) elementwise into dst (len must match x) and
+// returns it. dst may alias x for an in-place rectification; nothing is
+// allocated.
+func (r *ReLU) ApplyTo(dst, x []float64) []float64 {
+	if len(dst) != len(x) {
+		panic(&ShapeError{Op: "relu dst", Got: len(dst), Want: len(x)})
+	}
 	for i, v := range x {
 		if v > 0 {
-			out[i] = v
+			dst[i] = v
+		} else {
+			dst[i] = 0
 		}
 	}
-	return out
+	return dst
 }
 
 // Backward zeroes gradients where the input was negative.
@@ -249,6 +314,99 @@ func (m *MLP) Apply(x []float64) []float64 {
 	return x
 }
 
+// Scratch is the caller-owned buffer pair MLP.ApplyScratch ping-pongs
+// between. Size it once from the network with NewScratch (the buffers also
+// grow on demand, so a Scratch survives a hot-reload to a wider model) and
+// reuse it across calls — typically via a sync.Pool, one Scratch per
+// in-flight request. A Scratch must not be shared by concurrent callers.
+type Scratch struct {
+	bufs [2][]float64
+}
+
+// NewScratch returns a Scratch pre-sized for every dense layer of m, so the
+// first ApplyScratch call already allocates nothing.
+func NewScratch(m *MLP) *Scratch {
+	max := 0
+	for _, l := range m.Layers {
+		if d, ok := l.(*Dense); ok {
+			if d.Out > max {
+				max = d.Out
+			}
+			if d.In > max {
+				max = d.In
+			}
+		}
+	}
+	s := &Scratch{}
+	s.bufs[0] = make([]float64, max)
+	s.bufs[1] = make([]float64, max)
+	return s
+}
+
+// buf returns scratch buffer i resized to n, growing its backing array only
+// when n exceeds the high-water mark.
+func (s *Scratch) buf(i, n int) []float64 {
+	if cap(s.bufs[i]) < n {
+		s.bufs[i] = make([]float64, n)
+	}
+	return s.bufs[i][:n]
+}
+
+// owns reports whether v is backed by one of the scratch buffers.
+func (s *Scratch) owns(v []float64) bool {
+	if len(v) == 0 {
+		return false
+	}
+	for i := range s.bufs {
+		if len(s.bufs[i]) > 0 && &v[0] == &s.bufs[i][0] {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyScratch runs the stack like Apply but with zero heap allocations:
+// dense layers write into the scratch's alternating buffers and activations
+// squash in place. The result is bit-identical to Apply (same operation
+// order) and remains valid only until the next ApplyScratch call on s; the
+// caller's x is never written to. Layers other than Dense/Tanh/ReLU fall
+// back to their allocating Apply.
+func (m *MLP) ApplyScratch(s *Scratch, x []float64) []float64 {
+	cur := x
+	idx := 0
+	for _, l := range m.Layers {
+		switch t := l.(type) {
+		case *Dense:
+			dst := s.buf(idx, t.Out)
+			if len(cur) > 0 && len(dst) > 0 && &dst[0] == &cur[0] {
+				idx ^= 1
+				dst = s.buf(idx, t.Out)
+			}
+			cur = t.ApplyTo(dst, cur)
+			idx ^= 1
+		case *Tanh:
+			cur = t.ApplyTo(s.inPlace(&idx, cur), cur)
+		case *ReLU:
+			cur = t.ApplyTo(s.inPlace(&idx, cur), cur)
+		default:
+			cur = l.Apply(cur)
+		}
+	}
+	return cur
+}
+
+// inPlace returns a destination for an elementwise layer: cur itself when it
+// already lives in scratch, otherwise a scratch copy target — so the
+// caller's input slice is never mutated.
+func (s *Scratch) inPlace(idx *int, cur []float64) []float64 {
+	if s.owns(cur) {
+		return cur
+	}
+	dst := s.buf(*idx, len(cur))
+	*idx ^= 1
+	return dst
+}
+
 // Backward runs the stack in reverse.
 func (m *MLP) Backward(dy []float64) []float64 {
 	for i := len(m.Layers) - 1; i >= 0; i-- {
@@ -306,6 +464,13 @@ func (a *Adam) Step(params []*Param) {
 
 // ClipGrads scales all gradients so their global L2 norm is at most maxNorm.
 // Returns the pre-clip norm.
+//
+// Audited edge cases: a zero gradient vector is left untouched (norm > 0
+// guard, no 0/0), a NaN norm never scales (NaN comparisons are false, so a
+// poisoned batch stays loudly poisoned rather than being rescaled into
+// plausible-looking numbers), and maxNorm <= 0 clips everything to zero
+// scale only when the norm is positive — i.e. it hard-zeroes gradients, it
+// never divides by zero.
 func ClipGrads(params []*Param, maxNorm float64) float64 {
 	var sq float64
 	for _, p := range params {
@@ -314,6 +479,11 @@ func ClipGrads(params []*Param, maxNorm float64) float64 {
 		}
 	}
 	norm := math.Sqrt(sq)
+	if maxNorm < 0 {
+		// A negative budget would flip every gradient's sign through the
+		// maxNorm/norm scale; treat it as "no gradient allowed" instead.
+		maxNorm = 0
+	}
 	if norm > maxNorm && norm > 0 {
 		s := maxNorm / norm
 		for _, p := range params {
@@ -327,30 +497,81 @@ func ClipGrads(params []*Param, maxNorm float64) float64 {
 
 // ---- Distributions ----
 
-// Softmax returns the softmax of logits (numerically stable).
+// Softmax returns the softmax of logits (numerically stable). Degenerate
+// inputs — empty logits, all -Inf, or NaN poisoning — yield an empty or
+// uniform distribution instead of NaN; see SoftmaxTo.
 func Softmax(logits []float64) []float64 {
-	out := make([]float64, len(logits))
+	return SoftmaxTo(make([]float64, len(logits)), logits)
+}
+
+// SoftmaxTo computes the softmax of logits into the caller-owned dst (len
+// must match) and returns it; nothing is allocated and dst may alias logits.
+//
+// Degenerate inputs are defused instead of propagated: empty logits yield an
+// empty distribution, and logits with no finite maximum (all -Inf, as a
+// fully-masked action head produces) or a NaN-poisoned sum yield the uniform
+// distribution. The historical behavior divided by a zero sum and handed
+// NaN probabilities to action sampling, which silently biased
+// SampleCategorical to the last action.
+func SoftmaxTo(dst, logits []float64) []float64 {
+	if len(dst) != len(logits) {
+		panic(&ShapeError{Op: "softmax dst", Got: len(dst), Want: len(logits)})
+	}
+	if len(logits) == 0 {
+		return dst
+	}
 	maxv := math.Inf(-1)
 	for _, v := range logits {
 		if v > maxv {
 			maxv = v
 		}
+	}
+	if math.IsInf(maxv, -1) {
+		return fillUniform(dst)
 	}
 	var sum float64
 	for i, v := range logits {
 		e := math.Exp(v - maxv)
-		out[i] = e
+		dst[i] = e
 		sum += e
 	}
-	for i := range out {
-		out[i] /= sum
+	// sum >= exp(0) = 1 whenever every logit is a number; anything else
+	// (a NaN slipped past the max scan) must not become a division by zero.
+	if !(sum > 0) {
+		return fillUniform(dst)
 	}
-	return out
+	for i := range dst {
+		dst[i] /= sum
+	}
+	return dst
 }
 
-// LogSoftmax returns log(softmax(logits)).
+// fillUniform writes the uniform distribution over len(dst) outcomes.
+func fillUniform(dst []float64) []float64 {
+	u := 1 / float64(len(dst))
+	for i := range dst {
+		dst[i] = u
+	}
+	return dst
+}
+
+// LogSoftmax returns log(softmax(logits)), with the same degenerate-input
+// guarantees as Softmax (uniform log-probabilities instead of NaN).
 func LogSoftmax(logits []float64) []float64 {
-	out := make([]float64, len(logits))
+	return LogSoftmaxTo(make([]float64, len(logits)), logits)
+}
+
+// LogSoftmaxTo computes log(softmax(logits)) into the caller-owned dst (len
+// must match) and returns it; nothing is allocated and dst may alias logits.
+// Degenerate inputs (empty, all -Inf, NaN-poisoned) yield the uniform
+// log-distribution -log(n) instead of NaN.
+func LogSoftmaxTo(dst, logits []float64) []float64 {
+	if len(dst) != len(logits) {
+		panic(&ShapeError{Op: "logsoftmax dst", Got: len(dst), Want: len(logits)})
+	}
+	if len(logits) == 0 {
+		return dst
+	}
 	maxv := math.Inf(-1)
 	for _, v := range logits {
 		if v > maxv {
@@ -358,14 +579,23 @@ func LogSoftmax(logits []float64) []float64 {
 		}
 	}
 	var sum float64
-	for _, v := range logits {
-		sum += math.Exp(v - maxv)
+	if !math.IsInf(maxv, -1) {
+		for _, v := range logits {
+			sum += math.Exp(v - maxv)
+		}
+	}
+	if math.IsInf(maxv, -1) || !(sum > 0) {
+		lu := -math.Log(float64(len(dst)))
+		for i := range dst {
+			dst[i] = lu
+		}
+		return dst
 	}
 	lse := maxv + math.Log(sum)
 	for i, v := range logits {
-		out[i] = v - lse
+		dst[i] = v - lse
 	}
-	return out
+	return dst
 }
 
 // SampleCategorical draws an index from the probability vector.

@@ -1,0 +1,5 @@
+//go:build !race
+
+package rl
+
+const raceEnabled = false

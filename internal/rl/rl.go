@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"neurovec/internal/nn"
 )
@@ -136,7 +137,37 @@ type Agent struct {
 
 	params []*nn.Param
 	rng    *rand.Rand
+
+	// inferPool recycles the per-call buffers PredictObs needs so that
+	// steady-state serving does zero heap allocations. Scratches are keyed
+	// to this agent's layer dims; the pool is safe for any number of
+	// concurrent PredictObs callers.
+	inferPool sync.Pool
 }
+
+// inferScratch is one caller's worth of inference buffers: trunk ping-pong
+// scratch plus one destination slice per action head.
+type inferScratch struct {
+	trunk *nn.Scratch
+	vf    []float64
+	ifc   []float64
+}
+
+// getScratch pops a pooled scratch, building one sized to this agent's
+// networks on a cold pool. Constructed lazily (rather than in NewAgent) so
+// every construction path — including checkpoint restore — gets pooling.
+func (a *Agent) getScratch() *inferScratch {
+	if s, ok := a.inferPool.Get().(*inferScratch); ok {
+		return s
+	}
+	s := &inferScratch{trunk: nn.NewScratch(a.trunk), vf: make([]float64, a.headVF.Out)}
+	if a.headIF != nil {
+		s.ifc = make([]float64, a.headIF.Out)
+	}
+	return s
+}
+
+func (a *Agent) putScratch(s *inferScratch) { a.inferPool.Put(s) }
 
 // NewAgent builds the policy for the given embedder and config.
 func NewAgent(emb Embedder, cfg Config) *Agent {

@@ -179,22 +179,26 @@ func (a *Agent) Predict(sample int) (vf, ifc int) {
 }
 
 // PredictObs returns the greedy action for an already-computed observation
-// vector. Unlike Predict it bypasses the embedder and uses the networks'
-// stateless Apply path, touching no per-agent mutable state, so any number
-// of goroutines may call it concurrently on a trained agent (provided no
-// concurrent Train step is mutating the weights).
+// vector. Unlike Predict it bypasses the embedder and runs the networks
+// through pooled scratch buffers (see Agent.inferPool), so steady-state
+// calls perform zero heap allocations and touch no per-agent mutable state
+// beyond the pool: any number of goroutines may call it concurrently on a
+// trained agent (provided no concurrent Train step is mutating the
+// weights). Outputs are bit-identical to the allocating Apply path.
 func (a *Agent) PredictObs(vec []float64) (vf, ifc int) {
-	feat := a.trunk.Apply(vec)
+	s := a.getScratch()
+	defer a.putScratch(s)
+	feat := a.trunk.ApplyScratch(s.trunk, vec)
 	switch a.Cfg.Space {
 	case Discrete:
-		return a.Cfg.VFs[nn.Argmax(a.headVF.Apply(feat))],
-			a.Cfg.IFs[nn.Argmax(a.headIF.Apply(feat))]
+		return a.Cfg.VFs[nn.Argmax(a.headVF.ApplyTo(s.vf, feat))],
+			a.Cfg.IFs[nn.Argmax(a.headIF.ApplyTo(s.ifc, feat))]
 	case Continuous1:
-		vi, ii := a.decodeJoint(a.headVF.Apply(feat)[0])
+		vi, ii := a.decodeJoint(a.headVF.ApplyTo(s.vf, feat)[0])
 		return a.Cfg.VFs[vi], a.Cfg.IFs[ii]
 	default:
-		vi := clampRound(a.headVF.Apply(feat)[0], len(a.Cfg.VFs))
-		ii := clampRound(a.headIF.Apply(feat)[0], len(a.Cfg.IFs))
+		vi := clampRound(a.headVF.ApplyTo(s.vf, feat)[0], len(a.Cfg.VFs))
+		ii := clampRound(a.headIF.ApplyTo(s.ifc, feat)[0], len(a.Cfg.IFs))
 		return a.Cfg.VFs[vi], a.Cfg.IFs[ii]
 	}
 }

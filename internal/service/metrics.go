@@ -48,6 +48,7 @@ type Metrics struct {
 	batches      *obs.Counter
 	batchedJobs  *obs.Counter
 	poolRejected *obs.Counter
+	poolPanics   *obs.Counter
 	modelInfo    *obs.GaugeVec // version
 
 	mu sync.Mutex // serializes SetModel's Reset+Set pair
@@ -77,6 +78,7 @@ func NewMetrics() *Metrics {
 		batches:      r.Counter("neurovec_embed_batches_total", "Embedding batches executed."),
 		batchedJobs:  r.Counter("neurovec_embed_batched_requests_total", "Embedding requests served through batches."),
 		poolRejected: r.Counter("neurovec_pool_rejected_total", "Requests rejected because the work queue was full."),
+		poolPanics:   r.Counter("neurovec_pool_panics_total", "Request panics recovered by the worker pool (each cost one request a 500)."),
 		modelInfo:    r.GaugeVec("neurovec_model_info", "Currently served model (value is load time in unix seconds).", "version"),
 	}
 	r.GaugeFunc("neurovec_cache_hit_ratio", "Response cache hit ratio since start.", func() float64 {
@@ -178,6 +180,9 @@ func (m *Metrics) Batch(n int) {
 
 // PoolRejected records a request turned away because the work queue was full.
 func (m *Metrics) PoolRejected() { m.poolRejected.Inc() }
+
+// PoolPanic records a request panic recovered by the worker pool.
+func (m *Metrics) PoolPanic() { m.poolPanics.Inc() }
 
 // SetModel records the currently served model version for the info gauge.
 // The vec is reset first so only the live version appears in the exposition.

@@ -3,7 +3,9 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -14,10 +16,22 @@ import (
 // unboundedly.
 var ErrOverloaded = errors.New("service: work queue full")
 
+// PanicError is returned by Pool.Do when the job panicked. The worker
+// recovers, so one poisoned request costs that request a 500 instead of
+// costing the process every in-flight request. Stack holds the goroutine
+// stack captured at recovery, for the server's log.
+type PanicError struct {
+	Val   any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("service: request panicked: %v", e.Val) }
+
 // poolJob is one queued unit of work.
 type poolJob struct {
 	run      func()
 	done     chan struct{}
+	err      error // written by the worker before done closes: nil or *PanicError
 	canceled atomic.Bool
 	enqueued time.Time
 }
@@ -37,6 +51,8 @@ type Pool struct {
 	// each job sat queued before a worker picked it up — the queue-wait
 	// latency histogram.
 	onWait func(time.Duration)
+	// onPanic, when set, observes every recovered job panic.
+	onPanic func()
 }
 
 // NewPool starts a pool. workers <= 0 means GOMAXPROCS; queue <= 0 means
@@ -59,7 +75,7 @@ func NewPool(workers, queue int) *Pool {
 				}
 				if !j.canceled.Load() {
 					p.inflight.Add(1)
-					j.run()
+					j.err = p.runSafe(j.run)
 					p.inflight.Add(-1)
 				}
 				close(j.done)
@@ -68,6 +84,25 @@ func NewPool(workers, queue int) *Pool {
 	}
 	return p
 }
+
+// runSafe runs one job, converting a panic into a *PanicError so the worker
+// goroutine (and with it the whole serving process) survives.
+func (p *Pool) runSafe(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if p.onPanic != nil {
+				p.onPanic()
+			}
+			err = &PanicError{Val: r, Stack: debug.Stack()}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// OnPanic installs a hook observing every recovered job panic (the panic
+// counter metric). Set it before the pool serves traffic.
+func (p *Pool) OnPanic(fn func()) { p.onPanic = fn }
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
@@ -79,10 +114,10 @@ func (p *Pool) QueueDepth() int { return len(p.jobs) }
 func (p *Pool) InFlight() int64 { return p.inflight.Load() }
 
 // Do queues fn and waits for it to finish. It returns ErrOverloaded without
-// queueing when the queue is full, and the context error if ctx is done
-// first — in that case fn is marked canceled and skipped if it has not
-// started yet (if it is already running it completes, but the caller has
-// gone).
+// queueing when the queue is full, the context error if ctx is done first —
+// in that case fn is marked canceled and skipped if it has not started yet
+// (if it is already running it completes, but the caller has gone) — and a
+// *PanicError if fn panicked (the worker recovers; see runSafe).
 func (p *Pool) Do(ctx context.Context, fn func()) error {
 	j := &poolJob{run: fn, done: make(chan struct{}), enqueued: time.Now()}
 	select {
@@ -92,7 +127,7 @@ func (p *Pool) Do(ctx context.Context, fn func()) error {
 	}
 	select {
 	case <-j.done:
-		return nil
+		return j.err
 	case <-ctx.Done():
 		j.canceled.Store(true)
 		return ctx.Err()

@@ -162,6 +162,7 @@ func New(cfg Config) (*Server, error) {
 	// Pool observability: queue-wait histogram plus scrape-time depth and
 	// in-flight gauges, all in the same registry /metrics renders.
 	s.pool.onWait = s.metrics.ObserveQueueWait
+	s.pool.OnPanic(s.metrics.PoolPanic)
 	reg := s.metrics.Registry()
 	reg.GaugeFunc("neurovec_queue_depth", "Jobs waiting in the worker-pool queue.",
 		func() float64 { return float64(s.pool.QueueDepth()) })
@@ -529,6 +530,7 @@ func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, r *http
 	if errors.Is(err, ErrOverloaded) {
 		s.metrics.PoolRejected()
 	}
+	s.logPanic(err)
 	if err == nil {
 		err = cerr
 	}
@@ -537,6 +539,16 @@ func (s *Server) serveCached(ctx context.Context, w http.ResponseWriter, r *http
 		return
 	}
 	s.respondFresh(w, key, payload)
+}
+
+// logPanic records a recovered request panic (surfaced by Pool.Do as a
+// *PanicError) with its captured stack. The request itself still gets its
+// 500 through the normal error path; this is the operator-facing trace.
+func (s *Server) logPanic(err error) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		s.log.Error("request panicked (recovered)", "panic", fmt.Sprint(pe.Val), "stack", string(pe.Stack))
+	}
 }
 
 // classify maps parse failures onto 422 (unparseable programs are the
@@ -748,6 +760,7 @@ func (s *Server) processEmbedBatch(batch []*embedJob) {
 		}
 	})
 	if err != nil {
+		s.logPanic(err)
 		for _, j := range batch {
 			if j.err == nil && j.vec == nil {
 				j.err = err
