@@ -20,7 +20,7 @@ import (
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "print diagnostics as JSON (the v2 wire format)")
-	corpus := fs.String("corpus", "", "also check built-in suites: polybench,mibench,figure7,generated")
+	corpus := fs.String("corpus", "", "also check built-in suites: polybench,mibench,figure7,tsvc,generated")
 	genN := fs.Int("n", 16, "generated-corpus size for -corpus generated")
 	seed := fs.Int64("seed", 1, "generated-corpus seed for -corpus generated")
 	strict := fs.Bool("strict", false, "exit non-zero on warnings too, not only errors")

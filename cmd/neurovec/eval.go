@@ -26,7 +26,7 @@ func cmdEval(args []string) error {
 	baseline := fs.String("baseline", "costmodel", "policy anchoring speedup")
 	oracle := fs.String("oracle", "brute", "policy anchoring regret")
 	corpusSpec := fs.String("corpus", "generated",
-		"comma-separated suites: polybench, mibench, figure7, generated")
+		"comma-separated suites: polybench, mibench, figure7, tsvc, generated")
 	dir := fs.String("dir", "", "also evaluate every .c file under this directory (suite \"dir\")")
 	n := fs.Int("n", 16, "size of the generated suite (matches the /v1/eval default)")
 	seed := fs.Int64("seed", 1, "seed for corpus generation and the framework")

@@ -150,7 +150,7 @@ commands:
   explain   show the simulator's cycle breakdown per loop (baseline vs best)
   check     run semantic analysis over C files and/or built-in corpora and
             print diagnostics (-json for the v2 wire format, -corpus
-            polybench,mibench,figure7,generated, -strict to fail on
+            polybench,mibench,figure7,tsvc,generated, -strict to fail on
             warnings); exits 1 when errors are found
   bench     run the in-process benchmark suite and emit the BENCH_*.json
             perf-trajectory artifact (-out BENCH_6.json, -pr 6)

@@ -40,7 +40,7 @@ func trainFlagSet() (*flag.FlagSet, *trainOpts) {
 	o := &trainOpts{}
 	fs := flag.NewFlagSet("train", flag.ExitOnError)
 	fs.StringVar(&o.corpus, "corpus", "generated",
-		"training corpus: comma-separated suites polybench, mibench, figure7, generated (shared with eval)")
+		"training corpus: comma-separated suites polybench, mibench, figure7, tsvc, generated (shared with eval)")
 	fs.StringVar(&o.dir, "dir", "", "also train on every .c file under this directory")
 	fs.IntVar(&o.n, "n", 1000, "size of the generated suite")
 	fs.IntVar(&o.samples, "samples", 0, "alias for -n (historical name)")

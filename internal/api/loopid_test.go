@@ -169,6 +169,177 @@ void f() {
 	}
 }
 
+// extendedSrc exercises the extended grammar in one translation unit: an
+// imperfect nest (statements before and after the inner loop), a struct
+// field access, a switch body and a non-canonical (strided) loop.
+const extendedSrc = `
+struct point { float x; float y; };
+struct point pts[32];
+float m[32][64];
+float acc[32];
+int sel[64];
+int out[64];
+void f() {
+    for (int i = 0; i < 32; i++) {
+        float sum = pts[i].x;
+        for (int j = 0; j < 64; j++) {
+            sum += m[i][j];
+        }
+        acc[i] = sum + pts[i].y;
+    }
+    for (int k = 0; k < 62; k += 2) {
+        switch (sel[k]) {
+        case 0:
+            out[k] = 1;
+            break;
+        default:
+            out[k] = 2;
+            break;
+        }
+    }
+}
+`
+
+// TestLoopIDsStableOnExtendedGrammar holds LoopID's contract on the
+// extended grammar: the imperfect nest's inner loop (L1, whose identity
+// hashes the whole nest including the statements around it) and the strided
+// switch loop (L2) keep their identities across reformatting, comment
+// insertion and pragma injection.
+func TestLoopIDsStableOnExtendedGrammar(t *testing.T) {
+	base := mustIDs(t, extendedSrc)
+	if len(base) != 2 {
+		t.Fatalf("want 2 innermost loops (imperfect-nest inner, switch), got %d", len(base))
+	}
+	for _, label := range []string{"L1", "L2"} {
+		if base[label] == "" {
+			t.Fatalf("no id for loop %s", label)
+		}
+	}
+	reformatted := `
+struct point { float x; float y; };
+struct point pts[32];
+float m[32][64]; float acc[32];
+int sel[64]; int out[64];
+void f() {
+    // row sums with struct-held boundary terms
+    for (int i = 0;   i < 32;   i++) {
+        float sum = pts[i].x;  /* left edge */
+        for (int j = 0;
+             j < 64;
+             j++) { sum += m[i][j]; }
+        acc[i] = sum + pts[i].y;
+    }
+    /* then the predicated copy, every other element */
+    for (int k = 0; k < 62; k += 2) {
+        switch (sel[k]) {
+        case 0:  out[k] = 1; break;
+        default: out[k] = 2; break;
+        }
+    }
+}
+`
+	got := mustIDs(t, reformatted)
+	for label, id := range base {
+		if got[label] != id {
+			t.Errorf("loop %s: id changed across whitespace/comment edit: %s -> %s", label, id, got[label])
+		}
+	}
+
+	prog, err := lang.Parse(extendedSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	annotated := extractor.Annotate(prog, []extractor.Decision{
+		{Label: "L1", VF: 8, IF: 2},
+	})
+	got = mustIDs(t, annotated)
+	for label, id := range base {
+		if got[label] != id {
+			t.Errorf("loop %s: id changed after pragma injection: %s -> %s", label, id, got[label])
+		}
+	}
+}
+
+// TestLoopIDsExtendedGrammarBodyEdits pins the other half of the identity
+// contract on the new constructs: editing a struct field reference, a
+// switch arm, or the statements around an inner loop changes the affected
+// loop's id while unrelated loops keep theirs.
+func TestLoopIDsExtendedGrammarBodyEdits(t *testing.T) {
+	base := mustIDs(t, extendedSrc)
+
+	fieldEdit := mustIDs(t, `
+struct point { float x; float y; };
+struct point pts[32];
+float m[32][64];
+float acc[32];
+int sel[64];
+int out[64];
+void f() {
+    for (int i = 0; i < 32; i++) {
+        float sum = pts[i].y;
+        for (int j = 0; j < 64; j++) {
+            sum += m[i][j];
+        }
+        acc[i] = sum + pts[i].y;
+    }
+    for (int k = 0; k < 62; k += 2) {
+        switch (sel[k]) {
+        case 0:
+            out[k] = 1;
+            break;
+        default:
+            out[k] = 2;
+            break;
+        }
+    }
+}
+`)
+	// The imperfect nest's pre-statement changed (.x -> .y). The inner
+	// loop's identity covers its whole nest — surrounding statements
+	// included — so it must change, while the distant switch loop keeps its
+	// id.
+	if fieldEdit["L1"] == base["L1"] {
+		t.Errorf("imperfect-nest loop kept id %s after struct field edit beside it", base["L1"])
+	}
+	if fieldEdit["L2"] != base["L2"] {
+		t.Errorf("switch loop changed id on unrelated edit: %s -> %s", base["L2"], fieldEdit["L2"])
+	}
+
+	armEdit := mustIDs(t, `
+struct point { float x; float y; };
+struct point pts[32];
+float m[32][64];
+float acc[32];
+int sel[64];
+int out[64];
+void f() {
+    for (int i = 0; i < 32; i++) {
+        float sum = pts[i].x;
+        for (int j = 0; j < 64; j++) {
+            sum += m[i][j];
+        }
+        acc[i] = sum + pts[i].y;
+    }
+    for (int k = 0; k < 62; k += 2) {
+        switch (sel[k]) {
+        case 0:
+            out[k] = 7;
+            break;
+        default:
+            out[k] = 2;
+            break;
+        }
+    }
+}
+`)
+	if armEdit["L2"] == base["L2"] {
+		t.Errorf("switch loop kept id %s after a case-arm edit", base["L2"])
+	}
+	if armEdit["L1"] != base["L1"] {
+		t.Errorf("imperfect-nest loop changed id on unrelated switch edit: %s -> %s", base["L1"], armEdit["L1"])
+	}
+}
+
 func TestCompileRequestValidate(t *testing.T) {
 	ok := &CompileRequest{Source: "void f() {}"}
 	if err := ok.Validate(); err != nil {

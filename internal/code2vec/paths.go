@@ -220,8 +220,30 @@ func (c *collector) stmt(s lang.Stmt) {
 			c.pop()
 		}
 		c.pop()
+	case *lang.SwitchStmt:
+		c.push("Switch")
+		c.expr(st.Tag)
+		for _, cc := range st.Cases {
+			name := "Case"
+			if cc.Value == nil {
+				name = "Default"
+			}
+			c.push(name)
+			c.expr(cc.Value)
+			for _, x := range cc.Body {
+				c.stmt(x)
+			}
+			c.pop()
+		}
+		c.pop()
+	case *lang.BreakStmt:
+		c.leaf("BREAK")
 	case *lang.DeclStmt:
-		c.push("Decl:" + st.Type.Scalar.String())
+		label := "Decl:" + st.Type.Scalar.String()
+		if st.Type.IsStruct() {
+			label = "Decl:struct:" + st.Type.StructName
+		}
+		c.push(label)
 		c.leaf(st.Name)
 		c.expr(st.Init)
 		c.pop()
@@ -271,6 +293,11 @@ func (c *collector) expr(e lang.Expr) {
 		c.push("Index")
 		c.expr(ex.Base)
 		c.expr(ex.Index)
+		c.pop()
+	case *lang.MemberExpr:
+		c.push("Member")
+		c.expr(ex.Base)
+		c.leaf(ex.Field)
 		c.pop()
 	case *lang.CallExpr:
 		c.push("Call:" + ex.Fun)

@@ -70,18 +70,30 @@ type GenConfig struct {
 	N    int
 	Seed int64
 	// Families restricts generation to the named template families
-	// (empty = all).
+	// (empty = all). Extended-grammar families may be named here even when
+	// Extended is false.
 	Families []string
+	// Extended adds the extended-grammar template families (structs,
+	// switches, opaque calls, non-unit steps, early exits, 3-D arrays,
+	// imperfect nests) to the pool. It is opt-in because enabling it changes
+	// which family every sample of an existing seed draws — corpora that pin
+	// generated sources byte-for-byte (goldens, bench gates) rely on the
+	// default pool staying fixed.
+	Extended bool
 }
 
 // Generate produces a deterministic synthetic dataset.
 func Generate(cfg GenConfig) *Set {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	fams := families
+	if cfg.Extended {
+		fams = append(append([]family{}, families...), extendedFamilies...)
+	}
 	if len(cfg.Families) > 0 {
+		all := append(append([]family{}, families...), extendedFamilies...)
 		fams = nil
 		for _, name := range cfg.Families {
-			for _, f := range families {
+			for _, f := range all {
 				if f.name == name {
 					fams = append(fams, f)
 				}
@@ -101,11 +113,15 @@ func Generate(cfg GenConfig) *Set {
 	return set
 }
 
-// FamilyNames lists the template families available to the generator.
+// FamilyNames lists the template families available to the generator; the
+// extended-grammar families are included after the base pool.
 func FamilyNames() []string {
-	out := make([]string, len(families))
-	for i, f := range families {
-		out[i] = f.name
+	out := make([]string, 0, len(families)+len(extendedFamilies))
+	for _, f := range families {
+		out = append(out, f.name)
+	}
+	for _, f := range extendedFamilies {
+		out = append(out, f.name)
 	}
 	return out
 }

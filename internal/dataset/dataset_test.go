@@ -1,10 +1,13 @@
 package dataset
 
 import (
+	"strings"
 	"testing"
 
+	"neurovec/internal/diag"
 	"neurovec/internal/ir"
 	"neurovec/internal/lang"
+	"neurovec/internal/lang/sema"
 	"neurovec/internal/lower"
 )
 
@@ -107,6 +110,59 @@ func TestHistogramFamilyIsUnvectorizable(t *testing.T) {
 	}
 }
 
+// TestExtendedFamilies covers the opt-in extended-grammar pool: samples must
+// parse, sema-check without errors (warnings only from the intentionally
+// non-vectorizable shapes), and lower; and the default pool must stay free
+// of extended families so existing seeds remain byte-stable.
+func TestExtendedFamilies(t *testing.T) {
+	extNames := map[string]bool{}
+	for _, f := range extendedFamilies {
+		extNames[f.name] = true
+	}
+
+	set := Generate(GenConfig{N: 200, Seed: 5, Extended: true})
+	seenExt := map[string]bool{}
+	for _, s := range set.Samples {
+		if extNames[s.Family] {
+			seenExt[s.Family] = true
+		}
+		prog, err := lang.Parse(s.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v\n%s", s.Name, err, s.Source)
+		}
+		info := sema.Check(s.Name, prog)
+		for _, d := range info.Diags {
+			if d.Severity == diag.Error {
+				t.Errorf("%s: sema error: %s\n%s", s.Name, d.String(), s.Source)
+			} else if d.Code != sema.CodeNonCanonical && d.Code != sema.CodeEarlyExit {
+				t.Errorf("%s: unexpected warning: %s\n%s", s.Name, d.String(), s.Source)
+			}
+		}
+		if _, err := lower.Program(prog, lower.DefaultOptions()); err != nil {
+			t.Fatalf("%s: lower: %v\n%s", s.Name, err, s.Source)
+		}
+	}
+	if len(seenExt) < len(extNames) {
+		t.Errorf("only %d/%d extended families drawn in 200 samples: %v", len(seenExt), len(extNames), seenExt)
+	}
+
+	// Repeatability of the extended pool.
+	again := Generate(GenConfig{N: 200, Seed: 5, Extended: true})
+	for i := range set.Samples {
+		if set.Samples[i].Source != again.Samples[i].Source {
+			t.Fatalf("extended sample %d differs across identical seeds", i)
+		}
+	}
+
+	// The default pool must not draw extended families.
+	base := Generate(GenConfig{N: 300, Seed: 5})
+	for _, s := range base.Samples {
+		if extNames[s.Family] {
+			t.Fatalf("default pool drew extended family %s; existing seeds would drift", s.Family)
+		}
+	}
+}
+
 func TestFamilyFilter(t *testing.T) {
 	set := Generate(GenConfig{N: 20, Seed: 1, Families: []string{"reduction"}})
 	for _, s := range set.Samples {
@@ -164,6 +220,63 @@ func TestBenchmarkSuitesWellFormed(t *testing.T) {
 				t.Errorf("%s/%s: no loops", name, b.Name)
 			}
 		}
+	}
+}
+
+// TestTSVCSuiteWellFormed checks the extended-grammar suite end to end:
+// every kernel parses, lowers, and yields at least one innermost loop, and
+// the suite as a whole covers each of the constructs it exists to exercise.
+func TestTSVCSuiteWellFormed(t *testing.T) {
+	bs := TSVC()
+	if len(bs) < 30 {
+		t.Fatalf("tsvc has %d kernels, want >= 30", len(bs))
+	}
+	seen := map[string]bool{}
+	var calls, irregular, earlyExit, structAccess, multiDim, switches int
+	for _, b := range bs {
+		if seen[b.Name] {
+			t.Errorf("duplicate kernel name %s", b.Name)
+		}
+		seen[b.Name] = true
+		prog, err := lang.Parse(b.Source)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", b.Name, err)
+		}
+		opts := lower.DefaultOptions()
+		opts.ParamValues = b.ParamValues
+		irp, err := lower.Program(prog, opts)
+		if err != nil {
+			t.Fatalf("%s: lower: %v", b.Name, err)
+		}
+		if len(irp.InnermostLoops()) == 0 {
+			t.Errorf("%s: no innermost loops", b.Name)
+		}
+		for _, l := range irp.InnermostLoops() {
+			if l.HasCall {
+				calls++
+			}
+			if l.Irregular {
+				irregular++
+			}
+			if l.HasEarlyExit {
+				earlyExit++
+			}
+			for _, a := range l.Accesses {
+				if len(a.Dims) > 1 {
+					multiDim++
+				}
+				if strings.Contains(a.Array, ".") {
+					structAccess++
+				}
+			}
+		}
+		if strings.Contains(b.Source, "switch") {
+			switches++
+		}
+	}
+	if calls == 0 || irregular == 0 || earlyExit == 0 || structAccess == 0 || multiDim == 0 || switches == 0 {
+		t.Errorf("coverage gap: calls=%d irregular=%d earlyExit=%d struct=%d multiDim=%d switch=%d",
+			calls, irregular, earlyExit, structAccess, multiDim, switches)
 	}
 }
 

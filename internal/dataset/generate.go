@@ -34,6 +34,170 @@ var families = []family{
 	{"fused_streams", genFusedStreams},
 }
 
+// extendedFamilies cover the extended grammar (structs, switches, opaque
+// calls, non-unit steps, early exits, 3-D arrays, imperfect nests). They are
+// kept out of the default pool so that existing seeds keep producing
+// byte-identical corpora; GenConfig.Extended (or naming them in Families)
+// opts in.
+var extendedFamilies = []family{
+	{"struct_aos", genStructAOS},
+	{"switch_select", genSwitchSelect},
+	{"opaque_call", genOpaqueCall},
+	{"stepped", genStepped},
+	{"early_break", genEarlyBreak},
+	{"three_dim", genThreeDim},
+	{"imperfect_nest", genImperfectNest},
+}
+
+// Array-of-structs field arithmetic (AoS layout; each field its own plane).
+func genStructAOS(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	tp := pick(rng, fpTypes)
+	sname := pick(rng, []string{"point", "cell", "body", "node"})
+	f1, f2 := "x", "y"
+	arr, out := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "struct %s { %s %s; %s %s; };", sname, tp, f1, tp, f2)
+	w(&b, "struct %s %s[%d];", sname, arr, n)
+	w(&b, "%s %s[%d];", tp, out, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	switch rng.Intn(3) {
+	case 0:
+		w(&b, "        %s[i] = %s[i].%s * %s[i].%s;", out, arr, f1, arr, f2)
+	case 1:
+		w(&b, "        %s[i].%s = %s[i].%s + %s[i];", arr, f1, arr, f2, out)
+	default:
+		w(&b, "        %s[i] = %s[i].%s + %s[i].%s * 0.5;", out, arr, f1, arr, f2)
+	}
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Switch over a data-dependent tag with constant-labelled arms.
+func genSwitchSelect(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	arms := 2 + rng.Intn(3)
+	sel, src, dst := nm.array(), nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "int %s[%d];", sel, n)
+	w(&b, "int %s[%d];", src, n)
+	w(&b, "int %s[%d];", dst, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        switch (%s[i] & %d) {", sel, arms)
+	for a := 0; a < arms; a++ {
+		w(&b, "        case %d:", a)
+		w(&b, "            %s[i] = %s[i] * %d;", dst, src, a+2)
+		w(&b, "            break;")
+	}
+	w(&b, "        default:")
+	w(&b, "            %s[i] = 0;", dst)
+	w(&b, "            break;")
+	w(&b, "        }")
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Opaque call in the loop body: never vectorizable.
+func genOpaqueCall(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	fn := pick(rng, []string{"update", "filterv", "transform", "process"})
+	src, dst := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "int %s[%d];", src, n)
+	w(&b, "int %s[%d];", dst, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	if rng.Intn(2) == 0 {
+		w(&b, "        %s[i] = %s(%s[i]);", dst, fn, src)
+	} else {
+		w(&b, "        %s[%s(i)] = %s[i];", dst, fn, src)
+	}
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Non-unit constant step with an in-loop recurrence candidate.
+func genStepped(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	st := []int{2, 3, 4, 5}[rng.Intn(4)]
+	tp := pick(rng, allTypes)
+	a, bArr := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d];", tp, a, n+st)
+	w(&b, "%s %s[%d];", tp, bArr, n+st)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i += %d) {", n, st)
+	w(&b, "        %s[i + %d] = %s[i] + %s[i];", a, st-1, a, bArr)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Early exit: a guarded break makes the trip count data-dependent.
+func genEarlyBreak(nm *namer, rng *rand.Rand) string {
+	n := pickTrip(rng)
+	thr := 1 << uint(3+rng.Intn(8))
+	src, dst := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "int %s[%d];", src, n)
+	w(&b, "int %s[%d];", dst, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        if (%s[i] > %d) {", src, thr)
+	w(&b, "            break;")
+	w(&b, "        }")
+	w(&b, "        %s[i] = %s[i] + 1;", dst, src)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Triple-subscripted arrays with a unit-stride innermost dimension.
+func genThreeDim(nm *namer, rng *rand.Rand) string {
+	n := []int{8, 12, 16}[rng.Intn(3)]
+	tp := pick(rng, fpTypes)
+	src, dst := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d][%d][%d];", tp, src, n, n, n)
+	w(&b, "%s %s[%d][%d][%d];", tp, dst, n, n, n)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", n)
+	w(&b, "        for (int j = 0; j < %d; j++) {", n)
+	w(&b, "            for (int k = 0; k < %d; k++) {", n)
+	w(&b, "                %s[i][j][k] = %s[i][j][k] * 0.5 + %s[i][j][k];", dst, src, dst)
+	w(&b, "            }")
+	w(&b, "        }")
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
+// Imperfect nest: scalar work before and after the inner loop.
+func genImperfectNest(nm *namer, rng *rand.Rand) string {
+	rows := []int{16, 32, 64}[rng.Intn(3)]
+	cols := pickTrip(rng)
+	tp := pick(rng, fpTypes)
+	m, acc := nm.array(), nm.array()
+	var b strings.Builder
+	w(&b, "%s %s[%d][%d];", tp, m, rows, cols)
+	w(&b, "%s %s[%d];", tp, acc, rows)
+	w(&b, "void kernel() {")
+	w(&b, "    for (int i = 0; i < %d; i++) {", rows)
+	w(&b, "        %s sum = 0;", tp)
+	w(&b, "        for (int j = 0; j < %d; j++) {", cols)
+	w(&b, "            sum += %s[i][j];", m)
+	w(&b, "        }")
+	w(&b, "        %s[i] = sum;", acc)
+	w(&b, "    }")
+	w(&b, "}")
+	return b.String()
+}
+
 // Example #1: manually strip-mined copies with type conversion.
 func genConvertUnroll(nm *namer, rng *rand.Rand) string {
 	n := pickTrip(rng)

@@ -1,0 +1,394 @@
+package dataset
+
+// TSVC returns analogues of the TSVC (Test Suite for Vectorizing Compilers)
+// kernels, extended to exercise the frontend constructs the original corpus
+// suites avoid: function calls in loop bodies and subscripts, struct field
+// accesses, switch statements, multi-dimensional subscripts, and
+// non-canonical loop forms (non-unit steps, != bounds, downward counts,
+// geometric induction, early exits, imperfect nests). Kernels follow the
+// TSVC naming convention (s<nnn>) with a descriptive suffix.
+//
+// Unlike the polybench/mibench/figure7 suites, several of these kernels are
+// intentionally NOT vectorizable: the suite's job is to prove the pipeline
+// stays sound and deterministic on the full grammar, with the dependence
+// analysis refusing exactly the loops it cannot prove safe. Kernels may
+// carry sema warnings (non-canonical form, early exit) but never errors.
+func TSVC() []Benchmark {
+	return []Benchmark{
+		{Name: "s000_linear", Source: `
+int a[1024];
+int b[1024];
+void s000() {
+    for (int i = 0; i < 1024; i++) {
+        a[i] = b[i] + 1;
+    }
+}
+`},
+		{Name: "s111_stride2", Source: `
+float a[2048];
+float b[2048];
+void s111() {
+    for (int i = 1; i < 2048; i += 2) {
+        a[i] = a[i - 1] + b[i];
+    }
+}
+`},
+		{Name: "s112_reverse_recurrence", Source: `
+float a[1025];
+float b[1024];
+void s112() {
+    for (int i = 1023; i >= 0; i--) {
+        a[i + 1] = a[i] + b[i];
+    }
+}
+`},
+		{Name: "s113_invariant_element", Source: `
+float a[1024];
+float b[1024];
+void s113() {
+    for (int i = 1; i < 1024; i++) {
+        a[i] = a[0] + b[i];
+    }
+}
+`},
+		{Name: "s114_triangular", Source: `
+float aa[128][128];
+float bb[128][128];
+void s114() {
+    for (int i = 0; i < 128; i++) {
+        for (int j = 0; j < i; j++) {
+            aa[i][j] = aa[j][i] + bb[i][j];
+        }
+    }
+}
+`},
+		{Name: "s115_lower_triangular", Source: `
+float a[256];
+float aa[256][256];
+void s115() {
+    for (int j = 0; j < 256; j++) {
+        for (int i = j + 1; i < 256; i++) {
+            a[i] = a[i] - aa[j][i] * a[j];
+        }
+    }
+}
+`},
+		{Name: "s116_unrolled5", Source: `
+float a[1025];
+void s116() {
+    for (int i = 0; i < 1020; i += 5) {
+        a[i] = a[i + 1] * a[i];
+        a[i + 1] = a[i + 2] * a[i + 1];
+        a[i + 2] = a[i + 3] * a[i + 2];
+        a[i + 3] = a[i + 4] * a[i + 3];
+        a[i + 4] = a[i + 5] * a[i + 4];
+    }
+}
+`},
+		{Name: "s121_imperfect_pre", Source: `
+float a[1024];
+float bb[32][1024];
+void s121() {
+    for (int i = 0; i < 32; i++) {
+        float t = a[i] * 0.5;
+        a[i] = t;
+        for (int j = 0; j < 1024; j++) {
+            bb[i][j] = bb[i][j] + t;
+        }
+    }
+}
+`},
+		{Name: "s122_noteq_bound", Source: `
+int a[512];
+int b[512];
+void s122() {
+    for (int i = 0; i != 512; i++) {
+        a[i] = b[i] * 3;
+    }
+}
+`},
+		{Name: "s123_imperfect_post", Source: `
+float aa[64][64];
+float rowsum[64];
+float colmax[64];
+void s123() {
+    for (int i = 0; i < 64; i++) {
+        rowsum[i] = 0.0;
+        for (int j = 0; j < 64; j++) {
+            rowsum[i] += aa[i][j];
+        }
+        colmax[i] = rowsum[i] * 0.015625;
+    }
+}
+`},
+		{Name: "s124_branch_both", Source: `
+int a[2048];
+int b[2048];
+int c[2048];
+void s124() {
+    for (int i = 0; i < 2048; i++) {
+        if (b[i] > 0) {
+            a[i] = b[i] + c[i];
+        } else {
+            a[i] = b[i] - c[i];
+        }
+    }
+}
+`},
+		{Name: "s125_flattened_2d", Source: `
+float aa[64][64];
+float bb[64][64];
+float flat[4096];
+void s125() {
+    for (int i = 0; i < 64; i++) {
+        for (int j = 0; j < 64; j++) {
+            flat[64 * i + j] = aa[i][j] + bb[i][j] * 2.0;
+        }
+    }
+}
+`},
+		{Name: "s126_threedim", Source: `
+float ccc[16][16][16];
+float ddd[16][16][16];
+void s126() {
+    for (int i = 0; i < 16; i++) {
+        for (int j = 0; j < 16; j++) {
+            for (int k = 0; k < 16; k++) {
+                ccc[i][j][k] = ddd[i][j][k] * 0.5 + ddd[i][j][k];
+            }
+        }
+    }
+}
+`},
+		{Name: "s127_strided_store", Source: `
+int a[2048];
+int b[1024];
+void s127() {
+    for (int i = 0; i < 1024; i++) {
+        a[2 * i] = b[i];
+    }
+}
+`},
+		{Name: "s128_call_body", Source: `
+int a[1024];
+int b[1024];
+void s128() {
+    for (int i = 0; i < 1024; i++) {
+        a[i] = transform(b[i]) + 1;
+    }
+}
+`},
+		{Name: "s131_runtime_offset", Source: `
+float a[2048];
+float b[1024];
+void s131(int m) {
+    for (int i = 0; i < 1024; i++) {
+        a[i + m] = a[i] + b[i];
+    }
+}
+`, ParamValues: map[string]int64{"m": 1}},
+		{Name: "s132_row_offset", Source: `
+float aa[128][128];
+float b[128];
+void s132(int m) {
+    for (int j = 1; j < 128; j++) {
+        aa[m][j] = aa[m][j - 1] + b[j];
+    }
+}
+`, ParamValues: map[string]int64{"m": 2}},
+		{Name: "s141_switch_body", Source: `
+int mode[2048];
+int a[2048];
+int b[2048];
+void s141() {
+    for (int i = 0; i < 2048; i++) {
+        switch (mode[i] & 3) {
+        case 0:
+            a[i] = b[i];
+            break;
+        case 1:
+            a[i] = b[i] * 2;
+            break;
+        case 2:
+            a[i] = b[i] + 5;
+            break;
+        default:
+            a[i] = 0;
+            break;
+        }
+    }
+}
+`},
+		{Name: "s142_switch_fallthrough", Source: `
+int tag[1024];
+int acc[1024];
+void s142() {
+    for (int i = 0; i < 1024; i++) {
+        switch (tag[i] & 1) {
+        case 0:
+            acc[i] = acc[i] + 1;
+        default:
+            acc[i] = acc[i] * 2;
+            break;
+        }
+    }
+}
+`},
+		{Name: "s151_struct_fields", Source: `
+struct point { float x; float y; float z; };
+struct point pts[1024];
+float norm2[1024];
+void s151() {
+    for (int i = 0; i < 1024; i++) {
+        norm2[i] = pts[i].x * pts[i].x + pts[i].y * pts[i].y + pts[i].z * pts[i].z;
+    }
+}
+`},
+		{Name: "s152_struct_update", Source: `
+struct body { double px; double vx; };
+struct body sys[512];
+void s152(double dt) {
+    for (int i = 0; i < 512; i++) {
+        sys[i].px = sys[i].px + sys[i].vx * dt;
+    }
+}
+`},
+		{Name: "s153_struct_scalar", Source: `
+struct rng { int lo; int hi; };
+int a[1024];
+int b[1024];
+void s153() {
+    struct rng r;
+    r.lo = 0;
+    r.hi = 255;
+    for (int i = 0; i < 1024; i++) {
+        int x = b[i];
+        a[i] = x < r.lo ? r.lo : (x > r.hi ? r.hi : x);
+    }
+}
+`},
+		{Name: "s161_search_break", Source: `
+int a[4096];
+int found[1];
+void s161(int key) {
+    for (int i = 0; i < 4096; i++) {
+        if (a[i] == key) {
+            found[0] = i;
+            break;
+        }
+    }
+}
+`, ParamValues: map[string]int64{"key": 7}},
+		{Name: "s162_clip_break", Source: `
+float a[2048];
+float b[2048];
+void s162() {
+    for (int i = 0; i < 2048; i++) {
+        if (a[i] < 0.0) {
+            break;
+        }
+        b[i] = a[i] * 0.5;
+    }
+}
+`},
+		{Name: "s171_geometric", Source: `
+int a[4096];
+void s171() {
+    for (int i = 1; i < 4096; i = i * 2) {
+        a[i] = a[i] + 1;
+    }
+}
+`},
+		{Name: "s172_negative_step3", Source: `
+float a[1536];
+float b[1536];
+void s172() {
+    for (int i = 1535; i >= 0; i -= 3) {
+        a[i] = b[i] + 1.0;
+    }
+}
+`},
+		{Name: "s173_call_subscript", Source: `
+int a[1024];
+int b[1024];
+void s173() {
+    for (int i = 0; i < 1024; i++) {
+        a[remap(i)] = b[i];
+    }
+}
+`},
+		{Name: "s174_builtin_minmax", Source: `
+int a[2048];
+int b[2048];
+int c[2048];
+void s174() {
+    for (int i = 0; i < 2048; i++) {
+        c[i] = min(a[i], max(b[i], 0));
+    }
+}
+`},
+		{Name: "s175_builtin_sqrt", Source: `
+double a[1024];
+double b[1024];
+void s175() {
+    for (int i = 0; i < 1024; i++) {
+        b[i] = sqrt(a[i] * a[i] + 1.0);
+    }
+}
+`},
+		{Name: "s176_dot", Source: `
+float x[4096];
+float y[4096];
+float s176() {
+    float s = 0;
+    for (int i = 0; i < 4096; i++) {
+        s += x[i] * y[i];
+    }
+    return s;
+}
+`},
+		{Name: "s211_imperfect_stencil", Source: `
+float a[258];
+float bb[32][258];
+void s211() {
+    for (int i = 0; i < 32; i++) {
+        a[0] = bb[i][0];
+        for (int j = 1; j < 257; j++) {
+            a[j] = bb[i][j - 1] + bb[i][j + 1];
+        }
+    }
+}
+`},
+		{Name: "s221_struct_recurrence", Source: `
+struct cell { float v; float w; };
+struct cell grid[1025];
+void s221() {
+    for (int i = 0; i < 1024; i++) {
+        grid[i + 1].v = grid[i].v * 0.5 + grid[i + 1].w;
+    }
+}
+`},
+		{Name: "s231_switch_nest", Source: `
+int sel[64];
+float aa[64][64];
+float bb[64][64];
+void s231() {
+    for (int i = 0; i < 64; i++) {
+        int k = sel[i] & 1;
+        switch (k) {
+        case 0:
+            for (int j = 0; j < 64; j++) {
+                aa[i][j] = bb[i][j] + 1.0;
+            }
+            break;
+        default:
+            for (int j = 0; j < 64; j++) {
+                aa[i][j] = bb[i][j] * 2.0;
+            }
+            break;
+        }
+    }
+}
+`},
+	}
+}

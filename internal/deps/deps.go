@@ -31,6 +31,13 @@ const Unlimited = 1 << 20
 // simplified:
 //
 //   - opaque calls in the body forbid vectorization entirely;
+//   - irregular loops (no recognised canonical induction) and loops with an
+//     early exit (break) forbid it: their iteration space is not a dense
+//     0..trip range, so lockstep execution could run iterations that the
+//     scalar loop never reaches;
+//   - same-array store pairs where either offset is inexact (a runtime
+//     scalar folded away during lowering) forbid it: the dependence distance
+//     is unknown;
 //   - a non-affine store (scatter with unknown aliasing) forbids it;
 //   - a non-affine load from an array that is also stored forbids it;
 //   - for same-array store/load pairs with equal stride s, a positive
@@ -58,6 +65,12 @@ func Analyze(l *ir.Loop) Result {
 	if l.HasCall {
 		return Result{MaxVF: 1, Reason: "opaque call in loop body"}
 	}
+	if l.Irregular {
+		return Result{MaxVF: 1, Reason: "non-canonical loop induction"}
+	}
+	if l.HasEarlyExit {
+		return Result{MaxVF: 1, Reason: "early exit (break) in loop body"}
+	}
 	trip := l.ProvenTrip // 0 means no proof: range reasoning disabled
 	maxVF := Unlimited
 	reason := ""
@@ -84,6 +97,13 @@ func Analyze(l *ir.Loop) Result {
 				return Result{MaxVF: 1, Reason: "non-affine access to stored array " + s.Array}
 			}
 			as := a.StrideFor(l.Label)
+			if !s.ExactOffset || !a.ExactOffset {
+				// A runtime-scalar term was folded to zero in at least one of
+				// the offsets, so every offset-based proof below would compare
+				// incomplete addresses (a[i+k] vs a[i] has unknown distance).
+				limit(1, "runtime-offset access pair on "+s.Array)
+				continue
+			}
 			if !outerStridesEqual(s, a, l.Label) {
 				// The pair's address difference varies with an enclosing
 				// loop, so every offset-based proof below (same-location,

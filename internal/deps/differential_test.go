@@ -1,0 +1,366 @@
+package deps
+
+import (
+	"fmt"
+	"testing"
+
+	"neurovec/internal/dataset"
+	"neurovec/internal/ir"
+	"neurovec/internal/lang"
+	"neurovec/internal/lang/sema"
+	"neurovec/internal/lower"
+)
+
+// This file is the differential legality check: an independent brute-force
+// oracle over the concrete iteration space, cross-checked against Analyze's
+// certified MaxVF for every loop in every shipped corpus (including the tsvc
+// suite's calls, structs, multi-dim arrays, switches and non-canonical
+// loops) plus the synthetic generator's extended-grammar pool.
+//
+// The oracle's model of vectorization at factor VF: consecutive iterations
+// are grouped into chunks of VF; within a chunk all loads execute before all
+// stores, and the lanes of a single store instruction commit in iteration
+// order. A certified VF is illegal if any chunk contains
+//
+//   - a flow hazard: a store at iteration i and a load at iteration j > i
+//     touching the same element (the lockstep load would read the value
+//     from before the store), or
+//   - an output hazard: two distinct store sites touching the same element
+//     at different iterations (their commit order within the chunk is
+//     unspecified in the IR).
+//
+// Anti-dependences (load before the store that overwrites the element) are
+// legal — loads complete first — and a single store site never hazards with
+// itself because its lanes commit in order.
+//
+// Addresses are Offset + Σ Strides[label]·k over the normalized iteration
+// space [0, trip): the lowering pass folds loop lower bounds and step sizes
+// into offsets and per-iteration strides, so the oracle can walk raw
+// indices. Pairs whose address the oracle cannot compute exactly (non-affine
+// subscripts, runtime-scalar offsets) are hazards at any VF > 1 by
+// definition: no certificate can be checked, so none may be issued.
+
+// oracleTrip picks the iteration count the oracle simulates. A proven trip
+// bounds the real iteration space exactly; otherwise the certificate must
+// hold for every trip, so any sufficiently large window is a valid probe.
+func oracleTrip(l *ir.Loop) int64 {
+	if l.ProvenTrip > 0 {
+		return l.ProvenTrip
+	}
+	t := l.Trip
+	if t < 2 {
+		t = 2
+	}
+	if t > 128 {
+		t = 128
+	}
+	return t
+}
+
+// outerDeltas enumerates the address-difference contributions of the
+// enclosing loops: for each assignment of outer iteration variables, the
+// difference between the two accesses' outer-stride terms. When both
+// accesses advance identically with every outer loop this is just {0};
+// otherwise the set exposes outer-variant pairs the inner-loop proofs must
+// not reason about. Outer trips are capped to keep the sweep bounded — a
+// capped sweep can only under-report hazards, never invent one.
+func outerDeltas(s, a *ir.Access, inner string, outers []*ir.Loop) []int64 {
+	deltas := []int64{0}
+	for _, o := range outers {
+		d := s.StrideFor(o.Label) - a.StrideFor(o.Label)
+		if d == 0 {
+			continue
+		}
+		trip := o.Trip
+		if o.ProvenTrip > 0 {
+			trip = o.ProvenTrip
+		}
+		if trip > 16 {
+			trip = 16
+		}
+		var next []int64
+		for _, base := range deltas {
+			for k := int64(0); k < trip; k++ {
+				next = append(next, base+d*k)
+			}
+		}
+		deltas = next
+	}
+	return deltas
+}
+
+// chunkHazard reports whether a chunk of vf consecutive iterations contains
+// a flow or output hazard between store s and access a, for some enclosing
+// iteration state drawn from deltas. i indexes s's iteration and j indexes
+// a's; both range over the same chunk.
+func chunkHazard(s, a *ir.Access, inner string, trip int64, vf int64, deltas []int64) (int64, int64, bool) {
+	ss := s.StrideFor(inner)
+	as := a.StrideFor(inner)
+	for _, d := range deltas {
+		for base := int64(0); base < trip; base += vf {
+			end := base + vf
+			if end > trip {
+				end = trip
+			}
+			for i := base; i < end; i++ {
+				for j := base; j < end; j++ {
+					if i == j {
+						continue
+					}
+					if s.Offset+ss*i != a.Offset+as*j+d {
+						continue
+					}
+					// Same element, distinct iterations in one chunk.
+					if a.Kind == ir.Store {
+						return i, j, true // output hazard: unordered store sites
+					}
+					if j > i {
+						return i, j, true // flow hazard: load after store in scalar order
+					}
+					// j < i and a is a load: anti-dependence, legal.
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// checkLoopAgainstOracle certifies one innermost loop: whatever MaxVF
+// Analyze reports must survive the brute-force sweep. VF 1 is legal by
+// definition (no lockstep), so conservatively rejected loops pass trivially
+// — the oracle exists to catch certificates that are too permissive.
+func checkLoopAgainstOracle(t *testing.T, name string, l *ir.Loop, outers []*ir.Loop) {
+	t.Helper()
+	res := Analyze(l)
+	if res.MaxVF <= 1 {
+		return
+	}
+	trip := oracleTrip(l)
+	vf := int64(res.MaxVF)
+	if vf > trip {
+		vf = trip
+	}
+	for _, s := range l.Accesses {
+		if s.Kind != ir.Store {
+			continue
+		}
+		for _, a := range l.Accesses {
+			if a == s || a.Array != s.Array {
+				continue
+			}
+			if !s.Affine || !a.Affine || !s.ExactOffset || !a.ExactOffset {
+				t.Errorf("%s: loop %s: Analyze certified VF=%d but the %s access pair on %q has addresses the oracle cannot bound (affine=%v/%v exact=%v/%v)",
+					name, l.Label, res.MaxVF, a.Kind, s.Array, s.Affine, a.Affine, s.ExactOffset, a.ExactOffset)
+				continue
+			}
+			deltas := outerDeltas(s, a, l.Label, outers)
+			if i, j, bad := chunkHazard(s, a, l.Label, trip, vf, deltas); bad {
+				t.Errorf("%s: loop %s: Analyze certified VF=%d (%s) but store@iter%d and %s@iter%d share an element of %q inside one chunk",
+					name, l.Label, res.MaxVF, res.Reason, i, a.Kind, j, s.Array)
+			}
+		}
+	}
+}
+
+// checkProgram runs the oracle over every innermost loop of a lowered
+// program, tracking the enclosing-loop path so outer-variant address terms
+// are swept too.
+func checkProgram(t *testing.T, name string, p *ir.Program) {
+	t.Helper()
+	var walk func(l *ir.Loop, outers []*ir.Loop)
+	walk = func(l *ir.Loop, outers []*ir.Loop) {
+		if l.Innermost() {
+			checkLoopAgainstOracle(t, name, l, outers)
+			return
+		}
+		for _, c := range l.Children {
+			walk(c, append(outers, l))
+		}
+	}
+	for _, f := range p.Funcs {
+		for _, l := range f.Loops {
+			walk(l, nil)
+		}
+	}
+}
+
+// lowerBoth lowers a source once plainly and once with sema's proven facts,
+// mirroring the real pipeline's two operating points. Sources with sema
+// errors are skipped by returning nils (the corpora under test forbid them
+// elsewhere; the oracle only certifies what the pipeline would accept).
+func lowerBoth(t *testing.T, name, src string, params map[string]int64) (plain, withFacts *ir.Program) {
+	t.Helper()
+	prog, err := lang.ParseFile(name, src)
+	if err != nil {
+		t.Errorf("%s: parse: %v", name, err)
+		return nil, nil
+	}
+	info := sema.Check(name, prog)
+	if info.Diags.HasErrors() {
+		t.Errorf("%s: sema errors:\n%s", name, info.Diags.String())
+		return nil, nil
+	}
+	opts := lower.DefaultOptions()
+	opts.ParamValues = params
+	p1, err := lower.Program(prog, opts)
+	if err != nil {
+		t.Errorf("%s: lower: %v", name, err)
+		return nil, nil
+	}
+	opts.Facts = info.Facts
+	p2, err := lower.Program(prog, opts)
+	if err != nil {
+		t.Errorf("%s: lower with facts: %v", name, err)
+		return p1, nil
+	}
+	return p1, p2
+}
+
+// TestDifferentialLegalityBenchmarks sweeps every shipped benchmark suite —
+// most importantly tsvc, whose kernels exist to stress calls, struct
+// fields, multi-dimensional arrays, switches and non-canonical loops —
+// asserting Analyze never certifies a vectorization factor the brute-force
+// oracle can refute.
+func TestDifferentialLegalityBenchmarks(t *testing.T) {
+	suites := map[string][]dataset.Benchmark{
+		"tsvc":      dataset.TSVC(),
+		"figure7":   dataset.EvalBenchmarks(),
+		"llvmsuite": dataset.LLVMSuite(),
+		"polybench": dataset.PolyBench(),
+		"mibench":   dataset.MiBench(),
+	}
+	for suite, bs := range suites {
+		for _, b := range bs {
+			name := suite + "/" + b.Name
+			plain, withFacts := lowerBoth(t, name, b.Source, b.ParamValues)
+			if plain != nil {
+				checkProgram(t, name+"[plain]", plain)
+			}
+			if withFacts != nil {
+				checkProgram(t, name+"[facts]", withFacts)
+			}
+		}
+	}
+}
+
+// TestDifferentialLegalityGenerated runs the same oracle over the synthetic
+// generator with the extended-grammar families enabled, so every template —
+// including the struct, switch, call, stepped, early-break, 3-D and
+// imperfect-nest shapes — faces the cross-check at several seeds.
+func TestDifferentialLegalityGenerated(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		set := dataset.Generate(dataset.GenConfig{N: 150, Seed: seed, Extended: true})
+		for _, s := range set.Samples {
+			name := fmt.Sprintf("seed%d/%s", seed, s.Name)
+			plain, withFacts := lowerBoth(t, name, s.Source, nil)
+			if plain != nil {
+				checkProgram(t, name+"[plain]", plain)
+			}
+			if withFacts != nil {
+				checkProgram(t, name+"[facts]", withFacts)
+			}
+		}
+	}
+}
+
+// TestDifferentialLegalityTargeted pins hand-written near-miss shapes from
+// the new grammar: each source pairs a legal kernel with an adversarial
+// sibling whose certified VF would be refuted if one of the conservative
+// rules (inexact offsets, irregular inductions, early exits, struct-field
+// separation, flattened multi-dim congruence) were dropped.
+func TestDifferentialLegalityTargeted(t *testing.T) {
+	cases := []struct {
+		name   string
+		src    string
+		params map[string]int64
+	}{
+		{"runtime_offset_pair", `
+int a[1024];
+void f(int m) {
+    for (int i = 0; i < 256; i++) {
+        a[i + m] = a[i] + 1;
+    }
+}
+`, map[string]int64{"m": 3}},
+		{"struct_field_separation", `
+struct point { float x; float y; };
+struct point pts[512];
+void f() {
+    for (int i = 0; i < 512; i++) {
+        pts[i].x = pts[i].y * 2.0;
+    }
+}
+`, nil},
+		{"struct_field_recurrence", `
+struct cell { int v; int w; };
+struct cell grid[256];
+void f() {
+    for (int i = 0; i < 255; i++) {
+        grid[i + 1].v = grid[i].v + grid[i].w;
+    }
+}
+`, nil},
+		{"multidim_row_vs_flat", `
+int aa[64][64];
+void f() {
+    for (int i = 0; i < 64; i++) {
+        for (int j = 0; j < 63; j++) {
+            aa[i][j] = aa[i][j + 1] * 2;
+        }
+    }
+}
+`, nil},
+		{"nonunit_step_interleave", `
+int a[2048];
+void f() {
+    for (int i = 0; i < 512; i += 2) {
+        a[i + 1] = a[i] * 3;
+    }
+}
+`, nil},
+		{"downward_recurrence", `
+int a[512];
+void f() {
+    for (int i = 510; i >= 0; i--) {
+        a[i] = a[i + 1] + 1;
+    }
+}
+`, nil},
+		{"call_in_subscript", `
+int a[1024];
+int b[1024];
+void f() {
+    for (int i = 0; i < 256; i++) {
+        a[remap(i)] = b[i];
+    }
+}
+`, nil},
+		{"switch_predicated_store", `
+int a[256];
+int b[256];
+void f() {
+    for (int i = 0; i < 255; i++) {
+        switch (b[i]) {
+        case 0:
+            a[i] = 1;
+            break;
+        default:
+            a[i] = a[i + 1];
+            break;
+        }
+    }
+}
+`, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plain, withFacts := lowerBoth(t, tc.name, tc.src, tc.params)
+			if plain != nil {
+				checkProgram(t, tc.name+"[plain]", plain)
+			}
+			if withFacts != nil {
+				checkProgram(t, tc.name+"[facts]", withFacts)
+			}
+		})
+	}
+}

@@ -125,11 +125,14 @@ const (
 	SuiteMiBench   = "mibench"
 	SuiteFigure7   = "figure7"
 	SuiteGenerated = "generated"
+	SuiteTSVC      = "tsvc"
 )
 
 // BuildCorpus assembles a corpus from a comma-separated spec of built-in
 // suite names: "polybench", "mibench", "figure7" (the paper's twelve
-// held-out benchmarks), and "generated" (genN synthetic programs from the
+// held-out benchmarks), "tsvc" (TSVC-style kernels over the extended
+// grammar: calls, structs, switches, multi-dimensional subscripts,
+// non-canonical loops), and "generated" (genN synthetic programs from the
 // seed). The result is in canonical (suite, name) order.
 func BuildCorpus(spec string, genN int, seed int64) (*Corpus, error) {
 	if spec == "" {
@@ -147,13 +150,15 @@ func BuildCorpus(spec string, genN int, seed int64) (*Corpus, error) {
 			c.Add(FromBenchmarks(SuiteMiBench, dataset.MiBench()).Items...)
 		case SuiteFigure7, "eval":
 			c.Add(FromBenchmarks(SuiteFigure7, dataset.EvalBenchmarks()).Items...)
+		case SuiteTSVC:
+			c.Add(FromBenchmarks(SuiteTSVC, dataset.TSVC()).Items...)
 		case SuiteGenerated:
 			c.Add(FromSet(SuiteGenerated, dataset.Generate(dataset.GenConfig{N: genN, Seed: seed})).Items...)
 		case "":
 			continue
 		default:
-			return nil, fmt.Errorf("evalharness: unknown corpus suite %q (want %s, %s, %s, or %s)",
-				name, SuitePolyBench, SuiteMiBench, SuiteFigure7, SuiteGenerated)
+			return nil, fmt.Errorf("evalharness: unknown corpus suite %q (want %s, %s, %s, %s, or %s)",
+				name, SuitePolyBench, SuiteMiBench, SuiteFigure7, SuiteTSVC, SuiteGenerated)
 		}
 	}
 	if len(c.Items) == 0 {

@@ -14,13 +14,15 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite the golden eval report")
 
 // TestGoldenReport pins the eval report format and numbers for a tiny
-// fixed-seed corpus. A diff here means either the report schema or the
-// evaluation semantics changed — both must be deliberate. Regenerate with:
+// fixed-seed corpus plus the full tsvc suite (the extended-grammar kernels:
+// calls, structs, switches, non-canonical loops). A diff here means either
+// the report schema or the evaluation semantics changed — both must be
+// deliberate. Regenerate with:
 //
 //	go test ./internal/evalharness -run TestGoldenReport -update
 func TestGoldenReport(t *testing.T) {
 	const seed = 7
-	corpus, err := BuildCorpus("generated", 4, seed)
+	corpus, err := BuildCorpus("generated,tsvc", 4, seed)
 	if err != nil {
 		t.Fatal(err)
 	}

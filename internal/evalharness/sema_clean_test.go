@@ -3,6 +3,7 @@ package evalharness
 import (
 	"testing"
 
+	"neurovec/internal/diag"
 	"neurovec/internal/lang"
 	"neurovec/internal/lang/sema"
 )
@@ -30,6 +31,42 @@ func TestShippedCorporaAreSemaClean(t *testing.T) {
 		info := sema.Check(name, prog)
 		if len(info.Diags) != 0 {
 			t.Errorf("%s: not sema-clean:\n%s", name, info.Diags.String())
+		}
+	}
+}
+
+// TestTSVCCorpusSemaPolicy pins the diagnostic contract for the tsvc suite,
+// which deliberately exercises grammar the clean suites avoid: kernels must
+// never produce sema errors, and any warnings must come from the two codes
+// that describe intentionally non-vectorizable shapes (non-canonical loop
+// form, early exit). Anything else — an unused variable, an uninitialised
+// read — is a kernel bug, not a feature of the suite.
+func TestTSVCCorpusSemaPolicy(t *testing.T) {
+	allowedWarnings := map[string]bool{
+		sema.CodeNonCanonical: true,
+		sema.CodeEarlyExit:    true,
+	}
+	corpus, err := BuildCorpus(SuiteTSVC, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Items) < 30 {
+		t.Fatalf("tsvc suite has %d kernels, want >= 30", len(corpus.Items))
+	}
+	for _, it := range corpus.Items {
+		name := it.Suite + "/" + it.Name
+		prog, err := lang.ParseFile(name, it.Source)
+		if err != nil {
+			t.Errorf("%s: parse: %v", name, err)
+			continue
+		}
+		info := sema.Check(name, prog)
+		for _, d := range info.Diags {
+			if d.Severity == diag.Error {
+				t.Errorf("%s: sema error: %s", name, d.String())
+			} else if !allowedWarnings[d.Code] {
+				t.Errorf("%s: unexpected warning %s: %s", name, d.Code, d.String())
+			}
 		}
 	}
 }

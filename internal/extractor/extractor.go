@@ -52,6 +52,12 @@ func topLevelLoops(b *lang.BlockStmt) []*lang.ForStmt {
 			if st.Else != nil {
 				walk(st.Else)
 			}
+		case *lang.SwitchStmt:
+			for _, cc := range st.Cases {
+				for _, s := range cc.Body {
+					walk(s)
+				}
+			}
 		case *lang.ForStmt:
 			roots = append(roots, st) // do not descend: children belong to this nest
 		}

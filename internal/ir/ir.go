@@ -115,6 +115,12 @@ type Access struct {
 	Offset  int64
 	Affine  bool
 	Aligned bool // base known aligned to the vector width
+	// ExactOffset reports that Offset is the complete constant part of the
+	// index: no runtime-scalar term was dropped while folding. Affine accesses
+	// with an inexact offset still have exact strides, but the dependence
+	// analysis must not compare their offsets against other accesses to the
+	// same array.
+	ExactOffset bool
 	// Dims is the declared array shape; used by the cache footprint model.
 	Dims []int64
 	// Predicated marks accesses under control flow (masked when vectorized).
@@ -202,6 +208,14 @@ type Loop struct {
 
 	HasIf   bool // body contains control flow -> predication when vectorized
 	HasCall bool // body contains an opaque call -> not vectorizable
+	// Irregular marks loops lowered without a recognised canonical induction
+	// form (unknown init, step, or direction). Their Trip is a simulation
+	// default and their IndexVar may be empty; the dependence analysis must
+	// treat them as unvectorizable.
+	Irregular bool
+	// HasEarlyExit marks loops whose body can break out before the trip count
+	// is reached; they are simulated but never vectorized.
+	HasEarlyExit bool
 }
 
 // Innermost reports whether the loop has no nested loops.

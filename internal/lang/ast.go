@@ -71,14 +71,19 @@ func (t ScalarType) String() string {
 	return fmt.Sprintf("ScalarType(%d)", int(t))
 }
 
-// Type is a declared type: a scalar with zero, one, or two array dimensions.
+// Type is a declared type: a scalar or a named struct, with zero or more
+// array dimensions.
 type Type struct {
-	Scalar ScalarType
-	Dims   []int64 // empty for scalars; {N} for T[N]; {N, M} for T[N][M]
+	Scalar     ScalarType
+	StructName string  // non-empty for "struct Name" types; Scalar is ignored
+	Dims       []int64 // empty for scalars; {N} for T[N]; {N, M} for T[N][M], ...
 }
 
 // IsArray reports whether the type has at least one array dimension.
 func (t Type) IsArray() bool { return len(t.Dims) > 0 }
+
+// IsStruct reports whether the type's element type is a named struct.
+func (t Type) IsStruct() bool { return t.StructName != "" }
 
 // Elems returns the total number of scalar elements (1 for scalars).
 func (t Type) Elems() int64 {
@@ -92,7 +97,12 @@ func (t Type) Elems() int64 {
 // String renders the type; array dims are appended as in a declarator.
 func (t Type) String() string {
 	var b strings.Builder
-	b.WriteString(t.Scalar.String())
+	if t.StructName != "" {
+		b.WriteString("struct ")
+		b.WriteString(t.StructName)
+	} else {
+		b.WriteString(t.Scalar.String())
+	}
 	for _, d := range t.Dims {
 		fmt.Fprintf(&b, "[%d]", d)
 	}
@@ -201,6 +211,15 @@ type CastExpr struct {
 	Pos Pos
 }
 
+// MemberExpr is a struct field access base.field. Base is an Ident naming a
+// struct variable or an IndexExpr over a struct array (pts[i].x); the
+// language has no pointers, so there is no -> form.
+type MemberExpr struct {
+	Base  Expr
+	Field string
+	Pos   Pos
+}
+
 func (e *Ident) nodePos() Pos      { return e.Pos }
 func (e *IntLit) nodePos() Pos     { return e.Pos }
 func (e *FloatLit) nodePos() Pos   { return e.Pos }
@@ -210,6 +229,7 @@ func (e *IndexExpr) nodePos() Pos  { return e.Pos }
 func (e *CallExpr) nodePos() Pos   { return e.Pos }
 func (e *CondExpr) nodePos() Pos   { return e.Pos }
 func (e *CastExpr) nodePos() Pos   { return e.Pos }
+func (e *MemberExpr) nodePos() Pos { return e.Pos }
 
 func (*Ident) exprNode()      {}
 func (*IntLit) exprNode()     {}
@@ -220,6 +240,7 @@ func (*IndexExpr) exprNode()  {}
 func (*CallExpr) exprNode()   {}
 func (*CondExpr) exprNode()   {}
 func (*CastExpr) exprNode()   {}
+func (*MemberExpr) exprNode() {}
 
 // ---- Statements ----
 
@@ -279,6 +300,28 @@ type ReturnStmt struct {
 	Pos   Pos
 }
 
+// BreakStmt exits the innermost enclosing loop or switch.
+type BreakStmt struct {
+	Pos Pos
+}
+
+// CaseClause is one "case expr:" or "default:" arm of a switch. Body holds
+// the statements up to the next case label; a trailing break is recorded in
+// HasBreak rather than kept as a statement, matching C's fallthrough model.
+type CaseClause struct {
+	Value    Expr // nil for default:
+	Body     []Stmt
+	HasBreak bool // arm ended with an explicit break
+	Pos      Pos
+}
+
+// SwitchStmt is a C switch over an integer expression.
+type SwitchStmt struct {
+	Tag   Expr
+	Cases []*CaseClause
+	Pos   Pos
+}
+
 // BlockStmt is a { ... } statement list.
 type BlockStmt struct {
 	Stmts []Stmt
@@ -293,6 +336,8 @@ func (s *ForStmt) nodePos() Pos    { return s.Pos }
 func (s *IfStmt) nodePos() Pos     { return s.Pos }
 func (s *ReturnStmt) nodePos() Pos { return s.Pos }
 func (s *BlockStmt) nodePos() Pos  { return s.Pos }
+func (s *BreakStmt) nodePos() Pos  { return s.Pos }
+func (s *SwitchStmt) nodePos() Pos { return s.Pos }
 
 func (*DeclStmt) stmtNode()   {}
 func (*AssignStmt) stmtNode() {}
@@ -302,6 +347,8 @@ func (*ForStmt) stmtNode()    {}
 func (*IfStmt) stmtNode()     {}
 func (*ReturnStmt) stmtNode() {}
 func (*BlockStmt) stmtNode()  {}
+func (*BreakStmt) stmtNode()  {}
+func (*SwitchStmt) stmtNode() {}
 
 // ---- Top level ----
 
@@ -329,10 +376,46 @@ type GlobalDecl struct {
 	Pos  Pos
 }
 
+// Field is one scalar member of a struct declaration.
+type Field struct {
+	Name string
+	Type ScalarType
+}
+
+// StructDecl is a file-scope struct type definition. Fields are scalar-only:
+// the language has no pointers and no nested aggregates, which keeps field
+// storage disjoint and lowering exact.
+type StructDecl struct {
+	Name   string
+	Fields []Field
+	Pos    Pos
+}
+
+// Field returns the declared field with the given name, or nil.
+func (s *StructDecl) Field(name string) *Field {
+	for i := range s.Fields {
+		if s.Fields[i].Name == name {
+			return &s.Fields[i]
+		}
+	}
+	return nil
+}
+
 // Program is a parsed translation unit.
 type Program struct {
+	Structs []*StructDecl
 	Globals []*GlobalDecl
 	Funcs   []*FuncDecl
+}
+
+// Struct returns the struct declaration with the given name, or nil.
+func (p *Program) Struct(name string) *StructDecl {
+	for _, s := range p.Structs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
 }
 
 // Global returns the global declaration with the given name, or nil.
@@ -380,6 +463,12 @@ func Walk(s Stmt, fn func(Stmt) bool) {
 		if st.Else != nil {
 			Walk(st.Else, fn)
 		}
+	case *SwitchStmt:
+		for _, cc := range st.Cases {
+			for _, c := range cc.Body {
+				Walk(c, fn)
+			}
+		}
 	}
 }
 
@@ -408,6 +497,8 @@ func WalkExpr(e Expr, fn func(Expr) bool) {
 		WalkExpr(ex.Else, fn)
 	case *CastExpr:
 		WalkExpr(ex.X, fn)
+	case *MemberExpr:
+		WalkExpr(ex.Base, fn)
 	}
 }
 

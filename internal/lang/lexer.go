@@ -159,6 +159,8 @@ func (l *Lexer) Next() (Token, error) {
 		return Token{Kind: Question, Pos: start}, nil
 	case ':':
 		return Token{Kind: Colon, Pos: start}, nil
+	case '.':
+		return Token{Kind: Dot, Pos: start}, nil
 	case '~':
 		return Token{Kind: Tilde, Pos: start}, nil
 	case '+':

@@ -93,10 +93,20 @@ func (p *Parser) parseProgram() (*Program, error) {
 		for p.cur().Kind == KwStatic || p.cur().Kind == KwConst {
 			p.next()
 		}
-		if !p.cur().IsType() {
+		// "struct Name { ... };" defines a type; "struct Name var..." is a
+		// global with a struct element type.
+		if p.cur().Kind == KwStruct && p.peekKind(2) == LBrace {
+			sd, err := p.parseStructDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Structs = append(prog.Structs, sd)
+			continue
+		}
+		if !p.cur().IsType() && p.cur().Kind != KwStruct {
 			return nil, p.errorf("expected declaration, found %s", p.cur())
 		}
-		st, err := p.parseTypeName()
+		ty, err := p.parseDeclType()
 		if err != nil {
 			return nil, err
 		}
@@ -105,20 +115,81 @@ func (p *Parser) parseProgram() (*Program, error) {
 			return nil, err
 		}
 		if p.cur().Kind == LParen {
-			fn, err := p.parseFuncRest(st, nameTok)
+			if ty.IsStruct() {
+				return nil, p.errorf("functions cannot return struct types")
+			}
+			fn, err := p.parseFuncRest(ty.Scalar, nameTok)
 			if err != nil {
 				return nil, err
 			}
 			prog.Funcs = append(prog.Funcs, fn)
 			continue
 		}
-		g, err := p.parseGlobalRest(st, nameTok)
+		g, err := p.parseGlobalRest(ty, nameTok)
 		if err != nil {
 			return nil, err
 		}
 		prog.Globals = append(prog.Globals, g)
 	}
 	return prog, nil
+}
+
+// parseStructDecl parses "struct Name { T field; ... };". Fields are scalar
+// declarators only — no arrays, nested structs, or pointers — so every field
+// of every element is an independent storage location.
+func (p *Parser) parseStructDecl() (*StructDecl, error) {
+	tok, err := p.expect(KwStruct)
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Name: nameTok.Text, Pos: tok.Pos}
+	for p.cur().Kind != RBrace {
+		if p.cur().Kind == EOF {
+			return nil, p.errorf("unterminated struct declaration")
+		}
+		ft, err := p.parseTypeName()
+		if err != nil {
+			return nil, err
+		}
+		fname, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if p.cur().Kind == LBracket {
+			return nil, p.errorf("struct fields must be scalars (array field %q)", fname.Text)
+		}
+		sd.Fields = append(sd.Fields, Field{Name: fname.Text, Type: ft})
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // consume }
+	if _, err := p.expect(Semicolon); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+// parseDeclType parses the element type of a declarator: either a scalar
+// type name or "struct Name".
+func (p *Parser) parseDeclType() (Type, error) {
+	if p.cur().Kind == KwStruct {
+		p.next()
+		nameTok, err := p.expect(IDENT)
+		if err != nil {
+			return Type{}, err
+		}
+		return Type{StructName: nameTok.Text}, nil
+	}
+	st, err := p.parseTypeName()
+	return Type{Scalar: st}, err
 }
 
 // parseTypeName parses a scalar type name, accepting "unsigned" and "long"
@@ -185,8 +256,8 @@ func (p *Parser) skipAttribute() error {
 	return nil
 }
 
-func (p *Parser) parseGlobalRest(st ScalarType, name Token) (*GlobalDecl, error) {
-	g := &GlobalDecl{Name: name.Text, Type: Type{Scalar: st}, Pos: name.Pos}
+func (p *Parser) parseGlobalRest(ty Type, name Token) (*GlobalDecl, error) {
+	g := &GlobalDecl{Name: name.Text, Type: ty, Pos: name.Pos}
 	for p.cur().Kind == LBracket {
 		p.next()
 		dimTok, err := p.expect(INTLIT)
@@ -228,7 +299,7 @@ func (p *Parser) parseFuncRest(ret ScalarType, name Token) (*FuncDecl, error) {
 			p.next()
 		} else {
 			for {
-				pt, err := p.parseTypeName()
+				pt, err := p.parseDeclType()
 				if err != nil {
 					return nil, err
 				}
@@ -236,7 +307,7 @@ func (p *Parser) parseFuncRest(ret ScalarType, name Token) (*FuncDecl, error) {
 				if err != nil {
 					return nil, err
 				}
-				param := Param{Name: pn.Text, Type: Type{Scalar: pt}}
+				param := Param{Name: pn.Text, Type: pt}
 				for p.cur().Kind == LBracket {
 					p.next()
 					if p.cur().Kind == INTLIT {
@@ -344,6 +415,14 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		return p.parseFor()
 	case KwIf:
 		return p.parseIf()
+	case KwSwitch:
+		return p.parseSwitch()
+	case KwBreak:
+		tok := p.next()
+		if _, err := p.expect(Semicolon); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: tok.Pos}, nil
 	case KwReturn:
 		tok := p.next()
 		rs := &ReturnStmt{Pos: tok.Pos}
@@ -364,7 +443,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 		p.next()
 		return nil, nil
 	}
-	if p.cur().IsType() || p.cur().Kind == KwConst {
+	if p.cur().IsType() || p.cur().Kind == KwConst || p.cur().Kind == KwStruct {
 		s, err := p.parseDecl()
 		if err != nil {
 			return nil, err
@@ -387,7 +466,7 @@ func (p *Parser) parseStmt() (Stmt, error) {
 // parseDecl parses "T name [= expr]" without the trailing semicolon.
 func (p *Parser) parseDecl() (Stmt, error) {
 	p.accept(KwConst)
-	st, err := p.parseTypeName()
+	ty, err := p.parseDeclType()
 	if err != nil {
 		return nil, err
 	}
@@ -395,7 +474,7 @@ func (p *Parser) parseDecl() (Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	d := &DeclStmt{Name: nameTok.Text, Type: Type{Scalar: st}, Pos: nameTok.Pos}
+	d := &DeclStmt{Name: nameTok.Text, Type: ty, Pos: nameTok.Pos}
 	for p.cur().Kind == LBracket {
 		p.next()
 		dimTok, err := p.expect(INTLIT)
@@ -449,10 +528,78 @@ func (p *Parser) parseSimpleStmt() (Stmt, error) {
 
 func isLValue(e Expr) bool {
 	switch e.(type) {
-	case *Ident, *IndexExpr:
+	case *Ident, *IndexExpr, *MemberExpr:
 		return true
 	}
 	return false
+}
+
+// parseSwitch parses a C switch. Each arm's trailing "break;" is folded into
+// CaseClause.HasBreak; an arm without one falls through, as in C. A break
+// anywhere else inside an arm is a parse-level statement and is rejected
+// later by sema (conditional breaks inside switch arms are unsupported).
+func (p *Parser) parseSwitch() (*SwitchStmt, error) {
+	tok, err := p.expect(KwSwitch)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	tag, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	ss := &SwitchStmt{Tag: tag, Pos: tok.Pos}
+	for p.cur().Kind == KwCase || p.cur().Kind == KwDefault {
+		ctok := p.next()
+		cc := &CaseClause{Pos: ctok.Pos}
+		if ctok.Kind == KwCase {
+			v, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			cc.Value = v
+		}
+		if _, err := p.expect(Colon); err != nil {
+			return nil, err
+		}
+		for {
+			k := p.cur().Kind
+			if k == KwCase || k == KwDefault || k == RBrace {
+				break
+			}
+			if k == EOF {
+				return nil, p.errorf("unterminated switch statement")
+			}
+			if k == KwBreak {
+				p.next()
+				if _, err := p.expect(Semicolon); err != nil {
+					return nil, err
+				}
+				cc.HasBreak = true
+				break
+			}
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			if s != nil {
+				cc.Body = append(cc.Body, s)
+			}
+		}
+		ss.Cases = append(ss.Cases, cc)
+	}
+	if _, err := p.expect(RBrace); err != nil {
+		return nil, err
+	}
+	return ss, nil
 }
 
 func (p *Parser) parseFor() (*ForStmt, error) {
@@ -693,18 +840,29 @@ func (p *Parser) parsePostfix() (Expr, error) {
 	if err != nil {
 		return nil, err
 	}
-	for p.cur().Kind == LBracket {
-		lb := p.next()
-		idx, err := p.parseExpr()
-		if err != nil {
-			return nil, err
+	for {
+		switch p.cur().Kind {
+		case LBracket:
+			lb := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBracket); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Base: x, Index: idx, Pos: lb.Pos}
+		case Dot:
+			d := p.next()
+			f, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			x = &MemberExpr{Base: x, Field: f.Text, Pos: d.Pos}
+		default:
+			return x, nil
 		}
-		if _, err := p.expect(RBracket); err != nil {
-			return nil, err
-		}
-		x = &IndexExpr{Base: x, Index: idx, Pos: lb.Pos}
 	}
-	return x, nil
 }
 
 func (p *Parser) parsePrimary() (Expr, error) {

@@ -11,6 +11,12 @@ import (
 // is how the framework injects vectorization hints (Figure 4 of the paper).
 func Print(p *Program) string {
 	var pr printer
+	for _, s := range p.Structs {
+		pr.structDecl(s)
+	}
+	if len(p.Structs) > 0 && (len(p.Globals) > 0 || len(p.Funcs) > 0) {
+		pr.nl()
+	}
 	for _, g := range p.Globals {
 		pr.global(g)
 	}
@@ -54,8 +60,26 @@ func (p *printer) line(format string, args ...any) {
 
 func (p *printer) nl() { p.b.WriteByte('\n') }
 
+// elemTypeText renders a declarator's element type ("int" or "struct P").
+func elemTypeText(t Type) string {
+	if t.StructName != "" {
+		return "struct " + t.StructName
+	}
+	return t.Scalar.String()
+}
+
+func (p *printer) structDecl(s *StructDecl) {
+	p.line("struct %s {", s.Name)
+	p.indent++
+	for _, f := range s.Fields {
+		p.line("%s %s;", f.Type, f.Name)
+	}
+	p.indent--
+	p.line("};")
+}
+
 func (p *printer) global(g *GlobalDecl) {
-	decl := g.Type.Scalar.String() + " " + g.Name
+	decl := elemTypeText(g.Type) + " " + g.Name
 	for _, d := range g.Type.Dims {
 		decl += "[" + strconv.FormatInt(d, 10) + "]"
 	}
@@ -68,7 +92,7 @@ func (p *printer) global(g *GlobalDecl) {
 func (p *printer) fn(f *FuncDecl) {
 	var params []string
 	for _, pa := range f.Params {
-		ps := pa.Type.Scalar.String() + " " + pa.Name
+		ps := elemTypeText(pa.Type) + " " + pa.Name
 		for _, d := range pa.Type.Dims {
 			if d == 0 {
 				ps += "[]"
@@ -90,7 +114,7 @@ func (p *printer) fn(f *FuncDecl) {
 func (p *printer) stmt(s Stmt) {
 	switch st := s.(type) {
 	case *DeclStmt:
-		decl := st.Type.Scalar.String() + " " + st.Name
+		decl := elemTypeText(st.Type) + " " + st.Name
 		for _, d := range st.Type.Dims {
 			decl += "[" + strconv.FormatInt(d, 10) + "]"
 		}
@@ -124,6 +148,26 @@ func (p *printer) stmt(s Stmt) {
 		p.line("}")
 	case *IfStmt:
 		p.ifChain(st)
+	case *BreakStmt:
+		p.line("break;")
+	case *SwitchStmt:
+		p.line("switch (%s) {", PrintExpr(st.Tag))
+		for _, cc := range st.Cases {
+			if cc.Value != nil {
+				p.line("case %s:", PrintExpr(cc.Value))
+			} else {
+				p.line("default:")
+			}
+			p.indent++
+			for _, c := range cc.Body {
+				p.stmt(c)
+			}
+			if cc.HasBreak {
+				p.line("break;")
+			}
+			p.indent--
+		}
+		p.line("}")
 	case *ForStmt:
 		if st.Pragma != nil {
 			p.line("%s", st.Pragma.String())
@@ -178,13 +222,21 @@ func (p *printer) forInit(st *ForStmt) string {
 	}
 	switch in := st.Init.(type) {
 	case *DeclStmt:
-		decl := in.Type.Scalar.String() + " " + in.Name
+		decl := elemTypeText(in.Type) + " " + in.Name
 		if in.Init != nil {
 			decl += " = " + PrintExpr(in.Init)
 		}
 		return decl + ";"
 	case *AssignStmt:
 		return p.assignText(in) + ";"
+	case *IncDecStmt:
+		op := "++"
+		if in.Dec {
+			op = "--"
+		}
+		return PrintExpr(in.X) + op + ";"
+	case *ExprStmt:
+		return PrintExpr(in.X) + ";"
 	}
 	return ";"
 }
@@ -209,6 +261,8 @@ func (p *printer) forPost(st *ForStmt) string {
 			op = "--"
 		}
 		return PrintExpr(po.X) + op
+	case *ExprStmt:
+		return PrintExpr(po.X)
 	}
 	return ""
 }
@@ -294,6 +348,10 @@ func (p *printer) expr(e Expr, parentPrec int) {
 	case *CastExpr:
 		p.b.WriteString("(" + ex.To.String() + ") ")
 		p.expr(ex.X, 11)
+	case *MemberExpr:
+		p.expr(ex.Base, 12)
+		p.b.WriteByte('.')
+		p.b.WriteString(ex.Field)
 	default:
 		fmt.Fprintf(&p.b, "/* unknown expr %T */", e)
 	}

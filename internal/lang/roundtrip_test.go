@@ -74,7 +74,7 @@ func TestParsePrintRoundTripProperty(t *testing.T) {
 		n = 10
 	}
 	for _, seed := range []int64{1, 2, 3, 17, 99} {
-		set := dataset.Generate(dataset.GenConfig{N: n, Seed: seed})
+		set := dataset.Generate(dataset.GenConfig{N: n, Seed: seed, Extended: true})
 		for _, s := range set.Samples {
 			roundTrip(t, s.Name, s.Source)
 		}
@@ -87,6 +87,12 @@ func TestParsePrintRoundTripProperty(t *testing.T) {
 	}
 	for _, b := range dataset.EvalBenchmarks() {
 		roundTrip(t, "figure7/"+b.Name, b.Source)
+	}
+	// The tsvc suite is the extended-grammar stress set: structs with field
+	// access, switch statements, calls, multi-dimensional arrays and every
+	// non-canonical loop form must all survive the printer.
+	for _, b := range dataset.TSVC() {
+		roundTrip(t, "tsvc/"+b.Name, b.Source)
 	}
 }
 
@@ -111,10 +117,26 @@ void kernel() {
 // unparseable mutations are skipped (the property only speaks about valid
 // programs).
 func FuzzParsePrintRoundTrip(f *testing.F) {
-	for _, s := range dataset.Generate(dataset.GenConfig{N: 8, Seed: 42}).Samples {
+	for _, s := range dataset.Generate(dataset.GenConfig{N: 8, Seed: 42, Extended: true}).Samples {
 		f.Add(s.Source)
 	}
 	f.Add("int x; void f() { for (int i = 0; i < 8; i++) { x += i; } }")
+	// One seed per extended-grammar construct, so mutations start from
+	// structs, member stores, switches with fallthrough, breaks,
+	// multi-dimensional subscripts and non-canonical loop headers.
+	for _, src := range []string{
+		"struct p { float x; float y; }; struct p v[8]; void f() { for (int i = 0; i < 8; i++) { v[i].x = v[i].y; } }",
+		"struct r { int lo; int hi; }; struct r s; int a[8]; void f() { s.lo = 1; a[0] = s.hi; }",
+		"int a[8]; int b[8]; void f() { for (int i = 0; i < 8; i++) { switch (b[i]) { case 0: a[i] = 1; break; case 1: case 2: a[i] = 2; break; default: a[i] = 3; break; } } }",
+		"int a[8]; void f() { for (int i = 0; i < 8; i++) { if (a[i]) { break; } a[i] = i; } }",
+		"int m[4][4][4]; void f() { for (int i = 0; i < 4; i++) { for (int j = 0; j < 4; j++) { m[i][j][0] = m[i][j][1]; } } }",
+		"int a[64]; void f() { for (int i = 62; i >= 0; i -= 2) { a[i] = a[i + 1]; } }",
+		"int a[64]; void f() { for (int i = 1; i != 64; i = i * 2) { a[i] = i; } }",
+		"float a[8]; float b[8]; void f() { for (int i = 0; i < 8; i++) { a[i] = sqrtf(max(b[i], 0.0)); } }",
+		"int a[8]; void f() { for (int i = 0; i < 8; i++) { a[transform(i)] = helper(a[i], i); } }",
+	} {
+		f.Add(src)
+	}
 	f.Fuzz(func(t *testing.T, src string) {
 		first, err := lang.Parse(src)
 		if err != nil {

@@ -29,6 +29,9 @@ type LoopFact struct {
 	// has its own storage (a global or local declaration, not an array
 	// parameter that could alias another parameter).
 	DistinctArrays bool
+	// EarlyExit reports that the loop body contains a break bound to this
+	// loop, so the loop may execute fewer iterations than its bounds imply.
+	EarlyExit bool
 }
 
 // Facts is the set of per-loop facts proven for one program. The zero value

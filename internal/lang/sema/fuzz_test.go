@@ -12,7 +12,7 @@ import (
 // synthetic generator) plus handwritten pathological programs around the
 // analyses most likely to trip — const folding, loop proofs, scoping.
 func FuzzSemaNoPanic(f *testing.F) {
-	for _, s := range dataset.Generate(dataset.GenConfig{N: 8, Seed: 42}).Samples {
+	for _, s := range dataset.Generate(dataset.GenConfig{N: 8, Seed: 42, Extended: true}).Samples {
 		f.Add(s.Source)
 	}
 	for _, src := range []string{
@@ -26,6 +26,20 @@ func FuzzSemaNoPanic(f *testing.F) {
 		"void f() { int x = (int)1.5 + (char)300; }",
 		"void f(int n) { if (n) { int n; } else { int n; } }",
 		"void f() { return; } void f() { return; }",
+		// Extended-grammar pathologies: struct misuse, member access on
+		// non-structs, malformed switches, breaks outside loops, struct
+		// recurrences and self-referential field chains.
+		"struct p { int x; }; void f() { struct p v; v.y = 1; }",
+		"struct p { int x; }; struct q w; void f() { w.x = 1; }",
+		"int a[4]; void f() { a.x = 1; a[0] = a[1].y; }",
+		"struct p { int x; }; struct p v; void f() { v = 3; int z = v + 1; }",
+		"struct p { int x; int x; }; struct p v; void f() { v.x = v.x.x; }",
+		"int a[4]; void f() { switch (a[0]) { case 0: case 0: a[1] = 1; default: a[2] = 2; default: a[3] = 3; } }",
+		"int a[4]; void f(int n) { switch (n) { case n: a[0] = 1; break; } }",
+		"void f() { break; } void g() { switch (1) { case 1: break; } break; }",
+		"struct s { float v; }; struct s g[8]; void f() { for (int i = 0; i < 7; i++) { g[i + 1].v = g[i].v; if (g[i].v) { break; } } }",
+		"int a[8]; void f() { for (int i = 8; i != 0; i = i / 2) { a[i - 1] = i; } for (int j = 0; ; j++) { a[0] = j; break; } }",
+		"int m[2][2]; struct t { int u; }; struct t w[2]; void f() { for (int i = 0; i < 2; i += 3) { m[w[i].u][i] = w[m[i][i]].u; } }",
 	} {
 		f.Add(src)
 	}

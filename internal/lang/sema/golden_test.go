@@ -19,6 +19,9 @@ var update = flag.Bool("update", false, "rewrite the diagnostics golden file")
 // is a reviewed change, not an accident.
 const goldenSource = `int a[64];
 float m[8][8];
+struct pt { float x; float y; };
+struct pt ps[16];
+struct missing ms[4];
 void kernel(int n) {
     void v;
     int dup;
@@ -30,11 +33,18 @@ void kernel(int n) {
     int z = x / 0;
     float g = m[1.5][0];
     int r = min(1);
+    float bad = ps[0].z + ps[1];
     return 3;
 }
 void loops() {
     for (int i = 10; i * 2; i = i * 2) { a[0] = 1; }
     for (int j = 0; j < 64; j++) { j = j + 2; a[j] = j; }
+    for (int k = 0; k < 64; k++) { if (a[k] > 9) { break; } a[k] = k; }
+    switch (a[0]) {
+    case 1: a[1] = 1; break;
+    case 1: a[2] = 2; break;
+    }
+    break;
 }
 `
 

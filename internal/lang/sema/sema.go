@@ -42,6 +42,12 @@ const (
 	CodeIVMutation     = "SEMA0014" // induction variable mutated in loop body
 	CodeUnused         = "SEMA0015" // local variable never read
 	CodeUninitUse      = "SEMA0016" // local scalar read before first assignment
+	CodeUnknownStruct  = "SEMA0017" // reference to an undeclared struct type
+	CodeUnknownField   = "SEMA0018" // field access on a non-struct or unknown field
+	CodeStructAsScalar = "SEMA0019" // struct value used where a scalar is required
+	CodeBadSwitch      = "SEMA0020" // non-integer tag, non-constant or duplicate case
+	CodeBadBreak       = "SEMA0021" // break outside a loop, or conditional in a switch arm
+	CodeEarlyExit      = "SEMA0022" // loop exits early via break; disables vectorization
 )
 
 // Info is the result of checking one program.
@@ -55,7 +61,11 @@ type Info struct {
 // Check analyses a parsed program, attributing diagnostics to file. It is
 // safe for concurrent callers and never mutates the AST.
 func Check(file string, p *lang.Program) *Info {
-	c := &checker{file: file, facts: &Facts{}, funcs: map[string]*lang.FuncDecl{}}
+	c := &checker{
+		file: file, facts: &Facts{},
+		funcs:   map[string]*lang.FuncDecl{},
+		structs: map[string]*lang.StructDecl{},
+	}
 	if p != nil {
 		c.run(p)
 	}
@@ -100,20 +110,29 @@ func (v value) isArray() bool { return v.typ.IsArray() }
 
 // loopState tracks one enclosing for loop while its body is checked.
 type loopState struct {
-	label   string
-	iv      string
-	mutated bool
+	label     string
+	iv        string
+	mutated   bool
+	earlyExit bool // body contains a break bound to this loop
 }
+
+// breakable context kinds, innermost last: a break binds to the top entry.
+const (
+	inLoop      = 'L'
+	inSwitchArm = 'S'
+)
 
 type checker struct {
 	file  string
 	diags diag.List
 	facts *Facts
 
-	funcs  map[string]*lang.FuncDecl
-	scopes []map[string]*symbol
-	fn     *lang.FuncDecl
-	loops  []*loopState // innermost last
+	funcs      map[string]*lang.FuncDecl
+	structs    map[string]*lang.StructDecl
+	scopes     []map[string]*symbol
+	fn         *lang.FuncDecl
+	loops      []*loopState // innermost last
+	breakables []byte       // enclosing break targets, innermost last
 }
 
 func (c *checker) report(sev diag.Severity, code string, pos lang.Pos, msg, hint string) {
@@ -197,10 +216,28 @@ func (c *checker) resolve(id *lang.Ident) *symbol {
 
 func (c *checker) run(p *lang.Program) {
 	c.pushScope() // file scope
+	for _, sd := range p.Structs {
+		if prev, dup := c.structs[sd.Name]; dup {
+			c.errorf(CodeRedeclared, sd.Pos, "struct %q redefined (previous definition at %s)", sd.Name, prev.Pos)
+			continue
+		}
+		c.structs[sd.Name] = sd
+		seen := map[string]bool{}
+		for _, f := range sd.Fields {
+			if f.Type == lang.TypeVoid {
+				c.errorf(CodeVoidVar, sd.Pos, "field %q of struct %q declared void", f.Name, sd.Name)
+			}
+			if seen[f.Name] {
+				c.errorf(CodeRedeclared, sd.Pos, "field %q duplicated in struct %q", f.Name, sd.Name)
+			}
+			seen[f.Name] = true
+		}
+	}
 	for _, g := range p.Globals {
-		if g.Type.Scalar == lang.TypeVoid {
+		if !g.Type.IsStruct() && g.Type.Scalar == lang.TypeVoid {
 			c.errorf(CodeVoidVar, g.Pos, "variable %q declared void", g.Name)
 		}
+		c.checkStructRef(g.Type, g.Pos)
 		s := c.declare(g.Name, g.Type, symGlobal, g.Pos)
 		s.assigned = true
 		if g.Init != nil {
@@ -231,9 +268,10 @@ func (c *checker) checkFunc(f *lang.FuncDecl) {
 	c.fn = f
 	c.pushScope()
 	for _, prm := range f.Params {
-		if prm.Type.Scalar == lang.TypeVoid && !prm.Type.IsArray() {
+		if !prm.Type.IsStruct() && prm.Type.Scalar == lang.TypeVoid && !prm.Type.IsArray() {
 			c.errorf(CodeVoidVar, f.Pos, "parameter %q of %q declared void", prm.Name, f.Name)
 		}
+		c.checkStructRef(prm.Type, f.Pos)
 		s := c.declare(prm.Name, prm.Type, symParam, f.Pos)
 		s.assigned = true
 	}
@@ -255,18 +293,22 @@ func (c *checker) checkBlock(b *lang.BlockStmt) {
 func (c *checker) checkStmt(s lang.Stmt) {
 	switch st := s.(type) {
 	case *lang.DeclStmt:
-		if st.Type.Scalar == lang.TypeVoid {
+		if !st.Type.IsStruct() && st.Type.Scalar == lang.TypeVoid {
 			c.errorf(CodeVoidVar, st.Pos, "variable %q declared void", st.Name)
 		}
+		c.checkStructRef(st.Type, st.Pos)
+		if st.Type.IsStruct() && st.Init != nil {
+			c.errorf(CodeStructAsScalar, st.Pos, "cannot initialise struct variable %q with a scalar expression", st.Name)
+		}
 		var init value
-		if st.Init != nil {
+		if st.Init != nil && !st.Type.IsStruct() {
 			init = c.checkExpr(st.Init)
 			c.requireScalar(init, st.Pos)
 			c.checkNarrowing(st.Type, init, st.Init, st.Pos)
 		}
 		sym := c.declare(st.Name, st.Type, symLocal, st.Pos)
-		if st.Type.IsArray() {
-			sym.assigned = true // arrays are storage, not flow-checked values
+		if st.Type.IsArray() || st.Type.IsStruct() {
+			sym.assigned = true // arrays and structs are storage, not flow-checked values
 		} else if st.Init != nil {
 			sym.assigned = true
 			if init.isConst {
@@ -312,6 +354,80 @@ func (c *checker) checkStmt(s lang.Stmt) {
 
 	case *lang.BlockStmt:
 		c.checkBlock(st)
+
+	case *lang.SwitchStmt:
+		c.checkSwitch(st)
+
+	case *lang.BreakStmt:
+		c.checkBreak(st)
+	}
+}
+
+// checkStructRef reports declarators whose element type names an undeclared
+// struct.
+func (c *checker) checkStructRef(t lang.Type, pos lang.Pos) {
+	if t.IsStruct() {
+		if _, ok := c.structs[t.StructName]; !ok {
+			c.errorf(CodeUnknownStruct, pos, "undeclared struct type %q", t.StructName)
+		}
+	}
+}
+
+// checkSwitch checks a switch statement: integer tag, constant and distinct
+// case values, at most one default, and each arm as a conditional branch.
+func (c *checker) checkSwitch(st *lang.SwitchStmt) {
+	tag := c.checkExpr(st.Tag)
+	c.requireScalar(tag, posOf(st.Tag))
+	if !tag.typ.IsStruct() && tag.typ.Scalar.IsFloat() {
+		c.errorf(CodeBadSwitch, posOf(st.Tag), "switch tag must be an integer, got %s", tag.typ.Scalar)
+	}
+	seen := map[int64]lang.Pos{}
+	defaults := 0
+	for _, cc := range st.Cases {
+		if cc.Value == nil {
+			defaults++
+			if defaults > 1 {
+				c.errorf(CodeBadSwitch, cc.Pos, "multiple default arms in switch")
+			}
+		} else {
+			v := c.checkExpr(cc.Value)
+			c.requireScalar(v, cc.Pos)
+			if cv, ok := c.evalConst(cc.Value); !ok {
+				c.errorf(CodeBadSwitch, cc.Pos, "case value is not a constant expression")
+			} else if prev, dup := seen[cv]; dup {
+				c.errorf(CodeBadSwitch, cc.Pos, "duplicate case value %d (previous arm at %s)", cv, prev)
+			} else {
+				seen[cv] = cc.Pos
+			}
+		}
+		// Each arm executes conditionally: forget constant knowledge for
+		// variables it assigns, like an if branch.
+		armBlock := &lang.BlockStmt{Stmts: cc.Body, Pos: cc.Pos}
+		c.invalidateBranchConsts(armBlock)
+		c.breakables = append(c.breakables, inSwitchArm)
+		c.checkBlock(armBlock)
+		c.breakables = c.breakables[:len(c.breakables)-1]
+	}
+}
+
+// checkBreak binds a break statement to its innermost target. Trailing breaks
+// of switch arms are folded into CaseClause.HasBreak by the parser, so a
+// BreakStmt whose innermost breakable is a switch arm is a conditional break
+// within the arm — unsupported, because lowering cannot predicate it.
+func (c *checker) checkBreak(st *lang.BreakStmt) {
+	if len(c.breakables) == 0 {
+		c.errorf(CodeBadBreak, st.Pos, "break statement outside a loop or switch")
+		return
+	}
+	if c.breakables[len(c.breakables)-1] == inSwitchArm {
+		c.errorf(CodeBadBreak, st.Pos, "break inside a switch arm must be the arm's final statement")
+		return
+	}
+	ls := c.loops[len(c.loops)-1]
+	if !ls.earlyExit {
+		ls.earlyExit = true
+		c.warnf(CodeEarlyExit, st.Pos,
+			"loop %s exits early via break; its trip count is not provable and it will not be vectorized", ls.label)
 	}
 }
 
@@ -344,6 +460,12 @@ func (c *checker) checkAssign(st *lang.AssignStmt) {
 	case *lang.IndexExpr:
 		v := c.checkExpr(lhs)
 		c.requireScalar(v, lhs.Pos)
+		if st.Op != lang.Assign {
+			c.checkIntegerOnlyAssign(st.Op, v.typ.Scalar, rhs, st.Pos)
+		}
+		c.checkNarrowing(v.typ, rhs, st.RHS, st.Pos)
+	case *lang.MemberExpr:
+		v := c.checkExpr(lhs)
 		if st.Op != lang.Assign {
 			c.checkIntegerOnlyAssign(st.Op, v.typ.Scalar, rhs, st.Pos)
 		}
@@ -476,6 +598,9 @@ func (c *checker) checkExpr(e lang.Expr) value {
 	case *lang.CallExpr:
 		return c.checkCall(ex)
 
+	case *lang.MemberExpr:
+		return c.checkMember(ex)
+
 	case *lang.CondExpr:
 		cond := c.checkExpr(ex.Cond)
 		c.requireScalar(cond, ex.Pos)
@@ -535,11 +660,37 @@ func (c *checker) checkIndex(ex *lang.IndexExpr) value {
 			fmt.Sprintf("valid indices are 0..%d", dim-1))
 	}
 	return value{
-		typ:  lang.Type{Scalar: base.typ.Scalar, Dims: base.typ.Dims[1:]},
+		typ:  lang.Type{Scalar: base.typ.Scalar, StructName: base.typ.StructName, Dims: base.typ.Dims[1:]},
 		arr:  base.arr,
 		rank: base.rank,
 		subs: base.subs + 1,
 	}
+}
+
+// checkMember checks a field access base.field. The base must denote a
+// struct value: a struct variable, or a struct array subscripted down to one
+// element.
+func (c *checker) checkMember(ex *lang.MemberExpr) value {
+	base := c.checkExpr(ex.Base)
+	if base.typ.IsArray() {
+		c.errorf(CodeUnknownField, ex.Pos, "field access on array %q; subscript it down to one element first", base.arr)
+		return value{typ: lang.Type{Scalar: lang.TypeInt}}
+	}
+	if !base.typ.IsStruct() {
+		c.errorf(CodeUnknownField, ex.Pos, "field access on non-struct value of type %s", base.typ)
+		return value{typ: lang.Type{Scalar: lang.TypeInt}}
+	}
+	sd, ok := c.structs[base.typ.StructName]
+	if !ok {
+		// The undeclared struct type was reported at the declaration site.
+		return value{typ: lang.Type{Scalar: lang.TypeInt}}
+	}
+	fld := sd.Field(ex.Field)
+	if fld == nil {
+		c.errorf(CodeUnknownField, ex.Pos, "struct %q has no field %q", sd.Name, ex.Field)
+		return value{typ: lang.Type{Scalar: lang.TypeInt}}
+	}
+	return value{typ: lang.Type{Scalar: fld.Type}}
 }
 
 func (c *checker) checkBinary(ex *lang.BinaryExpr) value {
@@ -623,9 +774,13 @@ func (c *checker) checkCall(ex *lang.CallExpr) value {
 	return value{typ: lang.Type{Scalar: lang.TypeInt}}
 }
 
-// requireScalar reports uses of an array value where a scalar is required.
+// requireScalar reports uses of an array or struct value where a scalar is
+// required.
 func (c *checker) requireScalar(v value, pos lang.Pos) {
 	if !v.isArray() {
+		if v.typ.IsStruct() {
+			c.errorf(CodeStructAsScalar, pos, "struct %s value used where a scalar is required; access a field instead", v.typ.StructName)
+		}
 		return
 	}
 	if v.subs > 0 {
@@ -700,13 +855,16 @@ func (c *checker) checkFor(st *lang.ForStmt) {
 	hi, hiKnown, inclusive, condOK := analyzeCond(c, st.Cond, iv, down)
 
 	canonical := initOK && stepOK && condOK
+	// Non-canonical loops are warnings, not errors: lowering keeps them as
+	// conservatively modelled irregular loops that are never vectorized, so
+	// the program still compiles end to end.
 	switch {
 	case !initOK:
-		c.loopDiag(diag.Error, CodeNonCanonical, st,
-			"non-canonical loop %s: init clause does not establish an induction variable", st.Label)
+		c.loopDiag(diag.Warning, CodeNonCanonical, st,
+			"non-canonical loop %s: init clause does not establish an induction variable; the loop will not be vectorized", st.Label)
 	case !stepOK:
-		c.loopDiag(diag.Error, CodeNonCanonical, st,
-			"non-canonical loop %s: post clause does not step induction variable %q by a positive constant", st.Label, iv)
+		c.loopDiag(diag.Warning, CodeNonCanonical, st,
+			"non-canonical loop %s: post clause does not step induction variable %q by a positive constant; the loop will not be vectorized", st.Label, iv)
 	case !condOK:
 		c.loopDiag(diag.Warning, CodeNonCanonical, st,
 			"non-canonical loop %s: condition does not bound induction variable %q; trip count is unknown", st.Label, iv)
@@ -714,18 +872,22 @@ func (c *checker) checkFor(st *lang.ForStmt) {
 
 	ls := &loopState{label: st.Label, iv: iv}
 	c.loops = append(c.loops, ls)
+	c.breakables = append(c.breakables, inLoop)
 	c.checkBlock(st.Body)
+	c.breakables = c.breakables[:len(c.breakables)-1]
 	// Subscript-shape facts are judged while this loop is still on the
 	// stack, so its own induction variable counts as affine.
 	affine := c.affineSubscripts(st.Body)
 	distinct := c.distinctArrays(st.Body)
 	c.loops = c.loops[:len(c.loops)-1]
 
-	fact := LoopFact{Label: st.Label, Canonical: canonical, IndexVar: iv}
+	fact := LoopFact{Label: st.Label, Canonical: canonical, IndexVar: iv, EarlyExit: ls.earlyExit}
 	if c.fn != nil {
 		fact.Func = c.fn.Name
 	}
-	if canonical && loKnown && hiKnown && !ls.mutated {
+	// A break makes the static trip formula an upper bound, not an exact
+	// count, so no trip proof is recorded for early-exit loops.
+	if canonical && loKnown && hiKnown && !ls.mutated && !ls.earlyExit {
 		// Re-derive step and bound after the body walk: an assignment inside
 		// the body to a variable the bound or step folded through has cleared
 		// its constant status (or changed its value), and the pre-body proof
@@ -1034,6 +1196,13 @@ func eachExpr(s lang.Stmt, fn func(lang.Expr)) {
 		}
 	case *lang.IfStmt:
 		fn(st.Cond)
+	case *lang.SwitchStmt:
+		fn(st.Tag)
+		for _, cc := range st.Cases {
+			if cc.Value != nil {
+				fn(cc.Value)
+			}
+		}
 	case *lang.ReturnStmt:
 		if st.Value != nil {
 			fn(st.Value)
@@ -1141,6 +1310,8 @@ func posOf(e lang.Expr) lang.Pos {
 	case *lang.CondExpr:
 		return ex.Pos
 	case *lang.CastExpr:
+		return ex.Pos
+	case *lang.MemberExpr:
 		return ex.Pos
 	}
 	return lang.Pos{}

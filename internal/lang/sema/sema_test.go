@@ -42,7 +42,13 @@ func TestDiagnosticCodes(t *testing.T) {
 		{"non-integer-subscript", "int a[8];\nvoid f() { a[1.5] = 1; }", CodeNonIntegerOp, diag.Error, 2, 14},
 		{"return-mismatch", "void f() { return 3; }", CodeReturnMismatch, diag.Error, 1, 12},
 		{"narrowing", "void f(float g) { int x = g; x = x + 1; }", CodeNarrowing, diag.Warning, 1, 23},
-		{"non-canonical", "int a[8];\nvoid f() { for (int i = 8; i * 2; i = i * 2) { a[0] = i; } }", CodeNonCanonical, diag.Error, 2, 12},
+		{"non-canonical", "int a[8];\nvoid f() { for (int i = 8; i * 2; i = i * 2) { a[0] = i; } }", CodeNonCanonical, diag.Warning, 2, 12},
+		{"unknown-struct", "struct p q;\nvoid f() { }", CodeUnknownStruct, diag.Error, 1, 10},
+		{"unknown-field", "struct p { float x; };\nstruct p q;\nvoid f() { float w = q.y; w = w + 1; }", CodeUnknownField, diag.Error, 3, 23},
+		{"struct-as-scalar", "struct p { float x; };\nstruct p q;\nvoid f() { float w = q + 1; w = w + 1; }", CodeStructAsScalar, diag.Error, 3, 24},
+		{"bad-switch", "void f(int n) { switch (n) { case 0: case 0: break; } }", CodeBadSwitch, diag.Error, 1, 38},
+		{"bad-break", "void f() { break; }", CodeBadBreak, diag.Error, 1, 12},
+		{"early-exit", "int a[8];\nvoid f() { for (int i = 0; i < 8; i++) { if (a[i] > 3) { break; } a[i] = i; } }", CodeEarlyExit, diag.Warning, 2, 58},
 		{"iv-mutation", "int a[64];\nvoid f() { for (int j = 0; j < 8; j++) { j = j + 2; a[j] = j; } }", CodeIVMutation, diag.Warning, 2, 44},
 		{"unused", "void f() { int unused_one; }", CodeUnused, diag.Warning, 1, 16},
 		{"uninit-use", "void f() { int s; int w = s + 1; w = w + 1; }", CodeUninitUse, diag.Warning, 1, 27},

@@ -1,9 +1,11 @@
 // Package lang implements a small C-like language front end: a lexer, a
 // recursive-descent parser, an AST, and a source printer. The language covers
 // the subset of C that appears in the NeuroVectorizer training corpus: global
-// array and scalar declarations, functions, for loops (with clang-style loop
-// pragmas), if/else, assignments (including compound assignment), ternary
-// expressions, casts, and 1-D/2-D array indexing.
+// array, scalar, and struct declarations, functions, for loops (with
+// clang-style loop pragmas, including non-canonical and imperfectly nested
+// forms), if/else, switch/case/break, function calls, assignments (including
+// compound assignment), ternary expressions, casts, struct field access, and
+// multi-dimensional array indexing.
 //
 // The front end is the first stage of the reproduction pipeline: source text
 // is parsed here, lowered to the loop IR by package lower, and vectorized and
@@ -46,6 +48,11 @@ const (
 	KwConst
 	KwStatic
 	KwAttribute // __attribute__
+	KwStruct
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
 
 	// Punctuation.
 	LParen
@@ -58,6 +65,7 @@ const (
 	Comma
 	Question
 	Colon
+	Dot
 
 	// Operators.
 	Assign     // =
@@ -104,9 +112,11 @@ var kindNames = map[Kind]string{
 	KwInt: "int", KwFloat: "float", KwDouble: "double", KwChar: "char",
 	KwShort: "short", KwLong: "long", KwVoid: "void", KwUnsigned: "unsigned",
 	KwConst: "const", KwStatic: "static", KwAttribute: "__attribute__",
+	KwStruct: "struct", KwSwitch: "switch", KwCase: "case",
+	KwDefault: "default", KwBreak: "break",
 	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}",
 	LBracket: "[", RBracket: "]", Semicolon: ";", Comma: ",",
-	Question: "?", Colon: ":",
+	Question: "?", Colon: ":", Dot: ".",
 	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
 	SlashAssign: "/=", PercentAssign: "%=", AmpAssign: "&=",
 	PipeAssign: "|=", CaretAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
@@ -131,6 +141,8 @@ var keywords = map[string]Kind{
 	"short": KwShort, "long": KwLong, "void": KwVoid,
 	"unsigned": KwUnsigned, "const": KwConst, "static": KwStatic,
 	"__attribute__": KwAttribute,
+	"struct":        KwStruct, "switch": KwSwitch, "case": KwCase,
+	"default": KwDefault, "break": KwBreak,
 }
 
 // Pos is a source position, 1-based.

@@ -8,8 +8,11 @@
 //   - affine analysis of array subscripts, producing per-loop strides used by
 //     dependence analysis and the cache model;
 //   - reduction recognition (sum += ..., prod *= ..., min/max patterns);
-//   - predication of statements under if, and detection of opaque calls that
-//     block vectorization.
+//   - predication of statements under if and switch, and detection of opaque
+//     calls and early exits (break) that block vectorization;
+//   - struct field accesses lowered to per-field storage planes ("base.field"
+//     synthetic arrays), and non-canonical loops lowered conservatively as
+//     Irregular rather than rejected.
 package lower
 
 import (
@@ -85,9 +88,10 @@ func MustProgram(p *lang.Program) *ir.Program {
 
 // env carries symbol and constant information during lowering.
 type env struct {
-	opts   Options
-	types  map[string]lang.Type
-	consts map[string]int64 // globals and locals with constant integer inits
+	opts    Options
+	types   map[string]lang.Type
+	structs map[string]*lang.StructDecl
+	consts  map[string]int64 // globals and locals with constant integer inits
 	// declDepth records the loop depth at which each scalar was declared:
 	// -1 for globals/params/function-scope locals, otherwise the depth of
 	// the enclosing loop. Used for reduction recognition.
@@ -103,9 +107,13 @@ func newEnv(p *lang.Program, opts Options) *env {
 	e := &env{
 		opts:      opts,
 		types:     make(map[string]lang.Type),
+		structs:   make(map[string]*lang.StructDecl),
 		consts:    make(map[string]int64),
 		declDepth: make(map[string]int),
 		loopVars:  make(map[string]string),
+	}
+	for _, sd := range p.Structs {
+		e.structs[sd.Name] = sd
 	}
 	for _, g := range p.Globals {
 		e.types[g.Name] = g.Type
@@ -251,8 +259,49 @@ func (e *env) lowerStmt(s lang.Stmt, ctx *loopCtx, fn *ir.Func, parent *ir.Loop)
 
 	case *lang.ForStmt:
 		return e.lowerFor(st, ctx, fn, parent)
+
+	case *lang.BreakStmt:
+		// A break reaching here binds to the innermost enclosing loop (arm
+		// terminators of switches were folded away by the parser).
+		if ctx.loop != nil {
+			ctx.loop.HasEarlyExit = true
+		}
+		return nil
+
+	case *lang.SwitchStmt:
+		return e.lowerSwitch(st, ctx, fn, parent)
 	}
 	return e.errorf("unhandled statement %T", s)
+}
+
+// lowerSwitch lowers a switch as a predicated cascade: one comparison of the
+// tag per case arm, each arm's work under a mask, and a final blend — the
+// same shape an if/else chain lowers to, so the vectorizer's predication
+// costs apply unchanged.
+func (e *env) lowerSwitch(st *lang.SwitchStmt, ctx *loopCtx, fn *ir.Func, parent *ir.Loop) error {
+	t, err := e.lowerExpr(st.Tag, ctx)
+	if err != nil {
+		return err
+	}
+	if ctx.loop != nil {
+		ctx.loop.HasIf = true
+	}
+	saved := ctx.predicated
+	for _, cc := range st.Cases {
+		if cc.Value != nil {
+			e.emit(ctx, ir.Instr{Op: ir.OpCmp, Type: t})
+		}
+		ctx.predicated = true
+		for _, s := range cc.Body {
+			if err := e.lowerStmt(s, ctx, fn, parent); err != nil {
+				ctx.predicated = saved
+				return err
+			}
+		}
+		ctx.predicated = saved
+	}
+	e.emit(ctx, ir.Instr{Op: ir.OpSelect, Type: t})
+	return nil
 }
 
 func (e *env) lowerFor(st *lang.ForStmt, ctx *loopCtx, fn *ir.Func, parent *ir.Loop) error {
@@ -264,18 +313,44 @@ func (e *env) lowerFor(st *lang.ForStmt, ctx *loopCtx, fn *ir.Func, parent *ir.L
 	}
 
 	iv, lo, loKnown := e.analyzeInit(st.Init)
-	if iv == "" {
-		return e.errorf("loop %s: unsupported init clause", st.Label)
+	var step int64
+	var down, stepOK bool
+	if iv != "" {
+		step, down, stepOK = e.analyzeStep(st.Post, iv)
+	}
+	if iv == "" || !stepOK {
+		// Non-canonical induction (unknown init clause, or a post clause that
+		// is not a constant-stride update, e.g. i *= 2). Lower conservatively:
+		// mark the loop Irregular, simulate it with the default trip, and keep
+		// the induction variable OUT of loopVars so body subscripts that read
+		// it become runtime-scalar (inexact) offsets rather than bogus
+		// loop-invariant addresses. Dependence analysis never vectorizes
+		// Irregular loops.
+		loop.Irregular = true
+		loop.TripKnown = false
+		loop.Trip = e.opts.DefaultTrip
+		loop.Step = 1
+		if iv != "" {
+			loop.IndexVar = iv
+			e.declDepth[iv] = loop.Depth
+			e.types[iv] = lang.Type{Scalar: lang.TypeInt}
+			delete(e.consts, iv)
+		}
+		inner := &loopCtx{depth: loop.Depth, loop: loop}
+		if err := e.lowerBlock(st.Body, inner, fn, loop); err != nil {
+			return err
+		}
+		if parent != nil {
+			parent.Children = append(parent.Children, loop)
+		} else {
+			fn.Loops = append(fn.Loops, loop)
+		}
+		return nil
 	}
 	loop.IndexVar = iv
 	e.declDepth[iv] = loop.Depth
 	e.types[iv] = lang.Type{Scalar: lang.TypeInt}
 	delete(e.consts, iv)
-
-	step, down, ok := e.analyzeStep(st.Post, iv)
-	if !ok {
-		return e.errorf("loop %s: unsupported post clause", st.Label)
-	}
 	loop.Step = step
 
 	hi, hiKnown, inclusive, boundParam := e.analyzeCond(st.Cond, iv, down)
@@ -320,6 +395,35 @@ func (e *env) lowerFor(st *lang.ForStmt, ctx *loopCtx, fn *ir.Func, parent *ir.L
 	} else {
 		delete(e.loopVars, iv)
 	}
+
+	// Normalize every access in the subtree to this loop's iteration space
+	// [0, trip): with iv = lo ± step*k, a subscript coefficient c over iv
+	// advances c*step (negated for downward loops) per iteration and
+	// contributes c*lo to the constant offset. The dependence analysis
+	// reasons over iterations, not induction-variable values, so without
+	// this rewrite its distance and range proofs would be wrong for loops
+	// with a non-zero start, a non-unit step, or a downward direction.
+	loop.Walk(func(x *ir.Loop) {
+		for _, a := range x.Accesses {
+			c, refs := a.Strides[loop.Label]
+			if !refs || c == 0 {
+				continue
+			}
+			if loKnown {
+				a.Offset += c * lo
+			} else {
+				// Unknown start: the constant part of the address is
+				// incomplete, which disables offset-based dependence proofs.
+				a.ExactOffset = false
+			}
+			eff := c * step
+			if down {
+				eff = -eff
+			}
+			a.Strides[loop.Label] = eff
+			a.Aligned = a.ExactOffset && a.Offset == 0
+		}
+	})
 
 	if parent != nil {
 		parent.Children = append(parent.Children, loop)
@@ -513,6 +617,19 @@ func (e *env) lowerAssign(st *lang.AssignStmt, ctx *loopCtx) error {
 			e.emit(ctx, ir.Instr{Op: compoundOp(st.Op), Type: t})
 		}
 		return e.lowerIndexAccess(lhs, ir.Store, ctx)
+	case *lang.MemberExpr:
+		t := e.typeOf(st.LHS)
+		if needsConvert(rhsType, t) {
+			e.emit(ctx, ir.Instr{Op: ir.OpConvert, Type: t, From: rhsType})
+		}
+		if st.Op != lang.Assign {
+			if _, err := e.lowerMemberAccess(lhs, ir.Load, ctx); err != nil {
+				return err
+			}
+			e.emit(ctx, ir.Instr{Op: compoundOp(st.Op), Type: t})
+		}
+		_, err := e.lowerMemberAccess(lhs, ir.Store, ctx)
+		return err
 	}
 	return e.errorf("unsupported assignment target %T", st.LHS)
 }
@@ -690,6 +807,8 @@ func (e *env) lowerExpr(x lang.Expr, ctx *loopCtx) (lang.ScalarType, error) {
 			return 0, err
 		}
 		return e.typeOf(ex), nil
+	case *lang.MemberExpr:
+		return e.lowerMemberAccess(ex, ir.Load, ctx)
 	case *lang.CallExpr:
 		for _, a := range ex.Args {
 			if _, err := e.lowerExpr(a, ctx); err != nil {
@@ -741,22 +860,29 @@ func (e *env) lowerIndexAccess(ex *lang.IndexExpr, kind ir.AccessKind, ctx *loop
 		return e.errorf("unsupported array base expression %T", base)
 	}
 	bt := e.types[id.Name]
+	return e.emitIndexed(kind, id.Name, bt.Scalar, bt.Dims, indices, ctx)
+}
+
+// emitIndexed builds and records an Access for a subscripted reference to the
+// named storage with the given shape. Shared by plain array references and
+// struct-field planes.
+func (e *env) emitIndexed(kind ir.AccessKind, array string, elem lang.ScalarType, dims []int64, indices []lang.Expr, ctx *loopCtx) error {
 	acc := &ir.Access{
 		Kind:  kind,
-		Array: id.Name,
-		Elem:  bt.Scalar,
-		Dims:  append([]int64(nil), bt.Dims...),
+		Array: array,
+		Elem:  elem,
+		Dims:  append([]int64(nil), dims...),
 	}
 
 	// Row-major flattening: for A[R][C], addr = e1*C + e2.
 	coeffs := map[string]int64{}
 	offset := int64(0)
 	affine := true
-	alignedOffset := true
+	exactOffset := true
 	for d, idx := range indices {
 		mult := int64(1)
-		for j := d + 1; j < len(bt.Dims); j++ {
-			mult *= bt.Dims[j]
+		for j := d + 1; j < len(dims); j++ {
+			mult *= dims[j]
 		}
 		c, off, okA, exact := e.affine(idx)
 		if !okA {
@@ -769,7 +895,7 @@ func (e *env) lowerIndexAccess(ex *lang.IndexExpr, kind ir.AccessKind, ctx *loop
 			continue
 		}
 		if !exact {
-			alignedOffset = false
+			exactOffset = false
 		}
 		for k, v := range c {
 			coeffs[k] += v * mult
@@ -779,9 +905,67 @@ func (e *env) lowerIndexAccess(ex *lang.IndexExpr, kind ir.AccessKind, ctx *loop
 	acc.Affine = affine
 	acc.Strides = coeffs
 	acc.Offset = offset
-	acc.Aligned = affine && alignedOffset && offset == 0
+	acc.ExactOffset = affine && exactOffset
+	acc.Aligned = acc.ExactOffset && offset == 0
 	e.emitAccess(ctx, acc)
 	return nil
+}
+
+// lowerMemberAccess lowers a struct field reference. A field of a scalar
+// struct variable is a named register (no memory traffic); a field of a
+// subscripted struct array element lowers as an access to the field's own
+// storage plane, the synthetic array "base.field" with the struct array's
+// shape. Distinct fields therefore never alias, which matches the no-pointer
+// object model of the language.
+func (e *env) lowerMemberAccess(ex *lang.MemberExpr, kind ir.AccessKind, ctx *loopCtx) (lang.ScalarType, error) {
+	ft := e.memberType(ex)
+	switch base := ex.Base.(type) {
+	case *lang.Ident:
+		if kind == ir.Store {
+			e.emit(ctx, ir.Instr{Op: ir.OpCopy, Type: ft})
+		}
+		return ft, nil
+	case *lang.IndexExpr:
+		var indices []lang.Expr
+		b := lang.Expr(base)
+		for {
+			ie, ok := b.(*lang.IndexExpr)
+			if !ok {
+				break
+			}
+			indices = append([]lang.Expr{ie.Index}, indices...)
+			b = ie.Base
+		}
+		id, ok := b.(*lang.Ident)
+		if !ok {
+			return 0, e.errorf("unsupported member base expression %T", b)
+		}
+		bt := e.types[id.Name]
+		return ft, e.emitIndexed(kind, id.Name+"."+ex.Field, ft, bt.Dims, indices, ctx)
+	}
+	return 0, e.errorf("unsupported member base expression %T", ex.Base)
+}
+
+// memberType resolves the scalar type of a struct field reference.
+func (e *env) memberType(ex *lang.MemberExpr) lang.ScalarType {
+	b := ex.Base
+	for {
+		ie, ok := b.(*lang.IndexExpr)
+		if !ok {
+			break
+		}
+		b = ie.Base
+	}
+	if id, ok := b.(*lang.Ident); ok {
+		if t, okt := e.types[id.Name]; okt && t.IsStruct() {
+			if sd, okd := e.structs[t.StructName]; okd {
+				if f := sd.Field(ex.Field); f != nil {
+					return f.Type
+				}
+			}
+		}
+	}
+	return lang.TypeInt
 }
 
 // affine analyses an index expression as a linear function of in-scope loop
@@ -974,6 +1158,8 @@ func (e *env) typeOf(x lang.Expr) lang.ScalarType {
 			}
 		}
 		return lang.TypeInt
+	case *lang.MemberExpr:
+		return e.memberType(ex)
 	case *lang.BinaryExpr:
 		return promote(e.typeOf(ex.X), e.typeOf(ex.Y))
 	case *lang.UnaryExpr:

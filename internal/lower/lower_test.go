@@ -442,14 +442,23 @@ void f() {
 	if l.Trip != 256 {
 		t.Fatalf("trip = %d", l.Trip)
 	}
-	var bAcc *ir.Access
-	for _, a := range l.Accesses {
-		if a.Array == "b" {
-			bAcc = a
+	// Accesses are normalized to the iteration space [0, trip): iteration k
+	// has i = 255 - k, so a[i] is the reversed stream (stride -1 from offset
+	// 255) and b[255 - i] the forward unit stream (stride +1 from offset 0).
+	var aAcc, bAcc *ir.Access
+	for _, acc := range l.Accesses {
+		switch acc.Array {
+		case "a":
+			aAcc = acc
+		case "b":
+			bAcc = acc
 		}
 	}
-	if bAcc.StrideFor(l.Label) != -1 {
-		t.Errorf("b stride = %d, want -1", bAcc.StrideFor(l.Label))
+	if bAcc.StrideFor(l.Label) != 1 || bAcc.Offset != 0 {
+		t.Errorf("b stride/offset = %d/%d, want 1/0", bAcc.StrideFor(l.Label), bAcc.Offset)
+	}
+	if aAcc.StrideFor(l.Label) != -1 || aAcc.Offset != 255 {
+		t.Errorf("a stride/offset = %d/%d, want -1/255", aAcc.StrideFor(l.Label), aAcc.Offset)
 	}
 }
 

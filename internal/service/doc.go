@@ -111,7 +111,7 @@
 //
 //	{"policy": "rl",               // default "rl"
 //	 "baseline": "costmodel",      // default "costmodel"
-//	 "corpus": "polybench,mibench",// suites: polybench, mibench, figure7, generated
+//	 "corpus": "polybench,mibench",// suites: polybench, mibench, figure7, tsvc, generated
 //	 "n": 32,                      // generated-suite size (default 16, cap 256)
 //	 "seed": 1,                    // corpus + stochastic-policy seed
 //	 "jobs": 4,                    // parallelism cap (never changes the numbers)
@@ -154,7 +154,7 @@
 //
 // Request (all fields optional):
 //
-//	{"corpus": "generated",        // suites: polybench, mibench, figure7, generated
+//	{"corpus": "generated",        // suites: polybench, mibench, figure7, tsvc, generated
 //	 "n": 16,                      // generated-suite size (cap 256)
 //	 "seed": 1,                    // fixes the run: equal specs train equal models
 //	 "jobs": 4,                    // rollout parallelism (never changes the weights)

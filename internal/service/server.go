@@ -845,7 +845,7 @@ type EvalRequest struct {
 	// Baseline anchors speedup (default "costmodel").
 	Baseline string `json:"baseline,omitempty"`
 	// Corpus is a comma-separated list of built-in suites: polybench,
-	// mibench, figure7, generated (default "generated").
+	// mibench, figure7, tsvc, generated (default "generated").
 	Corpus string `json:"corpus,omitempty"`
 	// N sizes the generated suite (default 16, capped at 256 server-side).
 	N int `json:"n,omitempty"`

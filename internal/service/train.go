@@ -35,7 +35,7 @@ const (
 type TrainRequest struct {
 	// Corpus is the training-corpus spec shared with /v1/eval and
 	// `neurovec train`: comma-separated suites polybench, mibench, figure7,
-	// generated (default "generated").
+	// tsvc, generated (default "generated").
 	Corpus string `json:"corpus,omitempty"`
 	// N sizes the generated suite (default 16, capped like /v1/eval).
 	N int `json:"n,omitempty"`
