@@ -7,6 +7,8 @@
 //	train    parallel PPO training over a corpus, with checkpoint/resume
 //	annotate run a decision policy over a C file and inject its pragmas
 //	serve    run a long-lived HTTP/JSON inference service from a snapshot
+//	fleet    run a consistent-hash router over N serve replicas with a
+//	         shared cache tier and coordinated rolling hot-reload
 //	brute    alias for the policy runner with -policy brute (per-loop table)
 //	sweep    print the full VF x IF grid for the first loop of a C file
 //	eval     score a policy over a whole corpus (speedup, oracle regret)
@@ -94,6 +96,8 @@ func main() {
 		err = cmdAnnotate(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "fleet":
+		err = cmdFleet(os.Args[2:])
 	case "brute":
 		err = cmdBrute(os.Args[2:])
 	case "sweep":
@@ -138,7 +142,13 @@ commands:
             -timeout 30s, -train-dir DIR, -max-body BYTES, -drain 10s);
             endpoints /v2/compile (per-loop decisions, pins, batches)
             /v1/annotate /v1/embed /v1/sweep /v1/eval /v1/train /v1/policies
-            /v1/reload /healthz /metrics; SIGHUP hot-reloads
+            /v1/reload /healthz /readyz /metrics; SIGHUP hot-reloads
+  fleet     route /v2/compile across N serve replicas by consistent hash
+            (-replicas 3 -model model.gob to spawn local replicas, or
+            -join URL,URL to front externally managed ones; -hedge-after,
+            -probe-interval, -fail-after, -cache); POST /fleet/reload rolls
+            a new checkpoint replica-by-replica with zero dropped requests,
+            /fleet/status reports the ring (see docs/FLEET.md)
   brute     alias for the policy runner with -policy brute: best (VF, IF)
             per loop of a C file as a table
   sweep     print the VF x IF performance grid for a C file's first loop

@@ -97,8 +97,11 @@ func cmdServe(args []string) error {
 		return err
 	case <-ctx.Done():
 	}
-	// Graceful shutdown: stop accepting connections and drain in-flight
-	// requests for up to -drain before giving up and exiting.
+	// Graceful shutdown: flip /readyz to 503 first so fleet routers and
+	// external load balancers stop routing here, then stop accepting
+	// connections and drain in-flight requests for up to -drain before
+	// giving up and exiting.
+	srv.SetDraining(true)
 	logger.Info("shutting down", "drain", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -1,0 +1,81 @@
+package api
+
+// Fleet wire types: the status and rolling-reload surfaces of the fleet
+// router (`neurovec fleet`, package neurovec/internal/fleet). They live here
+// with the rest of the versioned schema so CLI tooling, tests, and external
+// monitors consume the same shapes the router serves.
+
+// Replica states reported in FleetReplica.State.
+const (
+	// ReplicaReady means the replica passes readiness probes and receives
+	// traffic from the hash ring.
+	ReplicaReady = "ready"
+	// ReplicaEjected means consecutive probe failures removed the replica
+	// from the ring; probes continue and re-admission is automatic.
+	ReplicaEjected = "ejected"
+	// ReplicaDraining means the rolling-reload orchestrator (or an operator)
+	// has taken the replica out of the ring ahead of a reload; no new
+	// traffic routes to it while in-flight requests finish.
+	ReplicaDraining = "draining"
+)
+
+// FleetReplica is one replica's entry in a FleetStatus.
+type FleetReplica struct {
+	// Addr is the replica's base URL.
+	Addr string `json:"addr"`
+	// State is ReplicaReady, ReplicaEjected, or ReplicaDraining.
+	State string `json:"state"`
+	// ModelVersion is the checkpoint fingerprint the replica last reported
+	// on a readiness probe (empty before the first successful probe).
+	ModelVersion string `json:"model_version,omitempty"`
+	// ConsecutiveFailures counts probe failures since the last success.
+	ConsecutiveFailures int `json:"consecutive_failures,omitempty"`
+	// InFlight is the number of router-forwarded requests the replica is
+	// serving right now.
+	InFlight int64 `json:"in_flight"`
+	// Requests and Errors count forwarded requests and failed forwards
+	// since the router started.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+// FleetStatus is the GET /fleet/status response body.
+type FleetStatus struct {
+	// Version is the wire-schema version (always Version).
+	Version int `json:"version"`
+	// ModelVersion is the fleet-consistent checkpoint fingerprint: set only
+	// when every ready replica reported the same version on its last probe.
+	// Empty means mixed or unknown — the shared cache tier is disabled until
+	// the fleet converges (see docs/FLEET.md).
+	ModelVersion string `json:"model_version,omitempty"`
+	// ReadyReplicas counts replicas currently in the hash ring.
+	ReadyReplicas int `json:"ready_replicas"`
+	// Replicas lists every configured replica in stable (configuration)
+	// order.
+	Replicas []FleetReplica `json:"replicas"`
+	// CacheEntries is the shared response-cache tier's current size.
+	CacheEntries int `json:"cache_entries"`
+}
+
+// FleetReloadReplica is one replica's outcome within a rolling reload.
+type FleetReloadReplica struct {
+	Addr string `json:"addr"`
+	// PreviousVersion and ModelVersion are the checkpoint fingerprints
+	// before and after the replica's reload.
+	PreviousVersion string `json:"previous_version,omitempty"`
+	ModelVersion    string `json:"model_version,omitempty"`
+	// Error is set when this replica's reload step failed; the orchestrator
+	// stops at the first failure, so later replicas keep the old version.
+	Error string `json:"error,omitempty"`
+}
+
+// FleetReloadResponse is the POST /fleet/reload response body: the
+// replica-by-replica outcome of a rolling reload.
+type FleetReloadResponse struct {
+	Version int `json:"version"`
+	// ModelVersion is the fleet-consistent version after a fully successful
+	// roll (empty when the roll aborted partway).
+	ModelVersion string `json:"model_version,omitempty"`
+	// Replicas reports each replica's reload outcome in roll order.
+	Replicas []FleetReloadReplica `json:"replicas"`
+}

@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"io"
+	"time"
+
+	"neurovec/internal/obs"
+)
+
+// routerLatencyBuckets are the upper bounds (seconds) of the router's
+// request-latency histogram: a replica hop on top of the service's own
+// latency profile, so the grid matches the service's.
+var routerLatencyBuckets = []float64{
+	0.0005, 0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Metrics is the router's metrics surface — the fleet-level complement of
+// the per-replica /metrics each `neurovec serve` process exposes. All
+// methods are safe for concurrent use.
+type Metrics struct {
+	reg *obs.Registry
+
+	replicaUp  *obs.GaugeVec   // replica
+	requests   *obs.CounterVec // replica, outcome
+	hedges     *obs.Counter
+	retries    *obs.Counter
+	rebalances *obs.Counter
+	probeFails *obs.CounterVec   // replica
+	ejections  *obs.CounterVec   // replica
+	reqDur     *obs.HistogramVec // endpoint
+	httpReqs   *obs.CounterVec   // endpoint, code
+	cacheHits  *obs.Counter
+	cacheMiss  *obs.Counter
+	reloads    *obs.CounterVec // outcome
+}
+
+// NewMetrics returns a registry pre-populated with every fleet metric
+// family, so /metrics carries full HELP/TYPE metadata before the first
+// event.
+func NewMetrics() *Metrics {
+	r := obs.NewRegistry()
+	return &Metrics{
+		reg:        r,
+		replicaUp:  r.GaugeVec("neurovec_fleet_replica_up", "1 when the replica is in the hash ring (ready), 0 when ejected or draining.", "replica"),
+		requests:   r.CounterVec("neurovec_fleet_requests_total", "Requests forwarded to replicas, by replica and outcome (ok, error, busy).", "replica", "outcome"),
+		hedges:     r.Counter("neurovec_fleet_hedges_total", "Hedged requests: a duplicate sent to the next ring node because the owner was slow."),
+		retries:    r.Counter("neurovec_fleet_retries_total", "Failovers: requests re-sent to the next ring node after a replica failure."),
+		rebalances: r.Counter("neurovec_fleet_ring_rebalances_total", "Hash-ring rebuilds caused by replica ejection, re-admission, or draining."),
+		probeFails: r.CounterVec("neurovec_fleet_probe_failures_total", "Failed health probes, by replica.", "replica"),
+		ejections:  r.CounterVec("neurovec_fleet_replica_ejections_total", "Replicas ejected from the ring after consecutive probe failures, by replica.", "replica"),
+		reqDur:     r.HistogramVec("neurovec_fleet_request_duration_seconds", "Router request latency histogram by endpoint.", routerLatencyBuckets, "endpoint"),
+		httpReqs:   r.CounterVec("neurovec_fleet_http_requests_total", "Router HTTP requests served, by endpoint and status code.", "endpoint", "code"),
+		cacheHits:  r.Counter("neurovec_fleet_cache_hits_total", "Shared response-cache tier hits."),
+		cacheMiss:  r.Counter("neurovec_fleet_cache_misses_total", "Shared response-cache tier misses."),
+		reloads:    r.CounterVec("neurovec_fleet_reloads_total", "Rolling fleet reloads, by outcome (ok, error, busy).", "outcome"),
+	}
+}
+
+// Registry exposes the underlying registry (tests and embedding mains).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// ReplicaUp records whether a replica is currently in the ring.
+func (m *Metrics) ReplicaUp(addr string, up bool) {
+	v := 0.0
+	if up {
+		v = 1.0
+	}
+	m.replicaUp.With(addr).Set(v)
+}
+
+// Forward records one forwarded request's outcome ("ok", "error", "busy").
+func (m *Metrics) Forward(addr, outcome string) { m.requests.With(addr, outcome).Inc() }
+
+// Hedge records one hedged (duplicated) request.
+func (m *Metrics) Hedge() { m.hedges.Inc() }
+
+// Retry records one failover onto the next ring node.
+func (m *Metrics) Retry() { m.retries.Inc() }
+
+// Rebalance records one hash-ring rebuild.
+func (m *Metrics) Rebalance() { m.rebalances.Inc() }
+
+// ProbeFailure records one failed health probe.
+func (m *Metrics) ProbeFailure(addr string) { m.probeFails.With(addr).Inc() }
+
+// Ejection records one replica ejection.
+func (m *Metrics) Ejection(addr string) { m.ejections.With(addr).Inc() }
+
+// ObserveRequest records one finished router request.
+func (m *Metrics) ObserveRequest(endpoint string, status int, elapsed time.Duration) {
+	m.httpReqs.With(endpoint, statusLabel(status)).Inc()
+	m.reqDur.With(endpoint).Observe(elapsed.Seconds())
+}
+
+// CacheHit / CacheMiss record shared-tier cache traffic.
+func (m *Metrics) CacheHit()  { m.cacheHits.Inc() }
+func (m *Metrics) CacheMiss() { m.cacheMiss.Inc() }
+
+// Reload records one rolling-reload attempt by outcome.
+func (m *Metrics) Reload(outcome string) { m.reloads.With(outcome).Inc() }
+
+// WriteTo renders the registry in the Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) { return m.reg.WriteTo(w) }
+
+// statusLabel renders an HTTP status code without fmt.
+func statusLabel(n int) string {
+	if n <= 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -100,10 +100,13 @@ type compileEnvelope struct {
 	Requests []api.CompileRequest `json:"requests,omitempty"`
 }
 
-// compileCacheKey derives the per-file response-cache key. Pins are part of
-// the key in request order: two orderings of the same pins compute the same
-// response but cache separately, which costs a miss, never a wrong answer.
-func compileCacheKey(version, policyName string, req *api.CompileRequest) string {
+// CompileCacheKey derives the per-file response-cache key from the model
+// version, resolved policy name, source, params, strict bit, and pins. Pins
+// are part of the key in request order: two orderings of the same pins
+// compute the same response but cache separately, which costs a miss, never
+// a wrong answer. Exported because the fleet router's shared cache tier must
+// use the exact same key discipline — one implementation, two tiers.
+func CompileCacheKey(version, policyName string, req *api.CompileRequest) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "compile\x00%s\x00%s\x00%s\x00", version, policyName, req.File)
 	if req.Strict {
@@ -190,7 +193,7 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 		s.serveTracedCompile(ctx, w, r, m, &req, polName, pol)
 		return
 	}
-	key := compileCacheKey(m.version, polName, &req)
+	key := CompileCacheKey(m.version, polName, &req)
 	s.serveCached(ctx, w, r, key, func(ctx context.Context) (any, error) {
 		resp, err := s.compileCompute(ctx, m, &req, polName, pol)
 		if err != nil {
@@ -241,6 +244,7 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request, m *m
 		writeError(w, r, &httpError{status: http.StatusBadRequest, msg: err.Error()})
 		return
 	}
+	reqID := w.Header().Get("X-Request-ID")
 	out := api.BatchResponse{Version: api.Version, Responses: make([]api.CompileResponse, len(env.Requests))}
 	// Bound the in-flight files like the NDJSON path does: pool.Do enqueues
 	// without blocking, so spawning every request at once would overflow the
@@ -254,7 +258,7 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request, m *m
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out.Responses[i] = *s.compileItem(r.Context(), m, &env.Requests[i])
+			out.Responses[i] = *s.compileItem(r.Context(), m, &env.Requests[i], reqID)
 		}(i)
 	}
 	wg.Wait()
@@ -271,6 +275,12 @@ func (s *Server) handleCompileBatch(w http.ResponseWriter, r *http.Request, m *m
 // unboundedly) and responses stream back in request order as files finish.
 func (s *Server) handleCompileStream(w http.ResponseWriter, r *http.Request) {
 	m := s.model.Load()
+	// Every line of the stream shares the request's X-Request-ID — the one
+	// instrument() stamped on the response headers, which prefers a sane
+	// inbound header over generating a fresh ID. Echoing it per line (rather
+	// than regenerating, or only on the header the client may never surface)
+	// gives batch clients the same correlation key on every response record.
+	reqID := w.Header().Get("X-Request-ID")
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 
@@ -294,15 +304,15 @@ func (s *Server) handleCompileStream(w http.ResponseWriter, r *http.Request) {
 				dec := json.NewDecoder(bytes.NewReader(lineCopy))
 				dec.DisallowUnknownFields()
 				if err := dec.Decode(&req); err != nil {
-					out <- &api.CompileResponse{Version: api.Version, Error: "bad request line: " + err.Error()}
+					out <- &api.CompileResponse{Version: api.Version, RequestID: reqID, Error: "bad request line: " + err.Error()}
 					return
 				}
-				out <- s.compileItem(r.Context(), m, &req)
+				out <- s.compileItem(r.Context(), m, &req, reqID)
 			}()
 		}
 		if err := sc.Err(); err != nil {
 			out := make(slot, 1)
-			out <- &api.CompileResponse{Version: api.Version, Error: "bad request stream: " + err.Error()}
+			out <- &api.CompileResponse{Version: api.Version, RequestID: reqID, Error: "bad request stream: " + err.Error()}
 			queue <- out
 		}
 	}()
@@ -318,10 +328,12 @@ func (s *Server) handleCompileStream(w http.ResponseWriter, r *http.Request) {
 
 // compileItem compiles one batched file. Failures become the response's
 // Error field — a batch always yields one response per request — and cached
-// non-truncated responses are served and stored per file.
-func (s *Server) compileItem(rctx context.Context, m *model, req *api.CompileRequest) *api.CompileResponse {
+// non-truncated responses are served and stored per file. reqID is echoed on
+// every response after the cache interaction, so cached bytes stay
+// request-neutral while every client-visible record carries the key.
+func (s *Server) compileItem(rctx context.Context, m *model, req *api.CompileRequest, reqID string) *api.CompileResponse {
 	fail := func(err error) *api.CompileResponse {
-		resp := &api.CompileResponse{Version: api.Version, File: req.File, Error: err.Error()}
+		resp := &api.CompileResponse{Version: api.Version, File: req.File, RequestID: reqID, Error: err.Error()}
 		// A strict-mode semantic rejection keeps its diagnostics: batch and
 		// NDJSON clients get the same machine-readable findings the single
 		// form carries in its 422 error body.
@@ -339,7 +351,7 @@ func (s *Server) compileItem(rctx context.Context, m *model, req *api.CompileReq
 		s.metrics.Policy(polName, false)
 		return fail(err)
 	}
-	key := compileCacheKey(m.version, polName, req)
+	key := CompileCacheKey(m.version, polName, req)
 	// Traced items bypass the cache entirely (neither hit nor store): a
 	// cached body carries no spans and a trace describes one execution.
 	if !req.Trace {
@@ -347,6 +359,7 @@ func (s *Server) compileItem(rctx context.Context, m *model, req *api.CompileReq
 			var resp api.CompileResponse
 			if json.Unmarshal(body, &resp) == nil {
 				s.metrics.CacheHit()
+				resp.RequestID = reqID
 				return &resp
 			}
 		}
@@ -373,12 +386,16 @@ func (s *Server) compileItem(rctx context.Context, m *model, req *api.CompileReq
 	}
 	if tr != nil {
 		resp.Trace = core.TraceSpans(tr)
+		resp.RequestID = reqID
 		return resp
 	}
 	if !resp.Truncated {
+		// Cache before stamping the request ID: the stored bytes must stay
+		// request-neutral so a later hit can carry its own ID.
 		if body, err := json.Marshal(resp); err == nil {
 			s.cache.Put(key, body)
 		}
 	}
+	resp.RequestID = reqID
 	return resp
 }

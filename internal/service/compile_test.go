@@ -397,3 +397,66 @@ func TestCompileCachedAcrossIdenticalRequests(t *testing.T) {
 		t.Errorf("pin ignored: %+v", pinned.Loops[0])
 	}
 }
+
+// TestCompileNDJSONRequestID checks that every line of an NDJSON stream (and
+// every batch-envelope item) echoes the request's X-Request-ID — preferring a
+// client-supplied inbound header over a regenerated one — and that cache hits
+// carry the hitting request's ID, not the ID of the request that populated
+// the cache.
+func TestCompileNDJSONRequestID(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1, QueueDepth: 64})
+
+	line := mustLine(t, api.CompileRequest{File: "a.c", Source: fixture.srcs[0]}) + "\n"
+	stream := func(id string) api.CompileResponse {
+		req := httptest.NewRequest("POST", "/v2/compile", strings.NewReader(line))
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		if id != "" {
+			req.Header.Set("X-Request-ID", id)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		var resp api.CompileResponse
+		if err := json.Unmarshal([]byte(strings.TrimSpace(rec.Body.String())), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	if got := stream("client-chose-this").RequestID; got != "client-chose-this" {
+		t.Errorf("NDJSON line request_id %q, want the inbound header", got)
+	}
+	// Same file again: a response-cache hit must carry the new request's ID.
+	if got := stream("second-request").RequestID; got != "second-request" {
+		t.Errorf("cached NDJSON line request_id %q, want second-request", got)
+	}
+	// Without an inbound header the edge generates one and echoes it.
+	if got := stream("").RequestID; got == "" {
+		t.Error("NDJSON line carries no request_id without an inbound header")
+	}
+
+	// Batch-envelope items share the same discipline.
+	body := mustLine(t, api.Batch{Requests: []api.CompileRequest{
+		{File: "a.c", Source: fixture.srcs[0]},
+		{File: "b.c", Source: fixture.srcs[1]},
+	}})
+	req := httptest.NewRequest("POST", "/v2/compile", strings.NewReader(body))
+	req.Header.Set("X-Request-ID", "batch-id")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var batch api.BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &batch); err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range batch.Responses {
+		if item.RequestID != "batch-id" {
+			t.Errorf("batch item %d request_id %q, want batch-id", i, item.RequestID)
+		}
+	}
+}

@@ -107,6 +107,10 @@ func (p *Pool) OnPanic(fn func()) { p.onPanic = fn }
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
+// Closed reports whether Close has been called (the pool no longer accepts
+// new work).
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
 // QueueDepth returns the number of jobs waiting for a worker right now.
 func (p *Pool) QueueDepth() int { return len(p.jobs) }
 

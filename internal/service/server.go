@@ -117,6 +117,12 @@ type Server struct {
 	// concurrency bound intact.
 	evalSem chan struct{}
 
+	// draining is set when the process is shutting down (or an operator
+	// takes the replica out of rotation): /readyz answers 503 so routers
+	// and external load balancers stop sending new work, while in-flight
+	// requests and /healthz keep working.
+	draining atomic.Bool
+
 	reloadMu sync.Mutex // serializes hot-reloads
 	// modelPath is the checkpoint the next reload re-reads; it starts at
 	// cfg.ModelPath and moves when a training job is promoted. Guarded by
@@ -195,6 +201,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/reload", s.instrument("/v1/reload", s.handleReload))
 	s.mux.HandleFunc("GET /v1/policies", s.instrument("/v1/policies", s.handlePolicies))
 	s.mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.instrument("/readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.Pprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -322,7 +329,7 @@ func (r *statusRecorder) WriteHeader(code int) {
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
-		id := requestID(r)
+		id := RequestID(r)
 		w.Header().Set("X-Request-ID", id)
 		r = r.WithContext(obs.WithRecorder(r.Context(), nil, s.metrics.StageSink()))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
@@ -339,11 +346,12 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
-// requestID returns the client's X-Request-ID when it is short and printable,
+// RequestID returns the client's X-Request-ID when it is short and printable,
 // otherwise a fresh 8-byte random hex ID. Honoring client IDs lets a caller
 // correlate its own logs with ours; the sanity bound keeps hostile headers
-// out of log lines.
-func requestID(r *http.Request) string {
+// out of log lines. Exported because the fleet router applies the same
+// discipline at its edge before forwarding the ID to replicas.
+func RequestID(r *http.Request) string {
 	if id := r.Header.Get("X-Request-ID"); id != "" && len(id) <= 64 && printableASCII(id) {
 		return id
 	}
@@ -1103,6 +1111,48 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		CacheEntries:  s.cache.Len(),
 	})
 	writeJSON(w, http.StatusOK, body)
+}
+
+// SetDraining flips the drain bit: while set, GET /readyz answers 503 so
+// fleet routers and external load balancers take the replica out of rotation
+// before the process stops accepting work. In-flight requests are unaffected.
+func (s *Server) SetDraining(v bool) {
+	if s.draining.Swap(v) != v {
+		s.log.Info("drain state changed", "draining", v)
+	}
+}
+
+// Draining reports whether the drain bit is set.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ReadyzResponse is the GET /readyz response body (status 200 when ready,
+// 503 while draining or stopping). Fleet routers parse it to learn the
+// replica's serving version; the fields are stable API.
+type ReadyzResponse struct {
+	// Status is "ready", "draining", or "stopping".
+	Status string `json:"status"`
+	// ModelVersion fingerprints the currently served checkpoint.
+	ModelVersion string `json:"model_version"`
+}
+
+// handleReadyz is the readiness probe: ready means a model is loaded, the
+// worker pool is accepting jobs, and the server is not draining. Liveness
+// (GET /healthz) stays 200 through a drain; readiness does not — that split
+// is what lets a router drain a replica without killing it.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	m := s.model.Load()
+	resp := &ReadyzResponse{Status: "ready", ModelVersion: m.version}
+	status := http.StatusOK
+	switch {
+	case s.draining.Load():
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	case s.pool.Closed():
+		resp.Status = "stopping"
+		status = http.StatusServiceUnavailable
+	}
+	body, _ := json.Marshal(resp)
+	writeJSON(w, status, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

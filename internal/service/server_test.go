@@ -784,3 +784,51 @@ func TestEvalBaselineErrorNotChargedToPolicy(t *testing.T) {
 		t.Error("baseline resolution failure was charged to the evaluated policy's error counter")
 	}
 }
+
+// TestReadyz checks the readiness probe: 200 with the serving version while
+// accepting work, 503 once the server is draining, and back to 200 when the
+// drain is lifted. Liveness (/healthz) stays 200 throughout — that split is
+// what lets a router drain a replica without restarting it.
+func TestReadyz(t *testing.T) {
+	testFixture(t)
+	s := newTestServer(t, Config{ModelPath: fixture.model1})
+
+	rec, body := do(t, s, "GET", "/readyz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("ready server /readyz status %d: %s", rec.Code, body)
+	}
+	var resp ReadyzResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ready" || resp.ModelVersion != s.ModelVersion() {
+		t.Errorf("readyz %+v, want ready with version %s", resp, s.ModelVersion())
+	}
+
+	s.SetDraining(true)
+	if !s.Draining() {
+		t.Fatal("Draining() false after SetDraining(true)")
+	}
+	rec, body = do(t, s, "GET", "/readyz", nil)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("draining server /readyz status %d, want 503: %s", rec.Code, body)
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "draining" {
+		t.Errorf("draining readyz status %q", resp.Status)
+	}
+	// Liveness is unaffected; compute endpoints keep serving too.
+	if rec, body := do(t, s, "GET", "/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("draining server /healthz status %d: %s", rec.Code, body)
+	}
+	if rec, body := do(t, s, "POST", "/v1/annotate", AnnotateRequest{Source: fixture.srcs[0]}); rec.Code != http.StatusOK {
+		t.Errorf("draining server annotate status %d: %s", rec.Code, body)
+	}
+
+	s.SetDraining(false)
+	if rec, _ := do(t, s, "GET", "/readyz", nil); rec.Code != http.StatusOK {
+		t.Errorf("undrained server /readyz status %d", rec.Code)
+	}
+}
